@@ -1,0 +1,105 @@
+//! Baseline adversaries used for ablation comparisons.
+
+use crate::{ClusterView, JoinDecision, Strategy};
+
+/// A passive adversary: its peers participate but never exploit the
+/// protocol's decision points — joins always execute, malicious peers never
+/// leave voluntarily and never bias maintenance.
+///
+/// Pollution under this adversary comes purely from the natural mixing of
+/// malicious peers through churn, which isolates how much the *strategy*
+/// (Rules 1–2 and biasing) adds on top of mere presence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassiveAdversary;
+
+impl PassiveAdversary {
+    /// Creates the passive adversary.
+    pub fn new() -> Self {
+        PassiveAdversary
+    }
+}
+
+impl Strategy for PassiveAdversary {
+    fn name(&self) -> &'static str {
+        "passive"
+    }
+
+    fn join_decision(&self, _view: &ClusterView, _joiner_malicious: bool) -> JoinDecision {
+        JoinDecision::Accept
+    }
+
+    fn voluntary_core_leave(&self, _view: &ClusterView) -> bool {
+        false
+    }
+
+    fn biases_maintenance(&self) -> bool {
+        false
+    }
+}
+
+/// A reckless adversary: grabs every opportunity without regard for the
+/// topological deterrents — it biases maintenance and triggers a voluntary
+/// core leave whenever *any* malicious spare could be promoted, ignoring
+/// both the merge risk and the probability calculation of Rule 1, and it
+/// never suppresses joins (so its clusters split and its gains evaporate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecklessAdversary;
+
+impl RecklessAdversary {
+    /// Creates the reckless adversary.
+    pub fn new() -> Self {
+        RecklessAdversary
+    }
+}
+
+impl Strategy for RecklessAdversary {
+    fn name(&self) -> &'static str {
+        "reckless"
+    }
+
+    fn join_decision(&self, _view: &ClusterView, _joiner_malicious: bool) -> JoinDecision {
+        JoinDecision::Accept
+    }
+
+    fn voluntary_core_leave(&self, view: &ClusterView) -> bool {
+        // Gamble whenever a malicious spare exists at all.
+        view.malicious_core() > 0 && view.malicious_spare() > 0
+    }
+
+    fn biases_maintenance(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_never_acts() {
+        let s = PassiveAdversary::new();
+        let polluted = ClusterView::new(7, 7, 6, 3, 2).unwrap();
+        assert_eq!(s.join_decision(&polluted, false), JoinDecision::Accept);
+        assert!(!s.voluntary_core_leave(&polluted));
+        assert!(!s.biases_maintenance());
+        assert_eq!(s.name(), "passive");
+    }
+
+    #[test]
+    fn reckless_gambles_without_merge_guard() {
+        let s = RecklessAdversary::new();
+        // Even with s = 1 (merge-risky) it leaves if a malicious spare
+        // exists.
+        let risky = ClusterView::new(7, 7, 1, 1, 1).unwrap();
+        assert!(s.voluntary_core_leave(&risky));
+        // But not without malicious material.
+        let no_spare = ClusterView::new(7, 7, 3, 1, 0).unwrap();
+        assert!(!s.voluntary_core_leave(&no_spare));
+        let no_core = ClusterView::new(7, 7, 3, 0, 2).unwrap();
+        assert!(!s.voluntary_core_leave(&no_core));
+        // Never suppresses joins, even near the split boundary.
+        let near_split = ClusterView::new(7, 7, 6, 3, 0).unwrap();
+        assert_eq!(s.join_decision(&near_split, false), JoinDecision::Accept);
+        assert_eq!(s.name(), "reckless");
+    }
+}

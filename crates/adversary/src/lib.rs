@@ -1,0 +1,50 @@
+//! Adversarial strategies against cluster-based overlays.
+//!
+//! Implements the attacker of Section V of the DSN'11 paper — a strong
+//! adversary controlling a global fraction `μ` of colluding peers — as a
+//! pluggable [`Strategy`]:
+//!
+//! * [`TargetedStrategy`] — the paper's strategy: maximize malicious
+//!   presence, **Rule 1** (trigger a voluntary core leave when the
+//!   `k`-randomized maintenance increases the malicious core count with
+//!   probability `> 1 − ν`, Relation 2), **Rule 2** (a polluted cluster
+//!   discards honest joins while `s > 1` and all joins at `s = Δ − 1` to
+//!   dodge splits), and biased core maintenance in polluted clusters.
+//! * [`baselines`] — comparison strategies: a passive adversary that never
+//!   exploits the protocol, and a reckless one that ignores the
+//!   topological deterrents.
+//! * [`rules`] — the bare Rule 1 / Rule 2 predicates, shared by the
+//!   analytical transition-matrix builder and the simulators.
+//!
+//! Decisions are taken against a [`ClusterView`] — the `(s, x, y)`
+//! abstraction of a cluster the colluding adversary observes — so the same
+//! strategy object drives both the state-level Monte-Carlo simulator and
+//! the full overlay simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_adversary::{ClusterView, Strategy, TargetedStrategy, JoinDecision};
+//!
+//! let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+//! // A polluted cluster (x = 3 > c = 2) with s = 3 discards honest joins…
+//! let view = ClusterView::new(7, 7, 3, 3, 1).unwrap();
+//! assert_eq!(strategy.join_decision(&view, false), JoinDecision::Discard);
+//! // …but accepts malicious ones.
+//! assert_eq!(strategy.join_decision(&view, true), JoinDecision::Accept);
+//! ```
+
+mod baselines_mod;
+pub mod rules;
+mod strategy;
+mod targeted;
+mod view;
+
+pub use strategy::{JoinDecision, Strategy};
+pub use targeted::TargetedStrategy;
+pub use view::ClusterView;
+
+/// Baseline strategies for ablation comparisons.
+pub mod baselines {
+    pub use crate::baselines_mod::{PassiveAdversary, RecklessAdversary};
+}

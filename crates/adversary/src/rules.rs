@@ -1,0 +1,191 @@
+//! The bare Rule 1 and Rule 2 predicates of Section V, shared by the
+//! analytical transition-matrix builder and the simulators.
+
+use pollux_prob::hypergeometric_q;
+
+use crate::ClusterView;
+
+/// The probability in Relation (2): given that one *malicious, still
+/// valid* core member of a cluster in state `(s, x, y)` leaves voluntarily
+/// under `protocol_k`, the probability that the renewed core holds
+/// **strictly more** malicious members than the current one.
+///
+/// With `i` malicious among the `k − 1` demoted and `j` malicious among the
+/// `k` promoted, the new count is `x − 1 − i + j > x ⟺ j ≥ i + 2`:
+///
+/// ```text
+/// Σ_{i=i₀}^{i_max} Σ_{j=i+2}^{j_max} q(k−1, C−1, i, x−1) · q(k, s+k−1, j, y+i)
+/// ```
+///
+/// Returns 0 when the state admits no such departure (`x = 0` or `s = 0`).
+///
+/// # Panics
+///
+/// Panics when `k` is outside `1..=C`.
+pub fn relation2_probability(view: &ClusterView, k: usize) -> f64 {
+    let c_size = view.core_size();
+    assert!(k >= 1 && k <= c_size, "k={k} outside 1..={c_size}");
+    let (s, x, y) = (
+        view.spare_size(),
+        view.malicious_core(),
+        view.malicious_spare(),
+    );
+    if x == 0 || s == 0 {
+        return 0.0;
+    }
+    let i_lo = (k as i64 - 1 - (c_size as i64 - x as i64)).max(0) as u64;
+    let i_hi = (k - 1).min(x - 1) as u64;
+    let mut total = 0.0;
+    let mut i = i_lo;
+    while i <= i_hi {
+        let p_demote = hypergeometric_q(k as u64 - 1, c_size as u64 - 1, i, x as u64 - 1);
+        if p_demote > 0.0 {
+            let j_hi = (k as u64).min(y as u64 + i);
+            let mut j = i + 2;
+            while j <= j_hi {
+                total += p_demote
+                    * hypergeometric_q(k as u64, (s + k - 1) as u64, j, y as u64 + i);
+                j += 1;
+            }
+        }
+        i += 1;
+        if i == 0 {
+            break; // guards against u64 wrap when i_hi is u64::MAX (cannot happen)
+        }
+    }
+    total
+}
+
+/// Rule 1 (adversarial leave): the adversary triggers a voluntary leave of
+/// a valid malicious core member when
+///
+/// * the cluster is safe with at least one malicious core member
+///   (`0 < x ≤ c`),
+/// * leaving cannot push the cluster into a merge (`s > 1`), and
+/// * Relation (2) exceeds `1 − ν`.
+///
+/// For `k = 1` the relation can never hold (no demotion means the malicious
+/// count cannot increase by 2), matching the paper.
+pub fn rule1_triggers(view: &ClusterView, k: usize, nu: f64) -> bool {
+    let x = view.malicious_core();
+    if x == 0 || view.is_polluted() || view.spare_size() <= 1 {
+        return false;
+    }
+    relation2_probability(view, k) > 1.0 - nu
+}
+
+/// Rule 2 (adversarial join): a polluted cluster discards a join event
+/// when `(joiner is honest and s > 1)` or `s = Δ − 1` (to dodge the split).
+///
+/// Safe clusters never discard (the honest core would not cooperate);
+/// callers should only consult this for polluted clusters, but the
+/// predicate checks pollution anyway for safety.
+pub fn rule2_discards(view: &ClusterView, joiner_malicious: bool) -> bool {
+    if !view.is_polluted() {
+        return false;
+    }
+    let s = view.spare_size();
+    (s == view.max_spare() - 1) || (!joiner_malicious && s > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(s: usize, x: usize, y: usize) -> ClusterView {
+        ClusterView::new(7, 7, s, x, y).expect("consistent view")
+    }
+
+    #[test]
+    fn relation2_is_zero_for_k1() {
+        for s in 1..7 {
+            for x in 1..=7 {
+                for y in 0..=s {
+                    assert_eq!(relation2_probability(&view(s, x, y), 1), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relation2_hand_computed_value() {
+        // C = 7, k = 7: all 6 remaining core members are demoted (i = x−1
+        // surely). x = 1, y = 3, s = 3: pool of 9 with 3 malicious, draw 7;
+        // success needs j ≥ 2, i.e. 1 − P(j=1) = 1 − C(3,1)C(6,6)/C(9,7)
+        // = 1 − 3/36 = 11/12.
+        let p = relation2_probability(&view(3, 1, 3), 7);
+        assert!((p - 11.0 / 12.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn relation2_degenerate_states() {
+        assert_eq!(relation2_probability(&view(3, 0, 2), 7), 0.0); // x = 0
+        assert_eq!(relation2_probability(&view(0, 2, 0), 7), 0.0); // s = 0
+        // y ≤ 1 can never yield j ≥ i + 2 beyond the demoted returns.
+        assert_eq!(relation2_probability(&view(3, 2, 0), 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn relation2_rejects_bad_k() {
+        relation2_probability(&view(3, 1, 1), 8);
+    }
+
+    #[test]
+    fn relation2_is_a_probability() {
+        for k in 1..=7 {
+            for s in 1..7 {
+                for x in 1..=7 {
+                    for y in 0..=s {
+                        let p = relation2_probability(&view(s, x, y), k);
+                        assert!((0.0..=1.0 + 1e-12).contains(&p), "k={k} s={s} x={x} y={y}: {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule1_never_triggers_for_k1() {
+        for s in 1..7 {
+            for x in 0..=7 {
+                for y in 0..=s {
+                    assert!(!rule1_triggers(&view(s, x, y), 1, 0.5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule1_triggers_in_favourable_k7_state() {
+        // 11/12 ≈ 0.917 > 1 − 0.1.
+        assert!(rule1_triggers(&view(3, 1, 3), 7, 0.1));
+        // With a stricter threshold it does not.
+        assert!(!rule1_triggers(&view(3, 1, 3), 7, 0.05));
+    }
+
+    #[test]
+    fn rule1_blocked_by_merge_risk_and_pollution() {
+        // s = 1: a voluntary leave would drain the spare set.
+        assert!(!rule1_triggers(&view(1, 1, 1), 7, 0.5));
+        // Polluted cluster: the adversary does not churn its own quorum.
+        assert!(!rule1_triggers(&view(3, 3, 3), 7, 0.5));
+        // No malicious core member to leave.
+        assert!(!rule1_triggers(&view(3, 0, 3), 7, 0.5));
+    }
+
+    #[test]
+    fn rule2_decision_table() {
+        // Polluted, honest joiner, s > 1: discard.
+        assert!(rule2_discards(&view(3, 3, 0), false));
+        // Polluted, honest joiner, s = 1: accept (merge buffer).
+        assert!(!rule2_discards(&view(1, 3, 0), false));
+        // Polluted, malicious joiner, room available: accept.
+        assert!(!rule2_discards(&view(3, 3, 0), true));
+        // Polluted, s = Δ − 1: discard everyone.
+        assert!(rule2_discards(&view(6, 3, 0), true));
+        assert!(rule2_discards(&view(6, 3, 0), false));
+        // Safe cluster never discards.
+        assert!(!rule2_discards(&view(3, 2, 0), false));
+    }
+}

@@ -1,0 +1,76 @@
+use crate::ClusterView;
+
+/// The adversary's verdict on a join event received by a cluster it
+/// controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinDecision {
+    /// The join proceeds (the peer enters the spare set).
+    Accept,
+    /// The join event is positively acknowledged but never executed — the
+    /// joiner cannot tell the cluster is polluted (Rule 2's
+    /// implementation note in Section V-B).
+    Discard,
+}
+
+/// A pluggable adversary: the decision points of Section V.
+///
+/// The simulator consults the strategy exactly where the paper gives the
+/// adversary latitude:
+///
+/// * join events received by **polluted** clusters (Rule 2) —
+///   [`Strategy::join_decision`];
+/// * leave events hitting a *valid* (non-expired) malicious core member of
+///   a **safe** cluster (Rule 1) — [`Strategy::voluntary_core_leave`];
+/// * the core-maintenance procedure in **polluted** clusters —
+///   [`Strategy::biases_maintenance`].
+///
+/// Everything else — honest churn, expiry-forced departures, honest
+/// maintenance — is protocol-determined and not negotiable.
+pub trait Strategy {
+    /// Short machine-friendly identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the polluted cluster described by `view` executes a join
+    /// issued by a (malicious or honest) peer.
+    fn join_decision(&self, view: &ClusterView, joiner_malicious: bool) -> JoinDecision;
+
+    /// Whether a valid malicious core member of the safe cluster `view`
+    /// leaves voluntarily when the churn process selects it (Rule 1).
+    fn voluntary_core_leave(&self, view: &ClusterView) -> bool;
+
+    /// Whether the adversary biases the maintenance of polluted clusters
+    /// (replacing departed core members with valid malicious spares).
+    fn biases_maintenance(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial strategy to pin the trait's object safety.
+    struct Null;
+
+    impl Strategy for Null {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn join_decision(&self, _view: &ClusterView, _m: bool) -> JoinDecision {
+            JoinDecision::Accept
+        }
+        fn voluntary_core_leave(&self, _view: &ClusterView) -> bool {
+            false
+        }
+        fn biases_maintenance(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn strategy_is_object_safe() {
+        let s: Box<dyn Strategy> = Box::new(Null);
+        let view = ClusterView::new(7, 7, 3, 0, 0).unwrap();
+        assert_eq!(s.join_decision(&view, true), JoinDecision::Accept);
+        assert!(!s.voluntary_core_leave(&view));
+        assert_eq!(s.name(), "null");
+    }
+}

@@ -1,0 +1,45 @@
+//! Benchmarks the analytical metrics (Relations 5–9): censored-chain
+//! solves, sojourn series and absorption probabilities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pollux::{ClusterAnalysis, ClusterChain, InitialCondition, ModelParams};
+
+fn bench_analysis(c: &mut Criterion) {
+    let params = ModelParams::paper_defaults().with_mu(0.25).with_d(0.9);
+    let chain = ClusterChain::build(&params);
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.bench_function("prepare (LU factorizations)", |b| {
+        b.iter(|| {
+            black_box(
+                ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Delta)
+                    .expect("valid"),
+            )
+        })
+    });
+
+    let analysis = ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Delta)
+        .expect("valid parameters");
+    group.bench_function("expected totals (Rel. 5-6)", |b| {
+        b.iter(|| {
+            black_box(analysis.expected_safe_events().expect("solvable"));
+            black_box(analysis.expected_polluted_events().expect("solvable"));
+        })
+    });
+    group.bench_function("sojourn series n=10 (Rel. 7-8)", |b| {
+        b.iter(|| black_box(analysis.successive_safe_sojourns(10)))
+    });
+    group.bench_function("absorption split (Rel. 9)", |b| {
+        b.iter(|| black_box(analysis.absorption_split().expect("solvable")))
+    });
+    group.bench_function("distribution of T_S to j=500", |b| {
+        b.iter(|| black_box(analysis.safe_time_distribution(500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

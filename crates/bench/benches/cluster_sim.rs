@@ -1,0 +1,35 @@
+//! Benchmarks the event-level Monte-Carlo simulator (trajectories per
+//! second at the paper's parameters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pollux::simulation::ClusterSimulator;
+use pollux::{ClusterState, ModelParams};
+use pollux_adversary::TargetedStrategy;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    for (mu, d, k) in [(0.2, 0.9, 1usize), (0.3, 0.9, 7)] {
+        let params = ModelParams::paper_defaults()
+            .with_mu(mu)
+            .with_d(d)
+            .with_k(k)
+            .expect("valid k");
+        let strategy = TargetedStrategy::new(k, params.nu()).expect("valid strategy");
+        group.bench_with_input(
+            BenchmarkId::new("trajectory", format!("mu={mu},d={d},k={k}")),
+            &params,
+            |b, p| {
+                let mut rng = StdRng::seed_from_u64(42);
+                let sim = ClusterSimulator::new(p, &strategy);
+                b.iter(|| black_box(sim.run(ClusterState::new(3, 0, 0), &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

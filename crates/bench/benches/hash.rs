@@ -1,0 +1,37 @@
+//! Benchmarks the from-scratch SHA-256 / HMAC and identifier derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pollux_overlay::{hash, NodeId};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, d| {
+            b.iter(|| black_box(hash::sha256(d)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("identifiers");
+    let id0 = NodeId::from_data(b"bench peer");
+    group.bench_function("derive_incarnation", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(id0.derive_incarnation(k))
+        })
+    });
+    group.bench_function("hmac_sha256 (64B msg)", |b| {
+        let key = [7u8; 32];
+        let msg = [1u8; 64];
+        b.iter(|| black_box(hash::hmac_sha256(&key, &msg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

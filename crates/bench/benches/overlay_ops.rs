@@ -1,0 +1,95 @@
+//! Benchmarks the overlay substrate: cluster operations (join / leave
+//! maintenance / split / merge), responsible-cluster lookup and greedy
+//! prefix routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pollux_overlay::{
+    ops, routing, Cluster, ClusterParams, Label, Member, NodeId, Overlay, PeerId,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn member(i: u64, malicious: bool) -> Member {
+    Member {
+        peer: PeerId(i),
+        malicious,
+        id: NodeId::from_data(&i.to_be_bytes()),
+    }
+}
+
+fn cluster(base: u64, params: ClusterParams, spares: usize) -> Cluster {
+    let core: Vec<Member> = (0..params.core_size() as u64)
+        .map(|i| member(base + i, false))
+        .collect();
+    let spare: Vec<Member> = (0..spares as u64)
+        .map(|i| member(base + 100 + i, i % 3 == 0))
+        .collect();
+    Cluster::new(Label::root(), params, core, spare).expect("well-formed test cluster")
+}
+
+/// A balanced overlay with 2^depth leaves.
+fn overlay(depth: usize) -> Overlay {
+    let params = ClusterParams::new(4, 8).unwrap();
+    let mut clusters = Vec::new();
+    for leaf in 0..(1usize << depth) {
+        let bits: Vec<bool> = (0..depth).map(|b| (leaf >> (depth - 1 - b)) & 1 == 1).collect();
+        let label = Label::from_bits(bits);
+        let base = (leaf as u64 + 1) * 1000;
+        let core: Vec<Member> = (0..4).map(|i| member(base + i, false)).collect();
+        let spare: Vec<Member> = (0..3).map(|i| member(base + 50 + i, false)).collect();
+        clusters.push(Cluster::new(label, params, core, spare).expect("well-formed"));
+    }
+    Overlay::bootstrap(params, clusters).expect("balanced tree covers the space")
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let params = ClusterParams::new(7, 7).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("overlay_ops");
+    group.bench_function("leave_core_randomized k=1", |b| {
+        b.iter_batched(
+            || cluster(0, params, 4),
+            |mut cl| {
+                ops::leave_core_randomized(&mut cl, PeerId(0), 1, &mut rng).expect("valid");
+                black_box(cl)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("leave_core_randomized k=7", |b| {
+        b.iter_batched(
+            || cluster(0, params, 4),
+            |mut cl| {
+                ops::leave_core_randomized(&mut cl, PeerId(0), 7, &mut rng).expect("valid");
+                black_box(cl)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let ov = overlay(6); // 64 leaves
+    group.bench_function("responsible lookup (64 clusters)", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = NodeId::from_data(&i.to_be_bytes());
+            black_box(ov.responsible(&id).label().clone())
+        })
+    });
+    group.bench_function("greedy route (64 clusters)", |b| {
+        let labels = ov.labels();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = NodeId::from_data(&i.to_be_bytes());
+            let from = &labels[(i as usize) % labels.len()];
+            black_box(routing::route(&ov, from, &id, &|_| false).expect("routes"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

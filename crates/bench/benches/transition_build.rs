@@ -1,0 +1,36 @@
+//! Benchmarks the Figure-2 transition-matrix construction across state
+//! space sizes (the kernel behind every table/figure reproduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pollux::{ClusterChain, ModelParams};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_build");
+    group.sample_size(20);
+    for (core, delta) in [(4usize, 4usize), (7, 7), (10, 10), (13, 13)] {
+        let params = ModelParams::new(core, delta, 1)
+            .expect("valid sizes")
+            .with_mu(0.25)
+            .with_d(0.9);
+        let states = params.state_count();
+        group.bench_with_input(
+            BenchmarkId::new("C=Δ", format!("{core} ({states} states)")),
+            &params,
+            |b, p| b.iter(|| black_box(ClusterChain::build(p))),
+        );
+    }
+    // k = C is the worst case for the τ kernel (full reshuffle sums).
+    let params = ModelParams::new(7, 7, 7)
+        .expect("valid sizes")
+        .with_mu(0.25)
+        .with_d(0.9);
+    group.bench_function("C=7 k=7 (tau worst case)", |b| {
+        b.iter(|| black_box(ClusterChain::build(&params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Reproduces **Figure 1** of the paper: the aggregated view of the
+//! Markov chain `X` — the partition of `Ω` into transient safe `S`,
+//! transient polluted `P` and the closed classes `AmS`, `AℓS`, `AmP` —
+//! including the caption's count ("For C = 7 and Δ = 7, we have 288
+//! states") and the unreachability of the polluted-split states.
+
+use pollux::{polluted_split_unreachable, ClusterChain, ModelParams, ModelSpace};
+use pollux_bench::banner;
+
+fn main() {
+    banner("Figure 1 — state-space partition of the cluster chain");
+    for (c, delta) in [(7usize, 7usize), (4, 4), (10, 7), (7, 10)] {
+        let params = ModelParams::new(c, delta, 1).expect("valid sizes");
+        let space = ModelSpace::new(&params);
+        println!(
+            "C={c:>2} Δ={delta:>2}: |Ω|={:>4}  S={:>3}  P={:>3}  AmS={:>2}  AlS={:>2}  AmP={:>2}  AlP={:>2}",
+            space.len(),
+            space.transient_safe().len(),
+            space.transient_polluted().len(),
+            space.safe_merge().len(),
+            space.safe_split().len(),
+            space.polluted_merge().len(),
+            space.polluted_split().len(),
+        );
+    }
+
+    banner("Reachability (Rule 2 guarantee)");
+    let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+    let chain = ClusterChain::build(&params);
+    println!(
+        "polluted-split states unreachable under the full adversary: {}",
+        polluted_split_unreachable(&chain)
+    );
+    println!(
+        "paper caption check: C=7, Δ=7 gives {} states (expected 288)",
+        chain.space().len()
+    );
+}

@@ -1,0 +1,53 @@
+//! Shared helpers for the reproduction harness binaries.
+//!
+//! Each binary under `src/bin` regenerates one table or figure of the
+//! DSN'11 paper (see DESIGN.md section 3 for the experiment index):
+//!
+//! | binary             | paper artefact                                   |
+//! |--------------------|--------------------------------------------------|
+//! | `state_space`      | Figure 1 (state partition, 288 states)           |
+//! | `fig3`             | Figure 3 (E(T_S), E(T_P) bar panels)             |
+//! | `table1`           | Table I                                          |
+//! | `table2`           | Table II                                         |
+//! | `fig4`             | Figure 4 (absorption probabilities)              |
+//! | `fig5`             | Figure 5 (overlay-level proportions)             |
+//! | `validate_model`   | Figure 2 (matrix vs event-level Monte-Carlo)     |
+//! | `validate_overlay` | Theorem 2 vs the n-cluster simulation            |
+//! | `ablation_k`       | k-sweep behind the "protocol₁ wins" lesson       |
+//! | `ablation_rules`   | Rule-1/Rule-2/bias toggles and the ν threshold   |
+
+/// Formats a probability/expectation for table output: fixed point for
+/// ordinary magnitudes, scientific for the explosive Table-I corners.
+pub fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0.0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+/// Prints a section header.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.0), "0.0");
+        assert_eq!(fmt_value(12.085), "12.085");
+        assert!(fmt_value(9.3e9).contains('e'));
+        assert!(fmt_value(2.4e-5).contains('e'));
+        assert_eq!(fmt_pct(0.216), "21.6%");
+    }
+}

@@ -1,0 +1,478 @@
+use pollux_markov::{AbsorbingChain, MarkovError, SojournAnalysis, SojournPartition};
+
+use crate::{ClusterChain, InitialCondition, ModelParams, StateClass};
+
+/// Absorption probabilities split over the Figure-1 classes
+/// (Relation 9 evaluated per class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorptionSplit {
+    /// `p(AmS)` — the cluster eventually merges while safe.
+    pub safe_merge: f64,
+    /// `p(AℓS)` — the cluster eventually splits while safe.
+    pub safe_split: f64,
+    /// `p(AmP)` — the cluster eventually merges while polluted (the
+    /// pollution-propagation channel).
+    pub polluted_merge: f64,
+    /// `p(AℓP)` — always 0 under Rule 2; reported for the ablations.
+    pub polluted_split: f64,
+}
+
+impl AbsorptionSplit {
+    /// Total mass (1 up to numeric error, given a transient start).
+    pub fn total(&self) -> f64 {
+        self.safe_merge + self.safe_split + self.polluted_merge + self.polluted_split
+    }
+}
+
+/// Cluster-level analysis: every metric of Section VII for one parameter
+/// set and one initial condition.
+///
+/// # Example
+///
+/// ```
+/// use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // μ = 0 closed form: E(T_S) + E(T_P) = s₀ (Δ − s₀) = 12, and the
+/// // absorption split is 4/7 merge vs 3/7 split.
+/// let analysis = ClusterAnalysis::new(
+///     &ModelParams::paper_defaults(),
+///     InitialCondition::Delta,
+/// )?;
+/// assert!((analysis.expected_safe_events()? - 12.0).abs() < 1e-9);
+/// let split = analysis.absorption_split()?;
+/// assert!((split.safe_merge - 4.0 / 7.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterAnalysis {
+    chain: ClusterChain,
+    alpha: Vec<f64>,
+    initial: InitialCondition,
+    sojourn: SojournAnalysis,
+    absorbing: AbsorbingChain,
+}
+
+impl ClusterAnalysis {
+    /// Builds the chain for `params` and prepares all analyses under
+    /// `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates initial-distribution validation and linear-algebra
+    /// failures.
+    pub fn new(params: &ModelParams, initial: InitialCondition) -> Result<Self, MarkovError> {
+        let chain = ClusterChain::build(params);
+        Self::from_chain(chain, initial)
+    }
+
+    /// Prepares the analyses on an already-built chain (avoids rebuilding
+    /// the matrix when sweeping initial conditions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates initial-distribution validation and linear-algebra
+    /// failures.
+    pub fn from_chain(
+        chain: ClusterChain,
+        initial: InitialCondition,
+    ) -> Result<Self, MarkovError> {
+        let alpha = initial.distribution(chain.space())?;
+        let partition = SojournPartition::new(
+            chain.space().transient_safe().to_vec(),
+            chain.space().transient_polluted().to_vec(),
+        )?;
+        let sojourn = SojournAnalysis::new(chain.dtmc(), &partition, &alpha)?;
+        let absorbing = AbsorbingChain::new(chain.dtmc())?;
+        Ok(ClusterAnalysis {
+            chain,
+            alpha,
+            initial,
+            sojourn,
+            absorbing,
+        })
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &ClusterChain {
+        &self.chain
+    }
+
+    /// The parameters of the model.
+    pub fn params(&self) -> &ModelParams {
+        self.chain.space().params()
+    }
+
+    /// The initial condition in force.
+    pub fn initial(&self) -> &InitialCondition {
+        &self.initial
+    }
+
+    /// The materialized initial distribution over `Ω`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// `E(T_S)` — expected number of events spent in safe transient states
+    /// before absorption (Relation 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn expected_safe_events(&self) -> Result<f64, MarkovError> {
+        self.sojourn.expected_total_s()
+    }
+
+    /// `E(T_P)` — expected number of events spent in polluted transient
+    /// states before absorption (Relation 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn expected_polluted_events(&self) -> Result<f64, MarkovError> {
+        self.sojourn.expected_total_p()
+    }
+
+    /// Expected number of events until absorption (equals
+    /// `E(T_S) + E(T_P)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution validation failures.
+    pub fn expected_absorption_events(&self) -> Result<f64, MarkovError> {
+        self.absorbing.expected_steps(&self.alpha)
+    }
+
+    /// `E(T_{S,n})` for `n = 1..=count` (Relation 7).
+    pub fn successive_safe_sojourns(&self, count: usize) -> Vec<f64> {
+        self.sojourn.expected_sojourns_s(count)
+    }
+
+    /// `E(T_{P,n})` for `n = 1..=count` (Relation 8).
+    pub fn successive_polluted_sojourns(&self, count: usize) -> Vec<f64> {
+        self.sojourn.expected_sojourns_p(count)
+    }
+
+    /// Distribution `P(T_S = j)`, `j = 0..=j_max` (beyond-paper extension
+    /// from the same censored-chain construction).
+    pub fn safe_time_distribution(&self, j_max: usize) -> Vec<f64> {
+        self.sojourn.distribution_s(j_max)
+    }
+
+    /// Distribution `P(T_P = j)`, `j = 0..=j_max`.
+    pub fn polluted_time_distribution(&self, j_max: usize) -> Vec<f64> {
+        self.sojourn.distribution_p(j_max)
+    }
+
+    /// Variance of `T_S`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn variance_safe_events(&self) -> Result<f64, MarkovError> {
+        self.sojourn.variance_s()
+    }
+
+    /// Variance of `T_P`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn variance_polluted_events(&self) -> Result<f64, MarkovError> {
+        self.sojourn.variance_p()
+    }
+
+    /// Probability that the cluster is **ever** polluted during its
+    /// lifetime: the chance of hitting the polluted transient states or
+    /// the polluted-merge class before dissolution.
+    ///
+    /// Sharper than `E(T_P)`: a small expected pollution time could hide
+    /// either rare-but-long or frequent-but-short pollution episodes; this
+    /// metric separates the "how often" from the "how long"
+    /// (`E(T_P) = P(ever polluted) · E(T_P | polluted)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn pollution_probability(&self) -> Result<f64, MarkovError> {
+        let space = self.chain.space();
+        let mut targets: Vec<usize> = space.transient_polluted().to_vec();
+        targets.extend_from_slice(space.polluted_merge());
+        targets.extend_from_slice(space.polluted_split());
+        pollux_markov::hitting::hitting_probability_from(
+            self.chain.dtmc(),
+            &self.alpha,
+            &targets,
+        )
+    }
+
+    /// Transient occupancy curve of a single cluster: `P(X_m ∈ S)` and
+    /// `P(X_m ∈ P)` at each requested event count (sorted, increasing) —
+    /// the per-cluster analogue of Figure 5, obtained by pushing `α`
+    /// through the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidPartition`] for unsorted sample
+    /// points.
+    pub fn occupancy_series(
+        &self,
+        sample_points: &[u64],
+    ) -> Result<Vec<(u64, f64, f64)>, MarkovError> {
+        if sample_points.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MarkovError::InvalidPartition(
+                "sample points must be sorted increasing".into(),
+            ));
+        }
+        let space = self.chain.space();
+        let safe = space.transient_safe();
+        let polluted = space.transient_polluted();
+        let matrix = self.chain.dtmc().matrix();
+        let mut dist = self.alpha.clone();
+        let mut out = Vec::with_capacity(sample_points.len());
+        let mut m_cur = 0u64;
+        for &m in sample_points {
+            while m_cur < m {
+                dist = matrix.vec_mul(&dist);
+                m_cur += 1;
+            }
+            let p_s: f64 = safe.iter().map(|&i| dist[i]).sum();
+            let p_p: f64 = polluted.iter().map(|&i| dist[i]).sum();
+            out.push((m, p_s, p_p));
+        }
+        Ok(out)
+    }
+
+    /// Long-run safe/polluted fractions of a *regenerating* cluster: when
+    /// an absorbed cluster is immediately replaced by a fresh one drawn
+    /// from the initial condition (the split/merge successors of a live
+    /// overlay), renewal–reward gives
+    ///
+    /// ```text
+    /// fraction polluted = E(T_P) / (E(T_S) + E(T_P) + 1)
+    /// ```
+    ///
+    /// (each cycle spends `T_S + T_P` events transient plus one event on
+    /// the regeneration itself). Returns `(safe, polluted)`. This is the
+    /// beyond-paper extension validated against the regenerate-mode
+    /// overlay simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn steady_state_fractions(&self) -> Result<(f64, f64), MarkovError> {
+        let ts = self.expected_safe_events()?;
+        let tp = self.expected_polluted_events()?;
+        let cycle = ts + tp + 1.0;
+        Ok((ts / cycle, tp / cycle))
+    }
+
+    /// Absorption probabilities per Figure-1 class (Relation 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution validation failures.
+    pub fn absorption_split(&self) -> Result<AbsorptionSplit, MarkovError> {
+        let probs = self.absorbing.absorption_probabilities(&self.alpha)?;
+        let mut split = AbsorptionSplit {
+            safe_merge: 0.0,
+            safe_split: 0.0,
+            polluted_merge: 0.0,
+            polluted_split: 0.0,
+        };
+        let params = self.params();
+        for (class_pos, &class_id) in self.absorbing.closed_classes().iter().enumerate() {
+            let members = self.absorbing.class_members(class_id);
+            // Absorbing classes of this chain are singleton self-loop
+            // states; classify the representative.
+            let state = self.chain.space().state(members[0]);
+            let bucket = match state.classify(params) {
+                StateClass::SafeMerge => &mut split.safe_merge,
+                StateClass::SafeSplit => &mut split.safe_split,
+                StateClass::PollutedMerge => &mut split.polluted_merge,
+                StateClass::PollutedSplit => &mut split.polluted_split,
+                transient => unreachable!("closed class in {transient}"),
+            };
+            *bucket += probs[class_pos];
+        }
+        Ok(split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analysis(mu: f64, d: f64, k: usize, initial: InitialCondition) -> ClusterAnalysis {
+        let params = ModelParams::paper_defaults()
+            .with_mu(mu)
+            .with_d(d)
+            .with_k(k)
+            .unwrap();
+        ClusterAnalysis::new(&params, initial).unwrap()
+    }
+
+    #[test]
+    fn mu_zero_closed_forms() {
+        // Section VII-C: for μ = 0, E(T_S) + E(T_P) = ⌊Δ²/4⌋ = 12 and
+        // E(T_P) = 0; Section VII-E: p(merge) = 1 − 3/7, p(split) = 3/7.
+        let a = analysis(0.0, 0.9, 1, InitialCondition::Delta);
+        assert!((a.expected_safe_events().unwrap() - 12.0).abs() < 1e-9);
+        assert!(a.expected_polluted_events().unwrap().abs() < 1e-12);
+        let split = a.absorption_split().unwrap();
+        assert!((split.safe_merge - 4.0 / 7.0).abs() < 1e-9);
+        assert!((split.safe_split - 3.0 / 7.0).abs() < 1e-9);
+        assert_eq!(split.polluted_merge, 0.0);
+        assert_eq!(split.polluted_split, 0.0);
+        assert!((split.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_decompose_absorption_time() {
+        for (mu, d, k) in [(0.1, 0.8, 1), (0.3, 0.9, 7), (0.2, 0.3, 3)] {
+            let a = analysis(mu, d, k, InitialCondition::Delta);
+            let ts = a.expected_safe_events().unwrap();
+            let tp = a.expected_polluted_events().unwrap();
+            let tot = a.expected_absorption_events().unwrap();
+            assert!(
+                (ts + tp - tot).abs() < 1e-8 * tot.max(1.0),
+                "mu={mu} d={d} k={k}: {ts} + {tp} != {tot}"
+            );
+        }
+    }
+
+    #[test]
+    fn sojourn_series_converges_to_totals() {
+        let a = analysis(0.2, 0.9, 1, InitialCondition::Delta);
+        let series = a.successive_safe_sojourns(300);
+        let total = a.expected_safe_events().unwrap();
+        let sum: f64 = series.iter().sum();
+        assert!((sum - total).abs() < 1e-6 * total, "{sum} vs {total}");
+    }
+
+    #[test]
+    fn beta_start_is_worse_than_delta_start() {
+        // Section VII-B's first lesson: a pre-polluted start (β) gives the
+        // adversary a head start.
+        let delta = analysis(0.2, 0.8, 1, InitialCondition::Delta);
+        let beta = analysis(0.2, 0.8, 1, InitialCondition::Beta);
+        assert!(
+            beta.expected_polluted_events().unwrap()
+                > delta.expected_polluted_events().unwrap()
+        );
+        let split_delta = delta.absorption_split().unwrap();
+        let split_beta = beta.absorption_split().unwrap();
+        assert!(split_beta.polluted_merge > split_delta.polluted_merge);
+    }
+
+    #[test]
+    fn pollution_grows_with_mu_and_d() {
+        let base = analysis(0.1, 0.8, 1, InitialCondition::Delta);
+        let more_mu = analysis(0.3, 0.8, 1, InitialCondition::Delta);
+        let more_d = analysis(0.1, 0.95, 1, InitialCondition::Delta);
+        let tp_base = base.expected_polluted_events().unwrap();
+        assert!(more_mu.expected_polluted_events().unwrap() > tp_base);
+        assert!(more_d.expected_polluted_events().unwrap() > tp_base);
+    }
+
+    #[test]
+    fn distribution_mass_and_mean() {
+        let a = analysis(0.2, 0.5, 1, InitialCondition::Delta);
+        let dist = a.safe_time_distribution(3000);
+        let mass: f64 = dist.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-8, "mass {mass}");
+        let mean: f64 = dist.iter().enumerate().map(|(j, p)| j as f64 * p).sum();
+        assert!((mean - a.expected_safe_events().unwrap()).abs() < 1e-5);
+        // Variance is non-negative and consistent with a spot Monte-Carlo
+        // magnitude (tested against simulation in the integration suite).
+        assert!(a.variance_safe_events().unwrap() >= 0.0);
+        assert!(a.variance_polluted_events().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let a = analysis(0.1, 0.5, 1, InitialCondition::Delta);
+        assert_eq!(a.params().mu(), 0.1);
+        assert_eq!(a.initial().label(), "delta");
+        assert_eq!(a.alpha().len(), 288);
+        assert_eq!(a.chain().space().len(), 288);
+    }
+
+    #[test]
+    fn occupancy_series_decays_and_sums_match_sojourns() {
+        let a = analysis(0.25, 0.9, 1, InitialCondition::Delta);
+        let series = a.occupancy_series(&[0, 1, 10, 100, 1000]).unwrap();
+        // Starts in a safe transient state.
+        assert_eq!(series[0], (0, 1.0, 0.0));
+        // Eventually everything is absorbed.
+        let last = series.last().unwrap();
+        assert!(last.1 + last.2 < 1e-6);
+        // Summing P(X_m in S) over all m gives E(T_S) (counting measure).
+        let grid: Vec<u64> = (0..2000).collect();
+        let dense = a.occupancy_series(&grid).unwrap();
+        let sum_s: f64 = dense.iter().map(|&(_, s, _)| s).sum();
+        let sum_p: f64 = dense.iter().map(|&(_, _, p)| p).sum();
+        assert!((sum_s - a.expected_safe_events().unwrap()).abs() < 1e-6);
+        assert!((sum_p - a.expected_polluted_events().unwrap()).abs() < 1e-6);
+        // Unsorted points rejected.
+        assert!(a.occupancy_series(&[5, 1]).is_err());
+    }
+
+    #[test]
+    fn pollution_probability_bounds_and_edge_cases() {
+        // mu = 0: never polluted.
+        let clean = analysis(0.0, 0.9, 1, InitialCondition::Delta);
+        assert_eq!(clean.pollution_probability().unwrap(), 0.0);
+        // Grows with mu; bounded by 1.
+        let a10 = analysis(0.1, 0.9, 1, InitialCondition::Delta);
+        let a30 = analysis(0.3, 0.9, 1, InitialCondition::Delta);
+        let p10 = a10.pollution_probability().unwrap();
+        let p30 = a30.pollution_probability().unwrap();
+        assert!(p10 > 0.0 && p10 < p30 && p30 < 1.0);
+        // E(T_P) = P(ever polluted) * E(T_P | ever polluted) >= ... so
+        // P(ever) >= E(T_P)/E(T_P|polluted) — sanity: P(ever polluted)
+        // must exceed the probability of ending in a polluted merge.
+        let amp = a30.absorption_split().unwrap().polluted_merge;
+        assert!(p30 >= amp - 1e-12, "{p30} < {amp}");
+    }
+
+    #[test]
+    fn pollution_probability_matches_simulation() {
+        use pollux_adversary::TargetedStrategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+        let a = ClusterAnalysis::new(&params, InitialCondition::Delta).unwrap();
+        let want = a.pollution_probability().unwrap();
+        let strategy = TargetedStrategy::new(1, params.nu()).unwrap();
+        let sim = crate::simulation::ClusterSimulator::new(&params, &strategy);
+        let mut rng = StdRng::seed_from_u64(99);
+        let reps = 30_000;
+        let mut hits = 0usize;
+        for _ in 0..reps {
+            let out = sim.run(crate::ClusterState::new(3, 0, 0), &mut rng);
+            if out.polluted_events > 0
+                || out.absorbed == crate::simulation::AbsorbedIn::PollutedMerge
+            {
+                hits += 1;
+            }
+        }
+        let got = hits as f64 / reps as f64;
+        let sigma = (want * (1.0 - want) / reps as f64).sqrt();
+        assert!(
+            (got - want).abs() < 5.0 * sigma + 1e-4,
+            "sim {got} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn steady_state_fractions_are_consistent() {
+        let a = analysis(0.3, 0.9, 1, InitialCondition::Delta);
+        let (safe, polluted) = a.steady_state_fractions().unwrap();
+        let ts = a.expected_safe_events().unwrap();
+        let tp = a.expected_polluted_events().unwrap();
+        assert!((safe + polluted - (ts + tp) / (ts + tp + 1.0)).abs() < 1e-12);
+        assert!(polluted > 0.0 && polluted < 0.2);
+        assert!(safe > 0.8);
+    }
+}

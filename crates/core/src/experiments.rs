@@ -1,0 +1,392 @@
+//! Canned parameterizations reproducing the paper's evaluation
+//! (Sections VII–VIII): one function per table/figure, returning
+//! structured rows that the `pollux-bench` binaries print.
+//!
+//! The paper's grids:
+//!
+//! * Figure 3 — `E(T_S^{(k)})`, `E(T_P^{(k)})` for `k ∈ {1, 7}`,
+//!   `d ∈ {0, 30 %, 80 %, 90 %}`, `μ ∈ {0, 5 %, …, 30 %}`, `α ∈ {δ, β}`.
+//! * Table I — `E(T_S^{(1)})`, `E(T_P^{(1)})` for `μ ∈ {0, 10 %, 20 %, 30 %}`
+//!   and `d ∈ {0.95, 0.99, 0.999}`, `α = δ`.
+//! * Table II — `E(T_{S,n})`, `E(T_{P,n})` for `n ∈ {1, 2}`, `d = 90 %`,
+//!   `α = δ`.
+//! * Figure 4 — absorption probabilities for `k = 1`, both initial
+//!   distributions, same `(d, μ)` grid as Figure 3.
+//! * Figure 5 — `E(N_S(m))/n`, `E(N_P(m))/n` for `n ∈ {500, 1500}`,
+//!   `d ∈ {30 %, 90 %}`, `m ≤ 10⁵`. The paper does not state `μ` for this
+//!   figure; callers pick it explicitly (the harness sweeps 10–30 %).
+
+use pollux_markov::MarkovError;
+
+use crate::{
+    AbsorptionSplit, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams,
+    OverlayModel, ProportionPoint,
+};
+
+/// The `d` grid of Figures 3 and 4.
+pub const FIGURE_D_GRID: [f64; 4] = [0.0, 0.3, 0.8, 0.9];
+
+/// The `μ` grid of Figures 3 and 4.
+pub const FIGURE_MU_GRID: [f64; 7] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+/// The `μ` grid of Tables I and II.
+pub const TABLE_MU_GRID: [f64; 4] = [0.0, 0.10, 0.20, 0.30];
+
+/// The `d` grid of Table I.
+pub const TABLE1_D_GRID: [f64; 3] = [0.95, 0.99, 0.999];
+
+/// One cell of a Figure-3 panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SojournCell {
+    /// Identifier survival probability `d`.
+    pub d: f64,
+    /// Adversarial fraction `μ`.
+    pub mu: f64,
+    /// `E(T_S^{(k)})`.
+    pub expected_safe: f64,
+    /// `E(T_P^{(k)})`.
+    pub expected_polluted: f64,
+}
+
+/// Computes one Figure-3 panel: the `(d, μ)` grid for `protocol_k` under
+/// `initial`.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn figure3_panel(
+    k: usize,
+    initial: &InitialCondition,
+) -> Result<Vec<SojournCell>, MarkovError> {
+    let mut out = Vec::with_capacity(FIGURE_D_GRID.len() * FIGURE_MU_GRID.len());
+    for &d in &FIGURE_D_GRID {
+        for &mu in &FIGURE_MU_GRID {
+            let params = ModelParams::paper_defaults()
+                .with_mu(mu)
+                .with_d(d)
+                .with_k(k)
+                .expect("k comes from the caller-validated grid");
+            let analysis = ClusterAnalysis::new(&params, initial.clone())?;
+            out.push(SojournCell {
+                d,
+                mu,
+                expected_safe: analysis.expected_safe_events()?,
+                expected_polluted: analysis.expected_polluted_events()?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Computes Table I: `protocol_1`, `α = δ`, high-survival regime.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn table1() -> Result<Vec<SojournCell>, MarkovError> {
+    let mut out = Vec::new();
+    for &mu in &TABLE_MU_GRID {
+        for &d in &TABLE1_D_GRID {
+            let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
+            let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
+            out.push(SojournCell {
+                d,
+                mu,
+                expected_safe: analysis.expected_safe_events()?,
+                expected_polluted: analysis.expected_polluted_events()?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One row of Table II: the first two successive sojourn expectations per
+/// subset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessiveSojournRow {
+    /// Adversarial fraction `μ`.
+    pub mu: f64,
+    /// `E(T_{S,1})`.
+    pub safe_1: f64,
+    /// `E(T_{S,2})`.
+    pub safe_2: f64,
+    /// `E(T_{P,1})`.
+    pub polluted_1: f64,
+    /// `E(T_{P,2})`.
+    pub polluted_2: f64,
+}
+
+/// Computes Table II: `protocol_1`, `d = 90 %`, `α = δ`.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn table2() -> Result<Vec<SuccessiveSojournRow>, MarkovError> {
+    let mut out = Vec::new();
+    for &mu in &TABLE_MU_GRID {
+        let params = ModelParams::paper_defaults().with_mu(mu).with_d(0.9);
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
+        let s = analysis.successive_safe_sojourns(2);
+        let p = analysis.successive_polluted_sojourns(2);
+        out.push(SuccessiveSojournRow {
+            mu,
+            safe_1: s[0],
+            safe_2: s[1],
+            polluted_1: p[0],
+            polluted_2: p[1],
+        });
+    }
+    Ok(out)
+}
+
+/// One cell of a Figure-4 panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorptionCell {
+    /// Identifier survival probability `d`.
+    pub d: f64,
+    /// Adversarial fraction `μ`.
+    pub mu: f64,
+    /// The Figure-1 absorption split.
+    pub split: AbsorptionSplit,
+}
+
+/// Computes one Figure-4 panel: absorption probabilities for `protocol_1`
+/// under `initial`.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn figure4_panel(initial: &InitialCondition) -> Result<Vec<AbsorptionCell>, MarkovError> {
+    let mut out = Vec::with_capacity(FIGURE_D_GRID.len() * FIGURE_MU_GRID.len());
+    for &d in &FIGURE_D_GRID {
+        for &mu in &FIGURE_MU_GRID {
+            let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
+            let analysis = ClusterAnalysis::new(&params, initial.clone())?;
+            out.push(AbsorptionCell {
+                d,
+                mu,
+                split: analysis.absorption_split()?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Computes one Figure-5 curve: `E(N_S(m))/n` and `E(N_P(m))/n` at the
+/// given sample points.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn figure5_series(
+    n: u64,
+    d: f64,
+    mu: f64,
+    sample_points: &[u64],
+) -> Result<Vec<ProportionPoint>, MarkovError> {
+    let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
+    let model = OverlayModel::new(&params, InitialCondition::Delta, n)?;
+    model.proportion_series(sample_points)
+}
+
+/// The default Figure-5 sampling grid: 0 to 100 000 events in steps of
+/// 2 000 (51 points), matching the paper's x-axis.
+pub fn figure5_sample_points() -> Vec<u64> {
+    (0..=50).map(|i| i * 2000).collect()
+}
+
+/// A `k`-sweep at fixed `(μ, d)`: the ablation behind the paper's
+/// "protocol₁ outperforms protocol_C" lesson, extended to every `k`.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn k_sweep(
+    mu: f64,
+    d: f64,
+    initial: &InitialCondition,
+) -> Result<Vec<(usize, f64, f64)>, MarkovError> {
+    let c_size = ModelParams::paper_defaults().core_size();
+    let mut out = Vec::with_capacity(c_size);
+    for k in 1..=c_size {
+        let params = ModelParams::paper_defaults()
+            .with_mu(mu)
+            .with_d(d)
+            .with_k(k)
+            .expect("k ranges over 1..=C");
+        let analysis = ClusterAnalysis::new(&params, initial.clone())?;
+        out.push((
+            k,
+            analysis.expected_safe_events()?,
+            analysis.expected_polluted_events()?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Builds a [`ClusterAnalysis`] on a pre-built chain for both paper initial
+/// conditions (avoids rebuilding the matrix).
+///
+/// # Errors
+///
+/// Propagates analysis-construction failures.
+pub fn both_initials(
+    chain: &ClusterChain,
+) -> Result<(ClusterAnalysis, ClusterAnalysis), MarkovError> {
+    Ok((
+        ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Delta)?,
+        ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Beta)?,
+    ))
+}
+
+/// Renders rows of labelled `f64` columns as an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render_row(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_magnitudes_match_paper() {
+        // Paper's Table I (k = 1, α = δ): at μ = 0 every column reads
+        // E(T_S) = 12, E(T_P) = 0; pollution time explodes with d.
+        let rows = table1().unwrap();
+        assert_eq!(rows.len(), 12);
+        for cell in rows.iter().filter(|c| c.mu == 0.0) {
+            assert!((cell.expected_safe - 12.0).abs() < 1e-6);
+            assert!(cell.expected_polluted.abs() < 1e-9);
+        }
+        // μ = 30 %, d = 0.999 is the paper's 9.3e9 corner.
+        let corner = rows
+            .iter()
+            .find(|c| c.mu == 0.30 && c.d == 0.999)
+            .unwrap();
+        assert!(corner.expected_polluted > 1e8, "{}", corner.expected_polluted);
+    }
+
+    #[test]
+    fn figure3_protocol1_dominates_protocol7() {
+        // The paper's second lesson: E(T_S^{(1)}) ≥ E(T_S^{(7)}) and
+        // E(T_P^{(1)}) ≤ E(T_P^{(7)}) cell by cell.
+        let p1 = figure3_panel(1, &InitialCondition::Delta).unwrap();
+        let p7 = figure3_panel(7, &InitialCondition::Delta).unwrap();
+        for (a, b) in p1.iter().zip(p7.iter()) {
+            assert_eq!((a.d, a.mu), (b.d, b.mu));
+            assert!(
+                a.expected_safe >= b.expected_safe - 1e-9,
+                "d={} mu={}: {} < {}",
+                a.d,
+                a.mu,
+                a.expected_safe,
+                b.expected_safe
+            );
+            assert!(
+                a.expected_polluted <= b.expected_polluted + 1e-9,
+                "d={} mu={}: {} > {}",
+                a.d,
+                a.mu,
+                a.expected_polluted,
+                b.expected_polluted
+            );
+        }
+    }
+
+    #[test]
+    fn table2_first_sojourn_dominates() {
+        // Paper's Table II: E(T_{S}) ≈ E(T_{S,1}) — the chain does not
+        // alternate.
+        let rows = table2().unwrap();
+        for row in &rows {
+            assert!(row.safe_1 > 100.0 * row.safe_2.max(1e-12) || row.safe_2 < 0.1);
+            assert!(row.polluted_1 >= row.polluted_2);
+        }
+        // μ = 0 row: T_{S,1} = 12 exactly.
+        assert!((rows[0].safe_1 - 12.0).abs() < 1e-6);
+        assert_eq!(rows[0].polluted_1, 0.0);
+    }
+
+    #[test]
+    fn figure4_mu0_split_is_four_sevenths() {
+        let cells = figure4_panel(&InitialCondition::Delta).unwrap();
+        for cell in cells.iter().filter(|c| c.mu == 0.0) {
+            assert!((cell.split.safe_merge - 4.0 / 7.0).abs() < 1e-9);
+            assert!((cell.split.safe_split - 3.0 / 7.0).abs() < 1e-9);
+        }
+        // Polluted merge stays below 8 % everywhere on the δ panel
+        // (Section VII-E).
+        for cell in &cells {
+            assert!(
+                cell.split.polluted_merge < 0.08,
+                "d={} mu={}: {}",
+                cell.d,
+                cell.mu,
+                cell.split.polluted_merge
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_proportions_behave() {
+        let points = vec![0, 20_000, 100_000];
+        let series = figure5_series(500, 0.3, 0.2, &points).unwrap();
+        assert_eq!(series.len(), 3);
+        assert!((series[0].safe - 1.0).abs() < 1e-12);
+        assert!(series[2].safe < series[1].safe);
+        assert!(series.iter().all(|p| p.polluted < 0.025));
+        let grid = figure5_sample_points();
+        assert_eq!(grid.len(), 51);
+        assert_eq!(grid[50], 100_000);
+    }
+
+    #[test]
+    fn k_sweep_is_monotone_at_the_ends() {
+        let sweep = k_sweep(0.2, 0.8, &InitialCondition::Delta).unwrap();
+        assert_eq!(sweep.len(), 7);
+        let (k1, s1, p1) = sweep[0];
+        let (k7, s7, p7) = sweep[6];
+        assert_eq!((k1, k7), (1, 7));
+        assert!(s1 >= s7);
+        assert!(p1 <= p7);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let s = render_table(
+            &["mu", "value"],
+            &[
+                vec!["0.1".into(), "12.0".into()],
+                vec!["0.25".into(), "7.5".into()],
+            ],
+        );
+        assert!(s.contains("mu"));
+        assert!(s.lines().count() == 4);
+    }
+}

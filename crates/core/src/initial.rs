@@ -1,0 +1,172 @@
+use pollux_markov::MarkovError;
+use pollux_prob::Binomial;
+
+use crate::{ClusterState, ModelSpace};
+
+/// The paper's initial distributions (Section VII-A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitialCondition {
+    /// `δ`: the attack-free start — point mass at `(⌊Δ/2⌋, 0, 0)`
+    /// (Relation 4).
+    Delta,
+    /// `β`: `s₀ ~ U{1..Δ−1}`, `x ~ Bin(C, μ)`, `y ~ Bin(s₀, μ)`
+    /// independently (Relation 3) — the cluster is born already infiltrated
+    /// proportionally to `μ`.
+    Beta,
+    /// A point mass on an explicit state.
+    State(ClusterState),
+    /// An explicit distribution over `Ω` in the space's index order.
+    Custom(Vec<f64>),
+}
+
+impl InitialCondition {
+    /// Materializes the distribution as a vector over `Ω`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] when a custom vector
+    /// has the wrong length or is not a probability distribution, or when
+    /// an explicit state lies outside `Ω`.
+    pub fn distribution(&self, space: &ModelSpace) -> Result<Vec<f64>, MarkovError> {
+        let params = space.params();
+        let mut alpha = vec![0.0; space.len()];
+        match self {
+            InitialCondition::Delta => {
+                let s0 = params.max_spare() / 2;
+                alpha[space.index(&ClusterState::new(s0, 0, 0))] = 1.0;
+            }
+            InitialCondition::Beta => {
+                let delta = params.max_spare();
+                let per_s0 = 1.0 / (delta - 1) as f64;
+                let bin_core = Binomial::new(params.core_size() as u64, params.mu())
+                    .expect("mu is validated by ModelParams");
+                for s0 in 1..delta {
+                    let bin_spare = Binomial::new(s0 as u64, params.mu())
+                        .expect("mu is validated by ModelParams");
+                    for x in 0..=params.core_size() {
+                        for y in 0..=s0 {
+                            let p = per_s0 * bin_core.pmf(x as u64) * bin_spare.pmf(y as u64);
+                            alpha[space.index(&ClusterState::new(s0, x, y))] += p;
+                        }
+                    }
+                }
+            }
+            InitialCondition::State(st) => {
+                if !st.is_consistent(params) {
+                    return Err(MarkovError::InvalidDistribution(format!(
+                        "state {st} lies outside Ω"
+                    )));
+                }
+                alpha[space.index(st)] = 1.0;
+            }
+            InitialCondition::Custom(v) => {
+                if v.len() != space.len() {
+                    return Err(MarkovError::InvalidDistribution(format!(
+                        "custom distribution has length {}, Ω has {}",
+                        v.len(),
+                        space.len()
+                    )));
+                }
+                if v.iter().any(|&p| p < 0.0)
+                    || (v.iter().sum::<f64>() - 1.0).abs() > 1e-9
+                {
+                    return Err(MarkovError::InvalidDistribution(
+                        "custom distribution is not a probability vector".into(),
+                    ));
+                }
+                alpha.copy_from_slice(v);
+            }
+        }
+        Ok(alpha)
+    }
+
+    /// Short identifier used in reports (`δ` prints as "delta").
+    pub fn label(&self) -> &'static str {
+        match self {
+            InitialCondition::Delta => "delta",
+            InitialCondition::Beta => "beta",
+            InitialCondition::State(_) => "state",
+            InitialCondition::Custom(_) => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelParams;
+
+    #[test]
+    fn delta_is_a_point_mass_at_half_delta() {
+        let params = ModelParams::paper_defaults().with_mu(0.3);
+        let space = ModelSpace::new(&params);
+        let alpha = InitialCondition::Delta.distribution(&space).unwrap();
+        let idx = space.index(&ClusterState::new(3, 0, 0));
+        assert_eq!(alpha[idx], 1.0);
+        assert_eq!(alpha.iter().sum::<f64>(), 1.0);
+        assert_eq!(alpha.iter().filter(|&&p| p > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn beta_matches_relation_3() {
+        let params = ModelParams::paper_defaults().with_mu(0.2);
+        let space = ModelSpace::new(&params);
+        let alpha = InitialCondition::Beta.distribution(&space).unwrap();
+        assert!((alpha.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Hand-check one atom: s0 = 3, x = 1, y = 0:
+        // (1/6) · C(7,1)·0.2·0.8⁶ · 0.8³.
+        let want = (1.0 / 6.0) * 7.0 * 0.2 * 0.8f64.powi(6) * 0.8f64.powi(3);
+        let got = alpha[space.index(&ClusterState::new(3, 1, 0))];
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        // No mass on the boundary spare sizes.
+        for x in 0..=7 {
+            assert_eq!(alpha[space.index(&ClusterState::new(0, x, 0))], 0.0);
+            assert_eq!(alpha[space.index(&ClusterState::new(7, x, 0))], 0.0);
+        }
+    }
+
+    #[test]
+    fn beta_with_mu_zero_collapses_to_clean_states() {
+        let params = ModelParams::paper_defaults();
+        let space = ModelSpace::new(&params);
+        let alpha = InitialCondition::Beta.distribution(&space).unwrap();
+        for (i, st) in space.iter() {
+            if st.x == 0 && st.y == 0 && (1..7).contains(&st.s) {
+                assert!((alpha[i] - 1.0 / 6.0).abs() < 1e-12);
+            } else {
+                assert_eq!(alpha[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_state_and_custom() {
+        let params = ModelParams::paper_defaults();
+        let space = ModelSpace::new(&params);
+        let st = ClusterState::new(2, 1, 1);
+        let alpha = InitialCondition::State(st).distribution(&space).unwrap();
+        assert_eq!(alpha[space.index(&st)], 1.0);
+        // Out-of-Ω state rejected.
+        assert!(InitialCondition::State(ClusterState::new(9, 0, 0))
+            .distribution(&space)
+            .is_err());
+        // Custom roundtrip.
+        let custom = InitialCondition::Custom(alpha.clone())
+            .distribution(&space)
+            .unwrap();
+        assert_eq!(custom, alpha);
+        // Bad customs rejected.
+        assert!(InitialCondition::Custom(vec![1.0])
+            .distribution(&space)
+            .is_err());
+        let mut bad = alpha.clone();
+        bad[0] += 0.5;
+        assert!(InitialCondition::Custom(bad).distribution(&space).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(InitialCondition::Delta.label(), "delta");
+        assert_eq!(InitialCondition::Beta.label(), "beta");
+    }
+}

@@ -1,0 +1,235 @@
+//! Monte-Carlo simulation of the overlay level: `n` clusters competing
+//! for transitions (Section VIII).
+//!
+//! Each overlay event hits one uniformly chosen cluster, which then plays
+//! the same event semantics as [`crate::simulation`]. In the paper's
+//! semantics an absorbed cluster stays absorbed (its chain has reached a
+//! closed state); this simulator validates Theorem 2 under exactly those
+//! semantics, and additionally offers a *regeneration* mode — absorbed
+//! clusters are replaced by fresh ones drawn from the initial condition,
+//! modelling the new clusters that split/merge create — which the paper
+//! leaves as future work.
+
+use pollux_adversary::Strategy;
+use pollux_prob::AliasTable;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::simulation::ClusterSimulator;
+use crate::{ClusterState, InitialCondition, ModelParams, ModelSpace, StateClass};
+
+/// Configuration of an overlay-level run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlaySimConfig {
+    /// Number of clusters `n`.
+    pub n_clusters: usize,
+    /// Event counts at which to record the safe/polluted proportions
+    /// (sorted, increasing).
+    pub sample_points: Vec<u64>,
+    /// When `true`, an absorbed cluster is immediately replaced by a fresh
+    /// cluster drawn from the initial condition (beyond-paper extension).
+    pub regenerate: bool,
+}
+
+/// One recorded trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayTrajectory {
+    /// `(m, safe proportion, polluted proportion)` at each sample point.
+    pub points: Vec<(u64, f64, f64)>,
+    /// Cumulative count of polluted-merge absorptions observed (the
+    /// pollution-propagation events).
+    pub polluted_merges: u64,
+    /// Cumulative count of all absorptions observed.
+    pub absorptions: u64,
+}
+
+/// Runs one overlay trajectory.
+///
+/// # Panics
+///
+/// Panics when the configuration is degenerate (`n_clusters == 0` or
+/// unsorted sample points) or the initial condition is invalid.
+pub fn run_overlay<S: Strategy>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    config: &OverlaySimConfig,
+    seed: u64,
+) -> OverlayTrajectory {
+    assert!(config.n_clusters > 0, "need at least one cluster");
+    assert!(
+        config.sample_points.windows(2).all(|w| w[0] <= w[1]),
+        "sample points must be sorted"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = ModelSpace::new(params);
+    let alpha = initial
+        .distribution(&space)
+        .expect("initial condition must be valid for the parameters");
+    let table = AliasTable::new(&alpha).expect("alpha is a distribution");
+    let states: Vec<ClusterState> = space.iter().map(|(_, st)| *st).collect();
+
+    let mut clusters: Vec<ClusterState> = (0..config.n_clusters)
+        .map(|_| states[table.sample(&mut rng)])
+        .collect();
+
+    let sim = ClusterSimulator::new(params, strategy);
+    let mut points = Vec::with_capacity(config.sample_points.len());
+    let mut polluted_merges = 0u64;
+    let mut absorptions = 0u64;
+    let mut m: u64 = 0;
+
+    let record = |clusters: &[ClusterState], m: u64, points: &mut Vec<(u64, f64, f64)>| {
+        let mut safe = 0usize;
+        let mut polluted = 0usize;
+        for st in clusters {
+            match st.classify(params) {
+                StateClass::TransientSafe => safe += 1,
+                StateClass::TransientPolluted => polluted += 1,
+                _ => {}
+            }
+        }
+        let n = clusters.len() as f64;
+        points.push((m, safe as f64 / n, polluted as f64 / n));
+    };
+
+    for &target in &config.sample_points {
+        while m < target {
+            let idx = rng.random_range(0..clusters.len());
+            let st = clusters[idx];
+            m += 1;
+            if st.classify(params).is_absorbing() {
+                // The chain sits in a closed state: the event is a
+                // self-loop (paper semantics), or the cluster regenerates.
+                if config.regenerate {
+                    clusters[idx] = states[table.sample(&mut rng)];
+                }
+                continue;
+            }
+            let next = sim.step(st, &mut rng);
+            let class = next.classify(params);
+            if class.is_absorbing() {
+                absorptions += 1;
+                if class == StateClass::PollutedMerge {
+                    polluted_merges += 1;
+                }
+            }
+            clusters[idx] = next;
+        }
+        record(&clusters, m, &mut points);
+    }
+
+    OverlayTrajectory {
+        points,
+        polluted_merges,
+        absorptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OverlayModel;
+    use pollux_adversary::TargetedStrategy;
+
+    fn params(mu: f64, d: f64) -> ModelParams {
+        ModelParams::paper_defaults().with_mu(mu).with_d(d)
+    }
+
+    #[test]
+    fn trajectory_matches_theorem2_in_expectation() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let sample_points = vec![0, 2000, 8000, 20_000];
+        let config = OverlaySimConfig {
+            n_clusters: 400,
+            sample_points: sample_points.clone(),
+            regenerate: false,
+        };
+        // Average several runs to shrink Monte-Carlo noise.
+        let runs = 12;
+        let mut mean_safe = vec![0.0; sample_points.len()];
+        let mut mean_polluted = vec![0.0; sample_points.len()];
+        for seed in 0..runs {
+            let tr = run_overlay(&p, &InitialCondition::Delta, &strategy, &config, seed);
+            for (i, &(_, s, pol)) in tr.points.iter().enumerate() {
+                mean_safe[i] += s / runs as f64;
+                mean_polluted[i] += pol / runs as f64;
+            }
+        }
+        let model = OverlayModel::new(&p, InitialCondition::Delta, 400).unwrap();
+        let expect = model.proportion_series(&sample_points).unwrap();
+        for (i, e) in expect.iter().enumerate() {
+            assert!(
+                (mean_safe[i] - e.safe).abs() < 0.03,
+                "safe at m={}: sim {} vs model {}",
+                e.m,
+                mean_safe[i],
+                e.safe
+            );
+            assert!(
+                (mean_polluted[i] - e.polluted).abs() < 0.02,
+                "polluted at m={}: sim {} vs model {}",
+                e.m,
+                mean_polluted[i],
+                e.polluted
+            );
+        }
+    }
+
+    #[test]
+    fn regeneration_keeps_the_overlay_alive() {
+        let p = params(0.2, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let config = OverlaySimConfig {
+            n_clusters: 100,
+            sample_points: vec![50_000],
+            regenerate: true,
+        };
+        let tr = run_overlay(&p, &InitialCondition::Delta, &strategy, &config, 9);
+        let (_, safe, polluted) = tr.points[0];
+        // With regeneration the transient mass never drains.
+        assert!(safe + polluted > 0.5, "safe {safe} polluted {polluted}");
+        assert!(tr.absorptions > 100);
+    }
+
+    #[test]
+    fn without_regeneration_everything_absorbs() {
+        let p = params(0.2, 0.5);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let config = OverlaySimConfig {
+            n_clusters: 50,
+            sample_points: vec![200_000],
+            regenerate: false,
+        };
+        let tr = run_overlay(&p, &InitialCondition::Delta, &strategy, &config, 11);
+        let (_, safe, polluted) = tr.points[0];
+        assert!(safe + polluted < 0.05, "safe {safe} polluted {polluted}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = params(0.2, 0.8);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let config = OverlaySimConfig {
+            n_clusters: 30,
+            sample_points: vec![1000, 5000],
+            regenerate: false,
+        };
+        let a = run_overlay(&p, &InitialCondition::Beta, &strategy, &config, 123);
+        let b = run_overlay(&p, &InitialCondition::Beta, &strategy, &config, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let p = params(0.1, 0.5);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let config = OverlaySimConfig {
+            n_clusters: 0,
+            sample_points: vec![],
+            regenerate: false,
+        };
+        run_overlay(&p, &InitialCondition::Delta, &strategy, &config, 1);
+    }
+}

@@ -1,0 +1,333 @@
+use std::error::Error;
+use std::fmt;
+
+/// Ablation toggles for the adversary's optional behaviours.
+///
+/// The paper's adversary uses all three; switching one off yields the
+/// ablations reported by `pollux-bench`'s `ablation_rules` harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryToggles {
+    /// Rule 1: voluntary core leaves when Relation (2) exceeds `1 − ν`.
+    pub rule1: bool,
+    /// Rule 2: polluted clusters suppress honest joins / dodge splits.
+    pub rule2: bool,
+    /// Biased core maintenance in polluted clusters.
+    pub bias: bool,
+}
+
+impl AdversaryToggles {
+    /// The paper's adversary: everything on.
+    pub fn all() -> Self {
+        AdversaryToggles {
+            rule1: true,
+            rule2: true,
+            bias: true,
+        }
+    }
+
+    /// A passive adversary: peers are present but never exploit the
+    /// protocol.
+    pub fn none() -> Self {
+        AdversaryToggles {
+            rule1: false,
+            rule2: false,
+            bias: false,
+        }
+    }
+}
+
+impl Default for AdversaryToggles {
+    fn default() -> Self {
+        AdversaryToggles::all()
+    }
+}
+
+/// Validation errors for [`ModelParams`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// A numeric parameter was outside its domain.
+    OutOfRange(String),
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::OutOfRange(msg) => write!(f, "parameter out of range: {msg}"),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// The model's full parameter set.
+///
+/// | symbol | field        | meaning                                            |
+/// |--------|--------------|----------------------------------------------------|
+/// | `C`    | `core_size`  | constant core-set size                             |
+/// | `Δ`    | `max_spare`  | maximal spare-set size (`Smax = C + Δ`)            |
+/// | `μ`    | `mu`         | adversarial fraction of the universe               |
+/// | `d`    | `d`          | per-event identifier survival probability          |
+/// | `k`    | `k`          | randomization amount of the leave maintenance      |
+/// | `ν`    | `nu`         | Rule-1 confidence threshold                        |
+///
+/// The paper's evaluation fixes `C = 7, Δ = 7`; `ν` is never given a
+/// numeric value there (it only matters for `k > 1`) and defaults to 0.1
+/// here — see DESIGN.md.
+///
+/// # Example
+///
+/// ```
+/// use pollux::ModelParams;
+///
+/// let p = ModelParams::paper_defaults().with_mu(0.2).with_d(0.9);
+/// assert_eq!(p.quorum(), 2);
+/// assert_eq!(p.state_count(), 288);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    core_size: usize,
+    max_spare: usize,
+    mu: f64,
+    d: f64,
+    k: usize,
+    nu: f64,
+    toggles: AdversaryToggles,
+}
+
+impl ModelParams {
+    /// The paper's evaluation setting: `C = 7`, `Δ = 7`, `k = 1`,
+    /// `μ = 0`, `d = 0`, `ν = 0.1`, full adversary.
+    pub fn paper_defaults() -> Self {
+        ModelParams {
+            core_size: 7,
+            max_spare: 7,
+            mu: 0.0,
+            d: 0.0,
+            k: 1,
+            nu: 0.1,
+            toggles: AdversaryToggles::all(),
+        }
+    }
+
+    /// Creates a parameter set with explicit sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::OutOfRange`] when `C = 0`, `Δ < 2` or
+    /// `k ∉ 1..=C`.
+    pub fn new(core_size: usize, max_spare: usize, k: usize) -> Result<Self, ParamsError> {
+        if core_size == 0 {
+            return Err(ParamsError::OutOfRange("core size C must be ≥ 1".into()));
+        }
+        if max_spare < 2 {
+            return Err(ParamsError::OutOfRange(
+                "maximal spare size Δ must be ≥ 2 for a non-empty transient band".into(),
+            ));
+        }
+        if k == 0 || k > core_size {
+            return Err(ParamsError::OutOfRange(format!(
+                "randomization amount k = {k} outside 1..={core_size}"
+            )));
+        }
+        Ok(ModelParams {
+            core_size,
+            max_spare,
+            mu: 0.0,
+            d: 0.0,
+            k,
+            nu: 0.1,
+            toggles: AdversaryToggles::all(),
+        })
+    }
+
+    /// Sets the adversarial fraction `μ ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values (builder misuse is a programming
+    /// error in experiment code).
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        assert!((0.0..1.0).contains(&mu), "mu = {mu} outside [0, 1)");
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the identifier survival probability `d ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn with_d(mut self, d: f64) -> Self {
+        assert!((0.0..1.0).contains(&d), "d = {d} outside [0, 1)");
+        self.d = d;
+        self
+    }
+
+    /// Sets the randomization amount `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::OutOfRange`] when `k ∉ 1..=C`.
+    pub fn with_k(mut self, k: usize) -> Result<Self, ParamsError> {
+        if k == 0 || k > self.core_size {
+            return Err(ParamsError::OutOfRange(format!(
+                "randomization amount k = {k} outside 1..={}",
+                self.core_size
+            )));
+        }
+        self.k = k;
+        Ok(self)
+    }
+
+    /// Sets the Rule-1 threshold `ν ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn with_nu(mut self, nu: f64) -> Self {
+        assert!(0.0 < nu && nu < 1.0, "nu = {nu} outside (0, 1)");
+        self.nu = nu;
+        self
+    }
+
+    /// Sets the adversary ablation toggles.
+    pub fn with_toggles(mut self, toggles: AdversaryToggles) -> Self {
+        self.toggles = toggles;
+        self
+    }
+
+    /// Core size `C`.
+    pub fn core_size(&self) -> usize {
+        self.core_size
+    }
+
+    /// Maximal spare size `Δ`.
+    pub fn max_spare(&self) -> usize {
+        self.max_spare
+    }
+
+    /// Adversarial fraction `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Identifier survival probability `d`.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Randomization amount `k` (the protocol is `protocol_k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Rule-1 threshold `ν`.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Ablation toggles.
+    pub fn toggles(&self) -> &AdversaryToggles {
+        &self.toggles
+    }
+
+    /// Quorum threshold `c = ⌊(C−1)/3⌋`.
+    pub fn quorum(&self) -> usize {
+        (self.core_size - 1) / 3
+    }
+
+    /// Size of the state space: `(C+1)·(Δ+1)(Δ+2)/2`.
+    pub fn state_count(&self) -> usize {
+        (self.core_size + 1) * (self.max_spare + 1) * (self.max_spare + 2) / 2
+    }
+
+    /// The incarnation lifetime `L` corresponding to `d` via the paper's
+    /// calibration, or `None` when `d = 0` (no identifier ever survives an
+    /// event — `L` is effectively zero).
+    pub fn lifetime_l(&self) -> Option<f64> {
+        if self.d <= 0.0 {
+            return None;
+        }
+        Some(pollux_overlay::incarnation::lifetime_from_survival(self.d))
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol_{} (C={}, Δ={}, μ={}, d={}, ν={})",
+            self.k, self.core_size, self.max_spare, self.mu, self.d, self.nu
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_evaluation_section() {
+        let p = ModelParams::paper_defaults();
+        assert_eq!(p.core_size(), 7);
+        assert_eq!(p.max_spare(), 7);
+        assert_eq!(p.quorum(), 2);
+        assert_eq!(p.k(), 1);
+        // Figure 1's caption: 288 states for C = 7, Δ = 7.
+        assert_eq!(p.state_count(), 288);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ModelParams::new(0, 7, 1).is_err());
+        assert!(ModelParams::new(7, 1, 1).is_err());
+        assert!(ModelParams::new(7, 7, 0).is_err());
+        assert!(ModelParams::new(7, 7, 8).is_err());
+        assert!(ModelParams::new(4, 4, 4).is_ok());
+        let p = ModelParams::paper_defaults();
+        assert!(p.with_k(8).is_err());
+        assert!(p.with_k(7).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn mu_out_of_range_panics() {
+        let _ = ModelParams::paper_defaults().with_mu(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn d_out_of_range_panics() {
+        let _ = ModelParams::paper_defaults().with_d(-0.1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = ModelParams::paper_defaults()
+            .with_mu(0.3)
+            .with_d(0.9)
+            .with_nu(0.2)
+            .with_toggles(AdversaryToggles::none());
+        assert_eq!(p.mu(), 0.3);
+        assert_eq!(p.d(), 0.9);
+        assert_eq!(p.nu(), 0.2);
+        assert!(!p.toggles().rule1);
+        assert!(p.to_string().contains("protocol_1"));
+    }
+
+    #[test]
+    fn lifetime_mapping() {
+        let p = ModelParams::paper_defaults().with_d(0.9);
+        let l = p.lifetime_l().unwrap();
+        assert!((l - 46.09).abs() < 0.1, "L = {l}");
+        assert_eq!(ModelParams::paper_defaults().lifetime_l(), None);
+    }
+
+    #[test]
+    fn toggles_defaults() {
+        assert_eq!(AdversaryToggles::default(), AdversaryToggles::all());
+        let none = AdversaryToggles::none();
+        assert!(!none.rule1 && !none.rule2 && !none.bias);
+    }
+}

@@ -1,0 +1,204 @@
+use pollux_markov::StateSpace;
+
+use crate::{ClusterState, ModelParams, StateClass};
+
+/// The enumerated state space `Ω` with its Figure-1 partition.
+///
+/// States are enumerated in lexicographic `(s, x, y)` order, which makes
+/// index assignment deterministic and stable across runs.
+///
+/// # Example
+///
+/// ```
+/// use pollux::{ModelParams, ModelSpace};
+///
+/// let space = ModelSpace::new(&ModelParams::paper_defaults());
+/// assert_eq!(space.len(), 288);
+/// assert_eq!(space.transient_safe().len() + space.transient_polluted().len(), 216);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelSpace {
+    params: ModelParams,
+    space: StateSpace<ClusterState>,
+    transient_safe: Vec<usize>,
+    transient_polluted: Vec<usize>,
+    safe_merge: Vec<usize>,
+    safe_split: Vec<usize>,
+    polluted_merge: Vec<usize>,
+    polluted_split: Vec<usize>,
+}
+
+impl ModelSpace {
+    /// Enumerates `Ω` for `params`.
+    pub fn new(params: &ModelParams) -> Self {
+        let mut space = StateSpace::new();
+        for s in 0..=params.max_spare() {
+            for x in 0..=params.core_size() {
+                for y in 0..=s {
+                    space.insert(ClusterState::new(s, x, y));
+                }
+            }
+        }
+        let classify = |idx_class: StateClass| {
+            space.indices_where(|st: &ClusterState| st.classify(params) == idx_class)
+        };
+        ModelSpace {
+            params: *params,
+            transient_safe: classify(StateClass::TransientSafe),
+            transient_polluted: classify(StateClass::TransientPolluted),
+            safe_merge: classify(StateClass::SafeMerge),
+            safe_split: classify(StateClass::SafeSplit),
+            polluted_merge: classify(StateClass::PollutedMerge),
+            polluted_split: classify(StateClass::PollutedSplit),
+            space,
+        }
+    }
+
+    /// The parameters the space was built for.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Number of states `|Ω|`.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// `true` when the space is empty (never: `Ω` always contains merge
+    /// states).
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// Index of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state lies outside `Ω` (programming error in model
+    /// code — states are always produced by the transition builder).
+    pub fn index(&self, state: &ClusterState) -> usize {
+        self.space
+            .index_of(state)
+            .unwrap_or_else(|| panic!("state {state} outside Ω"))
+    }
+
+    /// State at an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn state(&self, index: usize) -> &ClusterState {
+        self.space.state(index)
+    }
+
+    /// Iterates `(index, state)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ClusterState)> {
+        self.space.iter()
+    }
+
+    /// Indices of the transient safe subset `S`.
+    pub fn transient_safe(&self) -> &[usize] {
+        &self.transient_safe
+    }
+
+    /// Indices of the transient polluted subset `P`.
+    pub fn transient_polluted(&self) -> &[usize] {
+        &self.transient_polluted
+    }
+
+    /// Indices of the safe-merge absorbing class `AmS`.
+    pub fn safe_merge(&self) -> &[usize] {
+        &self.safe_merge
+    }
+
+    /// Indices of the safe-split absorbing class `AℓS`.
+    pub fn safe_split(&self) -> &[usize] {
+        &self.safe_split
+    }
+
+    /// Indices of the polluted-merge absorbing class `AmP`.
+    pub fn polluted_merge(&self) -> &[usize] {
+        &self.polluted_merge
+    }
+
+    /// Indices of the (unreachable) polluted-split states.
+    pub fn polluted_split(&self) -> &[usize] {
+        &self.polluted_split
+    }
+
+    /// All transient indices (`S ∪ P`), increasing.
+    pub fn transient(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .transient_safe
+            .iter()
+            .chain(self.transient_polluted.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_partition_sizes() {
+        let space = ModelSpace::new(&ModelParams::paper_defaults());
+        // |Ω| = 288 (Figure 1 caption).
+        assert_eq!(space.len(), 288);
+        // s = 0: 8 x-values, y = 0 → 8 states split c+1 = 3 safe / 5 polluted… per x.
+        assert_eq!(space.safe_merge().len(), 3);
+        assert_eq!(space.polluted_merge().len(), 5);
+        // s = 7: 8 x-values × 8 y-values.
+        assert_eq!(space.safe_split().len(), 3 * 8);
+        assert_eq!(space.polluted_split().len(), 5 * 8);
+        // Transient band: s = 1..6 → Σ (s+1) = 27 y-combinations × 8 x.
+        assert_eq!(space.transient_safe().len(), 27 * 3);
+        assert_eq!(space.transient_polluted().len(), 27 * 5);
+        // Everything accounted for.
+        let total = space.transient_safe().len()
+            + space.transient_polluted().len()
+            + space.safe_merge().len()
+            + space.safe_split().len()
+            + space.polluted_merge().len()
+            + space.polluted_split().len();
+        assert_eq!(total, 288);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let space = ModelSpace::new(&ModelParams::paper_defaults());
+        for (i, st) in space.iter() {
+            assert_eq!(space.index(st), i);
+        }
+        let st = ClusterState::new(3, 2, 1);
+        assert_eq!(*space.state(space.index(&st)), st);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_space_state_panics() {
+        let space = ModelSpace::new(&ModelParams::paper_defaults());
+        space.index(&ClusterState::new(9, 0, 0));
+    }
+
+    #[test]
+    fn transient_is_sorted_union() {
+        let space = ModelSpace::new(&ModelParams::paper_defaults());
+        let t = space.transient();
+        assert_eq!(t.len(), 216);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_parameterization() {
+        let params = ModelParams::new(4, 3, 1).unwrap();
+        let space = ModelSpace::new(&params);
+        // (C+1)(Δ+1)(Δ+2)/2 = 5 * 4 * 5 / 2 = 50.
+        assert_eq!(space.len(), 50);
+        assert_eq!(space.len(), params.state_count());
+    }
+}

@@ -1,0 +1,179 @@
+use std::fmt;
+
+use crate::ModelParams;
+
+/// A state of the cluster chain: `(s, x, y)` — spare size, malicious core
+/// count, malicious spare count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterState {
+    /// Spare-set size `s ∈ 0..=Δ`.
+    pub s: usize,
+    /// Malicious core members `x ∈ 0..=C`.
+    pub x: usize,
+    /// Malicious spare members `y ∈ 0..=s`.
+    pub y: usize,
+}
+
+impl ClusterState {
+    /// Creates a state (unchecked against any particular parameter set;
+    /// use [`ClusterState::is_consistent`] to validate).
+    pub fn new(s: usize, x: usize, y: usize) -> Self {
+        ClusterState { s, x, y }
+    }
+
+    /// `true` when the state lies inside `Ω` for `params`.
+    pub fn is_consistent(&self, params: &ModelParams) -> bool {
+        self.s <= params.max_spare() && self.x <= params.core_size() && self.y <= self.s
+    }
+
+    /// Classifies the state per Figure 1.
+    pub fn classify(&self, params: &ModelParams) -> StateClass {
+        let polluted = self.x > params.quorum();
+        if self.s == 0 {
+            if polluted {
+                StateClass::PollutedMerge
+            } else {
+                StateClass::SafeMerge
+            }
+        } else if self.s == params.max_spare() {
+            if polluted {
+                StateClass::PollutedSplit
+            } else {
+                StateClass::SafeSplit
+            }
+        } else if polluted {
+            StateClass::TransientPolluted
+        } else {
+            StateClass::TransientSafe
+        }
+    }
+}
+
+impl fmt::Display for ClusterState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(s={}, x={}, y={})", self.s, self.x, self.y)
+    }
+}
+
+/// The partition of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateClass {
+    /// Transient safe: `0 < s < Δ`, `x ≤ c`.
+    TransientSafe,
+    /// Transient polluted: `0 < s < Δ`, `x > c`.
+    TransientPolluted,
+    /// Safe merge (absorbing): `s = 0`, `x ≤ c`.
+    SafeMerge,
+    /// Safe split (absorbing): `s = Δ`, `x ≤ c`.
+    SafeSplit,
+    /// Polluted merge (absorbing): `s = 0`, `x > c`.
+    PollutedMerge,
+    /// Polluted split: `s = Δ`, `x > c` — present in `Ω` but unreachable
+    /// under Rule 2 (the adversary never lets a polluted cluster split).
+    PollutedSplit,
+}
+
+impl StateClass {
+    /// `true` for the transient classes.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StateClass::TransientSafe | StateClass::TransientPolluted
+        )
+    }
+
+    /// `true` for the absorbing classes (including the unreachable
+    /// polluted split).
+    pub fn is_absorbing(&self) -> bool {
+        !self.is_transient()
+    }
+
+    /// `true` when the core holds more than `c` malicious members.
+    pub fn is_polluted(&self) -> bool {
+        matches!(
+            self,
+            StateClass::TransientPolluted | StateClass::PollutedMerge | StateClass::PollutedSplit
+        )
+    }
+}
+
+impl fmt::Display for StateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StateClass::TransientSafe => "S (transient safe)",
+            StateClass::TransientPolluted => "P (transient polluted)",
+            StateClass::SafeMerge => "AmS (safe merge)",
+            StateClass::SafeSplit => "AlS (safe split)",
+            StateClass::PollutedMerge => "AmP (polluted merge)",
+            StateClass::PollutedSplit => "AlP (polluted split, unreachable)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::paper_defaults()
+    }
+
+    #[test]
+    fn classification_follows_figure_1() {
+        let p = params(); // C = 7, Δ = 7, c = 2
+        assert_eq!(
+            ClusterState::new(3, 0, 0).classify(&p),
+            StateClass::TransientSafe
+        );
+        assert_eq!(
+            ClusterState::new(3, 2, 0).classify(&p),
+            StateClass::TransientSafe
+        );
+        assert_eq!(
+            ClusterState::new(3, 3, 0).classify(&p),
+            StateClass::TransientPolluted
+        );
+        assert_eq!(
+            ClusterState::new(0, 2, 0).classify(&p),
+            StateClass::SafeMerge
+        );
+        assert_eq!(
+            ClusterState::new(0, 5, 0).classify(&p),
+            StateClass::PollutedMerge
+        );
+        assert_eq!(
+            ClusterState::new(7, 1, 3).classify(&p),
+            StateClass::SafeSplit
+        );
+        assert_eq!(
+            ClusterState::new(7, 4, 0).classify(&p),
+            StateClass::PollutedSplit
+        );
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(StateClass::TransientSafe.is_transient());
+        assert!(!StateClass::TransientSafe.is_polluted());
+        assert!(StateClass::TransientPolluted.is_polluted());
+        assert!(StateClass::SafeMerge.is_absorbing());
+        assert!(StateClass::PollutedMerge.is_polluted());
+        assert!(StateClass::PollutedSplit.is_absorbing());
+    }
+
+    #[test]
+    fn consistency_bounds() {
+        let p = params();
+        assert!(ClusterState::new(7, 7, 7).is_consistent(&p));
+        assert!(!ClusterState::new(8, 0, 0).is_consistent(&p));
+        assert!(!ClusterState::new(3, 8, 0).is_consistent(&p));
+        assert!(!ClusterState::new(3, 0, 4).is_consistent(&p));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ClusterState::new(1, 2, 0).to_string(), "(s=1, x=2, y=0)");
+        assert!(StateClass::SafeMerge.to_string().contains("AmS"));
+    }
+}

@@ -1,0 +1,270 @@
+use crate::{EventQueue, SimTime};
+
+/// User logic driven by the simulation loop.
+pub trait EventHandler {
+    /// The event type of the simulation.
+    type Event;
+
+    /// Processes one event occurring at time `t`; new events may be
+    /// scheduled through `sched` (at or after `t`).
+    fn handle(&mut self, t: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The scheduling interface handed to [`EventHandler::handle`].
+///
+/// Wraps the future-event list and the current clock so handlers cannot
+/// schedule into the past.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    /// Set when a handler requests termination.
+    stop_requested: bool,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` lies strictly in the past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after a non-negative delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// The simulation loop: owns the clock, the future-event list and the
+/// handler.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Simulation<H: EventHandler> {
+    handler: H,
+    queue: EventQueue<H::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<H: EventHandler> Simulation<H> {
+    /// Creates a simulation around `handler` with an empty event list at
+    /// time zero.
+    pub fn new(handler: H) -> Self {
+        Simulation {
+            handler,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Borrows the handler (for reading results out).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutably borrows the handler.
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// Consumes the simulation, returning the handler.
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+
+    /// Schedules an initial event (before or between runs).
+    pub fn schedule(&mut self, at: SimTime, event: H::Event) {
+        self.queue.push(at, event);
+    }
+
+    /// Processes a single event. Returns `false` when the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some((t, ev)) => {
+                debug_assert!(t >= self.now, "event queue went backwards");
+                self.now = t;
+                self.processed += 1;
+                let mut sched = Scheduler {
+                    queue: &mut self.queue,
+                    now: t,
+                    stop_requested: false,
+                };
+                self.handler.handle(t, ev, &mut sched);
+                !sched.stop_requested
+            }
+        }
+    }
+
+    /// Runs until the event list drains or a handler calls
+    /// [`Scheduler::stop`]. Returns the number of events processed by this
+    /// call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+
+    /// Runs until the clock passes `horizon` (events strictly after it stay
+    /// queued), the list drains, or a handler stops the run.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.processed - before
+    }
+
+    /// Runs at most `max_events` events.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let before = self.processed;
+        for _ in 0..max_events {
+            if !self.step() {
+                break;
+            }
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every event it sees; reschedules `n` follow-ups.
+    struct Recorder {
+        seen: Vec<(f64, u32)>,
+        respawn: u32,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle(&mut self, t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((t.value(), ev));
+            if ev < self.respawn {
+                sched.schedule_in(1.0, ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            respawn: 3,
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        let n = sim.run();
+        assert_eq!(n, 4);
+        assert_eq!(
+            sim.handler().seen,
+            vec![(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+        );
+        assert_eq!(sim.now(), SimTime::from(3.0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            respawn: 100,
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        sim.run_until(SimTime::from(4.5));
+        assert_eq!(sim.handler().seen.len(), 5); // t = 0..4
+        // Continuing picks up where we left off.
+        sim.run_until(SimTime::from(6.0));
+        assert_eq!(sim.handler().seen.len(), 7);
+    }
+
+    #[test]
+    fn run_events_bounds_work() {
+        let mut sim = Simulation::new(Recorder {
+            seen: vec![],
+            respawn: u32::MAX,
+        });
+        sim.schedule(SimTime::ZERO, 0);
+        let n = sim.run_events(10);
+        assert_eq!(n, 10);
+        assert_eq!(sim.processed(), 10);
+    }
+
+    struct Stopper(u32);
+    impl EventHandler for Stopper {
+        type Event = ();
+        fn handle(&mut self, _t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            self.0 += 1;
+            sched.schedule_in(1.0, ());
+            if self.0 == 3 {
+                sched.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn handler_can_stop_the_run() {
+        let mut sim = Simulation::new(Stopper(0));
+        sim.schedule(SimTime::ZERO, ());
+        sim.run();
+        assert_eq!(sim.handler().0, 3);
+        // The queue still holds the rescheduled event; a new run continues.
+        sim.run_events(1);
+        assert_eq!(sim.handler().0, 4);
+    }
+
+    struct PastScheduler;
+    impl EventHandler for PastScheduler {
+        type Event = ();
+        fn handle(&mut self, t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            sched.schedule(SimTime::new(t.value() - 1.0), ());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new(PastScheduler);
+        sim.schedule(SimTime::from(5.0), ());
+        sim.run();
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries `(left_rows, left_cols, right_rows, right_cols)`.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// Construction input was ragged or empty in a way that does not define
+    /// a rectangular matrix.
+    InvalidDimensions(String),
+    /// A factorization or solve hit a (numerically) singular matrix.
+    ///
+    /// Carries the pivot column at which elimination broke down.
+    Singular {
+        /// Column index of the vanishing pivot.
+        pivot: usize,
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::InvalidDimensions(msg) => {
+                write!(f, "invalid matrix dimensions: {msg}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot in column {pivot})")
+            }
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+        let e = LinalgError::Singular { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = LinalgError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = LinalgError::InvalidDimensions("ragged rows".into());
+        assert!(e.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

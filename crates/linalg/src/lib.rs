@@ -1,0 +1,49 @@
+//! Dense and sparse linear-algebra kernels sized for absorbing Markov-chain
+//! analysis.
+//!
+//! This crate backs the analytical side of the Pollux reproduction of
+//! *Modeling and Evaluating Targeted Attacks in Large Scale Dynamic Systems*
+//! (Anceaume, Sericola, Ludinard, Tronel — DSN 2011). The chains studied
+//! there have a few hundred states, so the design targets correctness and
+//! numerical robustness on small/medium dense systems rather than BLAS-level
+//! throughput:
+//!
+//! * [`Matrix`] — row-major dense `f64` matrix with the usual algebra,
+//!   sub-matrix extraction by index sets (needed to carve `M_S`, `M_SP`, …
+//!   out of a partitioned transition matrix), and stochasticity checks.
+//! * [`Lu`] — LU decomposition with partial pivoting, linear solves
+//!   (`Ax = b`, `xA = b`), inverses and determinants.
+//! * [`sparse::CsrMatrix`] — compressed sparse row matrix with fast
+//!   vector–matrix iteration, used for the overlay-level computation
+//!   `α (T/n + (1−1/n) I)^m` over hundreds of thousands of events.
+//! * [`power`] — matrix powers and iterated distribution pushes.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), pollux_linalg::LinalgError> {
+//! // Expected steps to absorption of a gambler's ruin from the middle state:
+//! // N = (I - Q)^{-1}, t = N 1.
+//! let q = Matrix::from_rows(&[&[0.0, 0.5], &[0.5, 0.0]])?;
+//! let n = (&Matrix::identity(2) - &q).inverse()?;
+//! let t = n.mul_vec(&[1.0, 1.0]);
+//! assert!((t[0] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod lu;
+mod matrix;
+pub mod power;
+pub mod sparse;
+pub mod vec_ops;
+
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+
+/// Default absolute tolerance used by the stochasticity checks.
+pub const STOCHASTIC_TOL: f64 = 1e-9;

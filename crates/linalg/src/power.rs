@@ -1,0 +1,197 @@
+//! Matrix powers and iterated distribution pushes.
+//!
+//! Two access patterns show up in transient Markov-chain analysis:
+//!
+//! * `A^m` for a moderate `m` — computed by binary exponentiation
+//!   ([`matrix_power`]).
+//! * `α A^m` for *every* `m` along the way (a trajectory of transient
+//!   distributions) — computed by repeated vector–matrix products
+//!   ([`DistributionIter`]), which is both cheaper (`O(m n²)` total instead
+//!   of `O(n³ log m)`) and exactly what the overlay-level Theorem 2 of the
+//!   DSN'11 paper needs.
+
+use crate::{LinalgError, Matrix};
+
+/// Computes `a^m` by binary exponentiation.
+///
+/// `a^0` is the identity.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidDimensions`] if `a` is not square.
+pub fn matrix_power(a: &Matrix, mut m: u64) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::InvalidDimensions(format!(
+            "matrix power requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let mut result = Matrix::identity(a.rows());
+    let mut base = a.clone();
+    while m > 0 {
+        if m & 1 == 1 {
+            result = result.matmul(&base)?;
+        }
+        m >>= 1;
+        if m > 0 {
+            base = base.matmul(&base)?;
+        }
+    }
+    Ok(result)
+}
+
+/// Iterator over `α, αA, αA², …` for a fixed square matrix `A`.
+///
+/// Yields the *current* vector first (i.e. the first item is `α` itself at
+/// step 0), then advances by one vector–matrix product per step.
+///
+/// # Example
+///
+/// ```
+/// use pollux_linalg::{Matrix, power::DistributionIter};
+///
+/// # fn main() -> Result<(), pollux_linalg::LinalgError> {
+/// let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]])?;
+/// let mut it = DistributionIter::new(&p, vec![1.0, 0.0])?;
+/// let step0 = it.next().unwrap();
+/// assert_eq!(step0, vec![1.0, 0.0]);
+/// let step1 = it.next().unwrap();
+/// assert!((step1[1] - 0.1).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributionIter<'a> {
+    matrix: &'a Matrix,
+    current: Vec<f64>,
+    /// Set once the iterator has yielded the initial vector.
+    started: bool,
+}
+
+impl<'a> DistributionIter<'a> {
+    /// Creates the iterator from a square matrix and an initial row vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `alpha.len()` differs from
+    /// the matrix dimension, or [`LinalgError::InvalidDimensions`] if the
+    /// matrix is not square.
+    pub fn new(matrix: &'a Matrix, alpha: Vec<f64>) -> Result<Self, LinalgError> {
+        if !matrix.is_square() {
+            return Err(LinalgError::InvalidDimensions(format!(
+                "distribution iteration requires a square matrix, got {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            )));
+        }
+        if alpha.len() != matrix.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, alpha.len()),
+                right: matrix.shape(),
+            });
+        }
+        Ok(DistributionIter {
+            matrix,
+            current: alpha,
+            started: false,
+        })
+    }
+
+    /// The vector at the current step without advancing.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+}
+
+impl Iterator for DistributionIter<'_> {
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Vec<f64>> {
+        if !self.started {
+            self.started = true;
+            return Some(self.current.clone());
+        }
+        self.current = self.matrix.vec_mul(&self.current);
+        Some(self.current.clone())
+    }
+}
+
+/// Pushes `alpha` through `m` steps of `matrix` and returns `α A^m`.
+///
+/// # Errors
+///
+/// Same conditions as [`DistributionIter::new`].
+pub fn push_distribution(
+    matrix: &Matrix,
+    alpha: &[f64],
+    m: u64,
+) -> Result<Vec<f64>, LinalgError> {
+    let mut it = DistributionIter::new(matrix, alpha.to_vec())?;
+    let mut last = it.next().expect("iterator yields the initial vector");
+    for _ in 0..m {
+        last = it.next().expect("iterator is infinite");
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_zero_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        assert!(matrix_power(&a, 0)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn power_matches_repeated_multiplication() {
+        let a = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap();
+        let mut ref_pow = Matrix::identity(2);
+        for m in 0..12u64 {
+            let fast = matrix_power(&a, m).unwrap();
+            assert!(
+                fast.approx_eq(&ref_pow, 1e-12),
+                "mismatch at power {m}: {fast:?} vs {ref_pow:?}"
+            );
+            ref_pow = ref_pow.matmul(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn power_rejects_non_square() {
+        assert!(matrix_power(&Matrix::zeros(2, 3), 2).is_err());
+    }
+
+    #[test]
+    fn distribution_iter_matches_power() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]]).unwrap();
+        let alpha = vec![0.3, 0.7];
+        let via_iter = push_distribution(&p, &alpha, 6).unwrap();
+        let via_power = matrix_power(&p, 6).unwrap().vec_mul(&alpha);
+        for (a, b) in via_iter.iter().zip(via_power.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_iter_preserves_mass_for_stochastic_matrices() {
+        let p = Matrix::from_rows(&[&[0.2, 0.8], &[0.6, 0.4]]).unwrap();
+        let it = DistributionIter::new(&p, vec![0.5, 0.5]).unwrap();
+        for v in it.take(50) {
+            let mass: f64 = v.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribution_iter_validates_inputs() {
+        let p = Matrix::zeros(2, 3);
+        assert!(DistributionIter::new(&p, vec![1.0, 0.0]).is_err());
+        let p = Matrix::identity(2);
+        assert!(DistributionIter::new(&p, vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The DSN'11 overlay-level computation iterates a distribution through the
+//! matrix `T/n + (1 − 1/n) I` for up to 10⁵ steps. The transient block `T`
+//! of the cluster chain is sparse (each state reaches a handful of
+//! successors), so a CSR representation makes the iteration linear in the
+//! number of non-zeros.
+
+use std::collections::BTreeMap;
+
+use crate::{LinalgError, Matrix};
+
+/// A compressed sparse row matrix over `f64`.
+///
+/// # Example
+///
+/// ```
+/// use pollux_linalg::sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), pollux_linalg::LinalgError> {
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 3.0)])?;
+/// assert_eq!(m.vec_mul(&[1.0, 1.0]), vec![3.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values`; length `rows + 1`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when a triplet lies outside
+    /// the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        let mut per_row: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); rows];
+        for &(i, j, v) in triplets {
+            if i >= rows {
+                return Err(LinalgError::IndexOutOfBounds { index: i, bound: rows });
+            }
+            if j >= cols {
+                return Err(LinalgError::IndexOutOfBounds { index: j, bound: cols });
+            }
+            *per_row[i].entry(j).or_insert(0.0) += v;
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &per_row {
+            for (&j, &v) in row {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping entries with absolute value at or
+    /// below `drop_tol`.
+    pub fn from_dense(dense: &Matrix, drop_tol: f64) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > drop_tol {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+            .expect("dense shape is consistent by construction")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored entries of row `i` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[idx] * x[self.col_idx[idx]];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Vector–matrix product `x A` (row vector times matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vec_mul");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[self.col_idx[idx]] += xi * self.values[idx];
+            }
+        }
+        out
+    }
+
+    /// In-place version of [`CsrMatrix::vec_mul`] writing into `out`.
+    ///
+    /// This avoids per-step allocation in long iterations; `out` is fully
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn vec_mul_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vec_mul_into");
+        assert_eq!(out.len(), self.cols, "output dimension mismatch");
+        out.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[self.col_idx[idx]] += xi * self.values[idx];
+            }
+        }
+    }
+
+    /// Densifies the matrix (for tests and small problems).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Returns `self * scale + identity * shift` as a new CSR matrix,
+    /// assuming `self` is square.
+    ///
+    /// This is the kernel shape of the DSN'11 Theorem 2 matrix
+    /// `T/n + (1 − 1/n) I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if the matrix is not
+    /// square.
+    pub fn affine(&self, scale: f64, shift: f64) -> Result<CsrMatrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::InvalidDimensions(format!(
+                "affine combination with identity requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.nnz() + self.rows);
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                triplets.push((i, j, v * scale));
+            }
+            triplets.push((i, i, shift));
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn products_match_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(m.mul_vec(&x), d.mul_vec(&x));
+        assert_eq!(m.vec_mul(&x), d.vec_mul(&x));
+        let mut out = vec![0.0; 3];
+        m.vec_mul_into(&x, &mut out);
+        assert_eq!(out, d.vec_mul(&x));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[0.0, 1.5], &[2.5, 0.0]]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn drop_tolerance_applies() {
+        let d = Matrix::from_rows(&[&[1e-12, 1.0], &[0.5, 1e-13]]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 1e-10);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn affine_matches_formula() {
+        let m = sample();
+        let n = 4.0;
+        let a = m.affine(1.0 / n, 1.0 - 1.0 / n).unwrap();
+        let dense = m.to_dense();
+        let expect = &dense.scale(1.0 / n) + &Matrix::identity(3).scale(1.0 - 1.0 / n);
+        assert!(a.to_dense().approx_eq(&expect, 1e-15));
+    }
+
+    #[test]
+    fn affine_requires_square() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(m.affine(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn row_entries_sorted_by_column() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 1, 2.0), (0, 2, 3.0)]).unwrap();
+        let cols: Vec<usize> = m.row_entries(0).map(|(j, _)| j).collect();
+        assert_eq!(cols, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,351 @@
+use pollux_linalg::sparse::CsrMatrix;
+use pollux_linalg::vec_ops;
+use pollux_prob::Binomial;
+
+use crate::classify::classify;
+use crate::{Dtmc, MarkovError};
+
+/// `n` statistically identical Markov chains of which exactly one — chosen
+/// uniformly at random — makes a transition at each instant.
+///
+/// This is the overlay-level model of the DSN'11 paper (Section VIII,
+/// following Anceaume, Castella, Ludinard & Sericola): each of the `n`
+/// clusters evolves by the same per-cluster chain, and each overlay event
+/// hits one uniformly chosen cluster. The marginal distribution of one
+/// chain after `m` global events is a binomial mixture of the single-chain
+/// transient distributions (Theorem 1), and the expected number of chains
+/// inside a state subset `U` is
+///
+/// ```text
+/// E(N_U(m)) / n = α (T/n + (1 − 1/n) I)^m 1_U        (Theorem 2)
+/// ```
+///
+/// where `T` is the (sub-stochastic) transient block of the single-chain
+/// matrix.
+///
+/// # Example
+///
+/// ```
+/// use pollux_markov::{CompetingChains, Dtmc};
+///
+/// # fn main() -> Result<(), pollux_markov::MarkovError> {
+/// let chain = Dtmc::from_rows(&[
+///     &[1.0, 0.0, 0.0],
+///     &[0.25, 0.5, 0.25],
+///     &[0.0, 0.0, 1.0],
+/// ])?;
+/// let comp = CompetingChains::new(&chain, 10)?;
+/// let alpha = vec![0.0, 1.0, 0.0];
+/// // Proportion of chains still in the transient state 1 after 20 events.
+/// let series = comp.proportion_series(&alpha, &[&[1]], &[0, 20])?;
+/// assert!(series[1][0] < series[0][0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompetingChains {
+    chain: Dtmc,
+    n: u64,
+    /// Global indices of transient states, increasing.
+    transient: Vec<usize>,
+    /// Position of each global state in `transient`.
+    transient_pos: Vec<Option<usize>>,
+    /// `T/n + (1 − 1/n) I` over the transient block, sparse.
+    step_matrix: CsrMatrix,
+}
+
+impl CompetingChains {
+    /// Builds the model for `n` copies of `chain`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidPartition`] when `n == 0`.
+    /// * [`MarkovError::NoTransientStates`] when the chain has no transient
+    ///   states.
+    pub fn new(chain: &Dtmc, n: u64) -> Result<Self, MarkovError> {
+        if n == 0 {
+            return Err(MarkovError::InvalidPartition(
+                "need at least one competing chain".into(),
+            ));
+        }
+        let classification = classify(chain);
+        let transient = classification.transient_states();
+        if transient.is_empty() {
+            return Err(MarkovError::NoTransientStates);
+        }
+        let nt = chain.n_states();
+        let mut transient_pos = vec![None; nt];
+        for (t, &g) in transient.iter().enumerate() {
+            transient_pos[g] = Some(t);
+        }
+        let mut triplets = Vec::new();
+        for (ti, &gi) in transient.iter().enumerate() {
+            for (tj, &gj) in transient.iter().enumerate() {
+                let p = chain.prob(gi, gj);
+                if p > 0.0 {
+                    triplets.push((ti, tj, p));
+                }
+            }
+        }
+        let t_block = CsrMatrix::from_triplets(transient.len(), transient.len(), &triplets)?;
+        let inv_n = 1.0 / n as f64;
+        let step_matrix = t_block.affine(inv_n, 1.0 - inv_n)?;
+        Ok(CompetingChains {
+            chain: chain.clone(),
+            n,
+            transient,
+            transient_pos,
+            step_matrix,
+        })
+    }
+
+    /// Number of competing chains.
+    pub fn n_chains(&self) -> u64 {
+        self.n
+    }
+
+    /// Global indices of the transient states the model tracks.
+    pub fn transient_states(&self) -> &[usize] {
+        &self.transient
+    }
+
+    /// Restriction of a full-chain distribution to the transient block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] for wrong length or
+    /// negative mass.
+    fn restrict(&self, alpha: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if alpha.len() != self.chain.n_states() {
+            return Err(MarkovError::InvalidDistribution(format!(
+                "length {} does not match {} states",
+                alpha.len(),
+                self.chain.n_states()
+            )));
+        }
+        if alpha.iter().any(|&a| a < -1e-12) {
+            return Err(MarkovError::InvalidDistribution(
+                "negative probability mass".into(),
+            ));
+        }
+        Ok(vec_ops::gather(alpha, &self.transient))
+    }
+
+    /// Theorem 2: expected proportion `E(N_U(m))/n` for each subset `U`
+    /// (given by global state indices) at each requested event count.
+    ///
+    /// `sample_points` must be sorted increasing. The result has one row
+    /// per sample point, one column per subset.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidDistribution`] for a bad `alpha`.
+    /// * [`MarkovError::InvalidPartition`] when `sample_points` is not
+    ///   sorted, or a subset contains an out-of-range or non-transient
+    ///   index (non-transient indices would always contribute 0 and are
+    ///   almost certainly a caller bug).
+    pub fn proportion_series(
+        &self,
+        alpha: &[f64],
+        subsets: &[&[usize]],
+        sample_points: &[u64],
+    ) -> Result<Vec<Vec<f64>>, MarkovError> {
+        if sample_points.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MarkovError::InvalidPartition(
+                "sample points must be sorted increasing".into(),
+            ));
+        }
+        // Translate subsets to transient-block positions.
+        let mut masks: Vec<Vec<usize>> = Vec::with_capacity(subsets.len());
+        for subset in subsets {
+            let mut positions = Vec::with_capacity(subset.len());
+            for &g in *subset {
+                match self.transient_pos.get(g) {
+                    Some(Some(t)) => positions.push(*t),
+                    Some(None) => {
+                        return Err(MarkovError::InvalidPartition(format!(
+                            "state {g} is not transient"
+                        )))
+                    }
+                    None => {
+                        return Err(MarkovError::InvalidState {
+                            index: g,
+                            states: self.chain.n_states(),
+                        })
+                    }
+                }
+            }
+            masks.push(positions);
+        }
+
+        let mut y = self.restrict(alpha)?;
+        let mut scratch = vec![0.0; y.len()];
+        let mut out = Vec::with_capacity(sample_points.len());
+        let mut m_cur: u64 = 0;
+        for &m in sample_points {
+            while m_cur < m {
+                self.step_matrix.vec_mul_into(&y, &mut scratch);
+                std::mem::swap(&mut y, &mut scratch);
+                m_cur += 1;
+            }
+            out.push(
+                masks
+                    .iter()
+                    .map(|pos| pos.iter().map(|&t| y[t]).sum())
+                    .collect(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Theorem 1: marginal probability that one designated chain is in
+    /// global state `j` after `m` overlay events, evaluated directly as the
+    /// binomial mixture `Σ_ℓ C(m,ℓ) (1/n)^ℓ (1−1/n)^{m−ℓ} P(X_ℓ = j)`.
+    ///
+    /// Cost is `O(m)` single-chain pushes; intended for cross-checking
+    /// [`CompetingChains::proportion_series`] on small `m`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidState`] for an out-of-range state.
+    /// * [`MarkovError::InvalidDistribution`] for a bad `alpha`.
+    pub fn theorem1_state_probability(
+        &self,
+        alpha: &[f64],
+        j: usize,
+        m: u64,
+    ) -> Result<f64, MarkovError> {
+        if j >= self.chain.n_states() {
+            return Err(MarkovError::InvalidState {
+                index: j,
+                states: self.chain.n_states(),
+            });
+        }
+        self.chain.check_distribution(alpha)?;
+        let binom = Binomial::new(m, 1.0 / self.n as f64)
+            .expect("1/n is a valid probability for n >= 1");
+        let mut dist = alpha.to_vec();
+        let mut total = binom.pmf(0) * dist[j];
+        for l in 1..=m {
+            dist = self.chain.matrix().vec_mul(&dist);
+            total += binom.pmf(l) * dist[j];
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ruin_chain() -> Dtmc {
+        Dtmc::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5, 0.0],
+            &[0.0, 0.5, 0.0, 0.5],
+            &[0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn n_equal_one_reduces_to_single_chain() {
+        let chain = ruin_chain();
+        let comp = CompetingChains::new(&chain, 1).unwrap();
+        let alpha = vec![0.0, 1.0, 0.0, 0.0];
+        // With one chain the step matrix is T itself, so the "proportion"
+        // in {1, 2} equals P(X_m transient).
+        let series = comp
+            .proportion_series(&alpha, &[&[1, 2]], &[0, 1, 2, 3])
+            .unwrap();
+        // m=0: in state 1 with certainty.
+        assert!((series[0][0] - 1.0).abs() < 1e-12);
+        // m=1: absorbed at 0 w.p. 1/2, at state 2 w.p. 1/2.
+        assert!((series[1][0] - 0.5).abs() < 1e-12);
+        // m=2: from state 2 -> 1 w.p. 1/2, so P(transient) = 1/4... times
+        // the mass that survived: 0.5 * 0.5 = 0.25.
+        assert!((series[2][0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportions_decay_to_zero() {
+        let chain = ruin_chain();
+        let comp = CompetingChains::new(&chain, 50).unwrap();
+        let alpha = vec![0.0, 0.5, 0.5, 0.0];
+        let series = comp
+            .proportion_series(&alpha, &[&[1, 2]], &[0, 100, 1000, 10_000])
+            .unwrap();
+        assert!((series[0][0] - 1.0).abs() < 1e-12);
+        assert!(series[1][0] < series[0][0]);
+        assert!(series[2][0] < series[1][0]);
+        assert!(series[3][0] < 1e-6);
+    }
+
+    #[test]
+    fn larger_n_slows_the_decay() {
+        let chain = ruin_chain();
+        let alpha = vec![0.0, 1.0, 0.0, 0.0];
+        let small = CompetingChains::new(&chain, 10).unwrap();
+        let large = CompetingChains::new(&chain, 1000).unwrap();
+        let at = [200u64];
+        let s = small.proportion_series(&alpha, &[&[1, 2]], &at).unwrap();
+        let l = large.proportion_series(&alpha, &[&[1, 2]], &at).unwrap();
+        assert!(
+            l[0][0] > s[0][0],
+            "n=1000 should retain more transient mass ({} vs {})",
+            l[0][0],
+            s[0][0]
+        );
+    }
+
+    #[test]
+    fn theorem1_and_theorem2_agree() {
+        // E(N_U(m))/n = sum_{j in U} P(X^h_m = j) by symmetry, so the
+        // Theorem 1 evaluation must match the Theorem 2 iteration.
+        let chain = ruin_chain();
+        let comp = CompetingChains::new(&chain, 7).unwrap();
+        let alpha = vec![0.0, 1.0, 0.0, 0.0];
+        for m in [0u64, 1, 5, 20, 60] {
+            let t2 = comp
+                .proportion_series(&alpha, &[&[1], &[2]], &[m])
+                .unwrap()[0]
+                .clone();
+            let p1 = comp.theorem1_state_probability(&alpha, 1, m).unwrap();
+            let p2 = comp.theorem1_state_probability(&alpha, 2, m).unwrap();
+            assert!((t2[0] - p1).abs() < 1e-10, "m={m}: {} vs {p1}", t2[0]);
+            assert!((t2[1] - p2).abs() < 1e-10, "m={m}: {} vs {p2}", t2[1]);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let chain = ruin_chain();
+        assert!(CompetingChains::new(&chain, 0).is_err());
+        let comp = CompetingChains::new(&chain, 5).unwrap();
+        let alpha = vec![0.0, 1.0, 0.0, 0.0];
+        // Unsorted sample points.
+        assert!(comp
+            .proportion_series(&alpha, &[&[1]], &[5, 1])
+            .is_err());
+        // Non-transient subset member.
+        assert!(comp.proportion_series(&alpha, &[&[0]], &[1]).is_err());
+        // Out-of-range subset member.
+        assert!(comp.proportion_series(&alpha, &[&[9]], &[1]).is_err());
+        // Bad alpha length.
+        assert!(comp.proportion_series(&[1.0], &[&[1]], &[1]).is_err());
+        // Irreducible chain has no transient states.
+        let irr = Dtmc::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]).unwrap();
+        assert!(CompetingChains::new(&irr, 5).is_err());
+    }
+
+    #[test]
+    fn repeated_sample_points_allowed() {
+        let chain = ruin_chain();
+        let comp = CompetingChains::new(&chain, 3).unwrap();
+        let alpha = vec![0.0, 1.0, 0.0, 0.0];
+        let series = comp
+            .proportion_series(&alpha, &[&[1, 2]], &[4, 4])
+            .unwrap();
+        assert_eq!(series[0], series[1]);
+    }
+}

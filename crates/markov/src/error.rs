@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use pollux_linalg::LinalgError;
+
+/// Errors produced by the Markov-chain layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A transition matrix failed validation (non-square, negative entry,
+    /// or a row not summing to 1).
+    NotStochastic(String),
+    /// A state index was out of range.
+    InvalidState {
+        /// Offending index.
+        index: usize,
+        /// Number of states in the chain.
+        states: usize,
+    },
+    /// An initial distribution failed validation.
+    InvalidDistribution(String),
+    /// A partition argument was inconsistent (overlap, out of range, or not
+    /// covering what it must cover).
+    InvalidPartition(String),
+    /// The requested analysis needs transient states but none exist (or the
+    /// relevant block is empty).
+    NoTransientStates,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotStochastic(msg) => write!(f, "matrix is not stochastic: {msg}"),
+            MarkovError::InvalidState { index, states } => {
+                write!(f, "state index {index} out of range (chain has {states} states)")
+            }
+            MarkovError::InvalidDistribution(msg) => {
+                write!(f, "invalid initial distribution: {msg}")
+            }
+            MarkovError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
+            MarkovError::NoTransientStates => write!(f, "chain has no transient states"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MarkovError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MarkovError::InvalidState { index: 5, states: 3 };
+        assert!(e.to_string().contains('5'));
+        let inner = LinalgError::Singular { pivot: 0 };
+        let e: MarkovError = inner.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&MarkovError::NoTransientStates).is_none());
+    }
+}

@@ -1,0 +1,473 @@
+use pollux_linalg::{vec_ops, Lu, Matrix};
+
+use crate::{Dtmc, MarkovError};
+
+/// A two-subset partition `(S, P)` of (a subset of) the transient states of
+/// a chain, given by global state indices.
+///
+/// In the DSN'11 model `S` holds the transient *safe* cluster states and
+/// `P` the transient *polluted* ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SojournPartition {
+    s_states: Vec<usize>,
+    p_states: Vec<usize>,
+}
+
+impl SojournPartition {
+    /// Creates a partition from the two disjoint index sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidPartition`] if the sets overlap.
+    pub fn new(s_states: Vec<usize>, p_states: Vec<usize>) -> Result<Self, MarkovError> {
+        for s in &s_states {
+            if p_states.contains(s) {
+                return Err(MarkovError::InvalidPartition(format!(
+                    "state {s} appears in both subsets"
+                )));
+            }
+        }
+        Ok(SojournPartition { s_states, p_states })
+    }
+
+    /// Global indices of the `S` subset.
+    pub fn s_states(&self) -> &[usize] {
+        &self.s_states
+    }
+
+    /// Global indices of the `P` subset.
+    pub fn p_states(&self) -> &[usize] {
+        &self.p_states
+    }
+}
+
+/// Sojourn-time analysis for a two-subset partition of transient states,
+/// following Sericola (1990) and Rubino & Sericola (1989) as used in the
+/// DSN'11 paper (Relations (5)–(8)).
+///
+/// Let `T_S` be the total number of steps the chain spends in `S` before
+/// absorption, and `T_{S,n}` the length of its n-th sojourn in `S`
+/// (symmetrically for `P`). With
+///
+/// * `v = α_S + α_P (I − M_P)^{-1} M_PS`,
+/// * `R = M_S + M_SP (I − M_P)^{-1} M_PS`,
+/// * `G = (I − M_S)^{-1} M_SP (I − M_P)^{-1} M_PS`,
+///
+/// the quantities computed here are
+///
+/// * `E(T_S) = v (I − R)^{-1} 1`                        (Relation 5)
+/// * `E(T_{S,n}) = v G^{n-1} (I − M_S)^{-1} 1`          (Relation 7)
+/// * `P(T_S = 0) = 1 − v·1`, `P(T_S = j) = v R^{j-1} (I − R) 1`
+/// * `E[T_S (T_S − 1)] = 2 v R (I − R)^{-2} 1` (for the variance)
+///
+/// and the mirror-image set for `P` (Relations 6 and 8).
+#[derive(Debug, Clone)]
+pub struct SojournAnalysis {
+    side_s: SubsetAnalysis,
+    side_p: SubsetAnalysis,
+}
+
+/// One side (`S` or `P`) of the analysis; the other side is obtained by
+/// swapping the roles of the two subsets.
+#[derive(Debug, Clone)]
+struct SubsetAnalysis {
+    /// Entry vector `v` (defective distribution of the first visited state
+    /// of the subset).
+    v: Vec<f64>,
+    /// Censored transition matrix `R` on the subset.
+    r: Matrix,
+    /// LU factors of `I − R`.
+    lu_r: Option<Lu>,
+    /// Sojourn transfer matrix `G`.
+    g: Matrix,
+    /// `(I − M_S)^{-1} 1` (expected length of one sojourn started in each
+    /// state of the subset).
+    one_sojourn: Vec<f64>,
+}
+
+impl SojournAnalysis {
+    /// Builds the analysis for `chain`, `partition` and initial
+    /// distribution `alpha` (over **all** states of the chain; only the
+    /// mass on `S ∪ P` matters, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidState`] if a partition index is out of range.
+    /// * [`MarkovError::InvalidDistribution`] if `alpha` has the wrong
+    ///   length, negative mass, or total mass exceeding 1.
+    /// * [`MarkovError::Linalg`] if a censored system is singular, which
+    ///   happens exactly when a subset contains a closed class (the subset
+    ///   must be transient).
+    pub fn new(
+        chain: &Dtmc,
+        partition: &SojournPartition,
+        alpha: &[f64],
+    ) -> Result<Self, MarkovError> {
+        let n = chain.n_states();
+        for &i in partition.s_states().iter().chain(partition.p_states()) {
+            if i >= n {
+                return Err(MarkovError::InvalidState { index: i, states: n });
+            }
+        }
+        if alpha.len() != n {
+            return Err(MarkovError::InvalidDistribution(format!(
+                "length {} does not match {} states",
+                alpha.len(),
+                n
+            )));
+        }
+        if alpha.iter().any(|&a| a < -1e-12) {
+            return Err(MarkovError::InvalidDistribution(
+                "negative probability mass".into(),
+            ));
+        }
+        if alpha.iter().sum::<f64>() > 1.0 + 1e-9 {
+            return Err(MarkovError::InvalidDistribution(
+                "total mass exceeds 1".into(),
+            ));
+        }
+
+        let s_idx = partition.s_states();
+        let p_idx = partition.p_states();
+        let m = chain.matrix();
+        let alpha_s = vec_ops::gather(alpha, s_idx);
+        let alpha_p = vec_ops::gather(alpha, p_idx);
+
+        let side_s = SubsetAnalysis::build(m, s_idx, p_idx, &alpha_s, &alpha_p)?;
+        let side_p = SubsetAnalysis::build(m, p_idx, s_idx, &alpha_p, &alpha_s)?;
+        Ok(SojournAnalysis { side_s, side_p })
+    }
+
+    /// `E(T_S)` — expected total time in `S` before absorption
+    /// (Relation 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn expected_total_s(&self) -> Result<f64, MarkovError> {
+        self.side_s.expected_total()
+    }
+
+    /// `E(T_P)` — expected total time in `P` before absorption
+    /// (Relation 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn expected_total_p(&self) -> Result<f64, MarkovError> {
+        self.side_p.expected_total()
+    }
+
+    /// `E(T_{S,n})` for `n = 1, 2, …, count` (Relation 7).
+    pub fn expected_sojourns_s(&self, count: usize) -> Vec<f64> {
+        self.side_s.expected_sojourns(count)
+    }
+
+    /// `E(T_{P,n})` for `n = 1, 2, …, count` (Relation 8).
+    pub fn expected_sojourns_p(&self, count: usize) -> Vec<f64> {
+        self.side_p.expected_sojourns(count)
+    }
+
+    /// Distribution `P(T_S = j)` for `j = 0, …, j_max`.
+    pub fn distribution_s(&self, j_max: usize) -> Vec<f64> {
+        self.side_s.distribution(j_max)
+    }
+
+    /// Distribution `P(T_P = j)` for `j = 0, …, j_max`.
+    pub fn distribution_p(&self, j_max: usize) -> Vec<f64> {
+        self.side_p.distribution(j_max)
+    }
+
+    /// Variance of `T_S`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn variance_s(&self) -> Result<f64, MarkovError> {
+        self.side_s.variance()
+    }
+
+    /// Variance of `T_P`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures.
+    pub fn variance_p(&self) -> Result<f64, MarkovError> {
+        self.side_p.variance()
+    }
+}
+
+impl SubsetAnalysis {
+    /// Builds one side of the analysis: `a_idx` is "our" subset, `b_idx`
+    /// the other one.
+    fn build(
+        m: &Matrix,
+        a_idx: &[usize],
+        b_idx: &[usize],
+        alpha_a: &[f64],
+        alpha_b: &[f64],
+    ) -> Result<Self, MarkovError> {
+        let na = a_idx.len();
+        let nb = b_idx.len();
+        let m_a = m.submatrix(a_idx, a_idx);
+        let m_ab = m.submatrix(a_idx, b_idx);
+        let m_ba = m.submatrix(b_idx, a_idx);
+        let m_b = m.submatrix(b_idx, b_idx);
+
+        let lu_a = Lu::decompose(&(&Matrix::identity(na) - &m_a))?;
+        let lu_b = Lu::decompose(&(&Matrix::identity(nb) - &m_b))?;
+
+        // W = (I - M_B)^{-1} M_BA, solved column by column.
+        let mut w = Matrix::zeros(nb, na);
+        for j in 0..na {
+            let col = lu_b.solve(&m_ba.col(j))?;
+            for i in 0..nb {
+                w[(i, j)] = col[i];
+            }
+        }
+
+        // v = alpha_A + alpha_B (I - M_B)^{-1} M_BA.
+        let z = lu_b.solve_transposed(alpha_b)?;
+        let v = vec_ops::add(alpha_a, &m_ba.vec_mul(&z));
+
+        // R = M_A + M_AB W ;  G = (I - M_A)^{-1} (M_AB W).
+        let u = m_ab.matmul(&w)?;
+        let r = &m_a + &u;
+        let mut g = Matrix::zeros(na, na);
+        for j in 0..na {
+            let col = lu_a.solve(&u.col(j))?;
+            for i in 0..na {
+                g[(i, j)] = col[i];
+            }
+        }
+
+        let one_sojourn = lu_a.solve(&vec![1.0; na])?;
+        let lu_r = if na > 0 {
+            Some(Lu::decompose(&(&Matrix::identity(na) - &r))?)
+        } else {
+            None
+        };
+        Ok(SubsetAnalysis {
+            v,
+            r,
+            lu_r,
+            g,
+            one_sojourn,
+        })
+    }
+
+    fn expected_total(&self) -> Result<f64, MarkovError> {
+        match &self.lu_r {
+            None => Ok(0.0),
+            Some(lu) => {
+                let u = lu.solve(&vec![1.0; self.v.len()])?;
+                Ok(vec_ops::dot(&self.v, &u))
+            }
+        }
+    }
+
+    fn expected_sojourns(&self, count: usize) -> Vec<f64> {
+        if self.v.is_empty() {
+            return vec![0.0; count];
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut u = self.one_sojourn.clone();
+        for n in 0..count {
+            if n > 0 {
+                u = self.g.mul_vec(&u);
+            }
+            out.push(vec_ops::dot(&self.v, &u));
+        }
+        out
+    }
+
+    fn distribution(&self, j_max: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(j_max + 1);
+        let entering: f64 = vec_ops::sum(&self.v);
+        out.push((1.0 - entering).max(0.0));
+        if self.v.is_empty() {
+            out.resize(j_max + 1, 0.0);
+            return out;
+        }
+        // e = (I - R) 1, per-state exit probability of the censored chain.
+        let e: Vec<f64> = self
+            .r
+            .row_sums()
+            .iter()
+            .map(|s| (1.0 - s).max(0.0))
+            .collect();
+        let mut cur = self.v.clone();
+        for _ in 1..=j_max {
+            out.push(vec_ops::dot(&cur, &e));
+            cur = self.r.vec_mul(&cur);
+        }
+        out
+    }
+
+    fn variance(&self) -> Result<f64, MarkovError> {
+        match &self.lu_r {
+            None => Ok(0.0),
+            Some(lu) => {
+                let ones = vec![1.0; self.v.len()];
+                let u1 = lu.solve(&ones)?;
+                let u2 = lu.solve(&u1)?;
+                let m1 = vec_ops::dot(&self.v, &u1);
+                let m2f = 2.0 * vec_ops::dot(&self.v, &self.r.mul_vec(&u2));
+                Ok(m2f + m1 - m1 * m1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbsorbingChain;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Gambler's ruin on {0..4}: transient {1,2,3}; S = {1}, P = {2,3}.
+    fn setup() -> (Dtmc, SojournPartition, Vec<f64>) {
+        let chain = Dtmc::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5, 0.0, 0.0],
+            &[0.0, 0.5, 0.0, 0.5, 0.0],
+            &[0.0, 0.0, 0.5, 0.0, 0.5],
+            &[0.0, 0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let partition = SojournPartition::new(vec![1], vec![2, 3]).unwrap();
+        let alpha = vec![0.0, 0.0, 1.0, 0.0, 0.0];
+        (chain, partition, alpha)
+    }
+
+    #[test]
+    fn partition_rejects_overlap() {
+        assert!(SojournPartition::new(vec![1, 2], vec![2, 3]).is_err());
+    }
+
+    #[test]
+    fn totals_split_expected_absorption_time() {
+        let (chain, partition, alpha) = setup();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let abs = AbsorbingChain::new(&chain).unwrap();
+        let total_s = soj.expected_total_s().unwrap();
+        let total_p = soj.expected_total_p().unwrap();
+        let want = abs.expected_steps(&alpha).unwrap();
+        assert!(
+            (total_s + total_p - want).abs() < 1e-10,
+            "{total_s} + {total_p} != {want}"
+        );
+    }
+
+    #[test]
+    fn sojourn_series_sums_to_total() {
+        let (chain, partition, alpha) = setup();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let series = soj.expected_sojourns_s(200);
+        let sum: f64 = series.iter().sum();
+        let total = soj.expected_total_s().unwrap();
+        assert!((sum - total).abs() < 1e-9, "{sum} vs {total}");
+        let series_p = soj.expected_sojourns_p(200);
+        let sum_p: f64 = series_p.iter().sum();
+        let total_p = soj.expected_total_p().unwrap();
+        assert!((sum_p - total_p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_is_a_distribution_with_matching_mean() {
+        let (chain, partition, alpha) = setup();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let dist = soj.distribution_s(2000);
+        let mass: f64 = dist.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        let mean: f64 = dist.iter().enumerate().map(|(j, p)| j as f64 * p).sum();
+        assert!((mean - soj.expected_total_s().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        let (chain, partition, alpha) = setup();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(424242);
+        let sampler = chain.sampler();
+        let reps = 40_000;
+        let mut tot_s = 0.0f64;
+        let mut tot_p = 0.0f64;
+        let mut sq_s = 0.0f64;
+        for _ in 0..reps {
+            // Start in state 2 (alpha is a point mass there).
+            let mut cur = 2usize;
+            let mut ts = 0u32;
+            let mut tp = 0u32;
+            while cur != 0 && cur != 4 {
+                if cur == 1 {
+                    ts += 1;
+                } else {
+                    tp += 1;
+                }
+                cur = sampler.step(cur, &mut rng);
+            }
+            tot_s += ts as f64;
+            tot_p += tp as f64;
+            sq_s += (ts as f64) * (ts as f64);
+        }
+        let emp_s = tot_s / reps as f64;
+        let emp_p = tot_p / reps as f64;
+        let want_s = soj.expected_total_s().unwrap();
+        let want_p = soj.expected_total_p().unwrap();
+        assert!((emp_s - want_s).abs() < 0.1, "S: {emp_s} vs {want_s}");
+        assert!((emp_p - want_p).abs() < 0.15, "P: {emp_p} vs {want_p}");
+        let emp_var = sq_s / reps as f64 - emp_s * emp_s;
+        let want_var = soj.variance_s().unwrap();
+        assert!(
+            (emp_var - want_var).abs() / want_var < 0.1,
+            "var: {emp_var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn empty_subset_is_degenerate() {
+        let (chain, _, alpha) = setup();
+        let partition = SojournPartition::new(vec![], vec![1, 2, 3]).unwrap();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        assert_eq!(soj.expected_total_s().unwrap(), 0.0);
+        assert_eq!(soj.expected_sojourns_s(3), vec![0.0, 0.0, 0.0]);
+        let d = soj.distribution_s(3);
+        assert_eq!(d[0], 1.0);
+        assert_eq!(soj.variance_s().unwrap(), 0.0);
+        // And the full mass flows through P.
+        let abs = AbsorbingChain::new(&chain).unwrap();
+        let want = abs.expected_steps(&alpha).unwrap();
+        assert!((soj.expected_total_p().unwrap() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (chain, partition, _) = setup();
+        assert!(SojournAnalysis::new(&chain, &partition, &[1.0]).is_err());
+        let bad = SojournPartition::new(vec![99], vec![]).unwrap();
+        assert!(SojournAnalysis::new(&chain, &bad, &[0.0; 5]).is_err());
+        let neg = [-0.5, 0.5, 0.5, 0.5, 0.0];
+        assert!(SojournAnalysis::new(&chain, &partition, &neg).is_err());
+    }
+
+    #[test]
+    fn subset_containing_closed_class_is_rejected() {
+        let (chain, _, alpha) = setup();
+        // State 0 is absorbing; including it makes I - M_S singular.
+        let partition = SojournPartition::new(vec![0, 1], vec![2, 3]).unwrap();
+        let r = SojournAnalysis::new(&chain, &partition, &alpha);
+        assert!(matches!(r, Err(MarkovError::Linalg(_))));
+    }
+
+    #[test]
+    fn first_sojourn_dominates_for_weakly_coupled_subsets() {
+        // Once the walk leaves S = {1} it is more likely absorbed than to
+        // come back through P; E(T_{S,1}) should carry most of E(T_S).
+        let (chain, partition, alpha) = setup();
+        let soj = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let series = soj.expected_sojourns_s(10);
+        assert!(series[0] > series[1]);
+        assert!(series[1] > series[2]);
+    }
+}

@@ -1,0 +1,148 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A bijection between arbitrary state values and dense indices `0..n`.
+///
+/// Transition matrices index states by `usize`; model code wants to think
+/// in structured states (for the DSN'11 model, triples `(s, x, y)`). A
+/// `StateSpace` records insertion order, so index assignment is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pollux_markov::StateSpace;
+///
+/// let mut space = StateSpace::new();
+/// let a = space.insert((0u8, 1u8));
+/// let b = space.insert((1, 0));
+/// assert_eq!(space.insert((0, 1)), a); // idempotent
+/// assert_eq!(space.index_of(&(1, 0)), Some(b));
+/// assert_eq!(space.state(a), &(0, 1));
+/// assert_eq!(space.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct StateSpace<S> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+}
+
+impl<S: Clone + Eq + Hash> StateSpace<S> {
+    /// Creates an empty state space.
+    pub fn new() -> Self {
+        StateSpace {
+            states: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Inserts a state, returning its index; inserting an existing state
+    /// returns the original index.
+    pub fn insert(&mut self, state: S) -> usize {
+        if let Some(&i) = self.index.get(&state) {
+            return i;
+        }
+        let i = self.states.len();
+        self.states.push(state.clone());
+        self.index.insert(state, i);
+        i
+    }
+
+    /// Index of a state, if present.
+    pub fn index_of(&self, state: &S) -> Option<usize> {
+        self.index.get(state).copied()
+    }
+
+    /// State at an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn state(&self, i: usize) -> &S {
+        &self.states[i]
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the space contains no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Iterates over `(index, state)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &S)> {
+        self.states.iter().enumerate()
+    }
+
+    /// Indices of states matching a predicate, in index order.
+    pub fn indices_where<F: Fn(&S) -> bool>(&self, pred: F) -> Vec<usize> {
+        self.iter()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl<S: Clone + Eq + Hash> Default for StateSpace<S> {
+    fn default() -> Self {
+        StateSpace::new()
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for StateSpace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateSpace({} states)", self.states.len())
+    }
+}
+
+impl<S: Clone + Eq + Hash> FromIterator<S> for StateSpace<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut space = StateSpace::new();
+        for s in iter {
+            space.insert(s);
+        }
+        space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_is_idempotent_and_ordered() {
+        let mut sp = StateSpace::new();
+        assert!(sp.is_empty());
+        let a = sp.insert("a");
+        let b = sp.insert("b");
+        assert_eq!(sp.insert("a"), a);
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp.state(a), &"a");
+        assert_eq!(sp.state(b), &"b");
+        assert_eq!(sp.index_of(&"c"), None);
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let sp: StateSpace<u32> = [1u32, 2, 1, 3].into_iter().collect();
+        assert_eq!(sp.len(), 3);
+        assert_eq!(sp.index_of(&3), Some(2));
+    }
+
+    #[test]
+    fn indices_where_filters_in_order() {
+        let sp: StateSpace<u32> = (0u32..10).collect();
+        let evens = sp.indices_where(|s| s % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let sp: StateSpace<u32> = (0u32..3).collect();
+        assert!(format!("{sp:?}").contains('3'));
+    }
+}

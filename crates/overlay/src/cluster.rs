@@ -1,0 +1,390 @@
+use std::fmt;
+
+use crate::{Label, NodeId, OverlayError, PeerId};
+
+/// Size parameters of every cluster: core size `C` and maximal spare size
+/// `Δ = Smax − C`.
+///
+/// The Byzantine quorum is `c = ⌊(C−1)/3⌋`: a cluster whose core holds more
+/// than `c` malicious members is *polluted* (agreement can be subverted).
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::ClusterParams;
+///
+/// let params = ClusterParams::new(7, 7).unwrap();
+/// assert_eq!(params.quorum(), 2);
+/// assert_eq!(params.s_max(), 14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterParams {
+    core_size: usize,
+    max_spare: usize,
+}
+
+impl ClusterParams {
+    /// Creates parameters with core size `C ≥ 1` and maximal spare size
+    /// `Δ ≥ 2`.
+    ///
+    /// `Δ ≥ 2` keeps the transient band `0 < s < Δ` non-empty, matching the
+    /// paper's model.
+    ///
+    /// Returns `None` on out-of-range values.
+    pub fn new(core_size: usize, max_spare: usize) -> Option<Self> {
+        if core_size == 0 || max_spare < 2 {
+            return None;
+        }
+        Some(ClusterParams {
+            core_size,
+            max_spare,
+        })
+    }
+
+    /// Core size `C`.
+    pub fn core_size(&self) -> usize {
+        self.core_size
+    }
+
+    /// Maximal spare size `Δ`.
+    pub fn max_spare(&self) -> usize {
+        self.max_spare
+    }
+
+    /// Maximal cluster size `Smax = C + Δ`.
+    pub fn s_max(&self) -> usize {
+        self.core_size + self.max_spare
+    }
+
+    /// Byzantine quorum threshold `c = ⌊(C−1)/3⌋`.
+    pub fn quorum(&self) -> usize {
+        (self.core_size - 1) / 3
+    }
+}
+
+/// A cluster member: peer handle, behaviour flag and current overlay
+/// identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Member {
+    /// Registry handle of the peer.
+    pub peer: PeerId,
+    /// `true` when the adversary controls this peer.
+    pub malicious: bool,
+    /// The identifier the peer currently presents.
+    pub id: NodeId,
+}
+
+/// A cluster: a labelled vertex of the overlay graph populated by a core
+/// set of exactly `C` members and a spare set of at most `Δ` members
+/// (Section III-A of the paper).
+///
+/// Core members run the overlay operations; spare members are passive. The
+/// struct enforces the size invariants on every mutation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cluster {
+    label: Label,
+    params: ClusterParams,
+    core: Vec<Member>,
+    spare: Vec<Member>,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given core and spare members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::InvalidCluster`] when the core does not hold
+    /// exactly `C` members, the spare exceeds `Δ`, or a peer appears twice.
+    pub fn new(
+        label: Label,
+        params: ClusterParams,
+        core: Vec<Member>,
+        spare: Vec<Member>,
+    ) -> Result<Self, OverlayError> {
+        let cluster = Cluster {
+            label,
+            params,
+            core,
+            spare,
+        };
+        cluster.check_invariants()?;
+        Ok(cluster)
+    }
+
+    /// Validates the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::InvalidCluster`] describing the violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), OverlayError> {
+        if self.core.len() != self.params.core_size() {
+            return Err(OverlayError::InvalidCluster(format!(
+                "core holds {} members, expected exactly {}",
+                self.core.len(),
+                self.params.core_size()
+            )));
+        }
+        if self.spare.len() > self.params.max_spare() {
+            return Err(OverlayError::InvalidCluster(format!(
+                "spare holds {} members, maximum is {}",
+                self.spare.len(),
+                self.params.max_spare()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in self.core.iter().chain(self.spare.iter()) {
+            if !seen.insert(m.peer) {
+                return Err(OverlayError::InvalidCluster(format!(
+                    "{} appears twice",
+                    m.peer
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cluster's label.
+    pub fn label(&self) -> &Label {
+        &self.label
+    }
+
+
+    /// Size parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Core members.
+    pub fn core(&self) -> &[Member] {
+        &self.core
+    }
+
+    /// Spare members.
+    pub fn spare(&self) -> &[Member] {
+        &self.spare
+    }
+
+    /// Current spare size `s`.
+    pub fn spare_size(&self) -> usize {
+        self.spare.len()
+    }
+
+    /// Number of malicious core members `x`.
+    pub fn malicious_core(&self) -> usize {
+        self.core.iter().filter(|m| m.malicious).count()
+    }
+
+    /// Number of malicious spare members `y`.
+    pub fn malicious_spare(&self) -> usize {
+        self.spare.iter().filter(|m| m.malicious).count()
+    }
+
+    /// The `(s, x, y)` abstraction of the analytical model.
+    pub fn sxy(&self) -> (usize, usize, usize) {
+        (
+            self.spare_size(),
+            self.malicious_core(),
+            self.malicious_spare(),
+        )
+    }
+
+    /// `true` when strictly more than `c = ⌊(C−1)/3⌋` core members are
+    /// malicious: agreement in the core can be subverted.
+    pub fn is_polluted(&self) -> bool {
+        self.malicious_core() > self.params.quorum()
+    }
+
+    /// `true` when the spare set is empty: the merge precondition.
+    pub fn must_merge(&self) -> bool {
+        self.spare.is_empty()
+    }
+
+    /// `true` when the spare set reached `Δ`: the split precondition.
+    pub fn must_split(&self) -> bool {
+        self.spare.len() >= self.params.max_spare()
+    }
+
+    /// Membership lookup over core and spare.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.position_in_core(peer).is_some() || self.position_in_spare(peer).is_some()
+    }
+
+    pub(crate) fn position_in_core(&self, peer: PeerId) -> Option<usize> {
+        self.core.iter().position(|m| m.peer == peer)
+    }
+
+    pub(crate) fn position_in_spare(&self, peer: PeerId) -> Option<usize> {
+        self.spare.iter().position(|m| m.peer == peer)
+    }
+
+    /// Adds a member to the spare set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::PreconditionFailed`] when the spare set is
+    /// already full, and [`OverlayError::InvalidCluster`] when the peer is
+    /// already a member.
+    pub fn push_spare(&mut self, member: Member) -> Result<(), OverlayError> {
+        if self.spare.len() >= self.params.max_spare() {
+            return Err(OverlayError::PreconditionFailed(format!(
+                "spare set of {} is full",
+                self.label
+            )));
+        }
+        if self.contains(member.peer) {
+            return Err(OverlayError::InvalidCluster(format!(
+                "{} is already a member",
+                member.peer
+            )));
+        }
+        self.spare.push(member);
+        Ok(())
+    }
+
+    /// Removes a spare member by handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownPeer`] when the peer is not a spare.
+    pub fn remove_spare(&mut self, peer: PeerId) -> Result<Member, OverlayError> {
+        match self.position_in_spare(peer) {
+            Some(i) => Ok(self.spare.swap_remove(i)),
+            None => Err(OverlayError::UnknownPeer(format!(
+                "{peer} is not in the spare set of {}",
+                self.label
+            ))),
+        }
+    }
+
+    /// Direct core/spare mutation handles used by the operation layer (kept
+    /// crate-private so external users cannot break invariants).
+    pub(crate) fn core_mut(&mut self) -> &mut Vec<Member> {
+        &mut self.core
+    }
+
+    pub(crate) fn spare_mut(&mut self) -> &mut Vec<Member> {
+        &mut self.spare
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (s, x, y) = self.sxy();
+        write!(
+            f,
+            "Cluster({}, C={}, s={s}, x={x}, y={y}{})",
+            self.label,
+            self.params.core_size(),
+            if self.is_polluted() { ", POLLUTED" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn member(i: u64, malicious: bool) -> Member {
+        Member {
+            peer: PeerId(i),
+            malicious,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        }
+    }
+
+    fn params() -> ClusterParams {
+        ClusterParams::new(7, 7).unwrap()
+    }
+
+    fn cluster(x: usize, spare_m: usize, spare_h: usize) -> Cluster {
+        let core: Vec<Member> = (0..7).map(|i| member(i, (i as usize) < x)).collect();
+        let spare: Vec<Member> = (0..spare_m + spare_h)
+            .map(|i| member(100 + i as u64, i < spare_m))
+            .collect();
+        Cluster::new(Label::root(), params(), core, spare).unwrap()
+    }
+
+    #[test]
+    fn params_validation_and_quorum() {
+        assert!(ClusterParams::new(0, 7).is_none());
+        assert!(ClusterParams::new(7, 1).is_none());
+        assert_eq!(ClusterParams::new(4, 4).unwrap().quorum(), 1);
+        assert_eq!(ClusterParams::new(7, 7).unwrap().quorum(), 2);
+        assert_eq!(ClusterParams::new(10, 7).unwrap().quorum(), 3);
+        assert_eq!(ClusterParams::new(7, 7).unwrap().s_max(), 14);
+    }
+
+    #[test]
+    fn construction_enforces_core_size() {
+        let core: Vec<Member> = (0..6).map(|i| member(i, false)).collect();
+        assert!(Cluster::new(Label::root(), params(), core, vec![]).is_err());
+    }
+
+    #[test]
+    fn construction_rejects_duplicates() {
+        let mut core: Vec<Member> = (0..7).map(|i| member(i, false)).collect();
+        core[6] = member(0, false);
+        assert!(Cluster::new(Label::root(), params(), core, vec![]).is_err());
+        let core: Vec<Member> = (0..7).map(|i| member(i, false)).collect();
+        let spare = vec![member(0, false)];
+        assert!(Cluster::new(Label::root(), params(), core, spare).is_err());
+    }
+
+    #[test]
+    fn construction_rejects_oversized_spare() {
+        let core: Vec<Member> = (0..7).map(|i| member(i, false)).collect();
+        let spare: Vec<Member> = (0..8).map(|i| member(100 + i, false)).collect();
+        assert!(Cluster::new(Label::root(), params(), core, spare).is_err());
+    }
+
+    #[test]
+    fn pollution_threshold() {
+        assert!(!cluster(0, 0, 3).is_polluted());
+        assert!(!cluster(2, 0, 3).is_polluted()); // x = c = 2: still safe
+        assert!(cluster(3, 0, 3).is_polluted()); // x = c + 1
+        assert_eq!(cluster(3, 2, 1).sxy(), (3, 3, 2));
+    }
+
+    #[test]
+    fn merge_and_split_preconditions() {
+        assert!(cluster(0, 0, 0).must_merge());
+        assert!(!cluster(0, 0, 1).must_merge());
+        let full = cluster(0, 0, 7);
+        assert!(full.must_split());
+        assert!(!cluster(0, 0, 6).must_split());
+    }
+
+    #[test]
+    fn spare_push_and_remove() {
+        let mut cl = cluster(0, 1, 1);
+        assert_eq!(cl.spare_size(), 2);
+        cl.push_spare(member(500, true)).unwrap();
+        assert_eq!(cl.sxy(), (3, 0, 2));
+        // Duplicate rejected.
+        assert!(cl.push_spare(member(500, true)).is_err());
+        // Core member cannot be re-added as a spare.
+        assert!(cl.push_spare(member(0, false)).is_err());
+        let removed = cl.remove_spare(PeerId(500)).unwrap();
+        assert!(removed.malicious);
+        assert!(cl.remove_spare(PeerId(500)).is_err());
+        // Fill up to Δ and overflow.
+        for i in 0..5 {
+            cl.push_spare(member(600 + i, false)).unwrap();
+        }
+        assert_eq!(cl.spare_size(), 7);
+        assert!(cl.push_spare(member(700, false)).is_err());
+    }
+
+    #[test]
+    fn membership_and_debug() {
+        let cl = cluster(1, 1, 0);
+        assert!(cl.contains(PeerId(0)));
+        assert!(cl.contains(PeerId(100)));
+        assert!(!cl.contains(PeerId(999)));
+        let dbg = format!("{cl:?}");
+        assert!(dbg.contains("s=1"));
+        let polluted = cluster(3, 0, 1);
+        assert!(format!("{polluted:?}").contains("POLLUTED"));
+    }
+}

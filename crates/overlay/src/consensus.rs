@@ -1,0 +1,150 @@
+//! Round-based simulated Byzantine-tolerant agreement among core members.
+//!
+//! The paper assumes a Byzantine-tolerant consensus primitive for the
+//! random choices of the maintenance and split procedures (Section IV) and
+//! leans on the classical `n > 3f` bound [Lamport–Shostak–Pease]: with core
+//! size `C` and at most `c = ⌊(C−1)/3⌋` faulty members, agreement on the
+//! honest value is guaranteed; with more than `c` faulty members the
+//! adversary can drive the outcome.
+//!
+//! This module simulates the *message pattern* of a PBFT-style single-shot
+//! agreement (pre-prepare → prepare → commit) so that higher layers can
+//! account for message complexity, while the *outcome* follows the
+//! quorum-threshold semantics above — exactly the property the analytical
+//! model uses.
+
+use crate::Member;
+
+/// Outcome of one simulated agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusOutcome<V> {
+    /// The decided value.
+    pub decided: V,
+    /// `true` when the decision is the honest proposal (the run was not
+    /// subverted).
+    pub honest_outcome: bool,
+    /// Number of protocol rounds simulated.
+    pub rounds: usize,
+    /// Total number of point-to-point messages the run would have sent.
+    pub messages: usize,
+}
+
+/// Runs a single-shot agreement among `members` on `honest_value`, with the
+/// colluding malicious members pushing `adversary_value` when they hold
+/// more than the quorum threshold `c = ⌊(|members|−1)/3⌋`.
+///
+/// Message accounting follows the three all-to-all phases of PBFT-like
+/// protocols: `1 broadcast + 2·n²` point-to-point messages for `n`
+/// participants, one round per phase.
+///
+/// # Panics
+///
+/// Panics when `members` is empty.
+pub fn agree<V: Clone>(
+    members: &[Member],
+    honest_value: V,
+    adversary_value: Option<V>,
+) -> ConsensusOutcome<V> {
+    assert!(!members.is_empty(), "consensus needs at least one member");
+    let n = members.len();
+    let c = (n - 1) / 3;
+    let faulty = members.iter().filter(|m| m.malicious).count();
+
+    // Phase 1: leader pre-prepare (n messages), phases 2-3: prepare and
+    // commit, all-to-all (n² each).
+    let messages = n + 2 * n * n;
+    let rounds = 3;
+
+    // With at most c faults the 2f+1 quorum of honest prepares forces the
+    // honest proposal; beyond c the colluders can equivocate and commit
+    // their own value (if they care to).
+    match adversary_value {
+        Some(adv) if faulty > c => ConsensusOutcome {
+            decided: adv,
+            honest_outcome: false,
+            rounds,
+            messages,
+        },
+        _ => ConsensusOutcome {
+            decided: honest_value,
+            honest_outcome: true,
+            rounds,
+            messages,
+        },
+    }
+}
+
+/// Quorum size needed for a decision among `n` members: `n − ⌊(n−1)/3⌋`
+/// (i.e. `2f + 1` when `n = 3f + 1`).
+pub fn quorum_size(n: usize) -> usize {
+    assert!(n > 0, "quorum of an empty set");
+    n - (n - 1) / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, PeerId};
+
+    fn members(n: usize, malicious: usize) -> Vec<Member> {
+        (0..n)
+            .map(|i| Member {
+                peer: PeerId(i as u64),
+                malicious: i < malicious,
+                id: NodeId::from_data(&(i as u64).to_be_bytes()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_majority_decides_honest_value() {
+        for f in 0..=2 {
+            let out = agree(&members(7, f), "honest", Some("evil"));
+            assert_eq!(out.decided, "honest", "f={f}");
+            assert!(out.honest_outcome);
+        }
+    }
+
+    #[test]
+    fn quorum_of_malicious_subverts() {
+        let out = agree(&members(7, 3), "honest", Some("evil"));
+        assert_eq!(out.decided, "evil");
+        assert!(!out.honest_outcome);
+    }
+
+    #[test]
+    fn passive_adversary_cannot_subvert() {
+        // Without a competing proposal the honest value stands even with
+        // many faults (crash-like behaviour).
+        let out = agree(&members(7, 5), "honest", None::<&str>);
+        assert_eq!(out.decided, "honest");
+        assert!(out.honest_outcome);
+    }
+
+    #[test]
+    fn message_and_round_accounting() {
+        let out = agree(&members(4, 0), 1u32, None);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.messages, 4 + 2 * 16);
+    }
+
+    #[test]
+    fn quorum_sizes_match_bft_bounds() {
+        assert_eq!(quorum_size(1), 1);
+        assert_eq!(quorum_size(4), 3); // f=1
+        assert_eq!(quorum_size(7), 5); // f=2
+        assert_eq!(quorum_size(10), 7); // f=3
+    }
+
+    #[test]
+    fn threshold_is_exactly_one_third() {
+        // n = 3f + 1 tolerates exactly f.
+        for f in 1..5 {
+            let n = 3 * f + 1;
+            let ok = agree(&members(n, f), 0u8, Some(1));
+            assert!(ok.honest_outcome, "n={n} f={f}");
+            let bad = agree(&members(n, f + 1), 0u8, Some(1));
+            assert!(!bad.honest_outcome, "n={n} f+1={}", f + 1);
+        }
+    }
+}

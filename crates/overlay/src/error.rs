@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the overlay substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OverlayError {
+    /// A cluster operation violated a structural precondition (wrong core
+    /// size, spare bounds, membership, …).
+    InvalidCluster(String),
+    /// An operation was applied to a cluster in the wrong state (e.g.
+    /// splitting a cluster whose spare set is not full).
+    PreconditionFailed(String),
+    /// A peer was not found where it was required.
+    UnknownPeer(String),
+    /// A label/topology operation failed (no such cluster, overlapping
+    /// labels, …).
+    Topology(String),
+    /// Certificate validation failed.
+    BadCertificate(String),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::InvalidCluster(m) => write!(f, "invalid cluster: {m}"),
+            OverlayError::PreconditionFailed(m) => write!(f, "operation precondition failed: {m}"),
+            OverlayError::UnknownPeer(m) => write!(f, "unknown peer: {m}"),
+            OverlayError::Topology(m) => write!(f, "topology error: {m}"),
+            OverlayError::BadCertificate(m) => write!(f, "bad certificate: {m}"),
+        }
+    }
+}
+
+impl Error for OverlayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        for (e, needle) in [
+            (OverlayError::InvalidCluster("x".into()), "invalid cluster"),
+            (OverlayError::PreconditionFailed("x".into()), "precondition"),
+            (OverlayError::UnknownPeer("x".into()), "unknown peer"),
+            (OverlayError::Topology("x".into()), "topology"),
+            (OverlayError::BadCertificate("x".into()), "certificate"),
+        ] {
+            assert!(e.to_string().contains(needle));
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! SHA-256 and HMAC-SHA-256, implemented from scratch.
+//!
+//! The paper derives peer identifiers by hashing certificate fields
+//! (`id⁰ = H(certificate fields)`) and re-hashing with the incarnation
+//! number (`id = H(id⁰ × k)`). The reproduction needs a collision-resistant
+//! `H` with uniformly distributed output; SHA-256 (FIPS 180-4) is
+//! implemented here directly so the workspace carries no cryptography
+//! dependency. HMAC (RFC 2104) provides the keyed tags our simulated
+//! certification authority uses in place of RSA signatures — see DESIGN.md
+//! for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_overlay::hash::sha256_hex;
+//!
+//! assert_eq!(
+//!     sha256_hex(b"abc"),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
+
+/// SHA-256 round constants (fractional parts of cube roots of the first 64
+/// primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state (fractional parts of square roots of the first 8
+/// primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Streaming SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::hash::{sha256, Sha256};
+///
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha256(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Pending input not yet forming a full 64-byte block.
+    buffer: [u8; 64],
+    buffer_len: usize,
+    /// Total message length in bytes.
+    length: u64,
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let want = 64 - self.buffer_len;
+            let take = want.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            input = rest;
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finishes the computation and returns the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        // `update` adjusted self.length; remember the real length first —
+        // bit_len above was captured before padding.
+        while self.buffer_len != 56 {
+            self.update(&[0x00]);
+        }
+        self.length = 0; // stop double counting; buffer is what matters now
+        let mut block = [0u8; 64];
+        block[..56].copy_from_slice(&self.buffer[..56]);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One compression round over a 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 returning lowercase hex.
+pub fn sha256_hex(data: &[u8]) -> String {
+    to_hex(&sha256(data))
+}
+
+/// HMAC-SHA-256 per RFC 2104.
+///
+/// ```
+/// use pollux_overlay::hash::{hmac_sha256, to_hex};
+/// let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+/// assert_eq!(
+///     to_hex(&tag),
+///     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0u8; 64];
+    let mut opad = [0u8; 64];
+    for i in 0..64 {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Lowercase hex encoding of arbitrary bytes.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NIST FIPS 180-4 / de-facto standard test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn exactly_one_block_and_boundaries() {
+        // 55, 56, 63, 64, 65 bytes cross the padding boundaries.
+        let cases: [(usize, &str); 3] = [
+            (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"),
+            (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
+            (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+        ];
+        for (len, want) in cases {
+            let data = vec![b'a'; len];
+            assert_eq!(sha256_hex(&data), want, "length {len}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_for_odd_chunkings() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1037).collect();
+        let want = sha256(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 200] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk_size) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), want, "chunk size {chunk_size}");
+        }
+    }
+
+    // RFC 4231 HMAC-SHA-256 test vectors.
+    #[test]
+    fn hmac_rfc4231_case_1() {
+        let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_long_key_is_hashed_first() {
+        // RFC 4231 case 6: 131-byte key.
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys_and_messages() {
+        let a = hmac_sha256(b"k1", b"m");
+        let b = hmac_sha256(b"k2", b"m");
+        let c = hmac_sha256(b"k1", b"m2");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hex_encoding() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(to_hex(&[]), "");
+    }
+
+    #[test]
+    fn digest_bits_look_uniform() {
+        // Cheap avalanche check: flipping one input bit flips ~half the
+        // output bits.
+        let base = sha256(b"pollux");
+        let flipped = sha256(b"qollux");
+        let differing: u32 = base
+            .iter()
+            .zip(flipped.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!((80..=176).contains(&differing), "differing bits: {differing}");
+    }
+}

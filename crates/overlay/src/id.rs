@@ -1,0 +1,382 @@
+use std::fmt;
+
+use crate::hash;
+
+/// Number of bits in a [`NodeId`].
+pub const ID_BITS: usize = 256;
+
+/// A 256-bit overlay identifier.
+///
+/// The paper draws identifiers from an `m`-bit space via a strong hash
+/// (`m = 128` with MD5 in the text); this reproduction uses `m = 256` with
+/// its own SHA-256 — the model only requires collisions to be negligible
+/// and bits to be uniform. Bits are indexed most-significant first, which
+/// makes "the first `n` bits" the natural cluster-label prefix.
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::NodeId;
+///
+/// let id = NodeId::from_bytes([0b1010_0000; 32]);
+/// assert!(id.bit(0));
+/// assert!(!id.bit(1));
+/// assert!(id.bit(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId([u8; 32]);
+
+impl NodeId {
+    /// Wraps raw bytes as an identifier.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        NodeId(bytes)
+    }
+
+    /// Hashes arbitrary data into an identifier.
+    pub fn from_data(data: &[u8]) -> Self {
+        NodeId(hash::sha256(data))
+    }
+
+    /// Derives the incarnation-`k` identifier from an initial identifier:
+    /// the paper's `id = H(id⁰ × k)`.
+    pub fn derive_incarnation(&self, k: u64) -> NodeId {
+        let mut buf = [0u8; 40];
+        buf[..32].copy_from_slice(&self.0);
+        buf[32..].copy_from_slice(&k.to_be_bytes());
+        NodeId(hash::sha256(&buf))
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Bit `i`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < ID_BITS, "bit index {i} out of range");
+        (self.0[i / 8] >> (7 - i % 8)) & 1 == 1
+    }
+
+    /// Length of the common most-significant-bit prefix with `other`
+    /// (0 to 256). This is the PeerCube distance criterion: larger shared
+    /// prefix means closer.
+    pub fn common_prefix_len(&self, other: &NodeId) -> usize {
+        for (i, (a, b)) in self.0.iter().zip(other.0.iter()).enumerate() {
+            let x = a ^ b;
+            if x != 0 {
+                return i * 8 + x.leading_zeros() as usize;
+            }
+        }
+        ID_BITS
+    }
+
+    /// Bitwise XOR distance (Kademlia-style), usable as a total order on
+    /// distances from a fixed point.
+    pub fn xor_distance(&self, other: &NodeId) -> NodeId {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = self.0[i] ^ other.0[i];
+        }
+        NodeId(out)
+    }
+
+    /// Abbreviated hex form (first 8 hex digits), for logs.
+    pub fn short_hex(&self) -> String {
+        hash::to_hex(&self.0[..4])
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", hash::to_hex(&self.0))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({}…)", self.short_hex())
+    }
+}
+
+impl From<[u8; 32]> for NodeId {
+    fn from(bytes: [u8; 32]) -> Self {
+        NodeId(bytes)
+    }
+}
+
+/// A cluster label: a binary prefix of the identifier space.
+///
+/// Labels form the leaves of a binary prefix tree; a cluster with label
+/// `b₁…b_n` is responsible for every identifier whose first `n` bits are
+/// `b₁…b_n`. Splitting replaces a label by its two children; merging
+/// replaces two sibling labels by their parent.
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::Label;
+///
+/// let root = Label::root();
+/// let (zero, one) = root.children();
+/// assert_eq!(zero.to_string(), "0");
+/// assert_eq!(one.parent(), Some(root));
+/// assert_eq!(zero.sibling(), Some(one));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label {
+    bits: Vec<bool>,
+}
+
+impl Label {
+    /// The empty label (the root: responsible for the whole space).
+    pub fn root() -> Self {
+        Label { bits: Vec::new() }
+    }
+
+    /// Builds a label from explicit bits, most significant first.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Label { bits }
+    }
+
+    /// Parses a label from a `'0'`/`'1'` string.
+    ///
+    /// Returns `None` when the string contains other characters.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut bits = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => return None,
+            }
+        }
+        Some(Label { bits })
+    }
+
+    /// The first `depth` bits of an identifier, as a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > 256`.
+    pub fn prefix_of_id(id: &NodeId, depth: usize) -> Self {
+        assert!(depth <= ID_BITS, "depth {depth} exceeds id width");
+        Label {
+            bits: (0..depth).map(|i| id.bit(i)).collect(),
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` for the root label.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit `i` of the label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// The two children `label·0` and `label·1`.
+    pub fn children(&self) -> (Label, Label) {
+        let mut zero = self.bits.clone();
+        zero.push(false);
+        let mut one = self.bits.clone();
+        one.push(true);
+        (Label { bits: zero }, Label { bits: one })
+    }
+
+    /// The parent label, or `None` for the root.
+    pub fn parent(&self) -> Option<Label> {
+        if self.bits.is_empty() {
+            return None;
+        }
+        let mut bits = self.bits.clone();
+        bits.pop();
+        Some(Label { bits })
+    }
+
+    /// The sibling (same parent, last bit flipped), or `None` for the root.
+    pub fn sibling(&self) -> Option<Label> {
+        if self.bits.is_empty() {
+            return None;
+        }
+        let mut bits = self.bits.clone();
+        let last = bits.len() - 1;
+        bits[last] = !bits[last];
+        Some(Label { bits })
+    }
+
+    /// Label with bit `i` flipped (a hypercube neighbour direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flip_bit(&self, i: usize) -> Label {
+        let mut bits = self.bits.clone();
+        bits[i] = !bits[i];
+        Label { bits }
+    }
+
+    /// `true` when this label is a prefix of `id`.
+    pub fn is_prefix_of(&self, id: &NodeId) -> bool {
+        self.bits.iter().enumerate().all(|(i, &b)| id.bit(i) == b)
+    }
+
+    /// `true` when this label is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of_label(&self, other: &Label) -> bool {
+        self.bits.len() <= other.bits.len()
+            && self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a == b)
+    }
+
+    /// Length of the common prefix with an identifier.
+    pub fn common_prefix_with_id(&self, id: &NodeId) -> usize {
+        let mut n = 0;
+        for (i, &b) in self.bits.iter().enumerate() {
+            if id.bit(i) != b {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "ε");
+        }
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_indexing_msb_first() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0b1000_0001;
+        bytes[1] = 0b0100_0000;
+        let id = NodeId::from_bytes(bytes);
+        assert!(id.bit(0));
+        assert!(!id.bit(1));
+        assert!(id.bit(7));
+        assert!(!id.bit(8));
+        assert!(id.bit(9));
+    }
+
+    #[test]
+    fn common_prefix_len_cases() {
+        let a = NodeId::from_bytes([0u8; 32]);
+        let mut b_bytes = [0u8; 32];
+        b_bytes[0] = 0b0000_0001; // differs at bit 7
+        let b = NodeId::from_bytes(b_bytes);
+        assert_eq!(a.common_prefix_len(&b), 7);
+        assert_eq!(a.common_prefix_len(&a), ID_BITS);
+        let mut c_bytes = [0u8; 32];
+        c_bytes[31] = 1; // differs at the very last bit
+        let c = NodeId::from_bytes(c_bytes);
+        assert_eq!(a.common_prefix_len(&c), 255);
+    }
+
+    #[test]
+    fn xor_distance_properties() {
+        let a = NodeId::from_data(b"a");
+        let b = NodeId::from_data(b"b");
+        assert_eq!(a.xor_distance(&a), NodeId::from_bytes([0u8; 32]));
+        assert_eq!(a.xor_distance(&b), b.xor_distance(&a));
+    }
+
+    #[test]
+    fn derive_incarnation_changes_id() {
+        let id0 = NodeId::from_data(b"peer");
+        let id1 = id0.derive_incarnation(1);
+        let id2 = id0.derive_incarnation(2);
+        assert_ne!(id1, id2);
+        assert_ne!(id0, id1);
+        // Deterministic.
+        assert_eq!(id0.derive_incarnation(1), id1);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let id = NodeId::from_bytes([0xab; 32]);
+        assert_eq!(id.to_string().len(), 64);
+        assert!(format!("{id:?}").contains("abababab"));
+        assert_eq!(id.short_hex(), "abababab");
+    }
+
+    #[test]
+    fn label_tree_algebra() {
+        let root = Label::root();
+        assert!(root.is_empty());
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.sibling(), None);
+        let (zero, one) = root.children();
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero.sibling(), Some(one.clone()));
+        assert_eq!(one.parent(), Some(root.clone()));
+        let (zz, zo) = zero.children();
+        assert_eq!(zz.to_string(), "00");
+        assert_eq!(zo.to_string(), "01");
+        assert!(zero.is_prefix_of_label(&zo));
+        assert!(!one.is_prefix_of_label(&zo));
+        assert_eq!(zo.flip_bit(0).to_string(), "11");
+    }
+
+    #[test]
+    fn label_parse_roundtrip() {
+        let l = Label::parse("0110").unwrap();
+        assert_eq!(l.to_string(), "0110");
+        assert_eq!(Label::parse("01x"), None);
+        assert_eq!(Label::parse("").unwrap(), Label::root());
+        assert_eq!(Label::root().to_string(), "ε");
+    }
+
+    #[test]
+    fn label_prefix_of_id() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0b1010_0000;
+        let id = NodeId::from_bytes(bytes);
+        assert!(Label::parse("101").unwrap().is_prefix_of(&id));
+        assert!(!Label::parse("100").unwrap().is_prefix_of(&id));
+        assert!(Label::root().is_prefix_of(&id));
+        assert_eq!(Label::prefix_of_id(&id, 4).to_string(), "1010");
+        assert_eq!(
+            Label::parse("100").unwrap().common_prefix_with_id(&id),
+            2
+        );
+    }
+
+    #[test]
+    fn prefix_uniqueness_over_hashes() {
+        // Two distinct data values share only a short prefix with high
+        // probability; sanity check there is no accidental structure.
+        let a = NodeId::from_data(b"data-1");
+        let b = NodeId::from_data(b"data-2");
+        assert!(a.common_prefix_len(&b) < 64);
+    }
+}

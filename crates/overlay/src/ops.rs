@@ -1,0 +1,532 @@
+//! The four robust overlay operations of Section IV: `join`, `leave` (with
+//! the `k`-randomized core-maintenance procedure of `protocol_k`), `split`
+//! and `merge`.
+//!
+//! The `leave` operation is the heart of `protocol_k`: when a core member
+//! leaves, `k − 1` randomly chosen core members are demoted and `k` peers
+//! are drawn uniformly *without replacement* from the whole cluster (the
+//! spare set plus the demoted members) to refill the core. The paper's
+//! kernel `τ(x, a, b)` is exactly the distribution of the malicious counts
+//! produced by this procedure — the property-based tests below check that
+//! correspondence empirically.
+
+use rand::RngExt;
+
+use crate::{Cluster, Label, Member, OverlayError, PeerId};
+
+/// What a core-leave maintenance round did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// The member that left the cluster.
+    pub left: Member,
+    /// Core members demoted to the spare pool (`k − 1` of them).
+    pub demoted: Vec<Member>,
+    /// Pool members promoted to the core (`k` of them).
+    pub promoted: Vec<Member>,
+}
+
+/// `join(p)`: the new peer always enters the **spare** set (never the
+/// core), which blunts brute-force join floods (Section IV).
+///
+/// # Errors
+///
+/// Propagates [`Cluster::push_spare`] failures (full spare set or duplicate
+/// membership).
+pub fn join(cluster: &mut Cluster, member: Member) -> Result<(), OverlayError> {
+    cluster.push_spare(member)
+}
+
+/// `leave(p)` for a spare member: the spare view is simply updated.
+///
+/// # Errors
+///
+/// Returns [`OverlayError::UnknownPeer`] when `peer` is not a spare.
+pub fn leave_spare(cluster: &mut Cluster, peer: PeerId) -> Result<Member, OverlayError> {
+    cluster.remove_spare(peer)
+}
+
+/// `leave(p)` for a core member under `protocol_k`: the randomized core
+/// maintenance procedure.
+///
+/// Removes `peer` from the core, demotes `k − 1` uniformly chosen remaining
+/// core members, then promotes `k` members drawn uniformly without
+/// replacement from the pool (spares plus demoted). The spare set shrinks
+/// by exactly one; the core keeps size `C`.
+///
+/// # Errors
+///
+/// * [`OverlayError::UnknownPeer`] when `peer` is not a core member.
+/// * [`OverlayError::PreconditionFailed`] when `k` is outside `1..=C` or
+///   the spare set is empty (the cluster must merge instead).
+pub fn leave_core_randomized<R: rand::Rng + ?Sized>(
+    cluster: &mut Cluster,
+    peer: PeerId,
+    k: usize,
+    rng: &mut R,
+) -> Result<MaintenanceReport, OverlayError> {
+    let c_size = cluster.params().core_size();
+    if k == 0 || k > c_size {
+        return Err(OverlayError::PreconditionFailed(format!(
+            "randomization amount k={k} outside 1..={c_size}"
+        )));
+    }
+    if cluster.spare_size() == 0 {
+        return Err(OverlayError::PreconditionFailed(
+            "core leave with empty spare set: cluster must merge".into(),
+        ));
+    }
+    let pos = cluster.position_in_core(peer).ok_or_else(|| {
+        OverlayError::UnknownPeer(format!("{peer} is not in the core of {}", cluster.label()))
+    })?;
+
+    let left = cluster.core_mut().swap_remove(pos);
+
+    // Demote k-1 uniformly chosen remaining core members.
+    let demoted = draw_out(cluster.core_mut(), k - 1, rng);
+
+    // Pool: spares + demoted. Promote k uniformly chosen pool members.
+    let mut pool: Vec<Member> = cluster.spare_mut().drain(..).collect();
+    pool.extend(demoted.iter().copied());
+    let promoted = draw_out(&mut pool, k, rng);
+    cluster.core_mut().extend(promoted.iter().copied());
+    *cluster.spare_mut() = pool;
+
+    debug_assert!(cluster.check_invariants().is_ok());
+    Ok(MaintenanceReport {
+        left,
+        demoted,
+        promoted,
+    })
+}
+
+/// The adversary-biased maintenance path: when the cluster is polluted, the
+/// colluding core replaces the departed member directly with a chosen spare
+/// (a valid malicious one if available) instead of running the honest
+/// randomized procedure.
+///
+/// The caller chooses `replacement` (the adversary's pick); this function
+/// only enforces structure.
+///
+/// # Errors
+///
+/// * [`OverlayError::UnknownPeer`] when `peer` is not in the core or
+///   `replacement` is not a spare.
+/// * [`OverlayError::PreconditionFailed`] when the spare set is empty.
+pub fn leave_core_biased(
+    cluster: &mut Cluster,
+    peer: PeerId,
+    replacement: PeerId,
+) -> Result<MaintenanceReport, OverlayError> {
+    if cluster.spare_size() == 0 {
+        return Err(OverlayError::PreconditionFailed(
+            "core leave with empty spare set: cluster must merge".into(),
+        ));
+    }
+    let pos = cluster.position_in_core(peer).ok_or_else(|| {
+        OverlayError::UnknownPeer(format!("{peer} is not in the core of {}", cluster.label()))
+    })?;
+    let rep_pos = cluster.position_in_spare(replacement).ok_or_else(|| {
+        OverlayError::UnknownPeer(format!(
+            "{replacement} is not in the spare set of {}",
+            cluster.label()
+        ))
+    })?;
+    let left = cluster.core_mut().swap_remove(pos);
+    let promoted = cluster.spare_mut().swap_remove(rep_pos);
+    cluster.core_mut().push(promoted);
+    debug_assert!(cluster.check_invariants().is_ok());
+    Ok(MaintenanceReport {
+        left,
+        demoted: vec![],
+        promoted: vec![promoted],
+    })
+}
+
+/// `split(D)`: the cluster divides into the two children of its label.
+///
+/// Members go to the side their **current identifier** matches (bit at the
+/// label depth). On each side, former core members of `D` have priority for
+/// the new core; remaining seats are filled with uniformly chosen spares of
+/// that side (the random choice the paper runs through Byzantine-tolerant
+/// consensus — see [`crate::consensus`]); everyone else becomes a spare.
+///
+/// # Errors
+///
+/// * [`OverlayError::PreconditionFailed`] when the spare set has not
+///   reached `Δ`, or one side ends up with fewer than `C` members (the
+///   split cannot produce two well-formed clusters; the caller should
+///   retry after more joins).
+pub fn split<R: rand::Rng + ?Sized>(
+    cluster: &Cluster,
+    rng: &mut R,
+) -> Result<(Cluster, Cluster), OverlayError> {
+    if !cluster.must_split() {
+        return Err(OverlayError::PreconditionFailed(format!(
+            "cluster {} has spare size {} < Δ = {}",
+            cluster.label(),
+            cluster.spare_size(),
+            cluster.params().max_spare()
+        )));
+    }
+    let depth = cluster.label().len();
+    let (label0, label1) = cluster.label().children();
+    let side_of = |m: &Member| usize::from(m.id.bit(depth));
+
+    let mut core_sides: [Vec<Member>; 2] = [Vec::new(), Vec::new()];
+    let mut spare_sides: [Vec<Member>; 2] = [Vec::new(), Vec::new()];
+    for m in cluster.core() {
+        core_sides[side_of(m)].push(*m);
+    }
+    for m in cluster.spare() {
+        spare_sides[side_of(m)].push(*m);
+    }
+
+    let c_size = cluster.params().core_size();
+    let mut cores: [Vec<Member>; 2] = [Vec::new(), Vec::new()];
+    let mut spares: [Vec<Member>; 2] = [Vec::new(), Vec::new()];
+    for side in 0..2 {
+        let have = core_sides[side].len() + spare_sides[side].len();
+        if have < c_size {
+            return Err(OverlayError::PreconditionFailed(format!(
+                "side {side} of splitting cluster {} holds only {have} members (< C = {c_size})",
+                cluster.label()
+            )));
+        }
+        let mut core: Vec<Member> = core_sides[side].clone();
+        if core.len() > c_size {
+            // More former-core members than seats: keep a uniform subset,
+            // demote the rest.
+            let keep = draw_out(&mut core, c_size, rng);
+            spares[side].extend(core.iter().copied());
+            core = keep;
+        } else {
+            let missing = c_size - core.len();
+            let filled = draw_out(&mut spare_sides[side], missing, rng);
+            core.extend(filled);
+        }
+        spares[side].extend(spare_sides[side].iter().copied());
+        cores[side] = core;
+    }
+
+    let params = *cluster.params();
+    let [core0, core1] = cores;
+    let [spare0, spare1] = spares;
+    let d0 = Cluster::new(label0, params, core0, spare0)?;
+    let d1 = Cluster::new(label1, params, core1, spare1)?;
+    Ok((d0, d1))
+}
+
+/// `merge(D′, D″)`: the dissolving cluster `D′` (whose spare set is empty)
+/// merges into the surviving cluster `D″`. The new cluster keeps the
+/// **core of `D″`**; its spare set is the union of `D″`'s spares and
+/// `D′`'s core members — the construction that makes triggering merges
+/// unattractive to the adversary (Section V-B).
+///
+/// # Errors
+///
+/// * [`OverlayError::PreconditionFailed`] when `dissolved` still has
+///   spares, or the combined spare set would exceed `Δ` (the caller must
+///   pick a roomier partner).
+pub fn merge(
+    new_label: Label,
+    survivor: &Cluster,
+    dissolved: &Cluster,
+) -> Result<Cluster, OverlayError> {
+    if !dissolved.must_merge() {
+        return Err(OverlayError::PreconditionFailed(format!(
+            "cluster {} still has {} spares",
+            dissolved.label(),
+            dissolved.spare_size()
+        )));
+    }
+    let combined = survivor.spare_size() + dissolved.core().len();
+    if combined > survivor.params().max_spare() {
+        return Err(OverlayError::PreconditionFailed(format!(
+            "merged spare set would hold {combined} > Δ = {} members",
+            survivor.params().max_spare()
+        )));
+    }
+    let mut spare = survivor.spare().to_vec();
+    spare.extend(dissolved.core().iter().copied());
+    Cluster::new(
+        new_label,
+        *survivor.params(),
+        survivor.core().to_vec(),
+        spare,
+    )
+}
+
+/// Removes `count` uniformly chosen elements from `v` (without
+/// replacement) and returns them. Order of the remainder is not preserved.
+///
+/// # Panics
+///
+/// Panics if `count > v.len()` (internal misuse).
+fn draw_out<T: Copy, R: rand::Rng + ?Sized>(v: &mut Vec<T>, count: usize, rng: &mut R) -> Vec<T> {
+    assert!(count <= v.len(), "cannot draw {count} from {}", v.len());
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let i = rng.random_range(0..v.len());
+        out.push(v.swap_remove(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterParams, NodeId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn member(i: u64, malicious: bool) -> Member {
+        Member {
+            peer: PeerId(i),
+            malicious,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        }
+    }
+
+    fn cluster_with(x: usize, y: usize, s: usize) -> Cluster {
+        cluster_with_base(0, x, y, s)
+    }
+
+    fn cluster_with_base(base: u64, x: usize, y: usize, s: usize) -> Cluster {
+        assert!(y <= s);
+        let core: Vec<Member> = (0..7).map(|i| member(base + i, (i as usize) < x)).collect();
+        let spare: Vec<Member> = (0..s)
+            .map(|i| member(base + 100 + i as u64, i < y))
+            .collect();
+        Cluster::new(
+            Label::root(),
+            ClusterParams::new(7, 7).unwrap(),
+            core,
+            spare,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_goes_to_spare() {
+        let mut cl = cluster_with(0, 0, 2);
+        join(&mut cl, member(500, true)).unwrap();
+        assert_eq!(cl.sxy(), (3, 0, 1));
+        assert_eq!(cl.core().len(), 7);
+    }
+
+    #[test]
+    fn leave_spare_updates_counts() {
+        let mut cl = cluster_with(0, 1, 3);
+        let m = leave_spare(&mut cl, PeerId(100)).unwrap();
+        assert!(m.malicious);
+        assert_eq!(cl.sxy(), (2, 0, 0));
+        assert!(leave_spare(&mut cl, PeerId(0)).is_err()); // core member
+    }
+
+    #[test]
+    fn core_leave_k1_preserves_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cl = cluster_with(2, 1, 4);
+        let report = leave_core_randomized(&mut cl, PeerId(0), 1, &mut rng).unwrap();
+        assert_eq!(report.left.peer, PeerId(0));
+        assert!(report.demoted.is_empty());
+        assert_eq!(report.promoted.len(), 1);
+        assert_eq!(cl.core().len(), 7);
+        assert_eq!(cl.spare_size(), 3);
+        assert!(cl.check_invariants().is_ok());
+        assert!(!cl.contains(PeerId(0)));
+    }
+
+    #[test]
+    fn core_leave_k7_full_reshuffle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cl = cluster_with(3, 2, 5);
+        let report = leave_core_randomized(&mut cl, PeerId(1), 7, &mut rng).unwrap();
+        assert_eq!(report.demoted.len(), 6);
+        assert_eq!(report.promoted.len(), 7);
+        assert_eq!(cl.core().len(), 7);
+        assert_eq!(cl.spare_size(), 4);
+        // Total malicious count is preserved minus the leaver.
+        let (_, x, y) = cl.sxy();
+        assert_eq!(x + y, 3 + 2 - 1);
+    }
+
+    #[test]
+    fn core_leave_preconditions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cl = cluster_with(0, 0, 0);
+        assert!(matches!(
+            leave_core_randomized(&mut cl, PeerId(0), 1, &mut rng),
+            Err(OverlayError::PreconditionFailed(_))
+        ));
+        let mut cl = cluster_with(0, 0, 3);
+        assert!(leave_core_randomized(&mut cl, PeerId(0), 0, &mut rng).is_err());
+        assert!(leave_core_randomized(&mut cl, PeerId(0), 8, &mut rng).is_err());
+        assert!(leave_core_randomized(&mut cl, PeerId(100), 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn biased_leave_promotes_chosen_spare() {
+        let mut cl = cluster_with(3, 1, 3);
+        // Adversary replaces departing malicious core member with the
+        // malicious spare 100.
+        let report = leave_core_biased(&mut cl, PeerId(0), PeerId(100)).unwrap();
+        assert_eq!(report.promoted[0].peer, PeerId(100));
+        let (s, x, y) = cl.sxy();
+        assert_eq!((s, x, y), (2, 3, 0));
+        // Errors.
+        assert!(leave_core_biased(&mut cl, PeerId(999), PeerId(101)).is_err());
+        assert!(leave_core_biased(&mut cl, PeerId(1), PeerId(999)).is_err());
+        let mut empty = cluster_with(0, 0, 0);
+        assert!(leave_core_biased(&mut empty, PeerId(0), PeerId(1)).is_err());
+    }
+
+    #[test]
+    fn maintenance_matches_hypergeometric_kernel() {
+        // Empirical check of the tau(x, a, b) correspondence for k = 3:
+        // P(new core has x' malicious) must match
+        // sum_{a,b: x-1-a+b = x'} q(k-1, C-1, a, x-1) q(k, s+k-1, b, y+a)
+        // for a *malicious* core leave (x=3 -> core keeps 2 before refill).
+        use pollux_prob::hypergeometric_q;
+        let k = 3usize;
+        let (x, y, s) = (3usize, 2usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(42);
+        let reps = 60_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..reps {
+            let mut cl = cluster_with(x, y, s);
+            // PeerId(0) is malicious (i < x).
+            leave_core_randomized(&mut cl, PeerId(0), k, &mut rng).unwrap();
+            *counts.entry(cl.malicious_core()).or_insert(0usize) += 1;
+        }
+        for x_new in 0..=7usize {
+            let mut want = 0.0;
+            for a in 0..=(k - 1) as u64 {
+                for b in 0..=k as u64 {
+                    let from = (x - 1) as i64 - a as i64 + b as i64;
+                    if from == x_new as i64 {
+                        want += hypergeometric_q(k as u64 - 1, 6, a, (x - 1) as u64)
+                            * hypergeometric_q(
+                                k as u64,
+                                (s + k - 1) as u64,
+                                b,
+                                y as u64 + a,
+                            );
+                    }
+                }
+            }
+            let got = *counts.get(&x_new).unwrap_or(&0) as f64 / reps as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "x'={x_new}: empirical {got} vs tau {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_requires_full_spare() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cl = cluster_with(0, 0, 3);
+        assert!(split(&cl, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_partitions_members_by_bit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Build a big cluster with C=3, Δ=8 so both sides get enough
+        // members with high probability under hashed ids.
+        let params = ClusterParams::new(3, 8).unwrap();
+        let core: Vec<Member> = (0..3).map(|i| member(i, false)).collect();
+        let spare: Vec<Member> = (0..8).map(|i| member(100 + i, i % 2 == 0)).collect();
+        let cl = Cluster::new(Label::root(), params, core, spare).unwrap();
+        match split(&cl, &mut rng) {
+            Ok((d0, d1)) => {
+                assert_eq!(d0.label().to_string(), "0");
+                assert_eq!(d1.label().to_string(), "1");
+                // Every member sits on the side its id prescribes.
+                for (side, cl) in [(false, &d0), (true, &d1)] {
+                    for m in cl.core().iter().chain(cl.spare()) {
+                        assert_eq!(m.id.bit(0), side);
+                    }
+                    assert_eq!(cl.core().len(), 3);
+                    assert!(cl.check_invariants().is_ok());
+                }
+                // Conservation of members.
+                let total = d0.core().len() + d0.spare_size() + d1.core().len() + d1.spare_size();
+                assert_eq!(total, 11);
+            }
+            Err(OverlayError::PreconditionFailed(_)) => {
+                // Acceptable when the hash split is too unbalanced; the
+                // operation must fail rather than build an invalid cluster.
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn split_prioritizes_former_core_members() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Find member ids whose first bit is 0 / 1 to build a controlled
+        // cluster: core members all on side 0.
+        let mut side0 = Vec::new();
+        let mut side1 = Vec::new();
+        for i in 0..200u64 {
+            let m = member(i, false);
+            if m.id.bit(0) {
+                side1.push(m);
+            } else {
+                side0.push(m);
+            }
+        }
+        let params = ClusterParams::new(2, 6).unwrap();
+        let core = vec![side0[0], side0[1]];
+        let spare = vec![side0[2], side0[3], side1[0], side1[1], side1[2], side1[3]];
+        let cl = Cluster::new(Label::root(), params, core.clone(), spare).unwrap();
+        let (d0, _d1) = split(&cl, &mut rng).unwrap();
+        // Both former core members live on side 0 and must keep their seat.
+        for m in &core {
+            assert!(d0.core().iter().any(|c| c.peer == m.peer));
+        }
+    }
+
+    #[test]
+    fn merge_moves_dissolved_core_to_spare() {
+        let survivor = cluster_with(1, 0, 0); // empty spare: room for 7
+        let dissolved = cluster_with_base(1000, 2, 0, 0);
+        let merged = merge(Label::root(), &survivor, &dissolved).unwrap();
+        assert_eq!(merged.core().len(), 7);
+        // Survivor core kept its seats.
+        for m in survivor.core() {
+            assert!(merged.core().iter().any(|c| c.peer == m.peer));
+        }
+        assert_eq!(merged.spare_size(), 7);
+        assert_eq!(merged.malicious_core(), 1);
+        assert_eq!(merged.malicious_spare(), 2);
+    }
+
+    #[test]
+    fn merge_preconditions() {
+        let survivor = cluster_with(0, 0, 3);
+        let with_spares = cluster_with(0, 0, 1);
+        assert!(merge(Label::root(), &survivor, &with_spares).is_err());
+        // Overflow: survivor already has 3 spares, dissolved core adds 7.
+        let dissolved = cluster_with_base(1000, 0, 0, 0);
+        assert!(merge(Label::root(), &survivor, &dissolved).is_err());
+    }
+
+    #[test]
+    fn draw_out_is_uniform_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = [0usize; 5];
+        for _ in 0..50_000 {
+            let mut v = vec![0usize, 1, 2, 3, 4];
+            for d in draw_out(&mut v, 2, &mut rng) {
+                hits[d] += 1;
+            }
+        }
+        // Each element appears in the draw with probability 2/5.
+        for (i, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / 50_000.0;
+            assert!((freq - 0.4).abs() < 0.02, "element {i}: {freq}");
+        }
+    }
+}

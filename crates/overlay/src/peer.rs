@@ -1,0 +1,212 @@
+use rand::RngExt;
+
+use crate::cert::{Certificate, CertificationAuthority};
+use crate::incarnation::IncarnationPolicy;
+use crate::NodeId;
+
+/// Stable handle identifying a peer inside a [`PeerRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u64);
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// Whether a peer follows the protocol or is controlled by the adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// Always follows the prescribed protocol.
+    Honest,
+    /// Controlled by the (colluding) adversary.
+    Malicious,
+}
+
+impl Behavior {
+    /// `true` for [`Behavior::Malicious`].
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, Behavior::Malicious)
+    }
+}
+
+/// A peer of the universe `U`: certificate, derived initial identifier and
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Registry handle.
+    pub id: PeerId,
+    /// CA-issued certificate (carries `t0`).
+    pub certificate: Certificate,
+    /// Initial identifier `id⁰ = H(certificate fields)`.
+    pub initial_id: NodeId,
+    /// Honest or malicious.
+    pub behavior: Behavior,
+}
+
+impl Peer {
+    /// The identifier this peer presents at time `t` under `policy`.
+    pub fn current_id(&self, policy: &IncarnationPolicy, t: f64) -> NodeId {
+        policy.current_id(&self.initial_id, self.certificate.t0 as f64, t)
+    }
+
+    /// The peer's current incarnation number at time `t`.
+    pub fn incarnation(&self, policy: &IncarnationPolicy, t: f64) -> u64 {
+        policy.incarnation(self.certificate.t0 as f64, t)
+    }
+}
+
+/// The universe of peers: issues certificates through a CA and tracks which
+/// peers the adversary controls (a fraction `μ`).
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::PeerRegistry;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let registry = PeerRegistry::generate(100, 0.25, &mut rng);
+/// let malicious = registry.peers().iter().filter(|p| p.behavior.is_malicious()).count();
+/// assert!(malicious > 10 && malicious < 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeerRegistry {
+    ca: CertificationAuthority,
+    peers: Vec<Peer>,
+    mu: f64,
+}
+
+impl PeerRegistry {
+    /// Generates `n` peers, each malicious independently with probability
+    /// `mu`, with certificates issued at `t0 = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside `[0, 1]`.
+    pub fn generate<R: rand::Rng + ?Sized>(n: usize, mu: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "mu must lie in [0,1], got {mu}");
+        let ca = CertificationAuthority::new(b"pollux-registry-ca");
+        let mut peers = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut public_key = [0u8; 32];
+            rng.fill(&mut public_key[..]);
+            let cert = ca.issue(&format!("peer-{i}"), public_key, 0);
+            let initial_id = cert.initial_id();
+            peers.push(Peer {
+                id: PeerId(i as u64),
+                certificate: cert,
+                initial_id,
+                behavior: if rng.random_bool(mu) {
+                    Behavior::Malicious
+                } else {
+                    Behavior::Honest
+                },
+            });
+        }
+        PeerRegistry { ca, peers, mu }
+    }
+
+    /// The certification authority of this universe.
+    pub fn ca(&self) -> &CertificationAuthority {
+        &self.ca
+    }
+
+    /// All peers.
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// The adversary's global fraction `μ` used at generation time.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Looks a peer up by handle.
+    pub fn peer(&self, id: PeerId) -> Option<&Peer> {
+        self.peers.get(id.0 as usize)
+    }
+
+    /// Number of peers in the universe.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Samples a uniformly random peer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> PeerId {
+        assert!(!self.peers.is_empty(), "cannot sample from empty registry");
+        PeerId(rng.random_range(0..self.peers.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generation_respects_mu_statistically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reg = PeerRegistry::generate(10_000, 0.3, &mut rng);
+        let malicious = reg.peers().iter().filter(|p| p.behavior.is_malicious()).count();
+        let frac = malicious as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
+        assert_eq!(reg.len(), 10_000);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.mu(), 0.3);
+    }
+
+    #[test]
+    fn mu_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let honest = PeerRegistry::generate(50, 0.0, &mut rng);
+        assert!(honest.peers().iter().all(|p| !p.behavior.is_malicious()));
+        let bad = PeerRegistry::generate(50, 1.0, &mut rng);
+        assert!(bad.peers().iter().all(|p| p.behavior.is_malicious()));
+    }
+
+    #[test]
+    fn certificates_verify_and_ids_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = PeerRegistry::generate(64, 0.2, &mut rng);
+        let mut ids = std::collections::HashSet::new();
+        for p in reg.peers() {
+            assert!(reg.ca().verify(&p.certificate).is_ok());
+            assert!(ids.insert(p.initial_id), "duplicate id for {}", p.id);
+        }
+    }
+
+    #[test]
+    fn lookup_and_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let reg = PeerRegistry::generate(10, 0.5, &mut rng);
+        assert!(reg.peer(PeerId(3)).is_some());
+        assert!(reg.peer(PeerId(10)).is_none());
+        for _ in 0..100 {
+            let id = reg.sample(&mut rng);
+            assert!(reg.peer(id).is_some());
+        }
+    }
+
+    #[test]
+    fn current_id_changes_across_incarnations() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let reg = PeerRegistry::generate(1, 0.0, &mut rng);
+        let p = &reg.peers()[0];
+        let policy = IncarnationPolicy::new(100.0, 2.0).unwrap();
+        let early = p.current_id(&policy, 10.0);
+        let late = p.current_id(&policy, 150.0);
+        assert_ne!(early, late);
+        assert_eq!(p.incarnation(&policy, 10.0), 1);
+        assert_eq!(p.incarnation(&policy, 150.0), 2);
+    }
+}

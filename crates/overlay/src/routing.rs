@@ -1,0 +1,289 @@
+//! Greedy prefix routing over the cluster topology, with adversarial drops.
+//!
+//! The attacks the paper models (Section I) ultimately matter because
+//! polluted clusters can drop or misroute traffic. This module walks the
+//! greedy prefix route of [`crate::Overlay::next_hop`] and lets the caller
+//! declare which clusters misbehave, plus a simple redundant-routing
+//! variant in the spirit of Castro et al. (random first hop, then greedy)
+//! to measure how much redundancy buys back.
+
+use rand::RngExt;
+
+use crate::{Cluster, Label, NodeId, Overlay, OverlayError};
+
+/// Result of routing one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// `true` when the message reached the responsible cluster.
+    pub delivered: bool,
+    /// The sequence of cluster labels visited, source first.
+    pub path: Vec<Label>,
+    /// The label at which an adversarial cluster dropped the message.
+    pub dropped_at: Option<Label>,
+}
+
+impl RouteOutcome {
+    /// Number of hops taken (edges traversed).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Routes a message from the cluster labelled `from` to the cluster
+/// responsible for `target`, dropping it at the first *intermediate or
+/// final* cluster for which `drops` returns `true`. The source is assumed
+/// to originate the message and never drops it.
+///
+/// # Errors
+///
+/// Returns [`OverlayError::Topology`] when `from` is not a cluster label.
+pub fn route(
+    overlay: &Overlay,
+    from: &Label,
+    target: &NodeId,
+    drops: &dyn Fn(&Cluster) -> bool,
+) -> Result<RouteOutcome, OverlayError> {
+    let mut path = vec![from.clone()];
+    let mut current = from.clone();
+    // The cover invariant bounds genuine routes by the deepest label; use a
+    // generous hard cap to convert bugs into loud failures.
+    let max_hops = 8 + overlay.labels().iter().map(Label::len).max().unwrap_or(0);
+    loop {
+        match overlay.next_hop(&current, target)? {
+            None => {
+                return Ok(RouteOutcome {
+                    delivered: true,
+                    path,
+                    dropped_at: None,
+                });
+            }
+            Some(next) => {
+                let cluster = overlay
+                    .cluster(&next)
+                    .expect("next_hop returns existing labels");
+                path.push(next.clone());
+                if drops(cluster) {
+                    return Ok(RouteOutcome {
+                        delivered: false,
+                        path,
+                        dropped_at: Some(next),
+                    });
+                }
+                current = next;
+            }
+        }
+        assert!(
+            path.len() <= max_hops,
+            "routing exceeded {max_hops} hops: loop suspected"
+        );
+    }
+}
+
+/// Redundant routing: the greedy route plus `redundancy − 1` detour routes
+/// that take one uniformly random neighbour hop before continuing
+/// greedily. Delivered when any copy arrives.
+///
+/// # Errors
+///
+/// Returns [`OverlayError::Topology`] when `from` is not a cluster label.
+pub fn route_redundant<R: rand::Rng + ?Sized>(
+    overlay: &Overlay,
+    from: &Label,
+    target: &NodeId,
+    drops: &dyn Fn(&Cluster) -> bool,
+    redundancy: usize,
+    rng: &mut R,
+) -> Result<bool, OverlayError> {
+    if route(overlay, from, target, drops)?.delivered {
+        return Ok(true);
+    }
+    for _ in 1..redundancy {
+        let neighbors = overlay.neighbors(from);
+        if neighbors.is_empty() {
+            break;
+        }
+        let detour = &neighbors[rng.random_range(0..neighbors.len())];
+        let detour_cluster = overlay.cluster(detour).expect("neighbor exists");
+        if drops(detour_cluster) {
+            continue;
+        }
+        if route(overlay, detour, target, drops)?.delivered {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Estimates the delivery rate over `attempts` random (source, target)
+/// pairs, where targets are uniform hashed identifiers and sources are
+/// uniform clusters.
+///
+/// # Panics
+///
+/// Panics if the overlay is empty or `attempts == 0`.
+pub fn delivery_rate<R: rand::Rng + ?Sized>(
+    overlay: &Overlay,
+    attempts: usize,
+    drops: &dyn Fn(&Cluster) -> bool,
+    rng: &mut R,
+) -> f64 {
+    assert!(attempts > 0, "need at least one attempt");
+    let labels = overlay.labels();
+    assert!(!labels.is_empty(), "empty overlay");
+    let mut delivered = 0usize;
+    for i in 0..attempts {
+        let from = &labels[rng.random_range(0..labels.len())];
+        let target = NodeId::from_data(&(i as u64 ^ rng.random::<u64>()).to_be_bytes());
+        if route(overlay, from, &target, drops)
+            .expect("labels come from the overlay")
+            .delivered
+        {
+            delivered += 1;
+        }
+    }
+    delivered as f64 / attempts as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterParams, Member, PeerId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn params() -> ClusterParams {
+        ClusterParams::new(2, 6).unwrap()
+    }
+
+    fn cluster_at(label: &str, base: u64, malicious_core: usize) -> Cluster {
+        let label = Label::parse(label).unwrap();
+        let core: Vec<Member> = (0..2)
+            .map(|i| Member {
+                peer: PeerId(base + i),
+                malicious: (i as usize) < malicious_core,
+                id: NodeId::from_data(&(base + i).to_be_bytes()),
+            })
+            .collect();
+        let spare = vec![Member {
+            peer: PeerId(base + 5),
+            malicious: false,
+            id: NodeId::from_data(&(base + 5).to_be_bytes()),
+        }];
+        Cluster::new(label, params(), core, spare).unwrap()
+    }
+
+    fn overlay(malicious_at_10: usize) -> Overlay {
+        Overlay::bootstrap(
+            params(),
+            vec![
+                cluster_at("00", 0, 0),
+                cluster_at("01", 10, 0),
+                cluster_at("10", 20, malicious_at_10),
+                cluster_at("11", 30, 0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn id_with_prefix(prefix: &str) -> NodeId {
+        let want = Label::parse(prefix).unwrap();
+        for i in 0..10_000u64 {
+            let id = NodeId::from_data(&i.to_be_bytes());
+            if want.is_prefix_of(&id) {
+                return id;
+            }
+        }
+        panic!("no id found with prefix {prefix}");
+    }
+
+    #[test]
+    fn clean_overlay_delivers_everything() {
+        let ov = overlay(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = delivery_rate(&ov, 500, &|_| false, &mut rng);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn route_records_path() {
+        let ov = overlay(0);
+        let target = id_with_prefix("11");
+        let out = route(&ov, &Label::parse("00").unwrap(), &target, &|_| false).unwrap();
+        assert!(out.delivered);
+        assert!(out.hops() >= 1 && out.hops() <= 2, "hops {}", out.hops());
+        assert_eq!(out.path.first().unwrap().to_string(), "00");
+        assert_eq!(out.path.last().unwrap().to_string(), "11");
+    }
+
+    #[test]
+    fn local_delivery_takes_no_hops() {
+        let ov = overlay(0);
+        let target = id_with_prefix("00");
+        let out = route(&ov, &Label::parse("00").unwrap(), &target, &|_| false).unwrap();
+        assert!(out.delivered);
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    fn polluted_cluster_drops() {
+        let ov = overlay(2); // "10" fully malicious core
+        let drops = |c: &Cluster| c.is_polluted();
+        let target = id_with_prefix("10");
+        let out = route(&ov, &Label::parse("01").unwrap(), &target, &drops).unwrap();
+        assert!(!out.delivered);
+        assert_eq!(out.dropped_at.as_ref().unwrap().to_string(), "10");
+    }
+
+    #[test]
+    fn drop_rate_scales_with_polluted_fraction() {
+        let ov = overlay(2);
+        let drops = |c: &Cluster| c.is_polluted();
+        let mut rng = StdRng::seed_from_u64(2);
+        let rate = delivery_rate(&ov, 4000, &drops, &mut rng);
+        // Targets landing in "10" (1/4 of the space) are lost unless the
+        // source is "10" itself; some transit traffic through "10" is lost
+        // too. Expect noticeably below 1 but above 1/2.
+        assert!(rate < 0.85, "rate {rate}");
+        assert!(rate > 0.55, "rate {rate}");
+    }
+
+    #[test]
+    fn redundancy_helps_transit_but_not_destination() {
+        let ov = overlay(2);
+        let drops = |c: &Cluster| c.is_polluted();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Destination inside the polluted cluster: redundancy cannot help.
+        let target = id_with_prefix("10");
+        let ok = route_redundant(
+            &ov,
+            &Label::parse("01").unwrap(),
+            &target,
+            &drops,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!ok);
+        // Destination elsewhere is always deliverable here since greedy
+        // paths in the 4-leaf overlay only transit safe clusters.
+        let target = id_with_prefix("11");
+        let ok = route_redundant(
+            &ov,
+            &Label::parse("00").unwrap(),
+            &target,
+            &drops,
+            4,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn source_never_drops_its_own_message() {
+        let ov = overlay(2);
+        let drops = |c: &Cluster| c.is_polluted();
+        let target = id_with_prefix("11");
+        let out = route(&ov, &Label::parse("10").unwrap(), &target, &drops).unwrap();
+        assert!(out.delivered);
+    }
+}

@@ -1,0 +1,286 @@
+//! A key–value layer over the cluster topology — the DHT workload the
+//! paper's attacks ultimately target.
+//!
+//! Keys live in the same 256-bit space as peer identifiers; the cluster
+//! whose label prefixes a key is responsible for it and replicates the
+//! value across its core members. Polluted clusters can deny or poison
+//! lookups for the keys they own (the "preventing data indexed at targeted
+//! nodes from being discovered" attack of the paper's introduction); the
+//! store lets callers quantify exactly that.
+
+use std::collections::HashMap;
+
+use crate::{Cluster, Label, NodeId, Overlay, OverlayError};
+
+/// Result of a `put`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The value reached its responsible cluster and was replicated at the
+    /// given number of core members.
+    Stored {
+        /// Label of the responsible cluster.
+        owner: Label,
+        /// Number of replicas written (the core size).
+        replicas: usize,
+    },
+    /// An adversarial cluster dropped the request in transit or at the
+    /// destination.
+    Dropped {
+        /// Where the request died.
+        at: Label,
+    },
+}
+
+/// Result of a `get`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// The value was retrieved from the responsible cluster.
+    Found(Vec<u8>),
+    /// The responsible cluster answered honestly but holds no such key.
+    NotFound,
+    /// An adversarial cluster dropped or poisoned the lookup.
+    Denied {
+        /// Where the lookup died.
+        at: Label,
+    },
+}
+
+/// The key–value store: per-key values indexed independently of the
+/// (changing) topology; ownership is resolved against the overlay at
+/// access time, so splits and merges need no re-keying here.
+#[derive(Debug, Clone, Default)]
+pub struct KeyValueStore {
+    items: HashMap<NodeId, Vec<u8>>,
+}
+
+impl KeyValueStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KeyValueStore::default()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Routes a `put` from the cluster labelled `from` and stores the
+    /// value if the request survives; `drops` marks adversarial clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Topology`] when `from` is not a cluster
+    /// label.
+    pub fn put(
+        &mut self,
+        overlay: &Overlay,
+        from: &Label,
+        key: NodeId,
+        value: Vec<u8>,
+        drops: &dyn Fn(&Cluster) -> bool,
+    ) -> Result<PutOutcome, OverlayError> {
+        let route = crate::routing::route(overlay, from, &key, drops)?;
+        if !route.delivered {
+            return Ok(PutOutcome::Dropped {
+                at: route.dropped_at.expect("undelivered routes record a drop"),
+            });
+        }
+        let owner = route.path.last().expect("path includes the source").clone();
+        let replicas = overlay
+            .cluster(&owner)
+            .expect("routing ends at existing clusters")
+            .core()
+            .len();
+        self.items.insert(key, value);
+        Ok(PutOutcome::Stored { owner, replicas })
+    }
+
+    /// Routes a `get` from the cluster labelled `from`. A polluted (per
+    /// `drops`) responsible cluster denies the lookup even when the key
+    /// exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Topology`] when `from` is not a cluster
+    /// label.
+    pub fn get(
+        &self,
+        overlay: &Overlay,
+        from: &Label,
+        key: &NodeId,
+        drops: &dyn Fn(&Cluster) -> bool,
+    ) -> Result<GetOutcome, OverlayError> {
+        let route = crate::routing::route(overlay, from, key, drops)?;
+        if !route.delivered {
+            return Ok(GetOutcome::Denied {
+                at: route.dropped_at.expect("undelivered routes record a drop"),
+            });
+        }
+        // The responsible cluster itself may be adversarial even when the
+        // source equals the owner (route() exempts the source from
+        // dropping its own message, but serving a lookup is a service of
+        // the owner).
+        let owner = route.path.last().expect("path includes the source");
+        let owner_cluster = overlay
+            .cluster(owner)
+            .expect("routing ends at existing clusters");
+        if drops(owner_cluster) {
+            return Ok(GetOutcome::Denied { at: owner.clone() });
+        }
+        Ok(match self.items.get(key) {
+            Some(v) => GetOutcome::Found(v.clone()),
+            None => GetOutcome::NotFound,
+        })
+    }
+
+    /// Fraction of stored keys currently owned by clusters matching
+    /// `predicate` — e.g. the share of the key space held hostage by
+    /// polluted clusters.
+    pub fn fraction_owned_by(
+        &self,
+        overlay: &Overlay,
+        predicate: &dyn Fn(&Cluster) -> bool,
+    ) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        let hostage = self
+            .items
+            .keys()
+            .filter(|key| predicate(overlay.responsible(key)))
+            .count();
+        hostage as f64 / self.items.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterParams, Member, PeerId};
+
+    fn member(i: u64, malicious: bool) -> Member {
+        Member {
+            peer: PeerId(i),
+            malicious,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        }
+    }
+
+    fn overlay_with_polluted(polluted_label: Option<&str>) -> Overlay {
+        let params = ClusterParams::new(2, 6).unwrap();
+        let mut clusters = Vec::new();
+        for (idx, label) in ["00", "01", "10", "11"].iter().enumerate() {
+            let base = (idx as u64 + 1) * 100;
+            let is_polluted = polluted_label == Some(*label);
+            let core = vec![member(base, is_polluted), member(base + 1, is_polluted)];
+            let spare = vec![member(base + 2, false)];
+            clusters.push(
+                Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap(),
+            );
+        }
+        Overlay::bootstrap(params, clusters).unwrap()
+    }
+
+    fn key_with_prefix(prefix: &str) -> NodeId {
+        let want = Label::parse(prefix).unwrap();
+        (0..100_000u64)
+            .map(|i| NodeId::from_data(&i.to_be_bytes()))
+            .find(|id| want.is_prefix_of(id))
+            .expect("prefix reachable")
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let overlay = overlay_with_polluted(None);
+        let mut store = KeyValueStore::new();
+        let drops = |c: &Cluster| c.is_polluted();
+        let key = key_with_prefix("10");
+        let from = Label::parse("00").unwrap();
+        let put = store
+            .put(&overlay, &from, key, b"value".to_vec(), &drops)
+            .unwrap();
+        assert!(matches!(
+            put,
+            PutOutcome::Stored { ref owner, replicas: 2 } if owner.to_string() == "10"
+        ));
+        assert_eq!(store.len(), 1);
+        let got = store.get(&overlay, &from, &key, &drops).unwrap();
+        assert_eq!(got, GetOutcome::Found(b"value".to_vec()));
+        // Lookups from other clusters succeed too.
+        let got = store
+            .get(&overlay, &Label::parse("11").unwrap(), &key, &drops)
+            .unwrap();
+        assert_eq!(got, GetOutcome::Found(b"value".to_vec()));
+    }
+
+    #[test]
+    fn missing_key_reports_not_found() {
+        let overlay = overlay_with_polluted(None);
+        let store = KeyValueStore::new();
+        assert!(store.is_empty());
+        let got = store
+            .get(
+                &overlay,
+                &Label::parse("00").unwrap(),
+                &key_with_prefix("01"),
+                &|_| false,
+            )
+            .unwrap();
+        assert_eq!(got, GetOutcome::NotFound);
+    }
+
+    #[test]
+    fn polluted_owner_denies_lookups_and_drops_puts() {
+        let overlay = overlay_with_polluted(Some("11"));
+        let mut store = KeyValueStore::new();
+        let drops = |c: &Cluster| c.is_polluted();
+        let key = key_with_prefix("11");
+        let from = Label::parse("00").unwrap();
+        // Put dies at the polluted destination.
+        let put = store
+            .put(&overlay, &from, key, b"v".to_vec(), &drops)
+            .unwrap();
+        assert!(matches!(put, PutOutcome::Dropped { ref at } if at.to_string() == "11"));
+        assert!(store.is_empty());
+        // Even a key stored before pollution is denied afterwards.
+        let clean = overlay_with_polluted(None);
+        store
+            .put(&clean, &from, key, b"v".to_vec(), &|_| false)
+            .unwrap();
+        let got = store.get(&overlay, &from, &key, &drops).unwrap();
+        assert!(matches!(got, GetOutcome::Denied { ref at } if at.to_string() == "11"));
+        // And the owner cannot serve itself either once polluted.
+        let got = store
+            .get(&overlay, &Label::parse("11").unwrap(), &key, &drops)
+            .unwrap();
+        assert!(matches!(got, GetOutcome::Denied { .. }));
+    }
+
+    #[test]
+    fn fraction_owned_by_polluted_clusters() {
+        let overlay = overlay_with_polluted(Some("01"));
+        let mut store = KeyValueStore::new();
+        // Store one key per quadrant (bypassing drops for setup).
+        for prefix in ["00", "01", "10", "11"] {
+            let key = key_with_prefix(prefix);
+            store
+                .put(
+                    &overlay,
+                    &Label::parse(prefix).unwrap(),
+                    key,
+                    prefix.as_bytes().to_vec(),
+                    &|_| false,
+                )
+                .unwrap();
+        }
+        let frac = store.fraction_owned_by(&overlay, &|c| c.is_polluted());
+        assert!((frac - 0.25).abs() < 1e-12);
+        let none = KeyValueStore::new();
+        assert_eq!(none.fraction_owned_by(&overlay, &|_| true), 0.0);
+    }
+}

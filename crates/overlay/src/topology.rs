@@ -1,0 +1,481 @@
+use std::collections::BTreeMap;
+
+use crate::{Cluster, ClusterParams, Label, NodeId, OverlayError};
+
+/// The overlay topology: a complete binary prefix tree whose leaves are
+/// clusters (PeerCube-style, Section III-A).
+///
+/// Invariant: the cluster labels are prefix-free and cover the whole
+/// identifier space (`Σ 2^{-len(label)} = 1`), so every identifier has
+/// exactly one responsible cluster. `split` replaces a leaf by its two
+/// children; `merge` collapses two sibling leaves into their parent.
+///
+/// # Example
+///
+/// ```
+/// use pollux_overlay::{ClusterParams, Label, NodeId};
+///
+/// // See `Overlay::bootstrap` tests and the quickstart example for full
+/// // construction; labels and lookups follow the prefix rule:
+/// let label = Label::parse("10").unwrap();
+/// let id = NodeId::from_data(b"x");
+/// assert_eq!(label.is_prefix_of(&id), id.bit(0) && !id.bit(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    params: ClusterParams,
+    clusters: BTreeMap<Label, Cluster>,
+}
+
+impl Overlay {
+    /// Builds an overlay from initial clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Topology`] when the labels do not form a
+    /// prefix-free cover of the identifier space, or
+    /// [`OverlayError::InvalidCluster`] when a cluster's parameters differ
+    /// from `params`.
+    pub fn bootstrap(params: ClusterParams, clusters: Vec<Cluster>) -> Result<Self, OverlayError> {
+        if clusters.is_empty() {
+            return Err(OverlayError::Topology("no clusters given".into()));
+        }
+        let mut map = BTreeMap::new();
+        for cl in clusters {
+            if *cl.params() != params {
+                return Err(OverlayError::InvalidCluster(format!(
+                    "cluster {} has mismatching size parameters",
+                    cl.label()
+                )));
+            }
+            let label = cl.label().clone();
+            if map.insert(label.clone(), cl).is_some() {
+                return Err(OverlayError::Topology(format!(
+                    "duplicate label {label}"
+                )));
+            }
+        }
+        let overlay = Overlay {
+            params,
+            clusters: map,
+        };
+        overlay.check_cover()?;
+        Ok(overlay)
+    }
+
+    /// Validates the prefix-free-cover invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Topology`] describing the violation.
+    pub fn check_cover(&self) -> Result<(), OverlayError> {
+        // Prefix-freeness: adjacent labels in sorted order expose nested
+        // prefixes directly, but nesting can also skip; check all pairs is
+        // O(n² · len) — fine at simulation scale, and exhaustive.
+        let labels: Vec<&Label> = self.clusters.keys().collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                if a.is_prefix_of_label(b) || b.is_prefix_of_label(a) {
+                    return Err(OverlayError::Topology(format!(
+                        "labels {a} and {b} overlap"
+                    )));
+                }
+            }
+        }
+        // Coverage: total measure must be 1 (with prefix-freeness this is
+        // exact in binary fractions; f64 is exact for len ≤ 53).
+        let total: f64 = labels.iter().map(|l| 0.5f64.powi(l.len() as i32)).sum();
+        if (total - 1.0).abs() > 1e-12 {
+            return Err(OverlayError::Topology(format!(
+                "labels cover measure {total}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Cluster size parameters shared by all clusters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when the overlay holds no clusters (never after bootstrap).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Iterates over the clusters in label order.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.clusters.values()
+    }
+
+    /// All labels, in sorted order.
+    pub fn labels(&self) -> Vec<Label> {
+        self.clusters.keys().cloned().collect()
+    }
+
+    /// Looks a cluster up by label.
+    pub fn cluster(&self, label: &Label) -> Option<&Cluster> {
+        self.clusters.get(label)
+    }
+
+    /// Mutable access to a cluster by label.
+    pub fn cluster_mut(&mut self, label: &Label) -> Option<&mut Cluster> {
+        self.clusters.get_mut(label)
+    }
+
+    /// The unique cluster responsible for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover invariant is broken (cannot happen through this
+    /// API).
+    pub fn responsible(&self, id: &NodeId) -> &Cluster {
+        self.clusters
+            .values()
+            .find(|cl| cl.label().is_prefix_of(id))
+            .expect("prefix-free cover guarantees a responsible cluster")
+    }
+
+    /// The label of the cluster responsible for `id`.
+    pub fn responsible_label(&self, id: &NodeId) -> Label {
+        self.responsible(id).label().clone()
+    }
+
+    /// Leaves intersecting the region of `prefix`: every cluster whose
+    /// label is a prefix of `prefix` or extends it.
+    pub fn covering_leaves(&self, prefix: &Label) -> Vec<Label> {
+        self.clusters
+            .keys()
+            .filter(|l| l.is_prefix_of_label(prefix) || prefix.is_prefix_of_label(l))
+            .cloned()
+            .collect()
+    }
+
+    /// Hypercube-style neighbours of a cluster: for each bit position of
+    /// its label, the leaves covering the label with that bit flipped.
+    pub fn neighbors(&self, label: &Label) -> Vec<Label> {
+        let mut out = Vec::new();
+        for i in 0..label.len() {
+            for l in self.covering_leaves(&label.flip_bit(i)) {
+                if &l != label && !out.contains(&l) {
+                    out.push(l);
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the cluster at `label` into its two children
+    /// (see [`crate::ops::split`] for member placement).
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::Topology`] when no cluster has this label.
+    /// * Propagates the split preconditions of [`crate::ops::split`].
+    pub fn split_cluster<R: rand::Rng + ?Sized>(
+        &mut self,
+        label: &Label,
+        rng: &mut R,
+    ) -> Result<(Label, Label), OverlayError> {
+        let cluster = self
+            .clusters
+            .get(label)
+            .ok_or_else(|| OverlayError::Topology(format!("no cluster labelled {label}")))?;
+        let (d0, d1) = crate::ops::split(cluster, rng)?;
+        let labels = (d0.label().clone(), d1.label().clone());
+        self.clusters.remove(label);
+        self.clusters.insert(labels.0.clone(), d0);
+        self.clusters.insert(labels.1.clone(), d1);
+        debug_assert!(self.check_cover().is_ok());
+        Ok(labels)
+    }
+
+    /// Merges the (spare-empty) cluster at `label` into its sibling,
+    /// producing their parent.
+    ///
+    /// The paper merges a draining cluster with "the closest cluster in its
+    /// neighborhood"; in the prefix tree that is the sibling. When the
+    /// sibling region is subdivided the merge is deferred (an error is
+    /// returned) — collapsing a subdivided region would need a cascade of
+    /// merges that real deployments avoid too.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::Topology`] when the label is unknown, is the root,
+    ///   or the sibling is subdivided.
+    /// * Propagates the merge preconditions of [`crate::ops::merge`].
+    pub fn merge_cluster(&mut self, label: &Label) -> Result<Label, OverlayError> {
+        let dissolved = self
+            .clusters
+            .get(label)
+            .ok_or_else(|| OverlayError::Topology(format!("no cluster labelled {label}")))?;
+        let sibling_label = label
+            .sibling()
+            .ok_or_else(|| OverlayError::Topology("cannot merge the root cluster".into()))?;
+        let parent_label = label.parent().expect("non-root label has a parent");
+        let survivor = self.clusters.get(&sibling_label).ok_or_else(|| {
+            OverlayError::Topology(format!(
+                "sibling {sibling_label} of {label} is subdivided; merge deferred"
+            ))
+        })?;
+        let merged = crate::ops::merge(parent_label.clone(), survivor, dissolved)?;
+        self.clusters.remove(label);
+        self.clusters.remove(&sibling_label);
+        self.clusters.insert(parent_label.clone(), merged);
+        debug_assert!(self.check_cover().is_ok());
+        Ok(parent_label)
+    }
+
+    /// Greedy prefix-routing next hop from the cluster at `from` towards
+    /// `target`: the neighbour whose label agrees with `target` on at least
+    /// one more leading bit. Returns `None` when `from` is already
+    /// responsible for `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Topology`] when `from` is not a cluster
+    /// label.
+    pub fn next_hop(&self, from: &Label, target: &NodeId) -> Result<Option<Label>, OverlayError> {
+        let from_cluster = self
+            .clusters
+            .get(from)
+            .ok_or_else(|| OverlayError::Topology(format!("no cluster labelled {from}")))?;
+        if from_cluster.label().is_prefix_of(target) {
+            return Ok(None);
+        }
+        let p = from.common_prefix_with_id(target);
+        // The corrected prefix: target's first p+1 bits.
+        let corrected = Label::prefix_of_id(target, p + 1);
+        let candidates = self.covering_leaves(&corrected);
+        debug_assert!(!candidates.is_empty(), "cover invariant");
+        // Pick the candidate that matches target deepest (models the
+        // routing-table entry closest to the destination).
+        let best = candidates
+            .into_iter()
+            .max_by_key(|l| l.common_prefix_with_id(target))
+            .expect("candidates nonempty");
+        Ok(Some(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Member, PeerId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn params() -> ClusterParams {
+        ClusterParams::new(2, 6).unwrap()
+    }
+
+    fn member(i: u64) -> Member {
+        Member {
+            peer: PeerId(i),
+            malicious: false,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        }
+    }
+
+    /// A cluster at `label` whose members' ids are irrelevant for the test.
+    fn cluster_at(label: &str, base: u64, spares: usize) -> Cluster {
+        let label = Label::parse(label).unwrap();
+        let core = vec![member(base), member(base + 1)];
+        let spare: Vec<Member> = (0..spares as u64).map(|i| member(base + 2 + i)).collect();
+        Cluster::new(label, params(), core, spare).unwrap()
+    }
+
+    fn four_leaf_overlay() -> Overlay {
+        Overlay::bootstrap(
+            params(),
+            vec![
+                cluster_at("00", 0, 2),
+                cluster_at("01", 10, 2),
+                cluster_at("10", 20, 2),
+                cluster_at("11", 30, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bootstrap_validates_cover() {
+        // Missing leaf.
+        let r = Overlay::bootstrap(
+            params(),
+            vec![cluster_at("00", 0, 1), cluster_at("01", 10, 1), cluster_at("10", 20, 1)],
+        );
+        assert!(r.is_err());
+        // Overlapping labels.
+        let r = Overlay::bootstrap(
+            params(),
+            vec![cluster_at("0", 0, 1), cluster_at("00", 10, 1), cluster_at("1", 20, 1)],
+        );
+        assert!(r.is_err());
+        // Unbalanced but complete tree is fine.
+        let r = Overlay::bootstrap(
+            params(),
+            vec![cluster_at("0", 0, 1), cluster_at("10", 10, 1), cluster_at("11", 20, 1)],
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn responsible_lookup_matches_prefix() {
+        let overlay = four_leaf_overlay();
+        for data in 0..50u64 {
+            let id = NodeId::from_data(&data.to_be_bytes());
+            let cl = overlay.responsible(&id);
+            assert!(cl.label().is_prefix_of(&id));
+        }
+        assert_eq!(overlay.len(), 4);
+    }
+
+    #[test]
+    fn neighbors_in_balanced_tree() {
+        let overlay = four_leaf_overlay();
+        let n = overlay.neighbors(&Label::parse("00").unwrap());
+        // Flipping bit 0 -> region "10"; flipping bit 1 -> region "01".
+        assert!(n.contains(&Label::parse("10").unwrap()));
+        assert!(n.contains(&Label::parse("01").unwrap()));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn neighbors_in_unbalanced_tree() {
+        let overlay = Overlay::bootstrap(
+            params(),
+            vec![cluster_at("0", 0, 1), cluster_at("10", 10, 1), cluster_at("11", 20, 1)],
+        )
+        .unwrap();
+        let n = overlay.neighbors(&Label::parse("0").unwrap());
+        // Flipping the single bit covers the whole "1" region: both leaves.
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn split_replaces_leaf_with_children() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Build a splittable cluster: full spare set (6) and members spread
+        // across bit 2 under label "00".
+        let label = Label::parse("00").unwrap();
+        let mut core = Vec::new();
+        let mut spare = Vec::new();
+        let mut i = 0u64;
+        // Collect members whose ids land in both children regions.
+        let mut zeros = 0;
+        let mut ones = 0;
+        while core.len() + spare.len() < 8 {
+            let m = member(1000 + i);
+            i += 1;
+            let side = m.id.bit(2);
+            if side && ones >= 4 || (!side && zeros >= 4) {
+                continue;
+            }
+            if side {
+                ones += 1;
+            } else {
+                zeros += 1;
+            }
+            if core.len() < 2 {
+                core.push(m);
+            } else {
+                spare.push(m);
+            }
+        }
+        let splittable = Cluster::new(label.clone(), params(), core, spare).unwrap();
+        let mut overlay = Overlay::bootstrap(
+            params(),
+            vec![
+                splittable,
+                cluster_at("01", 10, 2),
+                cluster_at("1", 20, 2),
+            ],
+        )
+        .unwrap();
+        let (l0, l1) = overlay.split_cluster(&label, &mut rng).unwrap();
+        assert_eq!(l0.to_string(), "000");
+        assert_eq!(l1.to_string(), "001");
+        assert_eq!(overlay.len(), 4);
+        assert!(overlay.check_cover().is_ok());
+        assert!(overlay.cluster(&label).is_none());
+    }
+
+    #[test]
+    fn merge_collapses_siblings() {
+        let mut overlay = Overlay::bootstrap(
+            params(),
+            vec![
+                cluster_at("00", 0, 0), // spare empty: must merge
+                cluster_at("01", 10, 2),
+                cluster_at("1", 20, 2),
+            ],
+        )
+        .unwrap();
+        let parent = overlay
+            .merge_cluster(&Label::parse("00").unwrap())
+            .unwrap();
+        assert_eq!(parent.to_string(), "0");
+        assert_eq!(overlay.len(), 2);
+        let merged = overlay.cluster(&parent).unwrap();
+        // Survivor "01" core kept, dissolved "00" core went to spares.
+        assert_eq!(merged.core().len(), 2);
+        assert_eq!(merged.spare_size(), 4);
+    }
+
+    #[test]
+    fn merge_deferred_when_sibling_subdivided() {
+        let mut overlay = Overlay::bootstrap(
+            params(),
+            vec![
+                cluster_at("00", 0, 0),
+                cluster_at("010", 10, 2),
+                cluster_at("011", 15, 2),
+                cluster_at("1", 20, 2),
+            ],
+        )
+        .unwrap();
+        let r = overlay.merge_cluster(&Label::parse("00").unwrap());
+        assert!(matches!(r, Err(OverlayError::Topology(_))));
+    }
+
+    #[test]
+    fn merge_root_impossible() {
+        let mut overlay = Overlay::bootstrap(params(), vec![cluster_at("", 0, 0)]).unwrap();
+        assert!(overlay.merge_cluster(&Label::root()).is_err());
+    }
+
+    #[test]
+    fn next_hop_strictly_improves_prefix() {
+        let overlay = four_leaf_overlay();
+        for data in 0..30u64 {
+            let target = NodeId::from_data(&data.to_be_bytes());
+            let mut current = Label::parse("00").unwrap();
+            let mut hops = 0;
+            while let Some(next) = overlay.next_hop(&current, &target).unwrap() {
+                assert!(
+                    next.common_prefix_with_id(&target)
+                        > current.common_prefix_with_id(&target),
+                    "hop from {current} to {next} does not improve"
+                );
+                current = next;
+                hops += 1;
+                assert!(hops <= 4, "routing loop towards {target}");
+            }
+            assert!(current.is_prefix_of(&target));
+        }
+    }
+
+    #[test]
+    fn next_hop_unknown_source_errors() {
+        let overlay = four_leaf_overlay();
+        let target = NodeId::from_data(b"t");
+        assert!(overlay
+            .next_hop(&Label::parse("0").unwrap(), &target)
+            .is_err());
+    }
+}

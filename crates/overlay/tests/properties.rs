@@ -1,0 +1,160 @@
+//! Property-based tests for the overlay substrate: identifier/label
+//! algebra, hash behaviour, cluster operations and topology invariants.
+
+use proptest::prelude::*;
+
+use pollux_overlay::{ops, Cluster, ClusterParams, Label, Member, NodeId, PeerId};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_id() -> impl Strategy<Value = NodeId> {
+    proptest::collection::vec(any::<u8>(), 32).prop_map(|v| {
+        let mut bytes = [0u8; 32];
+        bytes.copy_from_slice(&v);
+        NodeId::from_bytes(bytes)
+    })
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::collection::vec(any::<bool>(), 0..20).prop_map(Label::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn common_prefix_is_symmetric_and_bounded(a in arb_id(), b in arb_id()) {
+        let ab = a.common_prefix_len(&b);
+        prop_assert_eq!(ab, b.common_prefix_len(&a));
+        prop_assert!(ab <= 256);
+        if ab < 256 {
+            prop_assert_ne!(a.bit(ab), b.bit(ab));
+            for i in 0..ab {
+                prop_assert_eq!(a.bit(i), b.bit(i));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_distance_identity_and_symmetry(a in arb_id(), b in arb_id()) {
+        prop_assert_eq!(a.xor_distance(&a), NodeId::from_bytes([0u8; 32]));
+        prop_assert_eq!(a.xor_distance(&b), b.xor_distance(&a));
+    }
+
+    #[test]
+    fn incarnation_derivation_is_injective_in_practice(a in arb_id(), k1 in 0u64..1000, k2 in 0u64..1000) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(a.derive_incarnation(k1), a.derive_incarnation(k2));
+    }
+
+    #[test]
+    fn label_parse_display_roundtrip(label in arb_label()) {
+        if label.is_empty() {
+            prop_assert_eq!(label.to_string(), "ε");
+        } else {
+            let s = label.to_string();
+            prop_assert_eq!(Label::parse(&s).unwrap(), label);
+        }
+    }
+
+    #[test]
+    fn label_tree_algebra(label in arb_label()) {
+        let (zero, one) = label.children();
+        prop_assert_eq!(zero.parent().unwrap(), label.clone());
+        prop_assert_eq!(one.parent().unwrap(), label.clone());
+        prop_assert_eq!(zero.sibling().unwrap(), one.clone());
+        prop_assert_eq!(one.sibling().unwrap(), zero.clone());
+        prop_assert!(label.is_prefix_of_label(&zero));
+        prop_assert!(label.is_prefix_of_label(&one));
+        prop_assert!(!zero.is_prefix_of_label(&one));
+    }
+
+    #[test]
+    fn label_prefix_of_id_consistency(id in arb_id(), depth in 0usize..40) {
+        let label = Label::prefix_of_id(&id, depth);
+        prop_assert_eq!(label.len(), depth);
+        prop_assert!(label.is_prefix_of(&id));
+        prop_assert_eq!(label.common_prefix_with_id(&id), depth);
+        if depth > 0 {
+            let flipped = label.flip_bit(depth - 1);
+            prop_assert!(!flipped.is_prefix_of(&id));
+        }
+    }
+
+    #[test]
+    fn exactly_one_child_prefixes_an_id(id in arb_id(), depth in 0usize..30) {
+        let label = Label::prefix_of_id(&id, depth);
+        let (zero, one) = label.children();
+        prop_assert!(zero.is_prefix_of(&id) ^ one.is_prefix_of(&id));
+    }
+
+    #[test]
+    fn maintenance_conserves_members(
+        x in 0usize..=7,
+        y_frac in 0.0f64..=1.0,
+        s in 1usize..=7,
+        k in 1usize..=7,
+        seed in any::<u64>(),
+    ) {
+        let y = ((s as f64) * y_frac) as usize;
+        let params = ClusterParams::new(7, 7).unwrap();
+        let member = |i: u64, m: bool| Member {
+            peer: PeerId(i),
+            malicious: m,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        };
+        let core: Vec<Member> = (0..7).map(|i| member(i, (i as usize) < x)).collect();
+        let spare: Vec<Member> = (0..s).map(|i| member(100 + i as u64, i < y)).collect();
+        let mut cluster = Cluster::new(Label::root(), params, core, spare).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Pick any core member to leave.
+        let leaver = cluster.core()[0].peer;
+        let was_malicious = cluster.core()[0].malicious;
+        let report = ops::leave_core_randomized(&mut cluster, leaver, k, &mut rng).unwrap();
+        prop_assert_eq!(report.left.peer, leaver);
+        prop_assert_eq!(report.demoted.len(), k - 1);
+        prop_assert_eq!(report.promoted.len(), k);
+        // Structure restored.
+        prop_assert_eq!(cluster.core().len(), 7);
+        prop_assert_eq!(cluster.spare_size(), s - 1);
+        prop_assert!(cluster.check_invariants().is_ok());
+        prop_assert!(!cluster.contains(leaver));
+        // Malicious count conserved minus the leaver.
+        let (_, nx, ny) = cluster.sxy();
+        prop_assert_eq!(nx + ny + usize::from(was_malicious), x + y);
+    }
+
+    #[test]
+    fn join_then_leave_is_identity_on_counts(
+        s in 0usize..6,
+        malicious in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let params = ClusterParams::new(4, 6).unwrap();
+        let member = |i: u64, m: bool| Member {
+            peer: PeerId(i),
+            malicious: m,
+            id: NodeId::from_data(&i.to_be_bytes()),
+        };
+        let core: Vec<Member> = (0..4).map(|i| member(i, false)).collect();
+        let spare: Vec<Member> = (0..s).map(|i| member(100 + i as u64, false)).collect();
+        let mut cluster = Cluster::new(Label::root(), params, core, spare).unwrap();
+        let before = cluster.sxy();
+        let _ = seed;
+        ops::join(&mut cluster, member(999, malicious)).unwrap();
+        let (s1, x1, y1) = cluster.sxy();
+        prop_assert_eq!(s1, before.0 + 1);
+        prop_assert_eq!(x1, before.1);
+        prop_assert_eq!(y1, before.2 + usize::from(malicious));
+        ops::leave_spare(&mut cluster, PeerId(999)).unwrap();
+        prop_assert_eq!(cluster.sxy(), before);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_length_sensitive(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        use pollux_overlay::hash::sha256;
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(sha256(&data), sha256(&extended));
+    }
+}

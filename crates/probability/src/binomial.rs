@@ -1,0 +1,178 @@
+use rand::RngExt;
+
+use crate::comb::{binomial, ln_binomial};
+use crate::ProbError;
+
+/// The binomial distribution `Bin(n, p)`.
+///
+/// The paper's initial distribution `β` (Relation 3) draws the number of
+/// malicious peers in the core and spare sets from independent binomials
+/// with success probability `μ`.
+///
+/// # Example
+///
+/// ```
+/// use pollux_prob::Binomial;
+///
+/// let b = Binomial::new(7, 0.25).unwrap();
+/// let total: f64 = (0..=7).map(|x| b.pmf(x)).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `Bin(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameters`] when `p` is outside `[0, 1]`
+    /// or not finite.
+    pub fn new(n: u64, p: f64) -> Result<Self, ProbError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(ProbError::InvalidParameters(format!(
+                "success probability {p} not in [0, 1]"
+            )));
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of exactly `x` successes; 0 when `x > n`.
+    pub fn pmf(&self, x: u64) -> f64 {
+        if x > self.n {
+            return 0.0;
+        }
+        // Handle the degenerate endpoints exactly: 0^0 = 1 convention.
+        if self.p == 0.0 {
+            return if x == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if x == self.n { 1.0 } else { 0.0 };
+        }
+        if self.n <= 120 {
+            binomial(self.n, x)
+                * self.p.powi(x as i32)
+                * (1.0 - self.p).powi((self.n - x) as i32)
+        } else {
+            (ln_binomial(self.n, x)
+                + x as f64 * self.p.ln()
+                + (self.n - x) as f64 * (1.0 - self.p).ln())
+            .exp()
+        }
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: u64) -> f64 {
+        (0..=x.min(self.n)).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Mean `n p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n p (1 − p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Samples by `n` Bernoulli trials (exact; `n` is small throughout the
+    /// model).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (0..self.n).filter(|_| rng.random_bool(self.p)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for n in [0u64, 1, 5, 13] {
+            for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                let b = Binomial::new(n, p).unwrap();
+                let total: f64 = (0..=n).map(|x| b.pmf(x)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let b = Binomial::new(7, 0.3).unwrap();
+        // C(7,2) 0.3^2 0.7^5 = 21 * 0.09 * 0.16807
+        assert!((b.pmf(2) - 21.0 * 0.09 * 0.16807).abs() < 1e-12);
+        assert_eq!(b.pmf(8), 0.0);
+    }
+
+    #[test]
+    fn degenerate_endpoints() {
+        let b = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b.pmf(0), 1.0);
+        assert_eq!(b.pmf(1), 0.0);
+        let b = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b.pmf(5), 1.0);
+        assert_eq!(b.pmf(4), 0.0);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(Binomial::new(3, -0.1).is_err());
+        assert!(Binomial::new(3, 1.1).is_err());
+        assert!(Binomial::new(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let b = Binomial::new(9, 0.4).unwrap();
+        let mut prev = 0.0;
+        for x in 0..=9 {
+            let c = b.cdf(x);
+            assert!(c >= prev - 1e-15);
+            prev = c;
+        }
+        assert!((b.cdf(9) - 1.0).abs() < 1e-12);
+        assert!((b.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_pmf() {
+        let b = Binomial::new(11, 0.35).unwrap();
+        let mean: f64 = (0..=11).map(|x| x as f64 * b.pmf(x)).sum();
+        let var: f64 = (0..=11).map(|x| (x as f64 - mean).powi(2) * b.pmf(x)).sum();
+        assert!((mean - b.mean()).abs() < 1e-10);
+        assert!((var - b.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn large_n_uses_log_space() {
+        let b = Binomial::new(500, 0.3).unwrap();
+        let total: f64 = (0..=500).map(|x| b.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let b = Binomial::new(20, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| b.sample(&mut rng)).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - b.mean()).abs() < 0.1, "empirical {emp}");
+    }
+}

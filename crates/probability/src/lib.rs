@@ -1,0 +1,76 @@
+//! Combinatorics and discrete probability distributions.
+//!
+//! This crate provides the probabilistic kernels of the Pollux reproduction
+//! of *Modeling and Evaluating Targeted Attacks in Large Scale Dynamic
+//! Systems* (DSN 2011):
+//!
+//! * [`comb`] — exact and logarithmic binomial coefficients.
+//! * [`Hypergeometric`] — the distribution `q(k, ℓ, u, v)` from the paper:
+//!   the probability of drawing `u` red balls when `k` balls are drawn
+//!   without replacement from an urn of `ℓ` balls containing `v` red ones.
+//!   It drives the randomized core-maintenance kernel `τ(x, a, b)` and the
+//!   adversary's Rule 1 (Relation 2).
+//! * [`Binomial`] — used by the paper's initial distribution `β`
+//!   (Relation 3).
+//! * [`AliasTable`] — O(1) sampling from arbitrary finite distributions
+//!   (Walker's method), used by the Monte-Carlo simulators.
+//! * [`exponential`] — exponential variates for the discrete-event engine.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_prob::Hypergeometric;
+//!
+//! // Drawing 3 from an urn of 10 with 4 red: P(exactly 2 red).
+//! let h = Hypergeometric::new(10, 4, 3).unwrap();
+//! let p = h.pmf(2);
+//! assert!((p - 0.3).abs() < 1e-12);
+//! ```
+
+mod alias;
+mod binomial;
+pub mod comb;
+pub mod exponential;
+mod hypergeometric;
+
+pub use alias::AliasTable;
+pub use binomial::Binomial;
+pub use hypergeometric::{hypergeometric_q, Hypergeometric};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing distributions from inconsistent
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbError {
+    /// Parameters violate the distribution's constraints.
+    InvalidParameters(String),
+    /// A weight vector was empty, negative or had zero total mass.
+    InvalidWeights(String),
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            ProbError::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
+        }
+    }
+}
+
+impl Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ProbError::InvalidParameters("k > l".into());
+        assert!(e.to_string().contains("k > l"));
+        let e = ProbError::InvalidWeights("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Tuning the induced churn: how long may peers keep one identifier?
+//!
+//! The paper's conclusion (ii): choosing the incarnation lifetime `L`
+//! adequately reduces attack propagation *without* keeping the system in
+//! hyper-activity. This example sweeps the survival probability `d`
+//! (equivalently `L`), finds the largest `L` that still keeps the
+//! polluted-merge probability under a target, and prints the trade-off
+//! table an operator would use.
+//!
+//! ```text
+//! cargo run --release --example churn_tuning
+//! ```
+
+use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mu = 0.25; // assumed adversarial fraction
+    let target = 0.05; // operator's ceiling on p(polluted merge)
+
+    println!("mu = {:.0}%, target p(AmP) <= {:.0}%", mu * 100.0, target * 100.0);
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10} {:>12}",
+        "d", "L", "E(T_S)", "E(T_P)", "p(AmP)"
+    );
+
+    let mut best: Option<(f64, f64)> = None;
+    for &d in &[0.0, 0.3, 0.5, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99] {
+        let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
+        let e_s = analysis.expected_safe_events()?;
+        let e_p = analysis.expected_polluted_events()?;
+        let p_amp = analysis.absorption_split()?.polluted_merge;
+        let l = params.lifetime_l().unwrap_or(0.0);
+        println!(
+            "{:>6} {:>10.2} {:>10.3} {:>10.3} {:>11.2}%",
+            d,
+            l,
+            e_s,
+            e_p,
+            100.0 * p_amp
+        );
+        if p_amp <= target {
+            best = Some((d, l));
+        }
+    }
+
+    match best {
+        Some((d, l)) => {
+            println!(
+                "\nLargest identifier lifetime meeting the target: d = {d} (L = {l:.2}).",
+            );
+            println!("Peers re-key only every ~{l:.0} time units — no hyper-activity");
+            println!("needed; pushing peers smoothly to unpredictable regions suffices.");
+        }
+        None => println!("\nNo surveyed lifetime meets the target — lower mu or raise C."),
+    }
+    Ok(())
+}

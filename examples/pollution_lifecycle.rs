@@ -1,0 +1,92 @@
+//! Life of a targeted cluster: simulates single-cluster trajectories under
+//! the paper's adversary, prints a textual timeline of one interesting
+//! run, and compares the empirical distribution of the pollution time
+//! `T_P` with the analytical one.
+//!
+//! ```text
+//! cargo run --release --example pollution_lifecycle
+//! ```
+
+use pollux::simulation::{AbsorbedIn, ClusterSimulator};
+use pollux::{ClusterAnalysis, ClusterState, InitialCondition, ModelParams, StateClass};
+use pollux_adversary::TargetedStrategy;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::paper_defaults().with_mu(0.30).with_d(0.90);
+    let strategy = TargetedStrategy::new(1, params.nu()).expect("validated parameters");
+    let sim = ClusterSimulator::new(&params, &strategy);
+    let start = ClusterState::new(3, 0, 0);
+
+    // --- find and print one run that actually gets polluted --------------
+    let mut rng = StdRng::seed_from_u64(7);
+    'outer: for attempt in 0..10_000u64 {
+        let mut state = start;
+        let mut timeline = vec![state];
+        while state.classify(&params).is_transient() {
+            state = sim.step(state, &mut rng);
+            timeline.push(state);
+            if timeline.len() > 400 {
+                continue 'outer;
+            }
+        }
+        if timeline
+            .iter()
+            .any(|st| st.classify(&params) == StateClass::TransientPolluted)
+        {
+            println!("attempt {attempt}: a cluster that fell to the adversary\n");
+            println!("{:>5}  {:>12}  {}", "event", "(s, x, y)", "phase");
+            for (i, st) in timeline.iter().enumerate() {
+                let phase = match st.classify(&params) {
+                    StateClass::TransientSafe => "safe",
+                    StateClass::TransientPolluted => "POLLUTED",
+                    StateClass::SafeMerge => "absorbed: safe merge",
+                    StateClass::SafeSplit => "absorbed: safe split",
+                    StateClass::PollutedMerge => "absorbed: POLLUTED MERGE",
+                    StateClass::PollutedSplit => "absorbed: polluted split",
+                };
+                println!("{:>5}  ({}, {}, {})  {}", i, st.s, st.x, st.y, phase);
+            }
+            break;
+        }
+    }
+
+    // --- distribution of T_P: simulation vs analysis ---------------------
+    let reps = 60_000usize;
+    let mut counts = vec![0usize; 10];
+    let mut polluted_merges = 0usize;
+    for _ in 0..reps {
+        let out = sim.run(start, &mut rng);
+        let bucket = (out.polluted_events as usize).min(counts.len() - 1);
+        counts[bucket] += 1;
+        if out.absorbed == AbsorbedIn::PollutedMerge {
+            polluted_merges += 1;
+        }
+    }
+    let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
+    let dist = analysis.polluted_time_distribution(counts.len() - 1);
+
+    println!("\ndistribution of the total pollution time T_P:");
+    println!("{:>6}  {:>12}  {:>12}", "T_P", "analytical", "simulated");
+    for (j, &c) in counts.iter().enumerate() {
+        let tail = j == counts.len() - 1;
+        let analytic = if tail {
+            1.0 - dist[..j].iter().sum::<f64>()
+        } else {
+            dist[j]
+        };
+        println!(
+            "{:>5}{}  {:>12.5}  {:>12.5}",
+            j,
+            if tail { "+" } else { " " },
+            analytic,
+            c as f64 / reps as f64
+        );
+    }
+    println!(
+        "\npolluted merges: {:.2}% of runs (analysis: {:.2}%)",
+        100.0 * polluted_merges as f64 / reps as f64,
+        100.0 * analysis.absorption_split()?.polluted_merge
+    );
+    Ok(())
+}

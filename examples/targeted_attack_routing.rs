@@ -1,0 +1,129 @@
+//! Routing impact of targeted attacks: builds a real prefix-tree overlay
+//! out of registry peers, pollutes clusters at the rate the analytical
+//! model predicts, and measures how lookup delivery degrades — with and
+//! without redundant routing.
+//!
+//! This is the scenario the paper's introduction motivates: polluted
+//! clusters drop or misroute messages addressed to the keys they cover.
+//! Safe clusters respect the protocol's containment guarantee (at most
+//! `c = ⌊(C−1)/3⌋` malicious core members); the fraction of polluted
+//! clusters is taken from the model's polluted-merge probability.
+//!
+//! ```text
+//! cargo run --release --example targeted_attack_routing
+//! ```
+
+use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
+use pollux_overlay::{
+    routing, Cluster, ClusterParams, Label, Member, NodeId, Overlay, PeerRegistry,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Builds a balanced overlay with `2^depth` clusters whose members come
+/// from `registry`. A cluster is polluted with probability `p_polluted`
+/// (quorum exceeded); safe clusters carry at most `c` malicious core
+/// members, reflecting the protocol's containment.
+fn build_overlay(
+    depth: usize,
+    registry: &PeerRegistry,
+    mu: f64,
+    p_polluted: f64,
+    rng: &mut StdRng,
+) -> (Overlay, usize) {
+    let params = ClusterParams::new(4, 8).expect("valid sizes");
+    let quorum = params.quorum();
+    let mut clusters = Vec::new();
+    let mut polluted_count = 0;
+    let mut next_peer = 0usize;
+    for leaf in 0..(1usize << depth) {
+        let bits: Vec<bool> = (0..depth)
+            .map(|b| (leaf >> (depth - 1 - b)) & 1 == 1)
+            .collect();
+        let label = Label::from_bits(bits);
+        let polluted = mu > 0.0 && rng.random_bool(p_polluted);
+        if polluted {
+            polluted_count += 1;
+        }
+        let mut take = |force_malicious: bool,
+                        budget: &mut usize,
+                        rng: &mut StdRng|
+         -> Member {
+            let peer = &registry.peers()[next_peer % registry.len()];
+            next_peer += 1;
+            // Containment: honest selection never exceeds the budget.
+            let malicious = force_malicious
+                || (mu > 0.0 && rng.random_bool(mu) && *budget > 0);
+            if malicious && !force_malicious {
+                *budget -= 1;
+            }
+            Member {
+                peer: peer.id,
+                malicious,
+                id: NodeId::from_data(&(next_peer as u64).to_be_bytes()),
+            }
+        };
+        // Safe clusters keep at most `quorum` malicious core members.
+        let mut core_budget = quorum;
+        let core: Vec<Member> = (0..params.core_size())
+            .map(|i| take(polluted && i <= quorum, &mut core_budget, rng))
+            .collect();
+        let mut spare_budget = 4; // spares are unconstrained by the quorum
+        let spare: Vec<Member> = (0..4)
+            .map(|_| take(false, &mut spare_budget, rng))
+            .collect();
+        clusters.push(
+            Cluster::new(label, params, core, spare).expect("constructed well-formed"),
+        );
+    }
+    (
+        Overlay::bootstrap(params, clusters).expect("balanced tree covers the space"),
+        polluted_count,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2011);
+
+    println!("mu      p(polluted cluster)    delivery    delivery (3x redundant)");
+    for &mu in &[0.0, 0.10, 0.20, 0.30] {
+        let registry = PeerRegistry::generate(4096, mu, &mut rng);
+        // Predicted probability that a cluster is polluted when it
+        // dissolves, from the analytical model (polluted-merge mass).
+        let p_polluted = if mu == 0.0 {
+            0.0
+        } else {
+            let params = ModelParams::paper_defaults().with_mu(mu).with_d(0.9);
+            ClusterAnalysis::new(&params, InitialCondition::Delta)?
+                .absorption_split()?
+                .polluted_merge
+        };
+
+        let (overlay, polluted_clusters) =
+            build_overlay(6, &registry, mu, p_polluted, &mut rng);
+        let drops = |c: &Cluster| c.is_polluted();
+
+        let attempts = 3000;
+        let plain = routing::delivery_rate(&overlay, attempts, &drops, &mut rng);
+        let mut redundant_ok = 0usize;
+        let labels = overlay.labels();
+        for i in 0..attempts {
+            let from = &labels[rng.random_range(0..labels.len())];
+            let target = NodeId::from_data(&(i as u64).to_be_bytes());
+            if routing::route_redundant(&overlay, from, &target, &drops, 3, &mut rng)? {
+                redundant_ok += 1;
+            }
+        }
+        println!(
+            "{:>4.0}%   {:>7.2}% ({:>2} of 64)    {:>7.2}%    {:>7.2}%",
+            mu * 100.0,
+            100.0 * p_polluted,
+            polluted_clusters,
+            100.0 * plain,
+            100.0 * redundant_ok as f64 / attempts as f64,
+        );
+    }
+    println!("\nLesson: because the protocol keeps the polluted fraction small,");
+    println!("lookups stay near-perfect; redundancy recovers transit losses but");
+    println!("cannot save keys owned by a polluted cluster.");
+    Ok(())
+}

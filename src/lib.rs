@@ -1,0 +1,9 @@
+//! Facade for the Pollux workspace: re-exports every crate so examples and
+//! integration tests can use one import root.
+pub use pollux;
+pub use pollux_adversary as adversary;
+pub use pollux_des as des;
+pub use pollux_linalg as linalg;
+pub use pollux_markov as markov;
+pub use pollux_overlay as overlay;
+pub use pollux_prob as prob;

@@ -1,0 +1,226 @@
+//! Cross-crate validation: the analytical Figure-2 matrix (crates/core +
+//! crates/markov + crates/linalg) against the independently-coded
+//! event-level Monte-Carlo simulator (crates/core::simulation +
+//! crates/adversary + crates/prob), and Theorem 2 against the n-cluster
+//! overlay simulation.
+
+use pollux::overlay_sim::{run_overlay, OverlaySimConfig};
+use pollux::simulation;
+use pollux::{ClusterAnalysis, InitialCondition, ModelParams, OverlayModel};
+use pollux_adversary::baselines::{PassiveAdversary, RecklessAdversary};
+use pollux_adversary::TargetedStrategy;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+}
+
+#[test]
+fn sojourns_and_absorption_agree_with_simulation() {
+    for (mu, d, k) in [(0.15, 0.85, 1usize), (0.3, 0.9, 1), (0.25, 0.9, 7)] {
+        let params = ModelParams::paper_defaults()
+            .with_mu(mu)
+            .with_d(d)
+            .with_k(k)
+            .unwrap();
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta).unwrap();
+        let strategy = TargetedStrategy::new(k, params.nu()).unwrap();
+        let report = simulation::estimate(
+            &params,
+            &InitialCondition::Delta,
+            &strategy,
+            30_000,
+            99,
+            threads(),
+        );
+        let e_ts = analysis.expected_safe_events().unwrap();
+        let e_tp = analysis.expected_polluted_events().unwrap();
+        assert!(
+            (report.safe_events.mean - e_ts).abs() <= 3.0 * report.safe_events.ci_half_width,
+            "mu={mu} d={d} k={k}: T_S sim {} vs {e_ts}",
+            report.safe_events
+        );
+        assert!(
+            (report.polluted_events.mean - e_tp).abs()
+                <= 3.0 * report.polluted_events.ci_half_width,
+            "mu={mu} d={d} k={k}: T_P sim {} vs {e_tp}",
+            report.polluted_events
+        );
+        let split = analysis.absorption_split().unwrap();
+        assert!(
+            (report.absorption.2 - split.polluted_merge).abs() < 0.01,
+            "mu={mu} d={d} k={k}: p(AmP) sim {} vs {}",
+            report.absorption.2,
+            split.polluted_merge
+        );
+    }
+}
+
+#[test]
+fn first_sojourns_agree_with_relation_7_8() {
+    let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+    let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta).unwrap();
+    let strategy = TargetedStrategy::new(1, params.nu()).unwrap();
+    let report = simulation::estimate(
+        &params,
+        &InitialCondition::Delta,
+        &strategy,
+        40_000,
+        7,
+        threads(),
+    );
+    let s1 = analysis.successive_safe_sojourns(1)[0];
+    let p1 = analysis.successive_polluted_sojourns(1)[0];
+    assert!(
+        (report.first_safe_sojourn.mean - s1).abs()
+            <= 3.0 * report.first_safe_sojourn.ci_half_width,
+        "T_S1 sim {} vs {s1}",
+        report.first_safe_sojourn
+    );
+    assert!(
+        (report.first_polluted_sojourn.mean - p1).abs()
+            <= 3.0 * report.first_polluted_sojourn.ci_half_width,
+        "T_P1 sim {} vs {p1}",
+        report.first_polluted_sojourn
+    );
+}
+
+#[test]
+fn beta_initial_condition_agrees() {
+    let params = ModelParams::paper_defaults().with_mu(0.2).with_d(0.8);
+    let analysis = ClusterAnalysis::new(&params, InitialCondition::Beta).unwrap();
+    let strategy = TargetedStrategy::new(1, params.nu()).unwrap();
+    let report = simulation::estimate(
+        &params,
+        &InitialCondition::Beta,
+        &strategy,
+        30_000,
+        21,
+        threads(),
+    );
+    let e_tp = analysis.expected_polluted_events().unwrap();
+    assert!(
+        (report.polluted_events.mean - e_tp).abs()
+            <= 3.0 * report.polluted_events.ci_half_width,
+        "T_P sim {} vs {e_tp}",
+        report.polluted_events
+    );
+}
+
+#[test]
+fn ablated_adversaries_change_outcomes_consistently() {
+    // The passive adversary gives the same E(T_P) as the model with all
+    // toggles off; the reckless one must do strictly worse for itself
+    // than the targeted strategy under protocol_7 merge deterrence.
+    let base = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+    let passive_params = base.with_toggles(pollux::AdversaryToggles::none());
+    let analysis = ClusterAnalysis::new(&passive_params, InitialCondition::Delta).unwrap();
+    let report = simulation::estimate(
+        &passive_params,
+        &InitialCondition::Delta,
+        &PassiveAdversary::new(),
+        30_000,
+        5,
+        threads(),
+    );
+    let e_tp = analysis.expected_polluted_events().unwrap();
+    assert!(
+        (report.polluted_events.mean - e_tp).abs()
+            <= 3.0 * report.polluted_events.ci_half_width,
+        "passive T_P sim {} vs {e_tp}",
+        report.polluted_events
+    );
+
+    // Reckless adversary exists and runs; with k = 1 its Rule-1 gambles
+    // are executed by the simulator (the matrix cannot model it — that is
+    // the point of having a simulator).
+    let reckless = simulation::estimate(
+        &base,
+        &InitialCondition::Delta,
+        &RecklessAdversary::new(),
+        10_000,
+        6,
+        threads(),
+    );
+    assert!(reckless.polluted_events.mean >= 0.0);
+}
+
+#[test]
+fn steady_state_fractions_match_regenerating_overlay() {
+    // Renewal-reward prediction: a regenerating cluster is polluted a
+    // fraction E(T_P)/(E(T_S)+E(T_P)+1) of its event slots.
+    let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+    let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta).unwrap();
+    let (want_safe, want_polluted) = analysis.steady_state_fractions().unwrap();
+
+    let strategy = TargetedStrategy::new(1, params.nu()).unwrap();
+    // Sample late snapshots, well past the transient warm-up.
+    let sample_points: Vec<u64> = (10..=30).map(|i| i * 10_000).collect();
+    let config = OverlaySimConfig {
+        n_clusters: 200,
+        sample_points: sample_points.clone(),
+        regenerate: true,
+    };
+    let mut safe_acc = 0.0;
+    let mut polluted_acc = 0.0;
+    let runs = 6;
+    for seed in 0..runs {
+        let tr = run_overlay(&params, &InitialCondition::Delta, &strategy, &config, seed);
+        for &(_, s, p) in &tr.points {
+            safe_acc += s;
+            polluted_acc += p;
+        }
+    }
+    let n_obs = (runs as usize * sample_points.len()) as f64;
+    let sim_safe = safe_acc / n_obs;
+    let sim_polluted = polluted_acc / n_obs;
+    assert!(
+        (sim_safe - want_safe).abs() < 0.02,
+        "safe fraction: sim {sim_safe} vs renewal {want_safe}"
+    );
+    assert!(
+        (sim_polluted - want_polluted).abs() < 0.015,
+        "polluted fraction: sim {sim_polluted} vs renewal {want_polluted}"
+    );
+}
+
+#[test]
+fn theorem2_matches_overlay_simulation() {
+    let params = ModelParams::paper_defaults().with_mu(0.2).with_d(0.9);
+    let strategy = TargetedStrategy::new(1, params.nu()).unwrap();
+    let n = 300usize;
+    let sample_points = vec![0u64, 3000, 12_000, 30_000];
+    let model = OverlayModel::new(&params, InitialCondition::Delta, n as u64).unwrap();
+    let expect = model.proportion_series(&sample_points).unwrap();
+
+    let runs = 10;
+    let config = OverlaySimConfig {
+        n_clusters: n,
+        sample_points: sample_points.clone(),
+        regenerate: false,
+    };
+    let mut mean_safe = vec![0.0; sample_points.len()];
+    let mut mean_polluted = vec![0.0; sample_points.len()];
+    for seed in 0..runs {
+        let tr = run_overlay(&params, &InitialCondition::Delta, &strategy, &config, seed);
+        for (i, &(_, s, p)) in tr.points.iter().enumerate() {
+            mean_safe[i] += s / runs as f64;
+            mean_polluted[i] += p / runs as f64;
+        }
+    }
+    for (i, e) in expect.iter().enumerate() {
+        assert!(
+            (mean_safe[i] - e.safe).abs() < 0.03,
+            "safe at m={}: {} vs {}",
+            e.m,
+            mean_safe[i],
+            e.safe
+        );
+        assert!(
+            (mean_polluted[i] - e.polluted).abs() < 0.015,
+            "polluted at m={}: {} vs {}",
+            e.m,
+            mean_polluted[i],
+            e.polluted
+        );
+    }
+}

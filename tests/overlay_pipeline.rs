@@ -1,0 +1,188 @@
+//! End-to-end exercise of the overlay substrate: peers with certificates
+//! and incarnations, a bootstrapped prefix-tree topology, churn through
+//! the four robust operations with invariants checked throughout, and
+//! routing across the result.
+
+use pollux_overlay::incarnation::IncarnationPolicy;
+use pollux_overlay::{
+    consensus, ops, routing, Behavior, Cluster, ClusterParams, Label, Member, NodeId, Overlay,
+    PeerRegistry,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn member_from(registry: &PeerRegistry, idx: usize, policy: &IncarnationPolicy, t: f64) -> Member {
+    let peer = &registry.peers()[idx];
+    Member {
+        peer: peer.id,
+        malicious: peer.behavior == Behavior::Malicious,
+        id: peer.current_id(policy, t),
+    }
+}
+
+/// Builds a 4-leaf overlay with members drawn from the registry.
+fn bootstrap(registry: &PeerRegistry, policy: &IncarnationPolicy) -> Overlay {
+    let params = ClusterParams::new(4, 6).unwrap();
+    let mut clusters = Vec::new();
+    let mut idx = 0;
+    for label in ["00", "01", "10", "11"] {
+        let core: Vec<Member> = (0..4)
+            .map(|_| {
+                let m = member_from(registry, idx, policy, 1.0);
+                idx += 1;
+                m
+            })
+            .collect();
+        let spare: Vec<Member> = (0..3)
+            .map(|_| {
+                let m = member_from(registry, idx, policy, 1.0);
+                idx += 1;
+                m
+            })
+            .collect();
+        clusters.push(
+            Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap(),
+        );
+    }
+    Overlay::bootstrap(params, clusters).unwrap()
+}
+
+#[test]
+fn churn_through_operations_preserves_invariants() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let registry = PeerRegistry::generate(500, 0.2, &mut rng);
+    let policy = IncarnationPolicy::new(1000.0, 2.0).unwrap();
+    let mut overlay = bootstrap(&registry, &policy);
+    let mut next_idx = 28usize;
+
+    for step in 0..400 {
+        let labels = overlay.labels();
+        let label = labels[rng.random_range(0..labels.len())].clone();
+        let join = rng.random_bool(0.5);
+        if join {
+            let member = member_from(&registry, next_idx % registry.len(), &policy, 1.0);
+            next_idx += 1;
+            let cluster = overlay.cluster_mut(&label).unwrap();
+            if cluster.contains(member.peer) {
+                continue;
+            }
+            if cluster.must_split() {
+                // Split instead of overfilling; tolerate unbalanced sides.
+                let _ = overlay.split_cluster(&label, &mut rng);
+                continue;
+            }
+            let cluster = overlay.cluster_mut(&label).unwrap();
+            ops::join(cluster, member).unwrap();
+        } else {
+            let cluster = overlay.cluster_mut(&label).unwrap();
+            if cluster.must_merge() {
+                let _ = overlay.merge_cluster(&label);
+                continue;
+            }
+            // Leave a uniformly random member.
+            let total = cluster.params().core_size() + cluster.spare_size();
+            let pick = rng.random_range(0..total);
+            if pick < cluster.params().core_size() {
+                let peer = cluster.core()[pick].peer;
+                ops::leave_core_randomized(cluster, peer, 1, &mut rng).unwrap();
+            } else {
+                let peer = cluster.spare()[pick - cluster.params().core_size()].peer;
+                ops::leave_spare(cluster, peer).unwrap();
+            }
+        }
+        // Invariants after every step.
+        overlay.check_cover().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        for cl in overlay.clusters() {
+            cl.check_invariants()
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn property_1_expired_ids_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let registry = PeerRegistry::generate(10, 0.0, &mut rng);
+    let policy = IncarnationPolicy::new(100.0, 2.0).unwrap();
+    let peer = &registry.peers()[0];
+    let id_at_t50 = peer.current_id(&policy, 50.0);
+    // At t = 50 the id validates; at t = 250 (incarnation 3) it must not.
+    assert!(policy.is_id_valid(&peer.initial_id, peer.certificate.t0 as f64, &id_at_t50, 50.0));
+    assert!(!policy.is_id_valid(
+        &peer.initial_id,
+        peer.certificate.t0 as f64,
+        &id_at_t50,
+        250.0
+    ));
+    // The peer re-joins with its third incarnation and is accepted again.
+    let id_at_t250 = peer.current_id(&policy, 250.0);
+    assert!(policy.is_id_valid(
+        &peer.initial_id,
+        peer.certificate.t0 as f64,
+        &id_at_t250,
+        250.0
+    ));
+    // The forced move is real: the responsible cluster changes with high
+    // probability (ids are hashes).
+    assert_ne!(id_at_t50, id_at_t250);
+}
+
+#[test]
+fn consensus_outcome_tracks_core_composition() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let registry = PeerRegistry::generate(100, 0.5, &mut rng);
+    let policy = IncarnationPolicy::new(1000.0, 2.0).unwrap();
+    // A 7-member core with exactly 2 malicious (<= c): honest outcome.
+    let members: Vec<Member> = (0..7)
+        .map(|i| {
+            let mut m = member_from(&registry, i, &policy, 1.0);
+            m.malicious = i < 2;
+            m
+        })
+        .collect();
+    let out = consensus::agree(&members, "promote-spare-3", Some("promote-colluder"));
+    assert!(out.honest_outcome);
+    // With 3 malicious the colluders dictate the choice.
+    let members: Vec<Member> = members
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut m)| {
+            m.malicious = i < 3;
+            m
+        })
+        .collect();
+    let out = consensus::agree(&members, "promote-spare-3", Some("promote-colluder"));
+    assert!(!out.honest_outcome);
+    assert_eq!(out.decided, "promote-colluder");
+}
+
+#[test]
+fn routing_degrades_only_through_polluted_clusters() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let registry = PeerRegistry::generate(200, 0.0, &mut rng);
+    let policy = IncarnationPolicy::new(1000.0, 2.0).unwrap();
+    let overlay = bootstrap(&registry, &policy);
+    // mu = 0 registry: nothing is polluted, everything delivers.
+    let rate = routing::delivery_rate(&overlay, 500, &|c| c.is_polluted(), &mut rng);
+    assert_eq!(rate, 1.0);
+    // Force-drop one specific cluster and watch only its keys fail.
+    let victim = Label::parse("11").unwrap();
+    let drops = |c: &Cluster| c.label() == &victim;
+    let mut failures = 0;
+    let mut hits = 0;
+    for i in 0..2000u64 {
+        let target = NodeId::from_data(&i.to_be_bytes());
+        let out = routing::route(&overlay, &Label::parse("00").unwrap(), &target, &drops)
+            .unwrap();
+        if victim.is_prefix_of(&target) {
+            hits += 1;
+            assert!(!out.delivered, "keys of the dropped cluster must fail");
+        } else {
+            assert!(out.delivered, "other keys must not be affected");
+        }
+        if !out.delivered {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, hits);
+    assert!(hits > 300); // about a quarter of the key space
+}

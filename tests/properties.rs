@@ -1,0 +1,149 @@
+//! Property-based tests over random model parameterizations: structural
+//! invariants that must hold for *every* `(C, Δ, μ, d, k, ν)`, not just
+//! the paper's grid.
+
+use proptest::prelude::*;
+
+use pollux::{
+    polluted_split_unreachable, AdversaryToggles, ClusterAnalysis, ClusterChain,
+    InitialCondition, ModelParams,
+};
+use pollux_adversary::{rules, ClusterView};
+
+/// Strategy generating a valid parameter set (small enough to keep the
+/// chain build fast in debug builds).
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (2usize..=8, 2usize..=6, 0.0f64..0.9, 0.0f64..0.99, 0.01f64..0.9).prop_flat_map(
+        |(c, delta, mu, d, nu)| {
+            (1usize..=c).prop_map(move |k| {
+                ModelParams::new(c, delta, k)
+                    .expect("generated sizes are valid")
+                    .with_mu(mu)
+                    .with_d(d)
+                    .with_nu(nu)
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matrix_is_stochastic(params in params_strategy()) {
+        let chain = ClusterChain::build(&params);
+        prop_assert!(chain.dtmc().matrix().is_stochastic(1e-9));
+        prop_assert_eq!(chain.space().len(), params.state_count());
+    }
+
+    #[test]
+    fn polluted_split_never_reachable_with_rule2(params in params_strategy()) {
+        let chain = ClusterChain::build(&params);
+        prop_assert!(polluted_split_unreachable(&chain));
+    }
+
+    #[test]
+    fn sojourn_totals_decompose_absorption_time(params in params_strategy()) {
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)
+            .expect("valid parameters");
+        let ts = analysis.expected_safe_events().expect("solvable");
+        let tp = analysis.expected_polluted_events().expect("solvable");
+        let total = analysis.expected_absorption_events().expect("solvable");
+        prop_assert!(ts >= 0.0 && tp >= 0.0);
+        let err = (ts + tp - total).abs() / total.max(1.0);
+        prop_assert!(err < 1e-6, "ts={ts} tp={tp} total={total}");
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one(params in params_strategy()) {
+        for initial in [InitialCondition::Delta, InitialCondition::Beta] {
+            let analysis = ClusterAnalysis::new(&params, initial)
+                .expect("valid parameters");
+            let split = analysis.absorption_split().expect("solvable");
+            prop_assert!((split.total() - 1.0).abs() < 1e-8, "total {}", split.total());
+            prop_assert!(split.safe_merge >= 0.0 && split.safe_split >= 0.0);
+            prop_assert!(split.polluted_merge >= -1e-15);
+            prop_assert_eq!(split.polluted_split, 0.0);
+        }
+    }
+
+    #[test]
+    fn beta_distribution_is_valid(params in params_strategy()) {
+        let space = pollux::ModelSpace::new(&params);
+        let alpha = InitialCondition::Beta.distribution(&space).expect("valid");
+        let mass: f64 = alpha.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(alpha.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn sojourn_series_is_summable_to_total(params in params_strategy()) {
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)
+            .expect("valid parameters");
+        let total = analysis.expected_safe_events().expect("solvable");
+        // Series terms are non-negative and partial sums stay below the
+        // total (up to numerics).
+        let series = analysis.successive_safe_sojourns(50);
+        let mut acc = 0.0;
+        for (n, &v) in series.iter().enumerate() {
+            prop_assert!(v >= -1e-12, "negative sojourn at n={}", n + 1);
+            acc += v;
+            prop_assert!(acc <= total * (1.0 + 1e-6) + 1e-9,
+                "partial sum {acc} exceeds total {total}");
+        }
+    }
+
+    #[test]
+    fn ablations_only_help_the_adversary_when_enabled(params in params_strategy()) {
+        // Rule 2 off can only reduce (or keep) the polluted-merge mass.
+        let full = ClusterAnalysis::new(&params, InitialCondition::Delta)
+            .expect("valid parameters");
+        let no_rule2 = ClusterAnalysis::new(
+            &params.with_toggles(AdversaryToggles { rule2: false, ..AdversaryToggles::all() }),
+            InitialCondition::Delta,
+        ).expect("valid parameters");
+        let a = full.absorption_split().expect("solvable").polluted_merge;
+        let b = no_rule2.absorption_split().expect("solvable").polluted_merge;
+        prop_assert!(b <= a + 1e-9, "rule2-off polluted-merge {b} > full {a}");
+    }
+
+    #[test]
+    fn relation2_is_probability_and_zero_for_k1(
+        c in 2usize..=10,
+        s in 1usize..=8,
+    ) {
+        let delta = s.max(2) + 1;
+        for x in 1..=c {
+            for y in 0..=s {
+                let view = ClusterView::new(c, delta, s, x, y).expect("consistent");
+                let p1 = rules::relation2_probability(&view, 1);
+                prop_assert_eq!(p1, 0.0);
+                let pk = rules::relation2_probability(&view, c);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&pk));
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_trajectories_stay_in_omega(params in params_strategy(), seed in any::<u64>()) {
+        use pollux_adversary::TargetedStrategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let strategy = TargetedStrategy::new(params.k(), params.nu()).expect("valid");
+        let sim = pollux::simulation::ClusterSimulator::new(&params, &strategy)
+            .with_max_events(500);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = pollux::ClusterState::new(params.max_spare() / 2, 0, 0);
+        let mut state = start;
+        for _ in 0..200 {
+            if !state.classify(&params).is_transient() {
+                break;
+            }
+            state = sim.step(state, &mut rng);
+            prop_assert!(state.is_consistent(&params), "left Omega: {state}");
+        }
+        // And a full run terminates with a coherent outcome.
+        let out = sim.run(start, &mut rng);
+        prop_assert!(out.first_safe_sojourn <= out.safe_events);
+        prop_assert!(out.first_polluted_sojourn <= out.polluted_events);
+    }
+}
