@@ -43,8 +43,7 @@ pub fn relation2_probability(view: &ClusterView, k: usize) -> f64 {
             let j_hi = (k as u64).min(y as u64 + i);
             let mut j = i + 2;
             while j <= j_hi {
-                total += p_demote
-                    * hypergeometric_q(k as u64, (s + k - 1) as u64, j, y as u64 + i);
+                total += p_demote * hypergeometric_q(k as u64, (s + k - 1) as u64, j, y as u64 + i);
                 j += 1;
             }
         }
@@ -121,7 +120,7 @@ mod tests {
     fn relation2_degenerate_states() {
         assert_eq!(relation2_probability(&view(3, 0, 2), 7), 0.0); // x = 0
         assert_eq!(relation2_probability(&view(0, 2, 0), 7), 0.0); // s = 0
-        // y ≤ 1 can never yield j ≥ i + 2 beyond the demoted returns.
+                                                                   // y ≤ 1 can never yield j ≥ i + 2 beyond the demoted returns.
         assert_eq!(relation2_probability(&view(3, 2, 0), 3), 0.0);
     }
 
@@ -138,7 +137,10 @@ mod tests {
                 for x in 1..=7 {
                     for y in 0..=s {
                         let p = relation2_probability(&view(s, x, y), k);
-                        assert!((0.0..=1.0 + 1e-12).contains(&p), "k={k} s={s} x={x} y={y}: {p}");
+                        assert!(
+                            (0.0..=1.0 + 1e-12).contains(&p),
+                            "k={k} s={s} x={x} y={y}: {p}"
+                        );
                     }
                 }
             }

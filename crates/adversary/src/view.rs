@@ -130,7 +130,12 @@ mod tests {
             malicious: m,
             id: NodeId::from_data(&i.to_be_bytes()),
         };
-        let core = vec![member(0, true), member(1, true), member(2, false), member(3, false)];
+        let core = vec![
+            member(0, true),
+            member(1, true),
+            member(2, false),
+            member(3, false),
+        ];
         let spare = vec![member(10, true)];
         let cl = Cluster::new(Label::root(), params, core, spare).unwrap();
         let v = ClusterView::of_cluster(&cl);

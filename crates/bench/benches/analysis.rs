@@ -15,8 +15,7 @@ fn bench_analysis(c: &mut Criterion) {
     group.bench_function("prepare (LU factorizations)", |b| {
         b.iter(|| {
             black_box(
-                ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Delta)
-                    .expect("valid"),
+                ClusterAnalysis::from_chain(chain.clone(), InitialCondition::Delta).expect("valid"),
             )
         })
     });

@@ -8,8 +8,7 @@ use pollux::{InitialCondition, ModelParams, OverlayModel};
 
 fn bench_iteration(c: &mut Criterion) {
     let params = ModelParams::paper_defaults().with_mu(0.25).with_d(0.9);
-    let model =
-        OverlayModel::new(&params, InitialCondition::Delta, 500).expect("valid parameters");
+    let model = OverlayModel::new(&params, InitialCondition::Delta, 500).expect("valid parameters");
 
     let mut group = c.benchmark_group("overlay_iteration");
     group.sample_size(10);

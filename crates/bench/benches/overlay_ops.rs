@@ -33,7 +33,9 @@ fn overlay(depth: usize) -> Overlay {
     let params = ClusterParams::new(4, 8).unwrap();
     let mut clusters = Vec::new();
     for leaf in 0..(1usize << depth) {
-        let bits: Vec<bool> = (0..depth).map(|b| (leaf >> (depth - 1 - b)) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..depth)
+            .map(|b| (leaf >> (depth - 1 - b)) & 1 == 1)
+            .collect();
         let label = Label::from_bits(bits);
         let base = (leaf as u64 + 1) * 1000;
         let core: Vec<Member> = (0..4).map(|i| member(base + i, false)).collect();

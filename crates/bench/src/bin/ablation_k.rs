@@ -1,34 +1,24 @@
 //! Ablation behind the paper's headline lesson: sweeping the
 //! randomization amount `k` of the leave maintenance from 1 to `C` shows
 //! that *less* randomization resists targeted attacks better
-//! (`protocol_1` maximizes safe time and minimizes polluted time).
+//! (`protocol_1` maximizes safe time and minimizes polluted time) — the
+//! `ablation_k` scenario of `pollux-sweep`.
 
-use pollux::experiments::{self, render_table};
-use pollux::InitialCondition;
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    for (initial, name) in [
-        (InitialCondition::Delta, "alpha = delta"),
-        (InitialCondition::Beta, "alpha = beta"),
-    ] {
-        for &(mu, d) in &[(0.2, 0.8), (0.3, 0.9)] {
-            banner(&format!(
-                "k-sweep — mu = {:.0}%, d = {:.0}%, {name}",
-                mu * 100.0,
-                d * 100.0
-            ));
-            let sweep =
-                experiments::k_sweep(mu, d, &initial).expect("paper parameters are valid");
-            let rows: Vec<Vec<String>> = sweep
-                .iter()
-                .map(|&(k, ts, tp)| {
-                    vec![k.to_string(), fmt_value(ts), fmt_value(tp)]
-                })
-                .collect();
-            println!("{}", render_table(&["k", "E(T_S)", "E(T_P)"], &rows));
-        }
+    let args = parse_cli_or_exit("ablation_k", "k-sweep over (mu, d, alpha)");
+    let reports = run_and_emit(&args, &["ablation_k"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "ablation_k",
+            "k-sweep — E(T_S), E(T_P) by (alpha, k, d, mu)",
+        );
+        println!("{}", report.render_text());
     }
-    println!("Expected shape: E(T_S) decreases and E(T_P) increases with k —");
-    println!("shuffling a single peer at a time (protocol_1) is the best defence.");
+    if reports.iter().any(|r| r.scenario == "ablation_k") {
+        println!("Expected shape: E(T_S) decreases and E(T_P) increases with k —");
+        println!("shuffling a single peer at a time (protocol_1) is the best defence.");
+    }
 }

@@ -1,108 +1,44 @@
 //! Ablation of the adversary's levers: Rule 1 (voluntary leaves), Rule 2
-//! (join suppression) and the maintenance bias are toggled independently,
-//! and the Rule-1 threshold `ν` is swept (the paper never fixes a numeric
-//! `ν`; this shows how little it matters for `k = 1` and how much for
+//! (join suppression) and the maintenance bias are toggled independently
+//! (`ablation_rules` scenario), and the Rule-1 threshold `ν` is swept
+//! (`ablation_nu` scenario — the paper never fixes a numeric `ν`; the
+//! sweep shows how little it matters for `k = 1` and how much for
 //! `k = C`).
 
-use pollux::experiments::render_table;
-use pollux::{AdversaryToggles, ClusterAnalysis, InitialCondition, ModelParams};
-use pollux_bench::{banner, fmt_value};
-
-fn analyse(params: &ModelParams) -> (f64, f64, f64) {
-    let a = ClusterAnalysis::new(params, InitialCondition::Delta)
-        .expect("paper parameters are valid");
-    (
-        a.expected_safe_events().expect("solvable"),
-        a.expected_polluted_events().expect("solvable"),
-        a.absorption_split().expect("solvable").polluted_merge,
-    )
-}
+use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
 
 fn main() {
-    let mu = 0.3;
-    let d = 0.9;
-
-    banner(&format!(
-        "Adversary-lever ablation — mu = {:.0}%, d = {:.0}%, k = 1, alpha = delta",
-        mu * 100.0,
-        d * 100.0
-    ));
-    let combos: [(&str, AdversaryToggles); 5] = [
-        ("full adversary", AdversaryToggles::all()),
-        (
-            "no Rule 2",
-            AdversaryToggles {
-                rule2: false,
-                ..AdversaryToggles::all()
-            },
-        ),
-        (
-            "no bias",
-            AdversaryToggles {
-                bias: false,
-                ..AdversaryToggles::all()
-            },
-        ),
-        (
-            "no Rule 1",
-            AdversaryToggles {
-                rule1: false,
-                ..AdversaryToggles::all()
-            },
-        ),
-        ("passive (none)", AdversaryToggles::none()),
-    ];
-    let mut rows = Vec::new();
-    for (name, toggles) in combos {
-        let params = ModelParams::paper_defaults()
-            .with_mu(mu)
-            .with_d(d)
-            .with_toggles(toggles);
-        let (ts, tp, pmp) = analyse(&params);
-        rows.push(vec![
-            name.to_string(),
-            fmt_value(ts),
-            fmt_value(tp),
-            fmt_value(pmp),
-        ]);
+    let args = parse_cli_or_exit(
+        "ablation_rules",
+        "adversary-lever ablation and Rule-1 threshold sweep",
+    );
+    let reports = run_and_emit(&args, &["ablation_rules", "ablation_nu"]);
+    for report in &reports {
+        match report.scenario.as_str() {
+            "ablation_rules" => {
+                banner("Adversary-lever ablation — mu = 30%, d = 90%, k = 1, alpha = delta")
+            }
+            "ablation_nu" => banner("Rule-1 threshold sweep — nu only matters for k > 1"),
+            other => banner(other),
+        }
+        println!("{}", report.render_text());
     }
-    println!(
-        "{}",
-        render_table(&["adversary", "E(T_S)", "E(T_P)", "p(AmP)"], &rows)
-    );
 
-    banner("Rule-1 threshold sweep — k = 7 (nu only matters for k > 1)");
-    let mut rows = Vec::new();
-    for &nu in &[0.01, 0.05, 0.1, 0.2, 0.4] {
-        let params = ModelParams::paper_defaults()
-            .with_mu(mu)
-            .with_d(d)
-            .with_k(7)
-            .expect("k = 7 <= C")
-            .with_nu(nu);
-        let (ts, tp, pmp) = analyse(&params);
-        rows.push(vec![
-            format!("{nu}"),
-            fmt_value(ts),
-            fmt_value(tp),
-            fmt_value(pmp),
-        ]);
+    // Confirm nu is inert for k = 1: every k = 1 row of the nu sweep must
+    // report the same E(T_P).
+    if let Some(nu_sweep) = reports.iter().find(|r| r.scenario == "ablation_nu") {
+        let k_col = nu_sweep.column("k").expect("key column");
+        let tp: Vec<f64> = nu_sweep
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[k_col].as_f64() == Some(1.0))
+            .filter_map(|(i, _)| nu_sweep.f64(i, "E_T_P"))
+            .collect();
+        let inert = tp.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
+        println!(
+            "k = 1 sanity: E(T_P) identical across nu? {}",
+            if inert { "yes" } else { "NO" }
+        );
     }
-    println!(
-        "{}",
-        render_table(&["nu", "E(T_S)", "E(T_P)", "p(AmP)"], &rows)
-    );
-    // And confirm nu is inert for k = 1.
-    let a = {
-        let p = ModelParams::paper_defaults().with_mu(mu).with_d(d).with_nu(0.01);
-        analyse(&p)
-    };
-    let b = {
-        let p = ModelParams::paper_defaults().with_mu(mu).with_d(d).with_nu(0.4);
-        analyse(&p)
-    };
-    println!(
-        "k = 1 sanity: E(T_P) identical across nu? {}",
-        if (a.1 - b.1).abs() < 1e-12 { "yes" } else { "NO" }
-    );
 }

@@ -2,46 +2,35 @@
 //! spent in safe (`E(T_S^{(k)})`) and polluted (`E(T_P^{(k)})`) transient
 //! states before absorption, as a function of `μ` and `d`, for the two
 //! extreme protocols `protocol_1` and `protocol_7`, under both initial
-//! distributions `δ` (left panels) and `β` (right panels).
+//! distributions `δ` and `β` — the `fig3` scenario of `pollux-sweep`.
 //!
-//! The paper reports the values as bar charts; this harness prints the bar
-//! heights. Shape anchors from the paper: with `α = δ` the safe bars stay
-//! near 12 and dominate the polluted ones for every `(μ, d)`; with `α = β`
-//! the polluted bars grow quickly with `μ`; `protocol_1` dominates
-//! `protocol_7` everywhere (more time safe, less time polluted).
+//! The paper reports the values as bar charts; this harness prints the
+//! bar heights. Shape anchors from the paper: with `α = δ` the safe bars
+//! stay near 12 and dominate the polluted ones for every `(μ, d)`; with
+//! `α = β` the polluted bars grow quickly with `μ`; `protocol_1`
+//! dominates `protocol_7` everywhere (more time safe, less time
+//! polluted).
 
-use pollux::experiments::{self, render_table};
-use pollux::InitialCondition;
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    for (initial, name) in [
-        (InitialCondition::Delta, "alpha = delta (initially clean)"),
-        (InitialCondition::Beta, "alpha = beta (binomially infiltrated)"),
-    ] {
-        for k in [1usize, 7] {
-            banner(&format!(
-                "Figure 3 — protocol_{k}, {name}: E(T_S), E(T_P) by (d, mu)"
-            ));
-            let cells =
-                experiments::figure3_panel(k, &initial).expect("paper parameters are valid");
-            let mut rows = Vec::new();
-            for cell in &cells {
-                rows.push(vec![
-                    format!("{:.0}%", cell.d * 100.0),
-                    format!("{:.0}%", cell.mu * 100.0),
-                    fmt_value(cell.expected_safe),
-                    fmt_value(cell.expected_polluted),
-                ]);
-            }
-            println!(
-                "{}",
-                render_table(&["d", "mu", "E(T_S)", "E(T_P)"], &rows)
-            );
-        }
+    let args = parse_cli_or_exit(
+        "fig3",
+        "Figure 3: sojourn expectations over (d, mu, k, alpha)",
+    );
+    let reports = run_and_emit(&args, &["fig3"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "fig3",
+            "Figure 3 — E(T_S), E(T_P) by (d, mu), protocols 1 and 7, both initials",
+        );
+        println!("{}", report.render_text());
     }
-    println!("Shape checks (paper lessons):");
-    println!("  1. delta-start: safe time >> polluted time for all (mu, d).");
-    println!("  2. protocol_1 >= protocol_7 in E(T_S), <= in E(T_P), cell by cell.");
-    println!("  3. E(T_S) grows with d; E(T_P) grows sharply with mu and d.");
+    if reports.iter().any(|r| r.scenario == "fig3") {
+        println!("Shape checks (paper lessons):");
+        println!("  1. delta-start: safe time >> polluted time for all (mu, d).");
+        println!("  2. protocol_1 >= protocol_7 in E(T_S), <= in E(T_P), cell by cell.");
+        println!("  3. E(T_S) grows with d; E(T_P) grows sharply with mu and d.");
+    }
 }

@@ -1,48 +1,35 @@
 //! Reproduces **Figure 4** of the paper: the absorption probabilities
 //! `p(AmS)` (safe merge), `p(AℓS)` (safe split) and `p(AmP)` (polluted
 //! merge) as a function of `μ` and `d`, for `protocol_1`, `C = 7`,
-//! `Δ = 7`, under both `α = δ` and `α = β`.
+//! `Δ = 7`, under both `α = δ` and `α = β` — the `fig4` scenario of
+//! `pollux-sweep`.
 //!
 //! Paper anchors: at `μ = 0`, `p(AmS) = 0.57` and `p(AℓS) = 0.43`
 //! (from `s₀ = 3`: `1 − 3/7` and `3/7`); for `α = δ` the polluted-merge
 //! probability stays below 8 % even at `μ = 30 %`, `d = 90 %` — the
 //! fault-containment headline.
 
-use pollux::experiments::{self, render_table};
-use pollux::InitialCondition;
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    for (initial, name) in [
-        (InitialCondition::Delta, "alpha = delta"),
-        (InitialCondition::Beta, "alpha = beta"),
-    ] {
-        banner(&format!(
-            "Figure 4 — absorption probabilities, protocol_1, {name}"
-        ));
-        let cells = experiments::figure4_panel(&initial).expect("paper parameters are valid");
-        let mut rows = Vec::new();
-        for cell in &cells {
-            rows.push(vec![
-                format!("{:.0}%", cell.d * 100.0),
-                format!("{:.0}%", cell.mu * 100.0),
-                fmt_value(cell.split.safe_merge),
-                fmt_value(cell.split.safe_split),
-                fmt_value(cell.split.polluted_merge),
-                fmt_value(cell.split.total()),
-            ]);
-        }
-        println!(
-            "{}",
-            render_table(
-                &["d", "mu", "p(safe-merge)", "p(safe-split)", "p(polluted-merge)", "total"],
-                &rows
-            )
+    let args = parse_cli_or_exit(
+        "fig4",
+        "Figure 4: absorption probabilities over (d, mu, alpha)",
+    );
+    let reports = run_and_emit(&args, &["fig4"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "fig4",
+            "Figure 4 — absorption probabilities, protocol_1, both initials",
         );
+        println!("{}", report.render_text());
     }
-    println!("Shape checks (paper lessons):");
-    println!("  1. mu = 0: p(AmS) = 4/7 ~ 0.57, p(AlS) = 3/7 ~ 0.43, p(AmP) = 0.");
-    println!("  2. p(safe-split) grows with d at fixed mu (fewer malicious leaves).");
-    println!("  3. delta-start: p(AmP) < 8% even at mu = 30%, d = 90%.");
-    println!("  4. p(polluted-split) = 0 everywhere (Rule 2).");
+    if reports.iter().any(|r| r.scenario == "fig4") {
+        println!("Shape checks (paper lessons):");
+        println!("  1. mu = 0: p(AmS) = 4/7 ~ 0.57, p(AlS) = 3/7 ~ 0.43, p(AmP) = 0.");
+        println!("  2. p(safe-split) grows with d at fixed mu (fewer malicious leaves).");
+        println!("  3. delta-start: p(AmP) < 8% even at mu = 30%, d = 90%.");
+        println!("  4. p(polluted-split) = 0 everywhere (Rule 2).");
+    }
 }

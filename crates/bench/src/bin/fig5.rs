@@ -1,66 +1,54 @@
 //! Reproduces **Figure 5** of the paper: the expected proportion of safe
-//! clusters `E(N_S(m))/n` (left panel) and polluted clusters
-//! `E(N_P(m))/n` (right panel) after `m ≤ 10⁵` overlay events, for
-//! `n ∈ {500, 1500}` and `d ∈ {30 %, 90 %}` (the captions' `L = 6.58` and
-//! `L = 46.05`), with `α = δ` and `protocol_1`.
+//! clusters `E(N_S(m))/n` and polluted clusters `E(N_P(m))/n` after
+//! `m ≤ 10⁵` overlay events, for `n ∈ {500, 1500}` and `d ∈ {30 %, 90 %}`
+//! (the captions' `L = 6.58` and `L = 46.05`), with `α = δ` and
+//! `protocol_1` — the `fig5` scenario of `pollux-sweep`.
 //!
 //! The paper does not state `μ` for this figure; sweeping it shows that
 //! `μ = 25 %` reproduces the "< 2.2 %" polluted-proportion ceiling the
 //! paper reports almost exactly (peak 2.17 % at `n = 500, d = 90 %`), so
-//! that is almost certainly the value the authors used. The harness
-//! prints `μ ∈ {10 %, 20 %, 25 %, 30 %}` (see DESIGN.md and
-//! EXPERIMENTS.md). Anchors: the safe proportion decays from 1 towards 0
-//! almost independently of `d`; the polluted proportion stays tiny.
+//! that is almost certainly the value the authors used. The scenario
+//! sweeps `μ ∈ {10 %, 20 %, 25 %, 30 %}` (see the repository README for
+//! the paper-vs-measured discussion). Anchors: the safe proportion
+//! decays from 1 towards 0 almost independently of `d`; the polluted
+//! proportion stays tiny.
 
-use pollux::experiments;
-use pollux_bench::banner;
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    let sample_points = experiments::figure5_sample_points();
-    let print_points: Vec<u64> = (0..=10).map(|i| i * 10_000).collect();
+    let args = parse_cli_or_exit("fig5", "Figure 5: overlay proportions over (n, d, mu)");
+    let reports = run_and_emit(&args, &["fig5"]);
+    for report in reports.iter().cloned() {
+        report_banner(&report, "fig5", "Figure 5 — E(N_S(m))/n and E(N_P(m))/n");
+        // Proportion series are 51 sample points per (mu, d, n); print
+        // every fifth row (m multiples of 10 000) to keep stdout
+        // readable. The complete series lands in the TSV artefact via
+        // --out-dir. Reports of other kinds (selected by positional
+        // names) have no m column and print whole.
+        if let Some(m_col) = report.column("m") {
+            let mut thinned = report.clone();
+            thinned.rows.retain(|row| {
+                row[m_col]
+                    .as_f64()
+                    .is_some_and(|m| (m as u64).is_multiple_of(10_000))
+            });
+            println!("{}", thinned.render_text());
+        } else {
+            println!("{}", report.render_text());
+        }
 
-    for &mu in &[0.10, 0.20, 0.25, 0.30] {
-        banner(&format!(
-            "Figure 5 — E(N_S(m))/n and E(N_P(m))/n, mu = {:.0}%",
-            mu * 100.0
-        ));
-        println!(
-            "{:>8}  {}",
-            "m",
-            ["n=500,d=30%", "n=500,d=90%", "n=1500,d=30%", "n=1500,d=90%"]
-                .map(|h| format!("{h:>23}"))
-                .join("")
-        );
-        let mut columns = Vec::new();
-        for &(n, d) in &[(500u64, 0.3), (500, 0.9), (1500, 0.3), (1500, 0.9)] {
-            let series = experiments::figure5_series(n, d, mu, &sample_points)
-                .expect("paper parameters are valid");
-            columns.push(series);
-        }
-        for &m in &print_points {
-            let mut line = format!("{m:>8}");
-            for col in &columns {
-                let p = col
-                    .iter()
-                    .find(|p| p.m == m)
-                    .expect("print points lie on the sample grid");
-                line.push_str(&format!("  {:>9.4} /{:>9.5}", p.safe, p.polluted));
-            }
-            println!("{line}");
-        }
-        // Peak polluted proportion per column.
-        print!("peak polluted:      ");
-        for col in &columns {
-            let peak = col
+        if let Some(polluted) = report.column("polluted_proportion") {
+            let peak = report
+                .rows
                 .iter()
-                .map(|p| p.polluted)
+                .filter_map(|r| r[polluted].as_f64())
                 .fold(0.0f64, f64::max);
-            print!("{:>12.5}          ", peak);
+            println!("peak polluted proportion across the whole grid: {peak:.5}");
         }
-        println!();
     }
-    println!("\nColumns print `safe / polluted` proportions.");
-    println!("Shape checks: curves nearly independent of d (real churn dominates");
-    println!("induced churn); polluted proportion < 2.2% at mu = 25% — the");
-    println!("inferred paper setting; larger n stretches the time axis.");
+    if reports.iter().any(|r| r.scenario == "fig5") {
+        println!("\nShape checks: curves nearly independent of d (real churn dominates");
+        println!("induced churn); polluted proportion < 2.2% at mu = 25% — the");
+        println!("inferred paper setting; larger n stretches the time axis.");
+    }
 }

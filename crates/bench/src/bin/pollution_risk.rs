@@ -1,51 +1,30 @@
 //! Extension table (beyond the paper): decomposing the pollution exposure.
 //!
 //! `E(T_P) = P(ever polluted) × E(T_P | ever polluted)` — the paper reports
-//! only the product; this harness separates the *frequency* of pollution
-//! episodes from their *duration*, and adds the steady-state polluted
-//! fraction of a regenerating cluster population (renewal–reward).
+//! only the product; the `risk_decomposition` scenario separates the
+//! *frequency* of pollution episodes from their *duration*, and adds the
+//! steady-state polluted fraction of a regenerating cluster population
+//! (renewal–reward).
 
-use pollux::experiments::render_table;
-use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    banner("Pollution risk decomposition — k = 1, alpha = delta");
-    let mut rows = Vec::new();
-    for &d in &[0.3, 0.8, 0.9, 0.95] {
-        for &mu in &[0.1, 0.2, 0.3] {
-            let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
-            let a = ClusterAnalysis::new(&params, InitialCondition::Delta)
-                .expect("paper parameters are valid");
-            let e_tp = a.expected_polluted_events().expect("solvable");
-            let p_ever = a.pollution_probability().expect("solvable");
-            let duration = if p_ever > 0.0 { e_tp / p_ever } else { 0.0 };
-            let (_, steady_polluted) = a.steady_state_fractions().expect("solvable");
-            rows.push(vec![
-                format!("{:.0}%", d * 100.0),
-                format!("{:.0}%", mu * 100.0),
-                fmt_value(p_ever),
-                fmt_value(duration),
-                fmt_value(e_tp),
-                fmt_value(steady_polluted),
-            ]);
-        }
-    }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "d",
-                "mu",
-                "P(ever polluted)",
-                "E(T_P | polluted)",
-                "E(T_P)",
-                "steady polluted frac",
-            ],
-            &rows
-        )
+    let args = parse_cli_or_exit(
+        "pollution_risk",
+        "pollution risk decomposition over (mu, d)",
     );
-    println!("Reading: higher d mainly lengthens pollution episodes (duration");
-    println!("column) rather than making them more frequent — churn caps how");
-    println!("long a captured quorum can be held, exactly the paper's point.");
+    let reports = run_and_emit(&args, &["risk_decomposition"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "risk_decomposition",
+            "Pollution risk decomposition — k = 1, alpha = delta",
+        );
+        println!("{}", report.render_text());
+    }
+    if reports.iter().any(|r| r.scenario == "risk_decomposition") {
+        println!("Reading: higher d mainly lengthens pollution episodes (duration");
+        println!("column) rather than making them more frequent — churn caps how");
+        println!("long a captured quorum can be held, exactly the paper's point.");
+    }
 }

@@ -1,123 +1,45 @@
-//! One-shot reproduction: computes every table and figure of the paper and
-//! writes machine-readable TSV files under `results/` (plus a summary to
-//! stdout). See EXPERIMENTS.md for the paper-vs-measured discussion.
+//! One-shot reproduction: every table and figure of the paper as a
+//! **single pooled parallel sweep**, written as machine-readable TSV
+//! files (default `results/`, override with `--out-dir`).
+//!
+//! All cells of all scenarios share one worker pool (`--threads N`), and
+//! per-cell seeding is deterministic, so the artefacts are byte-identical
+//! regardless of the thread count:
+//!
+//! ```text
+//! cargo run --release -p pollux-bench --bin reproduce_all -- --threads 8
+//! ```
+//!
+//! Add `--extended` for the beyond-paper grids, or positional scenario
+//! names for a subset (`--list` shows them all).
 
-use std::fs;
-use std::io::Write;
-use std::path::Path;
+use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
+use pollux_sweep::registry::PAPER_ARTEFACTS;
 
-use pollux::experiments;
-use pollux::InitialCondition;
-use pollux_bench::banner;
-
-fn write_tsv(path: &Path, header: &str, rows: &[String]) -> std::io::Result<()> {
-    let mut f = fs::File::create(path)?;
-    writeln!(f, "{header}")?;
-    for row in rows {
-        writeln!(f, "{row}")?;
+fn main() {
+    let mut args = parse_cli_or_exit(
+        "reproduce_all",
+        "every paper artefact as one parallel sweep writing TSVs",
+    );
+    if args.out_dir.is_none() {
+        args.out_dir = Some("results".into());
     }
-    Ok(())
-}
+    let out_dir = args.out_dir.clone().expect("defaulted above");
+    banner(&format!(
+        "Reproducing every table and figure into {}/",
+        out_dir.display()
+    ));
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = Path::new("results");
-    fs::create_dir_all(out_dir)?;
-    banner("Reproducing every table and figure into results/");
+    let reports = run_and_emit(&args, &PAPER_ARTEFACTS);
 
-    // Figure 3: all four panels.
-    for (initial, tag) in [
-        (InitialCondition::Delta, "delta"),
-        (InitialCondition::Beta, "beta"),
-    ] {
-        for k in [1usize, 7] {
-            let cells = experiments::figure3_panel(k, &initial)?;
-            let rows: Vec<String> = cells
-                .iter()
-                .map(|c| format!("{}\t{}\t{:.6}\t{:.6}", c.d, c.mu, c.expected_safe, c.expected_polluted))
-                .collect();
-            let path = out_dir.join(format!("fig3_protocol{k}_{tag}.tsv"));
-            write_tsv(&path, "d\tmu\tE_T_S\tE_T_P", &rows)?;
-            println!("wrote {}", path.display());
-        }
+    let mut all_ok = true;
+    for report in &reports {
+        all_ok &= report.all_ok();
+        println!("{:<18} {:>6} rows", report.scenario, report.rows.len());
     }
-
-    // Table I.
-    let rows: Vec<String> = experiments::table1()?
-        .iter()
-        .map(|c| format!("{}\t{}\t{:.6}\t{:.6e}", c.mu, c.d, c.expected_safe, c.expected_polluted))
-        .collect();
-    let path = out_dir.join("table1.tsv");
-    write_tsv(&path, "mu\td\tE_T_S\tE_T_P", &rows)?;
-    println!("wrote {}", path.display());
-
-    // Table II.
-    let rows: Vec<String> = experiments::table2()?
-        .iter()
-        .map(|r| {
-            format!(
-                "{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
-                r.mu, r.safe_1, r.safe_2, r.polluted_1, r.polluted_2
-            )
-        })
-        .collect();
-    let path = out_dir.join("table2.tsv");
-    write_tsv(&path, "mu\tE_T_S1\tE_T_S2\tE_T_P1\tE_T_P2", &rows)?;
-    println!("wrote {}", path.display());
-
-    // Figure 4: both panels.
-    for (initial, tag) in [
-        (InitialCondition::Delta, "delta"),
-        (InitialCondition::Beta, "beta"),
-    ] {
-        let cells = experiments::figure4_panel(&initial)?;
-        let rows: Vec<String> = cells
-            .iter()
-            .map(|c| {
-                format!(
-                    "{}\t{}\t{:.6}\t{:.6}\t{:.6}",
-                    c.d, c.mu, c.split.safe_merge, c.split.safe_split, c.split.polluted_merge
-                )
-            })
-            .collect();
-        let path = out_dir.join(format!("fig4_{tag}.tsv"));
-        write_tsv(&path, "d\tmu\tp_safe_merge\tp_safe_split\tp_polluted_merge", &rows)?;
-        println!("wrote {}", path.display());
-    }
-
-    // Figure 5: inferred paper setting mu = 25% plus the sweep values.
-    let sample_points = experiments::figure5_sample_points();
-    for &mu in &[0.10, 0.20, 0.25, 0.30] {
-        let mut rows = Vec::with_capacity(sample_points.len());
-        let mut columns = Vec::new();
-        for &(n, d) in &[(500u64, 0.3), (500, 0.9), (1500, 0.3), (1500, 0.9)] {
-            columns.push(experiments::figure5_series(n, d, mu, &sample_points)?);
-        }
-        for (i, &m) in sample_points.iter().enumerate() {
-            let mut row = format!("{m}");
-            for col in &columns {
-                row.push_str(&format!("\t{:.6}\t{:.6}", col[i].safe, col[i].polluted));
-            }
-            rows.push(row);
-        }
-        let path = out_dir.join(format!("fig5_mu{:02.0}.tsv", mu * 100.0));
-        write_tsv(
-            &path,
-            "m\tsafe_n500_d30\tpolluted_n500_d30\tsafe_n500_d90\tpolluted_n500_d90\tsafe_n1500_d30\tpolluted_n1500_d30\tsafe_n1500_d90\tpolluted_n1500_d90",
-            &rows,
-        )?;
-        println!("wrote {}", path.display());
-    }
-
-    // Ablation: k-sweep.
-    let sweep = experiments::k_sweep(0.3, 0.9, &InitialCondition::Delta)?;
-    let rows: Vec<String> = sweep
-        .iter()
-        .map(|&(k, ts, tp)| format!("{k}\t{ts:.6}\t{tp:.6}"))
-        .collect();
-    let path = out_dir.join("ablation_k.tsv");
-    write_tsv(&path, "k\tE_T_S\tE_T_P", &rows)?;
-    println!("wrote {}", path.display());
-
-    println!("\nAll artefacts regenerated. Compare against EXPERIMENTS.md.");
-    Ok(())
+    println!(
+        "\nAll artefacts regenerated. Validation scenarios: {}",
+        if all_ok { "AGREE" } else { "MISMATCH DETECTED" }
+    );
+    std::process::exit(i32::from(!all_ok));
 }

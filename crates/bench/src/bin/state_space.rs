@@ -2,37 +2,45 @@
 //! Markov chain `X` — the partition of `Ω` into transient safe `S`,
 //! transient polluted `P` and the closed classes `AmS`, `AℓS`, `AmP` —
 //! including the caption's count ("For C = 7 and Δ = 7, we have 288
-//! states") and the unreachability of the polluted-split states.
+//! states") and the unreachability of the polluted-split states — the
+//! `state_space` scenario of `pollux-sweep`.
 
-use pollux::{polluted_split_unreachable, ClusterChain, ModelParams, ModelSpace};
-use pollux_bench::banner;
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    banner("Figure 1 — state-space partition of the cluster chain");
-    for (c, delta) in [(7usize, 7usize), (4, 4), (10, 7), (7, 10)] {
-        let params = ModelParams::new(c, delta, 1).expect("valid sizes");
-        let space = ModelSpace::new(&params);
+    let args = parse_cli_or_exit(
+        "state_space",
+        "Figure 1: state-space partition across (C, Delta)",
+    );
+    for report in run_and_emit(&args, &["state_space"]) {
+        report_banner(
+            &report,
+            "state_space",
+            "Figure 1 — state-space partition of the cluster chain",
+        );
+        println!("{}", report.render_text());
+
+        // The caption check only applies to the state-space artefact
+        // itself, not to scenarios selected via positional names.
+        if report.scenario != "state_space" {
+            continue;
+        }
+        let c_col = report.column("C").expect("key column");
+        let delta_col = report.column("Delta").expect("key column");
+        let paper_row = report
+            .rows
+            .iter()
+            .position(|r| r[c_col].as_f64() == Some(7.0) && r[delta_col].as_f64() == Some(7.0))
+            .expect("the paper's (7, 7) point is on the grid");
         println!(
-            "C={c:>2} Δ={delta:>2}: |Ω|={:>4}  S={:>3}  P={:>3}  AmS={:>2}  AlS={:>2}  AmP={:>2}  AlP={:>2}",
-            space.len(),
-            space.transient_safe().len(),
-            space.transient_polluted().len(),
-            space.safe_merge().len(),
-            space.safe_split().len(),
-            space.polluted_merge().len(),
-            space.polluted_split().len(),
+            "paper caption check: C=7, Delta=7 gives {} states (expected 288)",
+            report.f64(paper_row, "n_states").unwrap_or(f64::NAN)
+        );
+        println!(
+            "polluted-split states unreachable under the full adversary: {}",
+            report
+                .bool(paper_row, "polluted_split_unreachable")
+                .unwrap_or(false)
         );
     }
-
-    banner("Reachability (Rule 2 guarantee)");
-    let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
-    let chain = ClusterChain::build(&params);
-    println!(
-        "polluted-split states unreachable under the full adversary: {}",
-        polluted_split_unreachable(&chain)
-    );
-    println!(
-        "paper caption check: C=7, Δ=7 gives {} states (expected 288)",
-        chain.space().len()
-    );
 }

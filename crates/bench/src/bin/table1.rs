@@ -1,5 +1,6 @@
 //! Reproduces **Table I** of the paper: `E(T_S^{(1)})` and `E(T_P^{(1)})`
-//! as a function of `μ` and `d`, for `k = 1`, `C = 7`, `Δ = 7`, `α = δ`.
+//! as a function of `μ` and `d`, for `k = 1`, `C = 7`, `Δ = 7`, `α = δ`
+//! — the `table1` scenario of `pollux-sweep`.
 //!
 //! Paper values for comparison (Anceaume et al., DSN 2011, Table I):
 //!
@@ -10,26 +11,24 @@
 //! E(T_P)  0    0    0       0.15  2.6    1518    1.14  699.7 5.1e8     5.96   12597  9.3e9
 //! ```
 
-use pollux::experiments::{self, render_table};
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    banner("Table I — E(T_S^(1)) and E(T_P^(1)) vs (mu, d); k=1, C=7, Delta=7, alpha=delta");
-    let cells = experiments::table1().expect("paper parameters are valid");
-
-    let mut rows = Vec::new();
-    for cell in &cells {
-        rows.push(vec![
-            format!("{:.0}%", cell.mu * 100.0),
-            format!("{}", cell.d),
-            fmt_value(cell.expected_safe),
-            fmt_value(cell.expected_polluted),
-        ]);
-    }
-    println!(
-        "{}",
-        render_table(&["mu", "d", "E(T_S)", "E(T_P)"], &rows)
+    let args = parse_cli_or_exit(
+        "table1",
+        "Table I: sojourn expectations in the high-survival regime",
     );
-    println!("Paper reference: E(T_S) stays ~11.5-12.1 across the grid;");
-    println!("E(T_P) grows from 0 to ~9.3e9 at mu=30%, d=0.999.");
+    let reports = run_and_emit(&args, &["table1"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "table1",
+            "Table I — E(T_S^(1)) and E(T_P^(1)) vs (mu, d); k=1, C=7, Delta=7, alpha=delta",
+        );
+        println!("{}", report.render_text());
+    }
+    if reports.iter().any(|r| r.scenario == "table1") {
+        println!("Paper reference: E(T_S) stays ~11.5-12.1 across the grid;");
+        println!("E(T_P) grows from 0 to ~9.3e9 at mu=30%, d=0.999.");
+    }
 }

@@ -1,7 +1,8 @@
 //! Reproduces **Table II** of the paper: the expected durations of the
 //! first two sojourns in the safe and polluted subsets,
 //! `E(T_{S,1})`, `E(T_{S,2})`, `E(T_{P,1})`, `E(T_{P,2})`,
-//! for `k = 1`, `C = 7`, `Δ = 7`, `d = 90 %`, `α = δ`.
+//! for `k = 1`, `C = 7`, `Δ = 7`, `d = 90 %`, `α = δ` — the `table2`
+//! scenario of `pollux-sweep`.
 //!
 //! Paper values (DSN 2011, Table II):
 //!
@@ -13,31 +14,22 @@
 //! E(T_P,2)   0      0.004   0.26    0.075
 //! ```
 
-use pollux::experiments::{self, render_table};
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
-    banner("Table II — successive sojourns; k=1, C=7, Delta=7, d=90%, alpha=delta");
-    let rows_data = experiments::table2().expect("paper parameters are valid");
-
-    let mut rows = Vec::new();
-    for r in &rows_data {
-        rows.push(vec![
-            format!("{:.0}%", r.mu * 100.0),
-            fmt_value(r.safe_1),
-            fmt_value(r.safe_2),
-            fmt_value(r.polluted_1),
-            fmt_value(r.polluted_2),
-        ]);
+    let args = parse_cli_or_exit("table2", "Table II: successive sojourn expectations");
+    let reports = run_and_emit(&args, &["table2"]);
+    for report in &reports {
+        report_banner(
+            report,
+            "table2",
+            "Table II — successive sojourns; k=1, C=7, Delta=7, d=90%, alpha=delta",
+        );
+        println!("{}", report.render_text());
     }
-    println!(
-        "{}",
-        render_table(
-            &["mu", "E(T_S,1)", "E(T_S,2)", "E(T_P,1)", "E(T_P,2)"],
-            &rows
-        )
-    );
-    println!("Paper reference row (mu=20%): 11.890, 0.033, 0.558, 0.26.");
-    println!("Lesson: E(T_S) ~= E(T_S,1) and E(T_P) ~= E(T_P,1) — the chain");
-    println!("does not alternate between safe and polluted phases.");
+    if reports.iter().any(|r| r.scenario == "table2") {
+        println!("Paper reference row (mu=20%): 11.890, 0.033, 0.558, 0.26.");
+        println!("Lesson: E(T_S) ~= E(T_S,1) and E(T_P) ~= E(T_P,1) — the chain");
+        println!("does not alternate between safe and polluted phases.");
+    }
 }

@@ -1,82 +1,26 @@
 //! Validates the **Figure 2** transition matrix: the analytical metrics
 //! (Relations 5–9) are compared against the independently-coded
-//! event-level Monte-Carlo simulator across a `(μ, d, k)` grid.
+//! event-level Monte-Carlo simulator across a `(μ, d, k)` grid — the
+//! `validate_model` scenario of `pollux-sweep`.
 //!
 //! Agreement within the Monte-Carlo confidence intervals is the
-//! reproduction's main internal validity check.
+//! reproduction's main internal validity check. The process exits
+//! non-zero on any mismatch.
 
-use pollux::simulation::{self};
-use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
-use pollux_adversary::TargetedStrategy;
-use pollux_bench::{banner, fmt_value};
+use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
 
 fn main() {
-    banner("Model validation — analytical (Figure 2 matrix) vs event-level Monte-Carlo");
-    println!(
-        "{:>5} {:>5} {:>2} | {:>10} {:>22} | {:>10} {:>22} | {:>7} {:>7}",
-        "mu", "d", "k", "E(T_S)", "sim (95% CI)", "E(T_P)", "sim (95% CI)", "p(AmP)", "sim"
+    let args = parse_cli_or_exit(
+        "validate_model",
+        "Figure 2 validation: analytical model vs event-level Monte-Carlo",
     );
-
-    let replications = 40_000;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    banner("Model validation — analytical (Figure 2 matrix) vs event-level Monte-Carlo");
+    let reports = run_and_emit(&args, &["validate_model"]);
     let mut all_ok = true;
-
-    for &(mu, d, k) in &[
-        (0.0, 0.9, 1usize),
-        (0.1, 0.8, 1),
-        (0.2, 0.9, 1),
-        (0.3, 0.9, 1),
-        (0.2, 0.3, 1),
-        (0.2, 0.9, 3),
-        (0.2, 0.9, 7),
-        (0.3, 0.8, 7),
-    ] {
-        let params = ModelParams::paper_defaults()
-            .with_mu(mu)
-            .with_d(d)
-            .with_k(k)
-            .expect("grid k is valid");
-        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)
-            .expect("paper parameters are valid");
-        let e_ts = analysis.expected_safe_events().expect("solvable");
-        let e_tp = analysis.expected_polluted_events().expect("solvable");
-        let split = analysis.absorption_split().expect("solvable");
-
-        let strategy = TargetedStrategy::new(k, params.nu()).expect("valid strategy");
-        let report = simulation::estimate(
-            &params,
-            &InitialCondition::Delta,
-            &strategy,
-            replications,
-            0xDEAD_BEEF,
-            threads,
-        );
-
-        // Allow 3 half-widths of slack (the CI is 1.96 sigma).
-        let ok_s = (report.safe_events.mean - e_ts).abs()
-            <= 3.0 * report.safe_events.ci_half_width.max(1e-6);
-        let ok_p = (report.polluted_events.mean - e_tp).abs()
-            <= 3.0 * report.polluted_events.ci_half_width.max(1e-6);
-        let ok_a = (report.absorption.2 - split.polluted_merge).abs() < 0.01;
-        all_ok &= ok_s && ok_p && ok_a;
-
-        println!(
-            "{:>5} {:>5} {:>2} | {:>10} {:>22} | {:>10} {:>22} | {:>7} {:>7.4}{}",
-            format!("{:.0}%", mu * 100.0),
-            d,
-            k,
-            fmt_value(e_ts),
-            format!("{}", report.safe_events),
-            fmt_value(e_tp),
-            format!("{}", report.polluted_events),
-            fmt_value(split.polluted_merge),
-            report.absorption.2,
-            if ok_s && ok_p && ok_a { "" } else { "  <-- MISMATCH" }
-        );
+    for report in &reports {
+        println!("{}", report.render_text());
+        all_ok &= report.all_ok();
     }
-
     println!(
         "\nverdict: {}",
         if all_ok {
@@ -85,5 +29,5 @@ fn main() {
             "MISMATCH DETECTED — investigate"
         }
     );
-    std::process::exit(if all_ok { 0 } else { 1 });
+    std::process::exit(i32::from(!all_ok));
 }

@@ -1,60 +1,21 @@
 //! Validates **Theorem 2** (Section VIII): the closed-form overlay-level
 //! proportions `E(N_S(m))/n`, `E(N_P(m))/n` against the `n`-cluster
-//! competing Monte-Carlo simulation.
+//! competing Monte-Carlo simulation — the `validate_overlay` scenario of
+//! `pollux-sweep`. The process exits non-zero on any mismatch.
 
-use pollux::overlay_sim::{run_overlay, OverlaySimConfig};
-use pollux::{InitialCondition, ModelParams, OverlayModel};
-use pollux_adversary::TargetedStrategy;
-use pollux_bench::banner;
+use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
 
 fn main() {
-    banner("Overlay validation — Theorem 2 vs n-cluster Monte-Carlo");
-    let mu = 0.25;
-    let d = 0.9;
-    let n = 500usize;
-    let params = ModelParams::paper_defaults().with_mu(mu).with_d(d);
-    let strategy = TargetedStrategy::new(1, params.nu()).expect("valid strategy");
-    let sample_points: Vec<u64> = vec![0, 5_000, 10_000, 20_000, 40_000, 80_000];
-
-    let model = OverlayModel::new(&params, InitialCondition::Delta, n as u64)
-        .expect("paper parameters are valid");
-    let expect = model
-        .proportion_series(&sample_points)
-        .expect("series evaluates");
-
-    let runs = 20;
-    let config = OverlaySimConfig {
-        n_clusters: n,
-        sample_points: sample_points.clone(),
-        regenerate: false,
-    };
-    let mut mean_safe = vec![0.0; sample_points.len()];
-    let mut mean_polluted = vec![0.0; sample_points.len()];
-    for seed in 0..runs {
-        let tr = run_overlay(&params, &InitialCondition::Delta, &strategy, &config, seed);
-        for (i, &(_, s, p)) in tr.points.iter().enumerate() {
-            mean_safe[i] += s / runs as f64;
-            mean_polluted[i] += p / runs as f64;
-        }
-    }
-
-    println!(
-        "{:>8} | {:>10} {:>10} | {:>12} {:>12}",
-        "m", "T2 safe", "sim safe", "T2 polluted", "sim polluted"
+    let args = parse_cli_or_exit(
+        "validate_overlay",
+        "Theorem 2 validation: closed-form proportions vs n-cluster Monte-Carlo",
     );
+    banner("Overlay validation — Theorem 2 vs n-cluster Monte-Carlo");
+    let reports = run_and_emit(&args, &["validate_overlay"]);
     let mut all_ok = true;
-    for (i, e) in expect.iter().enumerate() {
-        let ok = (mean_safe[i] - e.safe).abs() < 0.02 && (mean_polluted[i] - e.polluted).abs() < 0.01;
-        all_ok &= ok;
-        println!(
-            "{:>8} | {:>10.4} {:>10.4} | {:>12.5} {:>12.5}{}",
-            e.m,
-            e.safe,
-            mean_safe[i],
-            e.polluted,
-            mean_polluted[i],
-            if ok { "" } else { "  <-- MISMATCH" }
-        );
+    for report in &reports {
+        println!("{}", report.render_text());
+        all_ok &= report.all_ok();
     }
     println!(
         "\nverdict: {}",
@@ -64,5 +25,5 @@ fn main() {
             "MISMATCH DETECTED — investigate"
         }
     );
-    std::process::exit(if all_ok { 0 } else { 1 });
+    std::process::exit(i32::from(!all_ok));
 }

@@ -1,0 +1,314 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the `pollux-bench` benches
+//! use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `Throughput`, `BatchSize` and the `criterion_group!` /
+//! `criterion_main!` macros — on top of a plain wall-clock timer.
+//!
+//! Compared to upstream there is no statistical outlier analysis and no
+//! HTML report: each benchmark warms up briefly, runs a fixed number of
+//! timed samples and prints `min / mean / max` per iteration. That is
+//! enough to compare hot-path changes in this workspace without a
+//! registry dependency.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, and used
+/// only to pick the number of setup/routine pairs per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// A few routine calls per setup.
+    SmallInput,
+    /// One routine call per setup.
+    LargeInput,
+    /// One routine call per setup (alias used for huge inputs).
+    PerIteration,
+}
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id `{function_name}/{parameter}`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max nanoseconds per iteration over the timed samples.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs for
+        // at least ~1 ms so Instant overhead is negligible.
+        let mut iters = 1u64;
+        let per_iter_estimate = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let _ = per_iter_estimate;
+
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut total = 0.0f64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += per_iter;
+        }
+        self.result = Some((total / self.samples as f64, min, max));
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut total = 0.0f64;
+        let mut timed = 0usize;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            let t = start.elapsed().as_secs_f64();
+            min = min.min(t);
+            max = max.max(t);
+            total += t;
+            timed += 1;
+        }
+        self.result = Some((total / timed.max(1) as f64, min, max));
+    }
+}
+
+fn human_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Finishes the group (printing is immediate; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        match bencher.result {
+            Some((mean, min, max)) => {
+                let mut line = format!(
+                    "{}/{}: [{} {} {}]",
+                    self.name,
+                    id,
+                    human_time(min),
+                    human_time(mean),
+                    human_time(max)
+                );
+                if let Some(t) = self.throughput {
+                    let per_sec = match t {
+                        Throughput::Bytes(n) => {
+                            format!("{:.1} MiB/s", n as f64 / mean / (1 << 20) as f64)
+                        }
+                        Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / mean),
+                    };
+                    line.push_str(&format!(" ({per_sec})"));
+                }
+                println!("{line}");
+            }
+            None => println!("{}/{}: no measurement taken", self.name, id),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.throughput(Throughput::Bytes(128));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 128],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("digest", 64).to_string(), "digest/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -74,10 +74,7 @@ impl ClusterAnalysis {
     ///
     /// Propagates initial-distribution validation and linear-algebra
     /// failures.
-    pub fn from_chain(
-        chain: ClusterChain,
-        initial: InitialCondition,
-    ) -> Result<Self, MarkovError> {
+    pub fn from_chain(chain: ClusterChain, initial: InitialCondition) -> Result<Self, MarkovError> {
         let alpha = initial.distribution(chain.space())?;
         let partition = SojournPartition::new(
             chain.space().transient_safe().to_vec(),
@@ -200,11 +197,7 @@ impl ClusterAnalysis {
         let mut targets: Vec<usize> = space.transient_polluted().to_vec();
         targets.extend_from_slice(space.polluted_merge());
         targets.extend_from_slice(space.polluted_split());
-        pollux_markov::hitting::hitting_probability_from(
-            self.chain.dtmc(),
-            &self.alpha,
-            &targets,
-        )
+        pollux_markov::hitting::hitting_probability_from(self.chain.dtmc(), &self.alpha, &targets)
     }
 
     /// Transient occupancy curve of a single cluster: `P(X_m ∈ S)` and
@@ -358,8 +351,7 @@ mod tests {
         let delta = analysis(0.2, 0.8, 1, InitialCondition::Delta);
         let beta = analysis(0.2, 0.8, 1, InitialCondition::Beta);
         assert!(
-            beta.expected_polluted_events().unwrap()
-                > delta.expected_polluted_events().unwrap()
+            beta.expected_polluted_events().unwrap() > delta.expected_polluted_events().unwrap()
         );
         let split_delta = delta.absorption_split().unwrap();
         let split_beta = beta.absorption_split().unwrap();

@@ -19,8 +19,8 @@
 use pollux_markov::MarkovError;
 
 use crate::{
-    AbsorptionSplit, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams,
-    OverlayModel, ProportionPoint,
+    AbsorptionSplit, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams, OverlayModel,
+    ProportionPoint,
 };
 
 /// The `d` grid of Figures 3 and 4.
@@ -285,11 +285,12 @@ mod tests {
             assert!(cell.expected_polluted.abs() < 1e-9);
         }
         // μ = 30 %, d = 0.999 is the paper's 9.3e9 corner.
-        let corner = rows
-            .iter()
-            .find(|c| c.mu == 0.30 && c.d == 0.999)
-            .unwrap();
-        assert!(corner.expected_polluted > 1e8, "{}", corner.expected_polluted);
+        let corner = rows.iter().find(|c| c.mu == 0.30 && c.d == 0.999).unwrap();
+        assert!(
+            corner.expected_polluted > 1e8,
+            "{}",
+            corner.expected_polluted
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl InitialCondition {
                         space.len()
                     )));
                 }
-                if v.iter().any(|&p| p < 0.0)
-                    || (v.iter().sum::<f64>() - 1.0).abs() > 1e-9
-                {
+                if v.iter().any(|&p| p < 0.0) || (v.iter().sum::<f64>() - 1.0).abs() > 1e-9 {
                     return Err(MarkovError::InvalidDistribution(
                         "custom distribution is not a probability vector".into(),
                     ));

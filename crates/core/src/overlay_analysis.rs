@@ -90,11 +90,9 @@ impl OverlayModel {
         let space = self.chain.space();
         let safe: Vec<usize> = space.transient_safe().to_vec();
         let polluted: Vec<usize> = space.transient_polluted().to_vec();
-        let rows = self.competing.proportion_series(
-            &self.alpha,
-            &[&safe, &polluted],
-            sample_points,
-        )?;
+        let rows =
+            self.competing
+                .proportion_series(&self.alpha, &[&safe, &polluted], sample_points)?;
         Ok(sample_points
             .iter()
             .zip(rows)
@@ -131,7 +129,11 @@ impl OverlayModel {
     /// # Errors
     ///
     /// Propagates validation failures.
-    pub fn theorem1_state_probability(&self, state_index: usize, m: u64) -> Result<f64, MarkovError> {
+    pub fn theorem1_state_probability(
+        &self,
+        state_index: usize,
+        m: u64,
+    ) -> Result<f64, MarkovError> {
         self.competing
             .theorem1_state_probability(&self.alpha, state_index, m)
     }

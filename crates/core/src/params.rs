@@ -73,7 +73,8 @@ impl Error for ParamsError {}
 ///
 /// The paper's evaluation fixes `C = 7, Δ = 7`; `ν` is never given a
 /// numeric value there (it only matters for `k > 1`) and defaults to 0.1
-/// here — see DESIGN.md.
+/// here — see the "Choices the paper leaves open" note in the repository
+/// README.
 ///
 /// # Example
 ///

@@ -88,10 +88,7 @@ impl<'a, S: Strategy> ClusterSimulator<'a, S> {
     /// Panics when `state` is absorbing or inconsistent with the
     /// parameters.
     pub fn step<R: rand::Rng + ?Sized>(&self, state: ClusterState, rng: &mut R) -> ClusterState {
-        assert!(
-            state.is_consistent(self.params),
-            "state {state} outside Ω"
-        );
+        assert!(state.is_consistent(self.params), "state {state} outside Ω");
         assert!(
             state.classify(self.params).is_transient(),
             "cannot step an absorbed cluster ({state})"
@@ -195,8 +192,8 @@ fn apply_event<S: Strategy, R: rand::Rng + ?Sized>(
         // Join event.
         let malicious = mu > 0.0 && rng.random_bool(mu);
         let accept = if polluted && toggles.rule2 {
-            let view = ClusterView::new(c_size, delta, s, x, y)
-                .expect("simulated states stay consistent");
+            let view =
+                ClusterView::new(c_size, delta, s, x, y).expect("simulated states stay consistent");
             strategy.join_decision(&view, malicious) == JoinDecision::Accept
         } else {
             true
@@ -343,11 +340,8 @@ pub fn estimate<S: Strategy + Sync>(
     let start_table = AliasTable::new(&alpha).expect("alpha is a distribution");
     let start_states: Vec<ClusterState> = space.iter().map(|(_, st)| *st).collect();
 
-    let outcomes: Vec<RunOutcome> = replication::run_parallel(
-        replications,
-        master_seed,
-        threads,
-        |_, seed| {
+    let outcomes: Vec<RunOutcome> =
+        replication::run_parallel(replications, master_seed, threads, |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let start = start_states[start_table.sample(&mut rng)];
             // A start on an absorbing state is legal (β never produces one,
@@ -367,8 +361,7 @@ pub fn estimate<S: Strategy + Sync>(
                 };
             }
             ClusterSimulator::new(params, strategy).run(start, &mut rng)
-        },
-    );
+        });
 
     let mut safe = Welford::new();
     let mut polluted = Welford::new();
@@ -452,7 +445,11 @@ mod tests {
         let p = params(0.3, 0.9, 1);
         let strategy = TargetedStrategy::new(1, 0.1).unwrap();
         let report = estimate(&p, &InitialCondition::Beta, &strategy, 4000, 3, 4);
-        assert!(report.polluted_events.mean > 0.5, "{}", report.polluted_events);
+        assert!(
+            report.polluted_events.mean > 0.5,
+            "{}",
+            report.polluted_events
+        );
         assert!(report.absorption.2 > 0.05);
     }
 

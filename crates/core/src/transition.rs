@@ -90,8 +90,7 @@ impl ClusterChain {
     ///
     /// Panics when either state lies outside `Ω`.
     pub fn prob(&self, from: &ClusterState, to: &ClusterState) -> f64 {
-        self.dtmc
-            .prob(self.space.index(from), self.space.index(to))
+        self.dtmc.prob(self.space.index(from), self.space.index(to))
     }
 }
 
@@ -233,8 +232,7 @@ fn push_maintenance(
         let b_lo = (k as i64 - (pool_size as i64 - pool_mal as i64)).max(0) as usize;
         let b_hi = k.min(pool_mal);
         for b in b_lo..=b_hi {
-            let p_promote =
-                hypergeometric_q(k as u64, pool_size as u64, b as u64, pool_mal as u64);
+            let p_promote = hypergeometric_q(k as u64, pool_size as u64, b as u64, pool_mal as u64);
             if p_promote == 0.0 {
                 continue;
             }
@@ -479,10 +477,16 @@ mod tests {
         // Relation (2) can never hold for k = 1, so the whole matrix must
         // be bit-identical across nu.
         let a = ClusterChain::build(
-            &ModelParams::paper_defaults().with_mu(0.3).with_d(0.9).with_nu(0.01),
+            &ModelParams::paper_defaults()
+                .with_mu(0.3)
+                .with_d(0.9)
+                .with_nu(0.01),
         );
         let b = ClusterChain::build(
-            &ModelParams::paper_defaults().with_mu(0.3).with_d(0.9).with_nu(0.5),
+            &ModelParams::paper_defaults()
+                .with_mu(0.3)
+                .with_d(0.9)
+                .with_nu(0.5),
         );
         assert_eq!(a.dtmc().matrix().as_slice(), b.dtmc().matrix().as_slice());
     }

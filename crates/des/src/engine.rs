@@ -212,7 +212,7 @@ mod tests {
         sim.schedule(SimTime::ZERO, 0);
         sim.run_until(SimTime::from(4.5));
         assert_eq!(sim.handler().seen.len(), 5); // t = 0..4
-        // Continuing picks up where we left off.
+                                                 // Continuing picks up where we left off.
         sim.run_until(SimTime::from(6.0));
         assert_eq!(sim.handler().seen.len(), 7);
     }

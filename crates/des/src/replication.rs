@@ -9,8 +9,7 @@ use crate::stats::{Summary, Welford};
 /// Derives the seed of replication `index` from `master_seed` via
 /// SplitMix64 (distinct, well-mixed streams).
 pub fn replication_seed(master_seed: u64, index: u64) -> u64 {
-    let mut z = master_seed
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = master_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -27,12 +26,7 @@ pub fn replication_seed(master_seed: u64, index: u64) -> u64 {
 /// # Panics
 ///
 /// Panics when `threads == 0` or a worker panics.
-pub fn run_parallel<T, F>(
-    replications: usize,
-    master_seed: u64,
-    threads: usize,
-    body: F,
-) -> Vec<T>
+pub fn run_parallel<T, F>(replications: usize, master_seed: u64, threads: usize, body: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,

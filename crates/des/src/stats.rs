@@ -96,8 +96,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
     }
@@ -152,7 +152,10 @@ impl TimeSeries {
     /// Panics when `t` is smaller than the previous sample time.
     pub fn push(&mut self, t: f64, value: f64) {
         if let Some(&(last, _)) = self.samples.last() {
-            assert!(t >= last, "time series must be non-decreasing: {t} < {last}");
+            assert!(
+                t >= last,
+                "time series must be non-decreasing: {t} < {last}"
+            );
         }
         self.samples.push((t, value));
     }

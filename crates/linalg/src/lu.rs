@@ -91,7 +91,11 @@ impl Lu {
             }
         }
 
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factorized matrix.
@@ -117,8 +121,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
@@ -126,8 +130,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -157,16 +161,16 @@ impl Lu {
         let mut z = vec![0.0; n];
         for j in 0..n {
             let mut acc = b[j];
-            for i in 0..j {
-                acc -= z[i] * self.lu[(i, j)];
+            for (i, &zi) in z.iter().enumerate().take(j) {
+                acc -= zi * self.lu[(i, j)];
             }
             z[j] = acc / self.lu[(j, j)];
         }
         let mut w = vec![0.0; n];
         for j in (0..n).rev() {
             let mut acc = z[j];
-            for i in (j + 1)..n {
-                acc -= w[i] * self.lu[(i, j)];
+            for (i, &wi) in w.iter().enumerate().skip(j + 1) {
+                acc -= wi * self.lu[(i, j)];
             }
             w[j] = acc; // L has unit diagonal.
         }
@@ -246,8 +250,8 @@ mod tests {
 
     #[test]
     fn solve_small_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let b = [8.0, -11.0, -3.0];
         let x = a.solve(&b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
@@ -300,8 +304,7 @@ mod tests {
 
     #[test]
     fn solve_transposed_matches_transpose_solve() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[0.1, 3.0, 0.2], &[0.3, 0.4, 5.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[0.1, 3.0, 0.2], &[0.3, 0.4, 5.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let x = a.solve_transposed(&b).unwrap();
         let x_ref = a.transpose().solve(&b).unwrap();
@@ -325,7 +328,7 @@ mod tests {
 
     #[test]
     fn random_solves_have_small_residuals() {
-        use rand::{RngExt, SeedableRng, rngs::StdRng};
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         for n in [1usize, 2, 5, 17, 40] {
             // Diagonally dominant => well conditioned and non-singular.

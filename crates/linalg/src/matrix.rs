@@ -165,7 +165,9 @@ impl Matrix {
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns the transposed matrix.
@@ -215,8 +217,7 @@ impl Matrix {
     /// `true` when all entries are non-negative and every row sums to at
     /// most `1 + tol`: the matrix is sub-stochastic.
     pub fn is_substochastic(&self, tol: f64) -> bool {
-        self.data.iter().all(|&v| v >= -tol)
-            && self.row_sums().iter().all(|&s| s <= 1.0 + tol)
+        self.data.iter().all(|&v| v >= -tol) && self.row_sums().iter().all(|&s| s <= 1.0 + tol)
     }
 
     /// Convenience wrapper for [`Matrix::is_stochastic`] with the default
@@ -341,14 +342,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -404,7 +411,11 @@ impl Sub for &Matrix {
     ///
     /// Panics if shapes differ.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -122,11 +122,7 @@ impl Iterator for DistributionIter<'_> {
 /// # Errors
 ///
 /// Same conditions as [`DistributionIter::new`].
-pub fn push_distribution(
-    matrix: &Matrix,
-    alpha: &[f64],
-    m: u64,
-) -> Result<Vec<f64>, LinalgError> {
+pub fn push_distribution(matrix: &Matrix, alpha: &[f64], m: u64) -> Result<Vec<f64>, LinalgError> {
     let mut it = DistributionIter::new(matrix, alpha.to_vec())?;
     let mut last = it.next().expect("iterator yields the initial vector");
     for _ in 0..m {

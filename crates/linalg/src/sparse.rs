@@ -50,10 +50,16 @@ impl CsrMatrix {
         let mut per_row: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); rows];
         for &(i, j, v) in triplets {
             if i >= rows {
-                return Err(LinalgError::IndexOutOfBounds { index: i, bound: rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: i,
+                    bound: rows,
+                });
             }
             if j >= cols {
-                return Err(LinalgError::IndexOutOfBounds { index: j, bound: cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: j,
+                    bound: cols,
+                });
             }
             *per_row[i].entry(j).or_insert(0.0) += v;
         }
@@ -131,12 +137,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[idx] * x[self.col_idx[idx]];
             }
-            out[i] = acc;
+            *out_i = acc;
         }
         out
     }
@@ -229,7 +235,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -173,7 +173,10 @@ impl AbsorbingChain {
         let n = self.chain.n_states();
         for idx in [i, j] {
             if idx >= n {
-                return Err(MarkovError::InvalidState { index: idx, states: n });
+                return Err(MarkovError::InvalidState {
+                    index: idx,
+                    states: n,
+                });
             }
         }
         let (ti, tj) = match (self.transient_pos[i], self.transient_pos[j]) {
@@ -344,9 +347,7 @@ mod tests {
         let n11 = abs.expected_visits(1, 1).unwrap();
         assert!((n11 - 1.5).abs() < 1e-10, "{n11}");
         // Row sums of N equal expected steps.
-        let total: f64 = (1..4)
-            .map(|j| abs.expected_visits(1, j).unwrap())
-            .sum();
+        let total: f64 = (1..4).map(|j| abs.expected_visits(1, j).unwrap()).sum();
         assert!((total - abs.expected_steps_from(1).unwrap()).abs() < 1e-10);
     }
 
@@ -368,12 +369,8 @@ mod tests {
     #[test]
     fn absorbing_class_with_multiple_states() {
         // 0 <-> 1 is a closed class of two states; 2 is transient.
-        let chain = Dtmc::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.25, 0.25, 0.5],
-        ])
-        .unwrap();
+        let chain =
+            Dtmc::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.25, 0.25, 0.5]]).unwrap();
         let abs = AbsorbingChain::new(&chain).unwrap();
         assert_eq!(abs.closed_classes().len(), 1);
         let p = abs.absorption_probabilities_from(2).unwrap();

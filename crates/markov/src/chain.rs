@@ -58,9 +58,7 @@ impl Dtmc {
                 sum += v;
             }
             if (sum - 1.0).abs() > ROW_SUM_TOL {
-                return Err(MarkovError::NotStochastic(format!(
-                    "row {i} sums to {sum}"
-                )));
+                return Err(MarkovError::NotStochastic(format!("row {i} sums to {sum}")));
             }
             // Exact re-normalization so analyses see rows summing to 1.
             for v in p.row_mut(i) {
@@ -288,8 +286,7 @@ mod tests {
     #[test]
     fn stationary_distribution_known_chain() {
         // Birth-death chain with known stationary distribution.
-        let p = Dtmc::from_rows(&[&[0.5, 0.5, 0.0], &[0.25, 0.5, 0.25], &[0.0, 0.5, 0.5]])
-            .unwrap();
+        let p = Dtmc::from_rows(&[&[0.5, 0.5, 0.0], &[0.25, 0.5, 0.25], &[0.0, 0.5, 0.5]]).unwrap();
         let pi = p.stationary_distribution().unwrap();
         // Detailed balance: pi = (1/4, 1/2, 1/4).
         assert!((pi[0] - 0.25).abs() < 1e-10);
@@ -305,8 +302,7 @@ mod tests {
     #[test]
     fn simulation_respects_structure() {
         // Deterministic cycle 0 -> 1 -> 2 -> 0.
-        let p = Dtmc::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]])
-            .unwrap();
+        let p = Dtmc::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let path = p.simulate(0, 6, &mut rng).unwrap();
         assert_eq!(path, vec![0, 1, 2, 0, 1, 2, 0]);
@@ -318,7 +314,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
             p.simulate(3, 1, &mut rng),
-            Err(MarkovError::InvalidState { index: 3, states: 1 })
+            Err(MarkovError::InvalidState {
+                index: 3,
+                states: 1
+            })
         ));
     }
 

@@ -43,7 +43,9 @@ impl Classification {
 
     /// Ids of the closed classes.
     pub fn closed_classes(&self) -> Vec<usize> {
-        (0..self.classes.len()).filter(|&c| self.closed[c]).collect()
+        (0..self.classes.len())
+            .filter(|&c| self.closed[c])
+            .collect()
     }
 
     /// `true` when state `i` is absorbing (a singleton closed class whose
@@ -110,9 +112,9 @@ pub fn reachable_from(chain: &Dtmc, alpha: &[f64]) -> Vec<bool> {
         seen[s] = true;
     }
     while let Some(i) = stack.pop() {
-        for j in 0..n {
-            if chain.prob(i, j) > 0.0 && !seen[j] {
-                seen[j] = true;
+        for (j, seen_j) in seen.iter_mut().enumerate() {
+            if !*seen_j && chain.prob(i, j) > 0.0 {
+                *seen_j = true;
                 stack.push(j);
             }
         }
@@ -218,12 +220,7 @@ mod tests {
     #[test]
     fn closed_class_of_two_states_is_recurrent_but_not_absorbing() {
         // 0 <-> 1 closed; 2 drains into them.
-        let p = Dtmc::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.3, 0.3, 0.4],
-        ])
-        .unwrap();
+        let p = Dtmc::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.3, 0.3, 0.4]]).unwrap();
         let c = classify(&p);
         assert_eq!(c.transient_states(), vec![2]);
         assert_eq!(c.recurrent_states(), vec![0, 1]);

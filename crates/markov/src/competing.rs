@@ -222,8 +222,8 @@ impl CompetingChains {
             });
         }
         self.chain.check_distribution(alpha)?;
-        let binom = Binomial::new(m, 1.0 / self.n as f64)
-            .expect("1/n is a valid probability for n >= 1");
+        let binom =
+            Binomial::new(m, 1.0 / self.n as f64).expect("1/n is a valid probability for n >= 1");
         let mut dist = alpha.to_vec();
         let mut total = binom.pmf(0) * dist[j];
         for l in 1..=m {
@@ -306,10 +306,7 @@ mod tests {
         let comp = CompetingChains::new(&chain, 7).unwrap();
         let alpha = vec![0.0, 1.0, 0.0, 0.0];
         for m in [0u64, 1, 5, 20, 60] {
-            let t2 = comp
-                .proportion_series(&alpha, &[&[1], &[2]], &[m])
-                .unwrap()[0]
-                .clone();
+            let t2 = comp.proportion_series(&alpha, &[&[1], &[2]], &[m]).unwrap()[0].clone();
             let p1 = comp.theorem1_state_probability(&alpha, 1, m).unwrap();
             let p2 = comp.theorem1_state_probability(&alpha, 2, m).unwrap();
             assert!((t2[0] - p1).abs() < 1e-10, "m={m}: {} vs {p1}", t2[0]);
@@ -324,9 +321,7 @@ mod tests {
         let comp = CompetingChains::new(&chain, 5).unwrap();
         let alpha = vec![0.0, 1.0, 0.0, 0.0];
         // Unsorted sample points.
-        assert!(comp
-            .proportion_series(&alpha, &[&[1]], &[5, 1])
-            .is_err());
+        assert!(comp.proportion_series(&alpha, &[&[1]], &[5, 1]).is_err());
         // Non-transient subset member.
         assert!(comp.proportion_series(&alpha, &[&[0]], &[1]).is_err());
         // Out-of-range subset member.
@@ -343,9 +338,7 @@ mod tests {
         let chain = ruin_chain();
         let comp = CompetingChains::new(&chain, 3).unwrap();
         let alpha = vec![0.0, 1.0, 0.0, 0.0];
-        let series = comp
-            .proportion_series(&alpha, &[&[1, 2]], &[4, 4])
-            .unwrap();
+        let series = comp.proportion_series(&alpha, &[&[1, 2]], &[4, 4]).unwrap();
         assert_eq!(series[0], series[1]);
     }
 }

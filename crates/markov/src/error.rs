@@ -34,7 +34,10 @@ impl fmt::Display for MarkovError {
         match self {
             MarkovError::NotStochastic(msg) => write!(f, "matrix is not stochastic: {msg}"),
             MarkovError::InvalidState { index, states } => {
-                write!(f, "state index {index} out of range (chain has {states} states)")
+                write!(
+                    f,
+                    "state index {index} out of range (chain has {states} states)"
+                )
             }
             MarkovError::InvalidDistribution(msg) => {
                 write!(f, "invalid initial distribution: {msg}")
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = MarkovError::InvalidState { index: 5, states: 3 };
+        let e = MarkovError::InvalidState {
+            index: 5,
+            states: 3,
+        };
         assert!(e.to_string().contains('5'));
         let inner = LinalgError::Singular { pivot: 0 };
         let e: MarkovError = inner.into();

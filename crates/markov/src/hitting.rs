@@ -32,7 +32,10 @@ pub fn hitting_probabilities(chain: &Dtmc, targets: &[usize]) -> Result<Vec<f64>
     let mut is_target = vec![false; n];
     for &t in targets {
         if t >= n {
-            return Err(MarkovError::InvalidState { index: t, states: n });
+            return Err(MarkovError::InvalidState {
+                index: t,
+                states: n,
+            });
         }
         is_target[t] = true;
     }
@@ -44,18 +47,16 @@ pub fn hitting_probabilities(chain: &Dtmc, targets: &[usize]) -> Result<Vec<f64>
     // Precompute reverse adjacency on demand (n is small in this crate's
     // applications; O(n²) scan is fine and allocation-free).
     while let Some(j) = stack.pop() {
-        for i in 0..n {
-            if !can_reach[i] && chain.prob(i, j) > 0.0 {
-                can_reach[i] = true;
+        for (i, reach) in can_reach.iter_mut().enumerate() {
+            if !*reach && chain.prob(i, j) > 0.0 {
+                *reach = true;
                 stack.push(i);
             }
         }
     }
 
     // Unknowns: states that can reach the targets but are not targets.
-    let unknowns: Vec<usize> = (0..n)
-        .filter(|&i| can_reach[i] && !is_target[i])
-        .collect();
+    let unknowns: Vec<usize> = (0..n).filter(|&i| can_reach[i] && !is_target[i]).collect();
     let mut h = vec![0.0; n];
     for &t in targets {
         h[t] = 1.0;
@@ -158,8 +159,8 @@ mod tests {
         let chain = gamblers_ruin();
         let h = hitting_probabilities(&chain, &[0, 4]).unwrap();
         // Absorption in {0,4} is certain from everywhere.
-        for i in 0..5 {
-            assert!((h[i] - 1.0).abs() < 1e-10, "state {i}");
+        for (i, &hi) in h.iter().enumerate() {
+            assert!((hi - 1.0).abs() < 1e-10, "state {i}");
         }
     }
 
@@ -175,12 +176,8 @@ mod tests {
     fn unreachable_targets_give_zero() {
         // Two disjoint absorbing islands: from the left island the right
         // target is unreachable.
-        let chain = Dtmc::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.5, 0.5, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let chain =
+            Dtmc::from_rows(&[&[1.0, 0.0, 0.0], &[0.5, 0.5, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let h = hitting_probabilities(&chain, &[2]).unwrap();
         assert_eq!(h[0], 0.0);
         assert_eq!(h[1], 0.0);

@@ -106,7 +106,10 @@ impl SojournAnalysis {
         let n = chain.n_states();
         for &i in partition.s_states().iter().chain(partition.p_states()) {
             if i >= n {
-                return Err(MarkovError::InvalidState { index: i, states: n });
+                return Err(MarkovError::InvalidState {
+                    index: i,
+                    states: n,
+                });
             }
         }
         if alpha.len() != n {

@@ -6,7 +6,8 @@
 //! tamper-evident. Inside a simulation there is no PKI to interoperate
 //! with, so signatures are replaced by HMAC-SHA-256 tags under a CA-held
 //! secret — unforgeable to any party without the secret, which is the only
-//! property the protocol uses (see DESIGN.md, substitution table).
+//! property the protocol uses (see the "Cryptography substitution" note
+//! in the repository README).
 
 use crate::hash::{hmac_sha256, sha256};
 use crate::{NodeId, OverlayError};

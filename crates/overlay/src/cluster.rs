@@ -149,7 +149,6 @@ impl Cluster {
         &self.label
     }
 
-
     /// Size parameters.
     pub fn params(&self) -> &ClusterParams {
         &self.params

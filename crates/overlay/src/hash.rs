@@ -6,8 +6,8 @@
 //! `H` with uniformly distributed output; SHA-256 (FIPS 180-4) is
 //! implemented here directly so the workspace carries no cryptography
 //! dependency. HMAC (RFC 2104) provides the keyed tags our simulated
-//! certification authority uses in place of RSA signatures — see DESIGN.md
-//! for the substitution argument.
+//! certification authority uses in place of RSA signatures — see the
+//! "Cryptography substitution" note in the repository README.
 //!
 //! # Example
 //!
@@ -263,9 +263,18 @@ mod tests {
     fn exactly_one_block_and_boundaries() {
         // 55, 56, 63, 64, 65 bytes cross the padding boundaries.
         let cases: [(usize, &str); 3] = [
-            (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"),
-            (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
-            (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+            (
+                55,
+                "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318",
+            ),
+            (
+                56,
+                "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a",
+            ),
+            (
+                64,
+                "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb",
+            ),
         ];
         for (len, want) in cases {
             let data = vec![b'a'; len];
@@ -322,7 +331,10 @@ mod tests {
     fn hmac_long_key_is_hashed_first() {
         // RFC 4231 case 6: 131-byte key.
         let key = [0xaa; 131];
-        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -355,6 +367,9 @@ mod tests {
             .zip(flipped.iter())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
-        assert!((80..=176).contains(&differing), "differing bits: {differing}");
+        assert!(
+            (80..=176).contains(&differing),
+            "differing bits: {differing}"
+        );
     }
 }

@@ -78,8 +78,8 @@ impl NodeId {
     /// distances from a fixed point.
     pub fn xor_distance(&self, other: &NodeId) -> NodeId {
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
         }
         NodeId(out)
     }
@@ -365,10 +365,7 @@ mod tests {
         assert!(!Label::parse("100").unwrap().is_prefix_of(&id));
         assert!(Label::root().is_prefix_of(&id));
         assert_eq!(Label::prefix_of_id(&id, 4).to_string(), "1010");
-        assert_eq!(
-            Label::parse("100").unwrap().common_prefix_with_id(&id),
-            2
-        );
+        assert_eq!(Label::parse("100").unwrap().common_prefix_with_id(&id), 2);
     }
 
     #[test]

@@ -42,7 +42,8 @@ impl IncarnationPolicy {
     /// Returns `None` when `L ≤ 0`, `W < 0`, or `W ≥ L` (the grace window
     /// must not span a whole incarnation).
     pub fn new(lifetime: f64, grace: f64) -> Option<Self> {
-        if !(lifetime > 0.0) || !(grace >= 0.0) || grace >= lifetime {
+        let valid = lifetime > 0.0 && grace >= 0.0 && grace < lifetime;
+        if !valid {
             return None;
         }
         Some(IncarnationPolicy { lifetime, grace })

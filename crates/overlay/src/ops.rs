@@ -405,12 +405,7 @@ mod tests {
                     let from = (x - 1) as i64 - a as i64 + b as i64;
                     if from == x_new as i64 {
                         want += hypergeometric_q(k as u64 - 1, 6, a, (x - 1) as u64)
-                            * hypergeometric_q(
-                                k as u64,
-                                (s + k - 1) as u64,
-                                b,
-                                y as u64 + a,
-                            );
+                            * hypergeometric_q(k as u64, (s + k - 1) as u64, b, y as u64 + a);
                     }
                 }
             }

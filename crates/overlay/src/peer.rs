@@ -157,7 +157,11 @@ mod tests {
     fn generation_respects_mu_statistically() {
         let mut rng = StdRng::seed_from_u64(2);
         let reg = PeerRegistry::generate(10_000, 0.3, &mut rng);
-        let malicious = reg.peers().iter().filter(|p| p.behavior.is_malicious()).count();
+        let malicious = reg
+            .peers()
+            .iter()
+            .filter(|p| p.behavior.is_malicious())
+            .count();
         let frac = malicious as f64 / 10_000.0;
         assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
         assert_eq!(reg.len(), 10_000);

@@ -179,9 +179,7 @@ mod tests {
             let is_polluted = polluted_label == Some(*label);
             let core = vec![member(base, is_polluted), member(base + 1, is_polluted)];
             let spare = vec![member(base + 2, false)];
-            clusters.push(
-                Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap(),
-            );
+            clusters.push(Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap());
         }
         Overlay::bootstrap(params, clusters).unwrap()
     }

@@ -50,9 +50,7 @@ impl Overlay {
             }
             let label = cl.label().clone();
             if map.insert(label.clone(), cl).is_some() {
-                return Err(OverlayError::Topology(format!(
-                    "duplicate label {label}"
-                )));
+                return Err(OverlayError::Topology(format!("duplicate label {label}")));
             }
         }
         let overlay = Overlay {
@@ -307,19 +305,31 @@ mod tests {
         // Missing leaf.
         let r = Overlay::bootstrap(
             params(),
-            vec![cluster_at("00", 0, 1), cluster_at("01", 10, 1), cluster_at("10", 20, 1)],
+            vec![
+                cluster_at("00", 0, 1),
+                cluster_at("01", 10, 1),
+                cluster_at("10", 20, 1),
+            ],
         );
         assert!(r.is_err());
         // Overlapping labels.
         let r = Overlay::bootstrap(
             params(),
-            vec![cluster_at("0", 0, 1), cluster_at("00", 10, 1), cluster_at("1", 20, 1)],
+            vec![
+                cluster_at("0", 0, 1),
+                cluster_at("00", 10, 1),
+                cluster_at("1", 20, 1),
+            ],
         );
         assert!(r.is_err());
         // Unbalanced but complete tree is fine.
         let r = Overlay::bootstrap(
             params(),
-            vec![cluster_at("0", 0, 1), cluster_at("10", 10, 1), cluster_at("11", 20, 1)],
+            vec![
+                cluster_at("0", 0, 1),
+                cluster_at("10", 10, 1),
+                cluster_at("11", 20, 1),
+            ],
         );
         assert!(r.is_ok());
     }
@@ -349,7 +359,11 @@ mod tests {
     fn neighbors_in_unbalanced_tree() {
         let overlay = Overlay::bootstrap(
             params(),
-            vec![cluster_at("0", 0, 1), cluster_at("10", 10, 1), cluster_at("11", 20, 1)],
+            vec![
+                cluster_at("0", 0, 1),
+                cluster_at("10", 10, 1),
+                cluster_at("11", 20, 1),
+            ],
         )
         .unwrap();
         let n = overlay.neighbors(&Label::parse("0").unwrap());
@@ -390,11 +404,7 @@ mod tests {
         let splittable = Cluster::new(label.clone(), params(), core, spare).unwrap();
         let mut overlay = Overlay::bootstrap(
             params(),
-            vec![
-                splittable,
-                cluster_at("01", 10, 2),
-                cluster_at("1", 20, 2),
-            ],
+            vec![splittable, cluster_at("01", 10, 2), cluster_at("1", 20, 2)],
         )
         .unwrap();
         let (l0, l1) = overlay.split_cluster(&label, &mut rng).unwrap();
@@ -416,9 +426,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let parent = overlay
-            .merge_cluster(&Label::parse("00").unwrap())
-            .unwrap();
+        let parent = overlay.merge_cluster(&Label::parse("00").unwrap()).unwrap();
         assert_eq!(parent.to_string(), "0");
         assert_eq!(overlay.len(), 2);
         let merged = overlay.cluster(&parent).unwrap();
@@ -458,8 +466,7 @@ mod tests {
             let mut hops = 0;
             while let Some(next) = overlay.next_hop(&current, &target).unwrap() {
                 assert!(
-                    next.common_prefix_with_id(&target)
-                        > current.common_prefix_with_id(&target),
+                    next.common_prefix_with_id(&target) > current.common_prefix_with_id(&target),
                     "hop from {current} to {next} does not improve"
                 );
                 current = next;

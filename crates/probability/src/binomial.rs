@@ -63,9 +63,7 @@ impl Binomial {
             return if x == self.n { 1.0 } else { 0.0 };
         }
         if self.n <= 120 {
-            binomial(self.n, x)
-                * self.p.powi(x as i32)
-                * (1.0 - self.p).powi((self.n - x) as i32)
+            binomial(self.n, x) * self.p.powi(x as i32) * (1.0 - self.p).powi((self.n - x) as i32)
         } else {
             (ln_binomial(self.n, x)
                 + x as f64 * self.p.ln()
@@ -76,7 +74,10 @@ impl Binomial {
 
     /// Cumulative distribution `P(X ≤ x)`.
     pub fn cdf(&self, x: u64) -> f64 {
-        (0..=x.min(self.n)).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+        (0..=x.min(self.n))
+            .map(|i| self.pmf(i))
+            .sum::<f64>()
+            .min(1.0)
     }
 
     /// Mean `n p`.

@@ -58,9 +58,9 @@ pub fn ln_factorial(n: u64) -> f64 {
     let table = TABLE.get_or_init(|| {
         let mut t = [0.0; TABLE_LEN];
         let mut acc = 0.0;
-        for i in 1..TABLE_LEN {
+        for (i, slot) in t.iter_mut().enumerate().skip(1) {
             acc += (i as f64).ln();
-            t[i] = acc;
+            *slot = acc;
         }
         t
     });
@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn known_values() {
         assert_eq!(binomial_exact(52, 5), Some(2_598_960));
-        assert_eq!(binomial_exact(100, 50).unwrap(), 100891344545564193334812497256);
+        assert_eq!(
+            binomial_exact(100, 50).unwrap(),
+            100891344545564193334812497256
+        );
         assert_eq!(binomial_exact(7, 0), Some(1));
     }
 

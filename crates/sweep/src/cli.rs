@@ -1,0 +1,160 @@
+//! The common command line shared by every harness binary:
+//! `--threads N --seed S --out-dir DIR --format tsv|json|both [names…]`.
+
+use std::path::PathBuf;
+
+use crate::OutputFormat;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Worker threads (defaults to the machine's parallelism).
+    pub threads: Option<usize>,
+    /// Master seed override.
+    pub seed: Option<u64>,
+    /// Artefact directory; `None` means print-only.
+    pub out_dir: Option<PathBuf>,
+    /// Artefact format (default TSV).
+    pub format: OutputFormat,
+    /// Include beyond-paper scenarios (`--extended`).
+    pub extended: bool,
+    /// List scenarios and exit (`--list`).
+    pub list: bool,
+    /// Positional scenario names (empty = the binary's default set).
+    pub scenarios: Vec<String>,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            threads: None,
+            seed: None,
+            out_dir: None,
+            format: OutputFormat::Tsv,
+            extended: false,
+            list: false,
+            scenarios: Vec::new(),
+        }
+    }
+}
+
+/// The usage string appended to parse errors and `--help`.
+pub const USAGE: &str = "options:
+  --threads N          worker threads (default: all cores)
+  --seed S             master seed for Monte-Carlo scenarios
+  --out-dir DIR        write artefacts under DIR (default: print only / results)
+  --format FMT         artefact format: tsv | json | both (default tsv)
+  --extended           include beyond-paper scenarios
+  --list               list available scenarios and exit
+  --help               this message
+  [NAME…]              scenario names to run (default: the binary's set)";
+
+impl SweepArgs {
+    /// Parses `std::env::args().skip(1)`-style arguments.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message (print it with [`USAGE`] and exit).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = SweepArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
+                    out.threads = Some(n);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = Some(v.parse().map_err(|_| format!("bad seed '{v}'"))?);
+                }
+                "--out-dir" => {
+                    let v = it.next().ok_or("--out-dir needs a value")?;
+                    out.out_dir = Some(PathBuf::from(v));
+                }
+                "--format" => {
+                    let v = it.next().ok_or("--format needs a value")?;
+                    out.format = OutputFormat::parse(&v)
+                        .ok_or_else(|| format!("bad format '{v}' (tsv | json | both)"))?;
+                }
+                "--extended" => out.extended = true,
+                "--list" => out.list = true,
+                "--help" | "-h" => return Err("help".into()),
+                name if !name.starts_with('-') => out.scenarios.push(name.to_string()),
+                unknown => return Err(format!("unknown flag '{unknown}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the runner these arguments describe.
+    pub fn runner(&self) -> crate::SweepRunner {
+        let mut runner = crate::SweepRunner::new();
+        if let Some(threads) = self.threads {
+            runner = runner.with_threads(threads);
+        }
+        if let Some(seed) = self.seed {
+            runner = runner.with_seed(seed);
+        }
+        runner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let args = parse(&[
+            "--threads",
+            "8",
+            "--seed",
+            "42",
+            "--out-dir",
+            "out",
+            "--format",
+            "both",
+            "--extended",
+            "fig3",
+            "table1",
+        ])
+        .unwrap();
+        assert_eq!(args.threads, Some(8));
+        assert_eq!(args.seed, Some(42));
+        assert_eq!(args.out_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(args.format, OutputFormat::Both);
+        assert!(args.extended);
+        assert_eq!(args.scenarios, vec!["fig3", "table1"]);
+    }
+
+    #[test]
+    fn defaults_are_empty() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, SweepArgs::default());
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "zero"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn runner_reflects_flags() {
+        let runner = parse(&["--threads", "3"]).unwrap().runner();
+        assert_eq!(runner.threads(), 3);
+    }
+}

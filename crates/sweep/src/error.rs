@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use pollux::ParamsError;
+use pollux_markov::MarkovError;
+
+/// Errors produced while expanding or executing a sweep.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// A grid axis contained a value outside the model's domain.
+    InvalidGrid(String),
+    /// A scenario was malformed (empty grid, bad output kind config).
+    InvalidScenario(String),
+    /// A scenario name was not found in the registry.
+    UnknownScenario(String),
+    /// A model-construction error bubbled up from a cell.
+    Params(ParamsError),
+    /// An analysis error bubbled up from a cell.
+    Markov(MarkovError),
+    /// Writing an artefact failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidGrid(msg) => write!(f, "invalid grid: {msg}"),
+            SweepError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            SweepError::UnknownScenario(name) => {
+                write!(
+                    f,
+                    "unknown scenario '{name}' (see registry::all for the list)"
+                )
+            }
+            SweepError::Params(e) => write!(f, "model parameters: {e}"),
+            SweepError::Markov(e) => write!(f, "analysis: {e}"),
+            SweepError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl Error for SweepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SweepError::Params(e) => Some(e),
+            SweepError::Markov(e) => Some(e),
+            SweepError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for SweepError {
+    fn from(e: ParamsError) -> Self {
+        SweepError::Params(e)
+    }
+}
+
+impl From<MarkovError> for SweepError {
+    fn from(e: MarkovError) -> Self {
+        SweepError::Markov(e)
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}

@@ -1,0 +1,316 @@
+//! The declarative parameter grid: named axes over the paper's
+//! `(C, Δ, μ, d, k, ν)` space plus adversary toggles and initial
+//! conditions, expanded into a deterministic list of cells.
+
+use pollux::{AdversaryToggles, InitialCondition, ModelParams};
+
+use crate::SweepError;
+
+/// A labelled adversary variant (the label is carried into every output
+/// row, so ablation artefacts stay self-describing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToggleSpec {
+    /// Human-readable variant name (e.g. `full`, `no-rule2`).
+    pub label: String,
+    /// The toggles themselves.
+    pub toggles: AdversaryToggles,
+}
+
+impl ToggleSpec {
+    /// The paper's full adversary.
+    pub fn full() -> Self {
+        ToggleSpec {
+            label: "full".into(),
+            toggles: AdversaryToggles::all(),
+        }
+    }
+
+    /// A named variant.
+    pub fn named(label: &str, toggles: AdversaryToggles) -> Self {
+        ToggleSpec {
+            label: label.into(),
+            toggles,
+        }
+    }
+}
+
+/// A cartesian grid over the model's axes.
+///
+/// Every axis defaults to the paper's single evaluation value, so a
+/// scenario only lists the axes it actually sweeps:
+///
+/// ```
+/// use pollux_sweep::ParamGrid;
+///
+/// let grid = ParamGrid::paper()
+///     .mu(vec![0.0, 0.1, 0.2, 0.3])
+///     .d(vec![0.95, 0.99, 0.999]);
+/// assert_eq!(grid.cells().unwrap().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrid {
+    core_size: Vec<usize>,
+    max_spare: Vec<usize>,
+    k: Vec<usize>,
+    mu: Vec<f64>,
+    d: Vec<f64>,
+    nu: Vec<f64>,
+    toggles: Vec<ToggleSpec>,
+    initial: Vec<InitialCondition>,
+}
+
+impl ParamGrid {
+    /// The paper's base point: `C = 7`, `Δ = 7`, `k = 1`, `μ = 0`,
+    /// `d = 0`, `ν = 0.1`, full adversary, `α = δ`.
+    pub fn paper() -> Self {
+        ParamGrid {
+            core_size: vec![7],
+            max_spare: vec![7],
+            k: vec![1],
+            mu: vec![0.0],
+            d: vec![0.0],
+            nu: vec![0.1],
+            toggles: vec![ToggleSpec::full()],
+            initial: vec![InitialCondition::Delta],
+        }
+    }
+
+    /// Sweeps the core size `C`.
+    pub fn core_size(mut self, values: Vec<usize>) -> Self {
+        self.core_size = values;
+        self
+    }
+
+    /// Sweeps the spare bound `Δ`.
+    pub fn max_spare(mut self, values: Vec<usize>) -> Self {
+        self.max_spare = values;
+        self
+    }
+
+    /// Sweeps the maintenance randomization `k`.
+    pub fn k(mut self, values: Vec<usize>) -> Self {
+        self.k = values;
+        self
+    }
+
+    /// Sweeps the adversarial fraction `μ`.
+    pub fn mu(mut self, values: Vec<f64>) -> Self {
+        self.mu = values;
+        self
+    }
+
+    /// Sweeps the identifier survival probability `d`.
+    pub fn d(mut self, values: Vec<f64>) -> Self {
+        self.d = values;
+        self
+    }
+
+    /// Sweeps the Rule-1 threshold `ν`.
+    pub fn nu(mut self, values: Vec<f64>) -> Self {
+        self.nu = values;
+        self
+    }
+
+    /// Sweeps adversary variants.
+    pub fn toggles(mut self, values: Vec<ToggleSpec>) -> Self {
+        self.toggles = values;
+        self
+    }
+
+    /// Sweeps initial conditions.
+    pub fn initial(mut self, values: Vec<InitialCondition>) -> Self {
+        self.initial = values;
+        self
+    }
+
+    /// Expands the grid into cells, in the canonical deterministic order
+    /// `initial → adversary → C → Δ → k → d → μ → ν` (the innermost axes
+    /// vary fastest).
+    ///
+    /// Combinations with `k > C` are skipped (they arise naturally when
+    /// both axes are swept); every other invalid value is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::InvalidGrid`] for an empty axis or an out-of-domain
+    /// value, [`SweepError::InvalidScenario`] when the expansion is empty.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, SweepError> {
+        for (axis, len) in [
+            ("C", self.core_size.len()),
+            ("Delta", self.max_spare.len()),
+            ("k", self.k.len()),
+            ("mu", self.mu.len()),
+            ("d", self.d.len()),
+            ("nu", self.nu.len()),
+            ("adversary", self.toggles.len()),
+            ("initial", self.initial.len()),
+        ] {
+            if len == 0 {
+                return Err(SweepError::InvalidGrid(format!("axis '{axis}' is empty")));
+            }
+        }
+        for &mu in &self.mu {
+            if !(0.0..1.0).contains(&mu) {
+                return Err(SweepError::InvalidGrid(format!("mu = {mu} outside [0, 1)")));
+            }
+        }
+        for &d in &self.d {
+            if !(0.0..1.0).contains(&d) {
+                return Err(SweepError::InvalidGrid(format!("d = {d} outside [0, 1)")));
+            }
+        }
+        for &nu in &self.nu {
+            if !(nu > 0.0 && nu < 1.0) {
+                return Err(SweepError::InvalidGrid(format!("nu = {nu} outside (0, 1)")));
+            }
+        }
+
+        let mut cells = Vec::new();
+        for initial in &self.initial {
+            for toggle in &self.toggles {
+                for &c in &self.core_size {
+                    for &delta in &self.max_spare {
+                        for &k in &self.k {
+                            if k > c {
+                                continue;
+                            }
+                            let base = ModelParams::new(c, delta, k)?;
+                            for &d in &self.d {
+                                for &mu in &self.mu {
+                                    for &nu in &self.nu {
+                                        let params = base
+                                            .with_mu(mu)
+                                            .with_d(d)
+                                            .with_nu(nu)
+                                            .with_toggles(toggle.toggles);
+                                        cells.push(SweepCell {
+                                            index: cells.len(),
+                                            params,
+                                            initial: initial.clone(),
+                                            adversary: toggle.label.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if cells.is_empty() {
+            return Err(SweepError::InvalidScenario(
+                "grid expands to zero cells (every k exceeds every C?)".into(),
+            ));
+        }
+        Ok(cells)
+    }
+}
+
+/// One point of an expanded grid: a fully built parameter set plus the
+/// labels that identify it in output rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position in the canonical expansion order (also the seed index).
+    pub index: usize,
+    /// The model parameters of this cell.
+    pub params: ModelParams,
+    /// The initial condition of this cell.
+    pub initial: InitialCondition,
+    /// The adversary-variant label of this cell.
+    pub adversary: String,
+}
+
+impl SweepCell {
+    /// The key columns prefixed to every output row of this cell.
+    pub fn key_values(&self) -> Vec<crate::Value> {
+        vec![
+            crate::Value::U64(self.params.core_size() as u64),
+            crate::Value::U64(self.params.max_spare() as u64),
+            crate::Value::U64(self.params.k() as u64),
+            crate::Value::F64(self.params.mu()),
+            crate::Value::F64(self.params.d()),
+            crate::Value::F64(self.params.nu()),
+            crate::Value::Str(self.adversary.clone()),
+            crate::Value::Str(self.initial.label().to_string()),
+        ]
+    }
+
+    /// Names of the key columns, in [`SweepCell::key_values`] order.
+    pub fn key_columns() -> Vec<String> {
+        ["C", "Delta", "k", "mu", "d", "nu", "adversary", "initial"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_the_paper_point() {
+        let cells = ParamGrid::paper().cells().unwrap();
+        assert_eq!(cells.len(), 1);
+        let p = &cells[0].params;
+        assert_eq!((p.core_size(), p.max_spare(), p.k()), (7, 7, 1));
+        assert_eq!((p.mu(), p.d(), p.nu()), (0.0, 0.0, 0.1));
+        assert_eq!(cells[0].adversary, "full");
+    }
+
+    #[test]
+    fn expansion_order_is_innermost_fastest() {
+        let cells = ParamGrid::paper()
+            .d(vec![0.1, 0.2])
+            .mu(vec![0.0, 0.3])
+            .cells()
+            .unwrap();
+        let pts: Vec<(f64, f64)> = cells
+            .iter()
+            .map(|c| (c.params.d(), c.params.mu()))
+            .collect();
+        assert_eq!(pts, vec![(0.1, 0.0), (0.1, 0.3), (0.2, 0.0), (0.2, 0.3)]);
+        assert_eq!(
+            cells.iter().map(|c| c.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn oversized_k_is_skipped_not_fatal() {
+        let cells = ParamGrid::paper()
+            .core_size(vec![4, 7])
+            .k(vec![1, 5])
+            .cells()
+            .unwrap();
+        // (C=4, k=5) is dropped; the three remaining combos survive.
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.params.k() <= c.params.core_size()));
+    }
+
+    #[test]
+    fn invalid_axis_values_are_rejected() {
+        assert!(matches!(
+            ParamGrid::paper().mu(vec![1.0]).cells(),
+            Err(SweepError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            ParamGrid::paper().d(vec![-0.1]).cells(),
+            Err(SweepError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            ParamGrid::paper().nu(vec![0.0]).cells(),
+            Err(SweepError::InvalidGrid(_))
+        ));
+        assert!(matches!(
+            ParamGrid::paper().mu(vec![]).cells(),
+            Err(SweepError::InvalidGrid(_))
+        ));
+    }
+
+    #[test]
+    fn key_columns_align_with_key_values() {
+        let cells = ParamGrid::paper().cells().unwrap();
+        assert_eq!(SweepCell::key_columns().len(), cells[0].key_values().len());
+    }
+}

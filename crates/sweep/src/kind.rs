@@ -1,0 +1,425 @@
+//! The measurement taken at each grid cell: one [`OutputKind`] per
+//! scenario, mapping a cell (plus its deterministic seed) to typed rows.
+
+use pollux::simulation;
+use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpace, OverlayModel};
+use pollux_adversary::TargetedStrategy;
+use pollux_des::replication::replication_seed;
+
+use crate::{SweepCell, SweepError, Value};
+
+/// What a scenario computes per cell.
+///
+/// Analytical kinds are deterministic by construction; Monte-Carlo kinds
+/// derive every stream from the cell seed, so all of them produce
+/// byte-identical artefacts regardless of the runner's thread count.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OutputKind {
+    /// `E(T_S)`, `E(T_P)` (Relations 5–6) — Figure 3 / Table I / k-sweeps.
+    Sojourns,
+    /// `E(T_S)`, `E(T_P)` plus the polluted-merge absorption mass — the
+    /// headline triple the ablation artefacts report.
+    SojournsWithAbsorption,
+    /// The first `count` successive sojourn expectations per subset
+    /// (Relations 7–8) — Table II.
+    SuccessiveSojourns {
+        /// How many sojourns per subset.
+        count: usize,
+    },
+    /// The Figure-1 absorption split (Relation 9) — Figure 4.
+    Absorption,
+    /// Beyond-paper decomposition `E(T_P) = P(ever polluted) × duration`,
+    /// plus the renewal–reward steady-state polluted fraction.
+    PollutionRisk,
+    /// State-space partition counts and the Rule-2 reachability check —
+    /// Figure 1.
+    StateSpace,
+    /// Overlay-level proportions `E(N_S(m))/n`, `E(N_P(m))/n`
+    /// (Theorem 2) — Figure 5. One row per `(n, m)`.
+    OverlayProportions {
+        /// Overlay sizes `n` to evaluate.
+        n_clusters: Vec<u64>,
+        /// Event counts `m` at which to sample the proportions.
+        sample_points: Vec<u64>,
+    },
+    /// Analytical metrics vs the event-level Monte-Carlo simulator
+    /// (the Figure-2 validation).
+    McValidation {
+        /// Monte-Carlo replications per cell.
+        replications: usize,
+        /// Slack in CI half-widths before a mismatch is flagged.
+        sigmas: f64,
+    },
+    /// Theorem 2 vs the `n`-cluster competing Monte-Carlo simulation.
+    OverlayMcValidation {
+        /// Number of clusters `n`.
+        n_clusters: usize,
+        /// Independent overlay trajectories to average.
+        runs: u64,
+        /// Event counts `m` at which to compare.
+        sample_points: Vec<u64>,
+        /// Absolute tolerance on the safe proportion.
+        tol_safe: f64,
+        /// Absolute tolerance on the polluted proportion.
+        tol_polluted: f64,
+    },
+}
+
+impl OutputKind {
+    /// The kind-specific column names (appended to the cell key columns).
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            OutputKind::Sojourns => vec!["E_T_S".into(), "E_T_P".into()],
+            OutputKind::SojournsWithAbsorption => {
+                vec!["E_T_S".into(), "E_T_P".into(), "p_polluted_merge".into()]
+            }
+            OutputKind::SuccessiveSojourns { count } => {
+                let mut cols = Vec::with_capacity(2 * count);
+                for i in 1..=*count {
+                    cols.push(format!("E_T_S{i}"));
+                }
+                for i in 1..=*count {
+                    cols.push(format!("E_T_P{i}"));
+                }
+                cols
+            }
+            OutputKind::Absorption => vec![
+                "p_safe_merge".into(),
+                "p_safe_split".into(),
+                "p_polluted_merge".into(),
+                "p_polluted_split".into(),
+                "total".into(),
+            ],
+            OutputKind::PollutionRisk => vec![
+                "p_ever_polluted".into(),
+                "E_T_P_given_polluted".into(),
+                "E_T_P".into(),
+                "steady_polluted_fraction".into(),
+            ],
+            OutputKind::StateSpace => vec![
+                "n_states".into(),
+                "n_transient_safe".into(),
+                "n_transient_polluted".into(),
+                "n_safe_merge".into(),
+                "n_safe_split".into(),
+                "n_polluted_merge".into(),
+                "n_polluted_split".into(),
+                "polluted_split_unreachable".into(),
+            ],
+            OutputKind::OverlayProportions { .. } => vec![
+                "n".into(),
+                "m".into(),
+                "safe_proportion".into(),
+                "polluted_proportion".into(),
+            ],
+            OutputKind::McValidation { .. } => vec![
+                "E_T_S".into(),
+                "sim_T_S".into(),
+                "sim_T_S_ci".into(),
+                "E_T_P".into(),
+                "sim_T_P".into(),
+                "sim_T_P_ci".into(),
+                "p_polluted_merge".into(),
+                "sim_polluted_merge".into(),
+                "censored".into(),
+                "ok".into(),
+            ],
+            OutputKind::OverlayMcValidation { .. } => vec![
+                "n".into(),
+                "m".into(),
+                "t2_safe".into(),
+                "sim_safe".into(),
+                "t2_polluted".into(),
+                "sim_polluted".into(),
+                "ok".into(),
+            ],
+        }
+    }
+
+    /// Evaluates one cell. `seed` is the cell's deterministic seed; only
+    /// Monte-Carlo kinds consume it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/analysis construction failures.
+    pub fn evaluate(&self, cell: &SweepCell, seed: u64) -> Result<Vec<Vec<Value>>, SweepError> {
+        match self {
+            OutputKind::Sojourns => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                Ok(vec![vec![
+                    a.expected_safe_events()?.into(),
+                    a.expected_polluted_events()?.into(),
+                ]])
+            }
+            OutputKind::SojournsWithAbsorption => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                Ok(vec![vec![
+                    a.expected_safe_events()?.into(),
+                    a.expected_polluted_events()?.into(),
+                    a.absorption_split()?.polluted_merge.into(),
+                ]])
+            }
+            OutputKind::SuccessiveSojourns { count } => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let s = a.successive_safe_sojourns(*count);
+                let p = a.successive_polluted_sojourns(*count);
+                let mut row = Vec::with_capacity(2 * count);
+                row.extend(s.into_iter().map(Value::from));
+                row.extend(p.into_iter().map(Value::from));
+                Ok(vec![row])
+            }
+            OutputKind::Absorption => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let split = a.absorption_split()?;
+                Ok(vec![vec![
+                    split.safe_merge.into(),
+                    split.safe_split.into(),
+                    split.polluted_merge.into(),
+                    split.polluted_split.into(),
+                    split.total().into(),
+                ]])
+            }
+            OutputKind::PollutionRisk => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let e_tp = a.expected_polluted_events()?;
+                let p_ever = a.pollution_probability()?;
+                let duration = if p_ever > 0.0 { e_tp / p_ever } else { 0.0 };
+                let (_, steady_polluted) = a.steady_state_fractions()?;
+                Ok(vec![vec![
+                    p_ever.into(),
+                    duration.into(),
+                    e_tp.into(),
+                    steady_polluted.into(),
+                ]])
+            }
+            OutputKind::StateSpace => {
+                let space = ModelSpace::new(&cell.params);
+                let chain = ClusterChain::build(&cell.params);
+                Ok(vec![vec![
+                    space.len().into(),
+                    space.transient_safe().len().into(),
+                    space.transient_polluted().len().into(),
+                    space.safe_merge().len().into(),
+                    space.safe_split().len().into(),
+                    space.polluted_merge().len().into(),
+                    space.polluted_split().len().into(),
+                    polluted_split_unreachable(&chain).into(),
+                ]])
+            }
+            OutputKind::OverlayProportions {
+                n_clusters,
+                sample_points,
+            } => {
+                let mut rows = Vec::with_capacity(n_clusters.len() * sample_points.len());
+                for &n in n_clusters {
+                    let model = OverlayModel::new(&cell.params, cell.initial.clone(), n)?;
+                    for point in model.proportion_series(sample_points)? {
+                        rows.push(vec![
+                            n.into(),
+                            point.m.into(),
+                            point.safe.into(),
+                            point.polluted.into(),
+                        ]);
+                    }
+                }
+                Ok(rows)
+            }
+            OutputKind::McValidation {
+                replications,
+                sigmas,
+            } => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let e_ts = a.expected_safe_events()?;
+                let e_tp = a.expected_polluted_events()?;
+                let split = a.absorption_split()?;
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                // One in-cell thread: the sweep runner supplies the
+                // parallelism, and a fixed layout keeps streams identical.
+                let report = simulation::estimate(
+                    &cell.params,
+                    &cell.initial,
+                    &strategy,
+                    *replications,
+                    seed,
+                    1,
+                );
+                let ok_s = (report.safe_events.mean - e_ts).abs()
+                    <= sigmas * report.safe_events.ci_half_width.max(1e-6);
+                let ok_p = (report.polluted_events.mean - e_tp).abs()
+                    <= sigmas * report.polluted_events.ci_half_width.max(1e-6);
+                let ok_a = (report.absorption.2 - split.polluted_merge).abs() < 0.01;
+                Ok(vec![vec![
+                    e_ts.into(),
+                    report.safe_events.mean.into(),
+                    report.safe_events.ci_half_width.into(),
+                    e_tp.into(),
+                    report.polluted_events.mean.into(),
+                    report.polluted_events.ci_half_width.into(),
+                    split.polluted_merge.into(),
+                    report.absorption.2.into(),
+                    report.censored.into(),
+                    (ok_s && ok_p && ok_a).into(),
+                ]])
+            }
+            OutputKind::OverlayMcValidation {
+                n_clusters,
+                runs,
+                sample_points,
+                tol_safe,
+                tol_polluted,
+            } => {
+                let model =
+                    OverlayModel::new(&cell.params, cell.initial.clone(), *n_clusters as u64)?;
+                let expect = model.proportion_series(sample_points)?;
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                let config = pollux::overlay_sim::OverlaySimConfig {
+                    n_clusters: *n_clusters,
+                    sample_points: sample_points.clone(),
+                    regenerate: false,
+                };
+                let mut mean_safe = vec![0.0; sample_points.len()];
+                let mut mean_polluted = vec![0.0; sample_points.len()];
+                for run in 0..*runs {
+                    let tr = pollux::overlay_sim::run_overlay(
+                        &cell.params,
+                        &cell.initial,
+                        &strategy,
+                        &config,
+                        replication_seed(seed, run),
+                    );
+                    for (i, &(_, s, p)) in tr.points.iter().enumerate() {
+                        mean_safe[i] += s / *runs as f64;
+                        mean_polluted[i] += p / *runs as f64;
+                    }
+                }
+                let mut rows = Vec::with_capacity(expect.len());
+                for (i, e) in expect.iter().enumerate() {
+                    let ok = (mean_safe[i] - e.safe).abs() < *tol_safe
+                        && (mean_polluted[i] - e.polluted).abs() < *tol_polluted;
+                    rows.push(vec![
+                        (*n_clusters).into(),
+                        e.m.into(),
+                        e.safe.into(),
+                        mean_safe[i].into(),
+                        e.polluted.into(),
+                        mean_polluted[i].into(),
+                        ok.into(),
+                    ]);
+                }
+                Ok(rows)
+            }
+        }
+    }
+
+    /// `true` when the kind consumes randomness (its artefacts depend on
+    /// the master seed as well as the grid).
+    pub fn is_monte_carlo(&self) -> bool {
+        matches!(
+            self,
+            OutputKind::McValidation { .. } | OutputKind::OverlayMcValidation { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamGrid;
+
+    fn paper_cell() -> SweepCell {
+        ParamGrid::paper()
+            .mu(vec![0.2])
+            .d(vec![0.9])
+            .cells()
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn sojourns_match_direct_analysis() {
+        let cell = paper_cell();
+        let rows = OutputKind::Sojourns.evaluate(&cell, 0).unwrap();
+        assert_eq!(rows.len(), 1);
+        let a = ClusterAnalysis::new(&cell.params, cell.initial.clone()).unwrap();
+        assert_eq!(
+            rows[0][0].as_f64().unwrap(),
+            a.expected_safe_events().unwrap()
+        );
+        assert_eq!(
+            rows[0][1].as_f64().unwrap(),
+            a.expected_polluted_events().unwrap()
+        );
+    }
+
+    #[test]
+    fn absorption_rows_sum_to_one() {
+        let rows = OutputKind::Absorption.evaluate(&paper_cell(), 0).unwrap();
+        let total = rows[0][4].as_f64().unwrap();
+        assert!((total - 1.0).abs() < 1e-8, "total {total}");
+    }
+
+    #[test]
+    fn columns_match_row_arity_for_every_kind() {
+        let cell = paper_cell();
+        let kinds = [
+            OutputKind::Sojourns,
+            OutputKind::SojournsWithAbsorption,
+            OutputKind::SuccessiveSojourns { count: 2 },
+            OutputKind::Absorption,
+            OutputKind::PollutionRisk,
+            OutputKind::StateSpace,
+            OutputKind::OverlayProportions {
+                n_clusters: vec![10],
+                sample_points: vec![0, 10, 20],
+            },
+            OutputKind::McValidation {
+                replications: 50,
+                sigmas: 3.0,
+            },
+            OutputKind::OverlayMcValidation {
+                n_clusters: 10,
+                runs: 2,
+                sample_points: vec![0, 10],
+                tol_safe: 1.0,
+                tol_polluted: 1.0,
+            },
+        ];
+        for kind in kinds {
+            let rows = kind.evaluate(&cell, 7).unwrap();
+            assert!(!rows.is_empty());
+            for row in &rows {
+                assert_eq!(row.len(), kind.columns().len(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mc_validation_is_seed_deterministic() {
+        let cell = paper_cell();
+        let kind = OutputKind::McValidation {
+            replications: 200,
+            sigmas: 3.0,
+        };
+        assert_eq!(
+            kind.evaluate(&cell, 99).unwrap(),
+            kind.evaluate(&cell, 99).unwrap()
+        );
+        assert!(kind.is_monte_carlo());
+        assert!(!OutputKind::Sojourns.is_monte_carlo());
+    }
+}

@@ -1,0 +1,52 @@
+//! `pollux-sweep` — a declarative, deterministic, multi-threaded
+//! scenario-sweep engine for the Pollux reproduction.
+//!
+//! The DSN'11 paper's whole evaluation is a family of parameter sweeps
+//! over `(C, Δ, μ, d, k, ν)` grids. This crate turns each of them — and
+//! any beyond-paper grid — into data:
+//!
+//! * [`Scenario`] — a named experiment: a [`ParamGrid`] (cartesian axes
+//!   over the model parameters, adversary toggles and initial
+//!   conditions) plus an [`OutputKind`] (sojourns, absorption splits,
+//!   overlay proportions, Monte-Carlo validations, …).
+//! * [`SweepRunner`] — a std-only worker pool (`std::thread` + channels)
+//!   that evaluates grid cells in parallel with deterministic per-cell
+//!   seeding, so artefacts are **byte-identical regardless of thread
+//!   count**.
+//! * [`SweepReport`] — structured rows with shared TSV / JSON / text
+//!   renderings and [`writers`] for one-call artefact emission.
+//! * [`registry`] — every paper artefact (`fig3`, `table1`, …,
+//!   `validate_overlay`) and a set of beyond-paper grids, by name.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_sweep::{registry, SweepRunner};
+//!
+//! let scenario = registry::find("table2").unwrap();
+//! let report = SweepRunner::new().with_threads(2).run(&scenario).unwrap();
+//! assert_eq!(report.rows.len(), 4); // one row per mu
+//! let e_ts1 = report.f64(0, "E_T_S1").unwrap();
+//! assert!((e_ts1 - 12.0).abs() < 1e-6); // mu = 0: first safe sojourn = 12
+//! ```
+
+mod cli;
+mod error;
+mod grid;
+mod kind;
+pub mod registry;
+mod report;
+mod runner;
+mod scenario;
+mod value;
+mod writers;
+
+pub use cli::{SweepArgs, USAGE};
+pub use error::SweepError;
+pub use grid::{ParamGrid, SweepCell, ToggleSpec};
+pub use kind::OutputKind;
+pub use report::SweepReport;
+pub use runner::{SweepRunner, DEFAULT_SEED};
+pub use scenario::Scenario;
+pub use value::Value;
+pub use writers::{write_json, write_report, write_tsv, OutputFormat};

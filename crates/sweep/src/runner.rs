@@ -1,0 +1,288 @@
+//! The worker pool: cells fan out over OS threads through a channel,
+//! results re-assemble in canonical order, so a sweep's artefacts are
+//! byte-identical whether it runs on 1 thread or 64.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use pollux_des::replication::replication_seed;
+
+use crate::{Scenario, SweepCell, SweepError, SweepReport, Value};
+
+/// The keyed rows one cell contributes to its scenario's report.
+type CellRows = Vec<Vec<Value>>;
+/// What a worker reports back: the owning scenario plus the cell's rows.
+type CellOutcome = (usize, Result<CellRows, SweepError>);
+
+/// Default master seed (only Monte-Carlo kinds consume it).
+pub const DEFAULT_SEED: u64 = 0xD51_2011; // DSN 2011
+
+/// A deterministic multi-threaded scenario executor.
+///
+/// Parallelism is over grid cells: each cell gets a seed derived from
+/// `(master_seed, cell index)` via SplitMix64 and is evaluated
+/// independently; rows are then stitched together in cell order. Thread
+/// count therefore affects wall-clock time only, never output bytes.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    master_seed: u64,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core and the default seed.
+    pub fn new() -> Self {
+        SweepRunner {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            master_seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets the worker-thread count (min 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the master seed for Monte-Carlo kinds.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid expansion and cell evaluation failures (the first
+    /// failing cell in canonical order wins).
+    pub fn run(&self, scenario: &Scenario) -> Result<SweepReport, SweepError> {
+        Ok(self
+            .run_all(std::slice::from_ref(scenario))?
+            .pop()
+            .expect("run_all returns exactly one report per scenario"))
+    }
+
+    /// Runs several scenarios as **one** job pool: all cells of all
+    /// scenarios share the worker threads, so a long tail in one scenario
+    /// overlaps with the start of the next.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid expansion and cell evaluation failures.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Result<Vec<SweepReport>, SweepError> {
+        struct Job<'s> {
+            slot: usize,
+            scenario_index: usize,
+            cell: SweepCell,
+            seed: u64,
+            scenario: &'s Scenario,
+        }
+
+        let mut jobs = Vec::new();
+        let mut cell_counts = Vec::with_capacity(scenarios.len());
+        for (scenario_index, scenario) in scenarios.iter().enumerate() {
+            let cells = scenario.cells()?;
+            cell_counts.push(cells.len());
+            for cell in cells {
+                // The cell seed mixes the scenario's name into the master
+                // seed so re-ordering scenarios never re-seeds a cell.
+                let scenario_seed = replication_seed(self.master_seed, hash_name(&scenario.name));
+                let seed = replication_seed(scenario_seed, cell.index as u64);
+                jobs.push(Job {
+                    slot: jobs.len(),
+                    scenario_index,
+                    cell,
+                    seed,
+                    scenario,
+                });
+            }
+        }
+
+        let n_jobs = jobs.len();
+        let mut outcomes: Vec<Option<CellOutcome>> = (0..n_jobs).map(|_| None).collect();
+
+        let (job_tx, job_rx) = mpsc::channel::<Job<'_>>();
+        let (result_tx, result_rx) = mpsc::channel();
+        for job in jobs {
+            job_tx.send(job).expect("receiver alive");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n_jobs.max(1)) {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Holding the lock only while popping keeps workers
+                    // independent during evaluation.
+                    let job = match job_rx.lock().expect("queue lock").try_recv() {
+                        Ok(job) => job,
+                        Err(_) => break,
+                    };
+                    let rows = job.scenario.kind.evaluate(&job.cell, job.seed);
+                    let keyed = rows.map(|rows| {
+                        rows.into_iter()
+                            .map(|row| {
+                                let mut full = job.cell.key_values();
+                                full.extend(row);
+                                full
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                    if result_tx
+                        .send((job.slot, (job.scenario_index, keyed)))
+                        .is_err()
+                    {
+                        break;
+                    }
+                });
+            }
+            drop(result_tx);
+            for (slot, outcome) in result_rx {
+                outcomes[slot] = Some(outcome);
+            }
+        });
+
+        let mut reports: Vec<SweepReport> = scenarios
+            .iter()
+            .map(|s| SweepReport {
+                scenario: s.name.clone(),
+                columns: s.columns(),
+                rows: Vec::new(),
+            })
+            .collect();
+        for outcome in outcomes {
+            let (scenario_index, rows) = outcome.expect("every job slot was filled by a worker");
+            reports[scenario_index].rows.extend(rows?);
+        }
+        for (report, count) in reports.iter_mut().zip(cell_counts) {
+            debug_assert!(
+                report.rows.len() >= count,
+                "every cell contributes at least one row"
+            );
+        }
+        Ok(reports)
+    }
+}
+
+/// Stable FNV-1a hash of a scenario name (part of the seed derivation).
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OutputKind, ParamGrid};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::new(
+            "tiny",
+            "test grid",
+            ParamGrid::paper().mu(vec![0.0, 0.2]).d(vec![0.3, 0.9]),
+            OutputKind::Sojourns,
+        )
+    }
+
+    #[test]
+    fn rows_follow_canonical_cell_order() {
+        let scenario = tiny_scenario();
+        let report = SweepRunner::new().with_threads(4).run(&scenario).unwrap();
+        assert_eq!(report.rows.len(), 4);
+        let mu_col = report.column("mu").unwrap();
+        let d_col = report.column("d").unwrap();
+        let order: Vec<(f64, f64)> = report
+            .rows
+            .iter()
+            .map(|r| (r[d_col].as_f64().unwrap(), r[mu_col].as_f64().unwrap()))
+            .collect();
+        assert_eq!(order, vec![(0.3, 0.0), (0.3, 0.2), (0.9, 0.0), (0.9, 0.2)]);
+    }
+
+    #[test]
+    fn thread_count_never_changes_bytes() {
+        let scenario = Scenario::new(
+            "mc",
+            "monte-carlo determinism",
+            ParamGrid::paper().mu(vec![0.1, 0.2]).d(vec![0.8]),
+            OutputKind::McValidation {
+                replications: 300,
+                sigmas: 4.0,
+            },
+        );
+        let one = SweepRunner::new().with_threads(1).run(&scenario).unwrap();
+        let many = SweepRunner::new().with_threads(8).run(&scenario).unwrap();
+        assert_eq!(one.to_tsv(), many.to_tsv());
+    }
+
+    #[test]
+    fn run_all_pools_scenarios_without_cross_talk() {
+        let a = tiny_scenario();
+        let b = Scenario::new(
+            "abs",
+            "absorption",
+            ParamGrid::paper().mu(vec![0.3]).d(vec![0.9]),
+            OutputKind::Absorption,
+        );
+        let pooled = SweepRunner::new()
+            .with_threads(3)
+            .run_all(&[a.clone(), b.clone()])
+            .unwrap();
+        let solo_a = SweepRunner::new().with_threads(1).run(&a).unwrap();
+        let solo_b = SweepRunner::new().with_threads(1).run(&b).unwrap();
+        assert_eq!(pooled[0], solo_a);
+        assert_eq!(pooled[1], solo_b);
+    }
+
+    #[test]
+    fn master_seed_changes_only_monte_carlo_output() {
+        let analytic = tiny_scenario();
+        let r1 = SweepRunner::new().with_seed(1).run(&analytic).unwrap();
+        let r2 = SweepRunner::new().with_seed(2).run(&analytic).unwrap();
+        assert_eq!(r1, r2);
+
+        let mc = Scenario::new(
+            "mc",
+            "seeded",
+            ParamGrid::paper().mu(vec![0.2]).d(vec![0.8]),
+            OutputKind::McValidation {
+                replications: 200,
+                sigmas: 4.0,
+            },
+        );
+        let m1 = SweepRunner::new().with_seed(1).run(&mc).unwrap();
+        let m2 = SweepRunner::new().with_seed(2).run(&mc).unwrap();
+        assert_ne!(m1.f64(0, "sim_T_S"), m2.f64(0, "sim_T_S"));
+    }
+
+    #[test]
+    fn grid_errors_propagate() {
+        let bad = Scenario::new(
+            "bad",
+            "invalid",
+            ParamGrid::paper().mu(vec![2.0]),
+            OutputKind::Sojourns,
+        );
+        assert!(SweepRunner::new().run(&bad).is_err());
+    }
+}

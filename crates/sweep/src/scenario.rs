@@ -1,0 +1,63 @@
+//! A named experiment: a grid plus the measurement taken at each cell.
+
+use crate::{OutputKind, ParamGrid, SweepCell, SweepError};
+
+/// A declarative experiment specification.
+///
+/// ```
+/// use pollux_sweep::{OutputKind, ParamGrid, Scenario, SweepRunner};
+///
+/// let scenario = Scenario::new(
+///     "quorum_margin",
+///     "E(T_S), E(T_P) across survival probabilities",
+///     ParamGrid::paper().mu(vec![0.2]).d(vec![0.3, 0.9]),
+///     OutputKind::Sojourns,
+/// );
+/// let report = SweepRunner::new().run(&scenario).unwrap();
+/// assert_eq!(report.rows.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry key and artefact file stem (e.g. `fig3`).
+    pub name: String,
+    /// One-line description shown by `--list` and in reports.
+    pub description: String,
+    /// The swept grid.
+    pub grid: ParamGrid,
+    /// The per-cell measurement.
+    pub kind: OutputKind,
+}
+
+impl Scenario {
+    /// Builds a scenario.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        grid: ParamGrid,
+        kind: OutputKind,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            grid,
+            kind,
+        }
+    }
+
+    /// Expands the grid (see [`ParamGrid::cells`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-validation failures.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, SweepError> {
+        self.grid.cells()
+    }
+
+    /// Full column list of this scenario's report: key columns followed
+    /// by the kind's measurement columns.
+    pub fn columns(&self) -> Vec<String> {
+        let mut cols = SweepCell::key_columns();
+        cols.extend(self.kind.columns());
+        cols
+    }
+}

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mu = 0.25; // assumed adversarial fraction
     let target = 0.05; // operator's ceiling on p(polluted merge)
 
-    println!("mu = {:.0}%, target p(AmP) <= {:.0}%", mu * 100.0, target * 100.0);
+    println!(
+        "mu = {:.0}%, target p(AmP) <= {:.0}%",
+        mu * 100.0,
+        target * 100.0
+    );
     println!(
         "\n{:>6} {:>10} {:>10} {:>10} {:>12}",
         "d", "L", "E(T_S)", "E(T_P)", "p(AmP)"
@@ -46,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match best {
         Some((d, l)) => {
-            println!(
-                "\nLargest identifier lifetime meeting the target: d = {d} (L = {l:.2}).",
-            );
+            println!("\nLargest identifier lifetime meeting the target: d = {d} (L = {l:.2}).",);
             println!("Peers re-key only every ~{l:.0} time units — no hyper-activity");
             println!("needed; pushing peers smoothly to unpredictable regions suffices.");
         }

@@ -29,7 +29,9 @@ fn build(p_polluted: f64, rng: &mut StdRng) -> Overlay {
                 id: NodeId::from_data(&next.to_be_bytes()),
             }
         };
-        let core: Vec<Member> = (0..4).map(|i| member(&mut next, polluted && i < 2)).collect();
+        let core: Vec<Member> = (0..4)
+            .map(|i| member(&mut next, polluted && i < 2))
+            .collect();
         let spare: Vec<Member> = (0..3).map(|_| member(&mut next, false)).collect();
         clusters.push(Cluster::new(Label::from_bits(bits), params, core, spare).unwrap());
     }

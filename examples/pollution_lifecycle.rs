@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .any(|st| st.classify(&params) == StateClass::TransientPolluted)
         {
             println!("attempt {attempt}: a cluster that fell to the adversary\n");
-            println!("{:>5}  {:>12}  {}", "event", "(s, x, y)", "phase");
+            println!("{:>5}  {:>12}  phase", "event", "(s, x, y)");
             for (i, st) in timeline.iter().enumerate() {
                 let phase = match st.classify(&params) {
                     StateClass::TransientSafe => "safe",
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- distribution of T_P: simulation vs analysis ---------------------
     let reps = 60_000usize;
-    let mut counts = vec![0usize; 10];
+    let mut counts = [0usize; 10];
     let mut polluted_merges = 0usize;
     for _ in 0..reps {
         let out = sim.run(start, &mut rng);

@@ -40,15 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Monte-Carlo cross-check ----------------------------------------
-    let strategy = TargetedStrategy::new(params.k(), params.nu())
-        .expect("validated parameters");
+    let strategy = TargetedStrategy::new(params.k(), params.nu()).expect("validated parameters");
     let report = simulation::estimate(
         &params,
         &InitialCondition::Delta,
         &strategy,
         20_000,
         42,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
     );
     println!("\nevent-level simulation (20k replications):");
     println!("  T_S  = {}", report.safe_events);
@@ -60,11 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * report.absorption.2,
     );
 
-    let agree = (report.safe_events.mean - e_safe).abs()
-        < 3.0 * report.safe_events.ci_half_width;
+    let agree = (report.safe_events.mean - e_safe).abs() < 3.0 * report.safe_events.ci_half_width;
     println!(
         "\nmodel and simulation {}",
-        if agree { "agree" } else { "DISAGREE (unexpected)" }
+        if agree {
+            "agree"
+        } else {
+            "DISAGREE (unexpected)"
+        }
     );
     Ok(())
 }

@@ -44,15 +44,11 @@ fn build_overlay(
         if polluted {
             polluted_count += 1;
         }
-        let mut take = |force_malicious: bool,
-                        budget: &mut usize,
-                        rng: &mut StdRng|
-         -> Member {
+        let mut take = |force_malicious: bool, budget: &mut usize, rng: &mut StdRng| -> Member {
             let peer = &registry.peers()[next_peer % registry.len()];
             next_peer += 1;
             // Containment: honest selection never exceeds the budget.
-            let malicious = force_malicious
-                || (mu > 0.0 && rng.random_bool(mu) && *budget > 0);
+            let malicious = force_malicious || (mu > 0.0 && rng.random_bool(mu) && *budget > 0);
             if malicious && !force_malicious {
                 *budget -= 1;
             }
@@ -71,9 +67,7 @@ fn build_overlay(
         let spare: Vec<Member> = (0..4)
             .map(|_| take(false, &mut spare_budget, rng))
             .collect();
-        clusters.push(
-            Cluster::new(label, params, core, spare).expect("constructed well-formed"),
-        );
+        clusters.push(Cluster::new(label, params, core, spare).expect("constructed well-formed"));
     }
     (
         Overlay::bootstrap(params, clusters).expect("balanced tree covers the space"),
@@ -98,8 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .polluted_merge
         };
 
-        let (overlay, polluted_clusters) =
-            build_overlay(6, &registry, mu, p_polluted, &mut rng);
+        let (overlay, polluted_clusters) = build_overlay(6, &registry, mu, p_polluted, &mut rng);
         let drops = |c: &Cluster| c.is_polluted();
 
         let attempts = 3000;

@@ -7,3 +7,4 @@ pub use pollux_linalg as linalg;
 pub use pollux_markov as markov;
 pub use pollux_overlay as overlay;
 pub use pollux_prob as prob;
+pub use pollux_sweep as sweep;

@@ -11,7 +11,9 @@ use pollux_adversary::baselines::{PassiveAdversary, RecklessAdversary};
 use pollux_adversary::TargetedStrategy;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
 }
 
 #[test]
@@ -99,8 +101,7 @@ fn beta_initial_condition_agrees() {
     );
     let e_tp = analysis.expected_polluted_events().unwrap();
     assert!(
-        (report.polluted_events.mean - e_tp).abs()
-            <= 3.0 * report.polluted_events.ci_half_width,
+        (report.polluted_events.mean - e_tp).abs() <= 3.0 * report.polluted_events.ci_half_width,
         "T_P sim {} vs {e_tp}",
         report.polluted_events
     );
@@ -124,8 +125,7 @@ fn ablated_adversaries_change_outcomes_consistently() {
     );
     let e_tp = analysis.expected_polluted_events().unwrap();
     assert!(
-        (report.polluted_events.mean - e_tp).abs()
-            <= 3.0 * report.polluted_events.ci_half_width,
+        (report.polluted_events.mean - e_tp).abs() <= 3.0 * report.polluted_events.ci_half_width,
         "passive T_P sim {} vs {e_tp}",
         report.polluted_events
     );

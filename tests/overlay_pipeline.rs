@@ -39,9 +39,7 @@ fn bootstrap(registry: &PeerRegistry, policy: &IncarnationPolicy) -> Overlay {
                 m
             })
             .collect();
-        clusters.push(
-            Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap(),
-        );
+        clusters.push(Cluster::new(Label::parse(label).unwrap(), params, core, spare).unwrap());
     }
     Overlay::bootstrap(params, clusters).unwrap()
 }
@@ -90,7 +88,9 @@ fn churn_through_operations_preserves_invariants() {
             }
         }
         // Invariants after every step.
-        overlay.check_cover().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        overlay
+            .check_cover()
+            .unwrap_or_else(|e| panic!("step {step}: {e}"));
         for cl in overlay.clusters() {
             cl.check_invariants()
                 .unwrap_or_else(|e| panic!("step {step}: {e}"));
@@ -106,7 +106,12 @@ fn property_1_expired_ids_are_rejected() {
     let peer = &registry.peers()[0];
     let id_at_t50 = peer.current_id(&policy, 50.0);
     // At t = 50 the id validates; at t = 250 (incarnation 3) it must not.
-    assert!(policy.is_id_valid(&peer.initial_id, peer.certificate.t0 as f64, &id_at_t50, 50.0));
+    assert!(policy.is_id_valid(
+        &peer.initial_id,
+        peer.certificate.t0 as f64,
+        &id_at_t50,
+        50.0
+    ));
     assert!(!policy.is_id_valid(
         &peer.initial_id,
         peer.certificate.t0 as f64,
@@ -171,8 +176,7 @@ fn routing_degrades_only_through_polluted_clusters() {
     let mut hits = 0;
     for i in 0..2000u64 {
         let target = NodeId::from_data(&i.to_be_bytes());
-        let out = routing::route(&overlay, &Label::parse("00").unwrap(), &target, &drops)
-            .unwrap();
+        let out = routing::route(&overlay, &Label::parse("00").unwrap(), &target, &drops).unwrap();
         if victim.is_prefix_of(&target) {
             hits += 1;
             assert!(!out.delivered, "keys of the dropped cluster must fail");

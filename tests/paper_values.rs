@@ -2,8 +2,8 @@
 //! numbers (Anceaume, Sericola, Ludinard, Tronel — DSN 2011).
 //!
 //! Every constant below is either printed verbatim in the paper or is an
-//! exact closed form the paper states; see EXPERIMENTS.md for the
-//! paper-vs-measured table and the two documented typos in the original
+//! exact closed form the paper states; see the "Paper vs measured" note
+//! in the repository README for the two documented typos in the original
 //! (Table I's `1518` and Table II's `0.26`).
 
 use pollux::{ClusterAnalysis, InitialCondition, ModelParams, ModelSpace};
@@ -90,7 +90,7 @@ fn table2_successive_sojourns() {
     // E(T_S1): 12, 12.085, 11.890, 11.570
     // E(T_S2): 0, 0.013, 0.033, 0.043
     // E(T_P1): 0, 0.099, 0.558, 1.611
-    // E(T_P2): 0, 0.004, 0.26 [typo, see EXPERIMENTS.md], 0.075
+    // E(T_P2): 0, 0.004, 0.26 [documented typo, see README], 0.075
     let cases = [
         (0.0, 12.0, 0.0, 0.0, 0.0),
         (0.10, 12.085, 0.013, 0.099, 0.004),
@@ -141,8 +141,7 @@ fn figure5_inferred_mu25_peak() {
     // The paper reports E(N_P(m))/n < 2.2%; mu = 25% reproduces that
     // ceiling (peak ~2.17% at n=500, d=90%).
     let params = ModelParams::paper_defaults().with_mu(0.25).with_d(0.9);
-    let model =
-        pollux::OverlayModel::new(&params, InitialCondition::Delta, 500).unwrap();
+    let model = pollux::OverlayModel::new(&params, InitialCondition::Delta, 500).unwrap();
     let points: Vec<u64> = (0..=50).map(|i| i * 2000).collect();
     let (_, peak) = model.peak_polluted(&points).unwrap();
     assert!(peak < 0.022, "peak {peak}");
@@ -152,8 +151,14 @@ fn figure5_inferred_mu25_peak() {
 #[test]
 fn figure5_caption_lifetimes() {
     // Captions: d = 30% ⇒ L = 6.58; d = 90% ⇒ L = 46.05 (paper rounding).
-    let l30 = ModelParams::paper_defaults().with_d(0.3).lifetime_l().unwrap();
-    let l90 = ModelParams::paper_defaults().with_d(0.9).lifetime_l().unwrap();
+    let l30 = ModelParams::paper_defaults()
+        .with_d(0.3)
+        .lifetime_l()
+        .unwrap();
+    let l90 = ModelParams::paper_defaults()
+        .with_d(0.9)
+        .lifetime_l()
+        .unwrap();
     assert!((l30 - 6.58).abs() < 0.02, "L(30%) = {l30}");
     assert!((l90 - 46.05).abs() < 0.1, "L(90%) = {l90}");
 }

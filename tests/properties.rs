@@ -5,16 +5,22 @@
 use proptest::prelude::*;
 
 use pollux::{
-    polluted_split_unreachable, AdversaryToggles, ClusterAnalysis, ClusterChain,
-    InitialCondition, ModelParams,
+    polluted_split_unreachable, AdversaryToggles, ClusterAnalysis, ClusterChain, InitialCondition,
+    ModelParams,
 };
 use pollux_adversary::{rules, ClusterView};
 
 /// Strategy generating a valid parameter set (small enough to keep the
 /// chain build fast in debug builds).
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
-    (2usize..=8, 2usize..=6, 0.0f64..0.9, 0.0f64..0.99, 0.01f64..0.9).prop_flat_map(
-        |(c, delta, mu, d, nu)| {
+    (
+        2usize..=8,
+        2usize..=6,
+        0.0f64..0.9,
+        0.0f64..0.99,
+        0.01f64..0.9,
+    )
+        .prop_flat_map(|(c, delta, mu, d, nu)| {
             (1usize..=c).prop_map(move |k| {
                 ModelParams::new(c, delta, k)
                     .expect("generated sizes are valid")
@@ -22,8 +28,7 @@ fn params_strategy() -> impl Strategy<Value = ModelParams> {
                     .with_d(d)
                     .with_nu(nu)
             })
-        },
-    )
+        })
 }
 
 proptest! {

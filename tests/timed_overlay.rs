@@ -50,12 +50,9 @@ impl ChurnedOverlay {
                 .chain(cluster.spare())
                 .find(|m| {
                     let peer = self.registry.peer(m.peer).expect("registry member");
-                    !self.policy.is_id_valid(
-                        &peer.initial_id,
-                        peer.certificate.t0 as f64,
-                        &m.id,
-                        t,
-                    )
+                    !self
+                        .policy
+                        .is_id_valid(&peer.initial_id, peer.certificate.t0 as f64, &m.id, t)
                 })
                 .map(|m| m.peer);
             let Some(peer) = stale else { break };
@@ -120,8 +117,7 @@ impl EventHandler for ChurnedOverlay {
                         ops::leave_core_randomized(cluster, peer, 1, &mut self.rng)
                             .expect("core leave with spares available");
                     } else {
-                        let peer =
-                            cluster.spare()[pick - cluster.params().core_size()].peer;
+                        let peer = cluster.spare()[pick - cluster.params().core_size()].peer;
                         ops::leave_spare(cluster, peer).expect("spare leave");
                     }
                 }
@@ -209,12 +205,9 @@ fn timed_churn_respects_property_1_and_invariants() {
         for m in cl.core().iter().chain(cl.spare()) {
             total += 1;
             let peer = h.registry.peer(m.peer).unwrap();
-            if h.policy.is_id_valid(
-                &peer.initial_id,
-                peer.certificate.t0 as f64,
-                &m.id,
-                t,
-            ) {
+            if h.policy
+                .is_id_valid(&peer.initial_id, peer.certificate.t0 as f64, &m.id, t)
+            {
                 valid += 1;
             }
         }
