@@ -14,6 +14,7 @@
 //! | `fig5`             | `fig5`             | Figure 5 (overlay-level proportions)             |
 //! | `validate_model`   | `validate_model`   | Figure 2 (matrix vs event-level Monte-Carlo)     |
 //! | `validate_overlay` | `validate_overlay` | Theorem 2 vs the n-cluster simulation            |
+//! | `des_validate`     | `des_validate`, `des_validate_wide` | Markov chain vs the whole-overlay DES at 10^4–10^5 nodes (`des_scale` reaches 10^6) |
 //! | `ablation_k`       | `ablation_k`       | k-sweep behind the "protocol₁ wins" lesson       |
 //! | `ablation_rules`   | `ablation_rules`, `ablation_nu` | Rule-1/Rule-2/bias toggles, ν sweep |
 //! | `pollution_risk`   | `risk_decomposition` | beyond-paper pollution decomposition           |

@@ -237,7 +237,7 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRunner};
 
-    /// A length specification for [`vec`]: a fixed size or a range.
+    /// A length specification for [`vec()`]: a fixed size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -280,7 +280,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

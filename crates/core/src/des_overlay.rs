@@ -1,0 +1,868 @@
+//! `pollux-des`-driven whole-overlay simulation at production scale.
+//!
+//! [`crate::simulation`] replays one cluster per replication and
+//! [`crate::overlay_sim`] steps `n` abstract chain states round-robin;
+//! this module runs the **actual overlay** — every node of every cluster —
+//! as a continuous-time discrete-event simulation on the
+//! [`pollux_des`] engine, at 10⁵–10⁶ nodes:
+//!
+//! * every cluster owns an independent Poisson arrival stream
+//!   ([`pollux_des::churn::PoissonProcess`]) whose arrivals flip the
+//!   paper's balanced join/leave coin ([`pollux_des::churn::EventMix`]);
+//!   the superposition of `n` equal-rate streams delivers events to
+//!   uniformly random clusters, exactly the competing-chains semantics of
+//!   Section VIII;
+//! * nodes are concrete: an index-based arena stores one malicious flag
+//!   and one 256-bit [`pollux_overlay::NodeId`] per node, and each
+//!   cluster's core/spare membership lists hold arena indices. Joins draw
+//!   fresh identifiers inside the cluster's prefix region
+//!   ([`pollux_overlay::Label`]), departures free slots back to the
+//!   arena, and the `protocol_k` maintenance procedure moves real nodes
+//!   between the core and spare sets (the hypergeometric kernel
+//!   `τ(x, a, b)` of the analytical chain emerges from the uniform
+//!   draws rather than being sampled directly);
+//! * the adversary is pluggable: any [`pollux_adversary::Strategy`]
+//!   drives Rule 1, Rule 2 and the maintenance bias, gated by the
+//!   [`crate::AdversaryToggles`] carried in [`ModelParams`].
+//!
+//! The hot event loop is allocation-free: the future-event list is
+//! pre-sized to one pending arrival per cluster, the event payload is a
+//! bare `u32` cluster index (no boxing), membership updates touch flat
+//! pre-allocated tables, and the maintenance draw uses two reusable
+//! scratch buffers. A 10⁶-node overlay processes 10⁶ events in seconds.
+//!
+//! Per-cluster sojourn counts (`T_S`, `T_P` in events) and the absorption
+//! split are accumulated with Welford statistics, so one run yields `n`
+//! independent samples of the quantities the cluster-level Markov chain
+//! predicts analytically (Relations 5–6 and 9) — the cross-validation
+//! consumed by `pollux-sweep`'s `DesValidation` scenarios far beyond the
+//! state-space sizes the matrix can enumerate.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux::des_overlay::{run_des_overlay, DesOverlayConfig};
+//! use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
+//! use pollux_adversary::TargetedStrategy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ModelParams::paper_defaults().with_mu(0.2).with_d(0.8);
+//! let strategy = TargetedStrategy::new(params.k(), params.nu()).unwrap();
+//! let config = DesOverlayConfig {
+//!     cluster_bits: 8, // 256 clusters ≈ 2 500 nodes
+//!     lambda: 1.0,
+//!     max_events: 200_000,
+//! };
+//! let report = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &config, 42);
+//! assert_eq!(report.n_clusters, 256);
+//! assert!(report.initial_nodes >= 2_500);
+//!
+//! // The measured mean sojourn agrees with the Markov prediction.
+//! let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
+//! let predicted = analysis.expected_safe_events()?;
+//! let measured = report.safe_events;
+//! assert!((measured.mean - predicted).abs() < 5.0 * measured.ci_half_width);
+//! # Ok(())
+//! # }
+//! ```
+
+use pollux_adversary::{ClusterView, JoinDecision, Strategy};
+use pollux_des::churn::{ChurnKind, EventMix, PoissonProcess};
+use pollux_des::stats::{Summary, Welford};
+use pollux_des::{EventHandler, Scheduler, SimTime, Simulation};
+use pollux_overlay::{Label, NodeId};
+use pollux_prob::AliasTable;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::{AdversaryToggles, ClusterState, InitialCondition, ModelParams, ModelSpace};
+
+/// Configuration of a whole-overlay discrete-event run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesOverlayConfig {
+    /// The overlay holds `n = 2^cluster_bits` clusters (a power of two so
+    /// cluster labels tile the identifier space evenly). `10` is ~10⁴
+    /// nodes, `14` is ~1.6·10⁵, `17` is ~1.3·10⁶ at the paper's sizes.
+    pub cluster_bits: u32,
+    /// Per-cluster churn rate (events per simulated time unit); the
+    /// overlay-wide arrival rate is `n · lambda`.
+    pub lambda: f64,
+    /// Global cap on churn events; the run stops early (censoring any
+    /// still-transient clusters) when it is reached.
+    pub max_events: u64,
+}
+
+/// Aggregated results of one whole-overlay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesOverlayReport {
+    /// Number of clusters simulated.
+    pub n_clusters: usize,
+    /// Nodes alive at `t = 0` (core plus spares over all clusters).
+    pub initial_nodes: u64,
+    /// Peak concurrent node count over the run.
+    pub peak_nodes: u64,
+    /// Churn events processed.
+    pub events: u64,
+    /// Simulation clock at the end of the run.
+    pub end_time: f64,
+    /// Per-cluster safe sojourn `T_S` (events; censored clusters included
+    /// with their partial counts, as in [`crate::simulation::estimate`]).
+    pub safe_events: Summary,
+    /// Per-cluster polluted sojourn `T_P` (events).
+    pub polluted_events: Summary,
+    /// Per-cluster lifetime to absorption in simulated time units
+    /// (absorbed clusters only).
+    pub lifetime: Summary,
+    /// Empirical absorption frequencies `(AmS, AℓS, AmP, AℓP)` over the
+    /// absorbed clusters.
+    pub absorption: (f64, f64, f64, f64),
+    /// Raw absorption counts `[AmS, AℓS, AmP, AℓP]` (for exact binomial
+    /// confidence intervals on the frequencies).
+    pub absorption_counts: [u64; 4],
+    /// Clusters absorbed before the event cap.
+    pub absorbed: u64,
+    /// Clusters still transient when the event cap hit.
+    pub censored: u64,
+}
+
+/// Where an absorbed cluster ended up (compact per-cluster status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterStatus {
+    Transient,
+    SafeMerge,
+    SafeSplit,
+    PollutedMerge,
+    PollutedSplit,
+}
+
+/// The node arena: flat per-node attributes plus a free list, indexed by
+/// `u32` handles so membership tables stay dense.
+struct NodeArena {
+    malicious: Vec<bool>,
+    ids: Vec<NodeId>,
+    free: Vec<u32>,
+    live: u64,
+    peak: u64,
+}
+
+impl NodeArena {
+    fn with_capacity(capacity: usize) -> Self {
+        NodeArena {
+            malicious: vec![false; capacity],
+            ids: vec![NodeId::from_bytes([0; 32]); capacity],
+            free: (0..capacity as u32).rev().collect(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Claims a slot for a fresh node. The arena is sized for the worst
+    /// case (`n · (C + Δ)` nodes), so exhaustion is a logic error.
+    fn alloc(&mut self, malicious: bool, id: NodeId) -> u32 {
+        let slot = self
+            .free
+            .pop()
+            .expect("node arena sized for Smax per cluster");
+        self.malicious[slot as usize] = malicious;
+        self.ids[slot as usize] = id;
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        slot
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.free.push(slot);
+        self.live -= 1;
+    }
+}
+
+/// The event handler: the whole overlay, structure-of-arrays.
+struct OverlayDes<'a, S: Strategy> {
+    params: &'a ModelParams,
+    strategy: &'a S,
+    rng: StdRng,
+    process: PoissonProcess,
+    mix: EventMix,
+    nodes: NodeArena,
+    /// Flat core membership: `core[c * C .. (c + 1) * C]`.
+    core: Vec<u32>,
+    /// Flat spare membership: `spare[c * Δ ..][..s[c]]`.
+    spare: Vec<u32>,
+    /// Spare-set size `s` per cluster.
+    s: Vec<u8>,
+    /// Malicious core count `x` per cluster (cached; ground truth is the
+    /// arena's flags).
+    x: Vec<u8>,
+    /// Malicious spare count `y` per cluster.
+    y: Vec<u8>,
+    status: Vec<ClusterStatus>,
+    /// Events observed in transient safe / polluted states, per cluster.
+    safe_ev: Vec<u32>,
+    poll_ev: Vec<u32>,
+    /// Prefix label of each cluster (depth `cluster_bits`).
+    labels: Vec<Label>,
+    cluster_bits: u32,
+    /// Reusable maintenance scratch: candidate pool of node handles.
+    pool: Vec<u32>,
+    /// Reusable maintenance scratch: core slots awaiting promotion.
+    empty_slots: Vec<usize>,
+    events: u64,
+    max_events: u64,
+    transient_left: usize,
+    // Accumulators.
+    safe_w: Welford,
+    poll_w: Welford,
+    lifetime_w: Welford,
+    absorption_counts: [u64; 4],
+}
+
+impl<S: Strategy> OverlayDes<'_, S> {
+    fn c_size(&self) -> usize {
+        self.params.core_size()
+    }
+
+    fn delta(&self) -> usize {
+        self.params.max_spare()
+    }
+
+    /// Draws a fresh 256-bit identifier uniformly inside cluster `c`'s
+    /// prefix region: random bits with the first `cluster_bits` bits
+    /// forced to the cluster index (PeerCube routes a joiner to the unique
+    /// cluster whose label prefixes its identifier, so conditioning on
+    /// "this join reached cluster c" is conditioning on the prefix).
+    fn draw_id(&mut self, c: usize) -> NodeId {
+        let mut bytes = [0u8; 32];
+        self.rng.fill(&mut bytes);
+        for bit in 0..self.cluster_bits {
+            let value = (c >> (self.cluster_bits - 1 - bit)) & 1 == 1;
+            let byte = (bit / 8) as usize;
+            let mask = 0x80u8 >> (bit % 8);
+            if value {
+                bytes[byte] |= mask;
+            } else {
+                bytes[byte] &= !mask;
+            }
+        }
+        NodeId::from_bytes(bytes)
+    }
+
+    /// `true` when none of `count` malicious identifiers expired at this
+    /// event (probability `d^count`), as in the analytical chain.
+    fn survives(&mut self, count: usize) -> bool {
+        let d = self.params.d();
+        if d <= 0.0 {
+            return false;
+        }
+        self.rng.random_bool(d.powi(count as i32).clamp(0.0, 1.0))
+    }
+
+    /// Removes spare slot `j` of cluster `c` (swap-remove; slot selection
+    /// is uniform, so the arrangement never biases the dynamics) and
+    /// returns the node handle.
+    fn take_spare(&mut self, c: usize, j: usize) -> u32 {
+        let base = c * self.delta();
+        let s = self.s[c] as usize;
+        debug_assert!(j < s);
+        let node = self.spare[base + j];
+        self.spare[base + j] = self.spare[base + s - 1];
+        node
+    }
+
+    /// Picks a uniformly random malicious (or, with `malicious == false`,
+    /// honest) spare of cluster `c`; returns its slot index.
+    fn pick_spare_by_kind(&mut self, c: usize, malicious: bool) -> usize {
+        let base = c * self.delta();
+        let s = self.s[c] as usize;
+        let want = if malicious {
+            self.y[c] as usize
+        } else {
+            s - self.y[c] as usize
+        };
+        debug_assert!(want > 0);
+        let target = self.rng.random_range(0..want);
+        let mut seen = 0usize;
+        for j in 0..s {
+            if self.nodes.malicious[self.spare[base + j] as usize] == malicious {
+                if seen == target {
+                    return j;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("cached y count matches arena flags");
+    }
+
+    /// The `protocol_k` maintenance procedure after the core member in
+    /// `leaver_slot` departed (its node already released): demote `k − 1`
+    /// uniformly chosen remaining core members into the candidate pool
+    /// (the `s` spares plus the demoted), promote `k` uniformly chosen
+    /// pool members into the vacant core slots, and keep the remaining
+    /// `s − 1` candidates as the new spare set.
+    fn maintenance(&mut self, c: usize, leaver_slot: usize) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        let k = self.params.k();
+        let s = self.s[c] as usize;
+        debug_assert!(s >= 1);
+
+        self.pool.clear();
+        self.empty_slots.clear();
+        self.empty_slots.push(leaver_slot);
+
+        // Demote k − 1 of the C − 1 remaining core members: partial
+        // Fisher–Yates over the slot indices, skipping the leaver.
+        if k > 1 {
+            // `pool` temporarily holds candidate *slots* for demotion.
+            for slot in 0..c_size {
+                if slot != leaver_slot {
+                    self.pool.push(slot as u32);
+                }
+            }
+            for i in 0..k - 1 {
+                let j = self.rng.random_range(i..self.pool.len());
+                self.pool.swap(i, j);
+            }
+            for i in 0..k - 1 {
+                self.empty_slots.push(self.pool[i] as usize);
+            }
+            self.pool.truncate(k - 1);
+            // Replace the demoted slots with their node handles.
+            for entry in self.pool.iter_mut() {
+                *entry = self.core[c * c_size + *entry as usize];
+            }
+        }
+
+        // The candidate pool: every spare plus the demoted members.
+        let base = c * delta;
+        for j in 0..s {
+            self.pool.push(self.spare[base + j]);
+        }
+        debug_assert_eq!(self.pool.len(), s + k - 1);
+
+        // Promote k uniformly chosen candidates into the vacant slots.
+        for i in 0..k {
+            let j = self.rng.random_range(i..self.pool.len());
+            self.pool.swap(i, j);
+        }
+        for (i, &slot) in self.empty_slots.iter().enumerate() {
+            self.core[c * c_size + slot] = self.pool[i];
+        }
+        // The rest of the pool is the new spare set (s − 1 members).
+        for (j, &node) in self.pool[k..].iter().enumerate() {
+            self.spare[base + j] = node;
+        }
+
+        // Re-derive the cached malicious counts from the arena flags.
+        let x_new = self.core[c * c_size..(c + 1) * c_size]
+            .iter()
+            .filter(|&&n| self.nodes.malicious[n as usize])
+            .count();
+        let y_new = self.pool[k..]
+            .iter()
+            .filter(|&&n| self.nodes.malicious[n as usize])
+            .count();
+        self.x[c] = x_new as u8;
+        self.y[c] = y_new as u8;
+    }
+
+    /// Plays one churn event on (transient) cluster `c`, mirroring the
+    /// probabilities of the analytical chain at node granularity.
+    fn churn_event(&mut self, c: usize) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        let quorum = self.params.quorum();
+        let mu = self.params.mu();
+        let toggles = *self.params.toggles();
+        let s = self.s[c] as usize;
+        let x = self.x[c] as usize;
+        let y = self.y[c] as usize;
+        let polluted = x > quorum;
+
+        match self.mix.sample(&mut self.rng) {
+            ChurnKind::Join => {
+                let malicious = mu > 0.0 && self.rng.random_bool(mu);
+                let accept = if polluted && toggles.rule2 {
+                    let view = ClusterView::new(c_size, delta, s, x, y)
+                        .expect("simulated clusters stay inside Ω");
+                    self.strategy.join_decision(&view, malicious) == JoinDecision::Accept
+                } else {
+                    true
+                };
+                if accept {
+                    let id = self.draw_id(c);
+                    debug_assert!(self.labels[c].is_prefix_of(&id));
+                    let node = self.nodes.alloc(malicious, id);
+                    self.spare[c * delta + s] = node;
+                    self.s[c] += 1;
+                    if malicious {
+                        self.y[c] += 1;
+                    }
+                }
+            }
+            ChurnKind::Leave => {
+                // One uniformly selected member of the C + s present.
+                let r = self.rng.random_range(0..c_size + s);
+                if r >= c_size {
+                    // A spare was selected (slot r − C is uniform).
+                    let j = r - c_size;
+                    let node = self.spare[c * delta + j];
+                    let malicious = self.nodes.malicious[node as usize];
+                    if !malicious {
+                        let node = self.take_spare(c, j);
+                        self.nodes.release(node);
+                        self.s[c] -= 1;
+                    } else if !self.survives(y) {
+                        // Property 1 forces the expired identifier out.
+                        let node = self.take_spare(c, j);
+                        self.nodes.release(node);
+                        self.s[c] -= 1;
+                        self.y[c] -= 1;
+                    }
+                    // A valid malicious spare refuses to leave: self-loop.
+                } else {
+                    self.core_leave(c, r, polluted, toggles);
+                }
+            }
+        }
+    }
+
+    /// Handles a leave event that selected core slot `r`.
+    fn core_leave(&mut self, c: usize, r: usize, polluted: bool, toggles: AdversaryToggles) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        let quorum = self.params.quorum();
+        let s = self.s[c] as usize;
+        let x = self.x[c] as usize;
+        let y = self.y[c] as usize;
+        let node = self.core[c * c_size + r];
+        let malicious = self.nodes.malicious[node as usize];
+
+        if !malicious {
+            // An honest core member leaves.
+            self.nodes.release(node);
+            if polluted && toggles.bias {
+                // The adversary refills the slot with a malicious spare
+                // when it has one (x grows), an honest one otherwise.
+                let j = self.pick_spare_by_kind(c, y > 0);
+                let promoted = self.take_spare(c, j);
+                self.core[c * c_size + r] = promoted;
+                if y > 0 {
+                    self.x[c] += 1;
+                    self.y[c] -= 1;
+                }
+            } else {
+                self.maintenance(c, r);
+            }
+            self.s[c] -= 1;
+        } else if !self.survives(x) {
+            // A malicious core member whose identifier expired is forced
+            // out by Property 1.
+            self.nodes.release(node);
+            let x_rem = x - 1;
+            if x_rem > quorum && toggles.bias {
+                let j = self.pick_spare_by_kind(c, y > 0);
+                let promoted = self.take_spare(c, j);
+                self.core[c * c_size + r] = promoted;
+                if y > 0 {
+                    self.y[c] -= 1; // malicious replacement keeps x
+                } else {
+                    self.x[c] -= 1; // honest replacement
+                }
+            } else {
+                self.x[c] -= 1;
+                self.maintenance(c, r);
+            }
+            self.s[c] -= 1;
+        } else if !polluted && toggles.rule1 {
+            // A valid malicious core member of a safe cluster may leave
+            // voluntarily (Rule 1) to re-roll the maintenance dice.
+            let view =
+                ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
+            if self.strategy.voluntary_core_leave(&view) {
+                self.nodes.release(node);
+                self.x[c] -= 1;
+                self.maintenance(c, r);
+                self.s[c] -= 1;
+            }
+        }
+        // A valid malicious core member otherwise stays: self-loop.
+    }
+
+    /// Frees every node of cluster `c` (called on absorption — the
+    /// cluster's chain has reached a closed state; the overlay would
+    /// merge or split it, retiring these memberships).
+    fn release_cluster_nodes(&mut self, c: usize) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        for slot in 0..c_size {
+            self.nodes.release(self.core[c * c_size + slot]);
+        }
+        for j in 0..self.s[c] as usize {
+            self.nodes.release(self.spare[c * delta + j]);
+        }
+    }
+
+    /// Records the absorption of cluster `c` at time `t`.
+    fn absorb(&mut self, c: usize, t: SimTime) {
+        let polluted = self.x[c] as usize > self.params.quorum();
+        let (status, slot) = if self.s[c] == 0 {
+            if polluted {
+                (ClusterStatus::PollutedMerge, 2)
+            } else {
+                (ClusterStatus::SafeMerge, 0)
+            }
+        } else if polluted {
+            (ClusterStatus::PollutedSplit, 3)
+        } else {
+            (ClusterStatus::SafeSplit, 1)
+        };
+        self.status[c] = status;
+        self.absorption_counts[slot] += 1;
+        self.safe_w.push(f64::from(self.safe_ev[c]));
+        self.poll_w.push(f64::from(self.poll_ev[c]));
+        self.lifetime_w.push(t.value());
+        self.release_cluster_nodes(c);
+        self.transient_left -= 1;
+    }
+}
+
+impl<S: Strategy> EventHandler for OverlayDes<'_, S> {
+    type Event = u32;
+
+    fn handle(&mut self, t: SimTime, cluster: u32, sched: &mut Scheduler<u32>) {
+        let c = cluster as usize;
+        debug_assert_eq!(self.status[c], ClusterStatus::Transient);
+
+        // The event counts toward the sojourn of the class it lands in
+        // (the same accounting as the single-cluster simulator).
+        if self.x[c] as usize > self.params.quorum() {
+            self.poll_ev[c] += 1;
+        } else {
+            self.safe_ev[c] += 1;
+        }
+        self.events += 1;
+
+        self.churn_event(c);
+
+        let s = self.s[c] as usize;
+        if s == 0 || s == self.delta() {
+            self.absorb(c, t);
+            // An absorbed chain sits in a closed state forever: its
+            // arrival stream carries no further information, so it is
+            // simply not rescheduled (the self-loops are implicit).
+        } else {
+            let next = self.process.next_after(t, &mut self.rng);
+            sched.schedule(next, cluster);
+        }
+
+        if self.events >= self.max_events || self.transient_left == 0 {
+            sched.stop();
+        }
+    }
+}
+
+/// Runs one whole-overlay discrete-event simulation.
+///
+/// Deterministic in `(params, initial, strategy, config, seed)`: a single
+/// RNG stream drives every draw and the engine's event ordering is total,
+/// so two identical calls return identical reports.
+///
+/// # Panics
+///
+/// Panics when `cluster_bits > 24` (16.7M clusters — past any sensible
+/// memory budget), when `C + Δ > 255` (membership counters are `u8`),
+/// when `lambda` is not a positive finite rate, or when the initial
+/// condition is invalid for the parameters.
+pub fn run_des_overlay<S: Strategy>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    config: &DesOverlayConfig,
+    seed: u64,
+) -> DesOverlayReport {
+    assert!(
+        config.cluster_bits <= 24,
+        "cluster_bits = {} exceeds the 2^24-cluster ceiling",
+        config.cluster_bits
+    );
+    let c_size = params.core_size();
+    let delta = params.max_spare();
+    assert!(
+        c_size + delta <= u8::MAX as usize,
+        "C + Δ = {} overflows the per-cluster u8 counters",
+        c_size + delta
+    );
+    let n = 1usize << config.cluster_bits;
+    let process = PoissonProcess::new(config.lambda).expect("lambda must be a positive rate");
+
+    let rng = StdRng::seed_from_u64(seed);
+    let space = ModelSpace::new(params);
+    let alpha = initial
+        .distribution(&space)
+        .expect("initial condition must be valid for the parameters");
+    let table = AliasTable::new(&alpha).expect("alpha is a distribution");
+    let states: Vec<ClusterState> = space.iter().map(|(_, st)| *st).collect();
+
+    let mut des = OverlayDes {
+        params,
+        strategy,
+        rng,
+        process,
+        mix: EventMix::balanced(),
+        nodes: NodeArena::with_capacity(n * (c_size + delta)),
+        core: vec![0; n * c_size],
+        spare: vec![0; n * delta],
+        s: vec![0; n],
+        x: vec![0; n],
+        y: vec![0; n],
+        status: vec![ClusterStatus::Transient; n],
+        safe_ev: vec![0; n],
+        poll_ev: vec![0; n],
+        labels: Vec::with_capacity(n),
+        cluster_bits: config.cluster_bits,
+        pool: Vec::with_capacity(c_size + delta),
+        empty_slots: Vec::with_capacity(c_size),
+        events: 0,
+        max_events: config.max_events.max(1),
+        transient_left: 0,
+        safe_w: Welford::new(),
+        poll_w: Welford::new(),
+        lifetime_w: Welford::new(),
+        absorption_counts: [0; 4],
+    };
+    for c in 0..n {
+        let bits: Vec<bool> = (0..config.cluster_bits)
+            .map(|bit| (c >> (config.cluster_bits - 1 - bit)) & 1 == 1)
+            .collect();
+        des.labels.push(Label::from_bits(bits));
+    }
+
+    // Populate the overlay: each cluster draws its start state from the
+    // initial distribution and materializes concrete members for it.
+    for c in 0..n {
+        let start = states[table.sample(&mut des.rng)];
+        des.s[c] = start.s as u8;
+        des.x[c] = start.x as u8;
+        des.y[c] = start.y as u8;
+        for slot in 0..c_size {
+            let malicious = slot < start.x;
+            let id = des.draw_id(c);
+            let node = des.nodes.alloc(malicious, id);
+            des.core[c * c_size + slot] = node;
+        }
+        for j in 0..start.s {
+            let malicious = j < start.y;
+            let id = des.draw_id(c);
+            let node = des.nodes.alloc(malicious, id);
+            des.spare[c * delta + j] = node;
+        }
+        des.transient_left += 1;
+        if start.classify(params).is_absorbing() {
+            // Legal only for Custom initial distributions: the cluster
+            // is born absorbed, with zero transient events.
+            des.absorb(c, SimTime::ZERO);
+        }
+    }
+    let initial_nodes = des.nodes.live;
+
+    // Every still-transient cluster gets its first arrival; absorbed-at-
+    // birth clusters never enter the event list. One pending arrival per
+    // transient cluster is the queue's invariant, so `n + 1` capacity
+    // keeps the hot loop reallocation-free.
+    let mut sim = Simulation::with_queue_capacity(des, n + 1);
+    for c in 0..n {
+        if sim.handler().status[c] == ClusterStatus::Transient {
+            let h = sim.handler_mut();
+            let t0 = h.process.next_after(SimTime::ZERO, &mut h.rng);
+            sim.schedule(t0, c as u32);
+        }
+    }
+
+    sim.run();
+    let end_time = sim.now().value();
+    let mut des = sim.into_handler();
+
+    // Clusters still transient at the event cap are censored: their
+    // partial sojourn counts enter the estimates, exactly as in
+    // `simulation::estimate`.
+    let mut censored = 0u64;
+    for c in 0..n {
+        if des.status[c] == ClusterStatus::Transient {
+            des.safe_w.push(f64::from(des.safe_ev[c]));
+            des.poll_w.push(f64::from(des.poll_ev[c]));
+            censored += 1;
+        }
+    }
+    let absorbed: u64 = des.absorption_counts.iter().sum();
+    let denom = absorbed.max(1) as f64;
+
+    DesOverlayReport {
+        n_clusters: n,
+        initial_nodes,
+        peak_nodes: des.nodes.peak,
+        events: des.events,
+        end_time,
+        safe_events: des.safe_w.summary(1.96),
+        polluted_events: des.poll_w.summary(1.96),
+        lifetime: des.lifetime_w.summary(1.96),
+        absorption: (
+            des.absorption_counts[0] as f64 / denom,
+            des.absorption_counts[1] as f64 / denom,
+            des.absorption_counts[2] as f64 / denom,
+            des.absorption_counts[3] as f64 / denom,
+        ),
+        absorption_counts: des.absorption_counts,
+        absorbed,
+        censored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterAnalysis;
+    use pollux_adversary::baselines::{PassiveAdversary, RecklessAdversary};
+    use pollux_adversary::TargetedStrategy;
+
+    fn params(mu: f64, d: f64) -> ModelParams {
+        ModelParams::paper_defaults().with_mu(mu).with_d(d)
+    }
+
+    fn config(bits: u32) -> DesOverlayConfig {
+        DesOverlayConfig {
+            cluster_bits: bits,
+            lambda: 1.0,
+            max_events: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = params(0.2, 0.8);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let a = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(6), 11);
+        let b = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(6), 11);
+        assert_eq!(a, b);
+        let c = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(6), 12);
+        assert_ne!(a.safe_events.mean, c.safe_events.mean);
+    }
+
+    #[test]
+    fn mu_zero_matches_random_walk_closed_form() {
+        // Attack-free overlay from δ: E(T_S) = 12, merge:split = 4:7 vs
+        // 3:7, no pollution anywhere (closed forms from the paper).
+        let p = params(0.0, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(11), 1);
+        assert_eq!(r.censored, 0);
+        assert_eq!(r.absorbed, 2048);
+        assert!(
+            (r.safe_events.mean - 12.0).abs() < 4.0 * r.safe_events.ci_half_width,
+            "E(T_S) {} vs 12",
+            r.safe_events
+        );
+        assert_eq!(r.polluted_events.mean, 0.0);
+        assert!((r.absorption.0 - 4.0 / 7.0).abs() < 0.04);
+        assert!((r.absorption.1 - 3.0 / 7.0).abs() < 0.04);
+        assert_eq!(r.absorption.2, 0.0);
+    }
+
+    #[test]
+    fn sojourns_and_absorption_match_the_markov_chain() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(11), 7);
+        assert_eq!(r.censored, 0, "d = 0.9 absorbs well before the cap");
+
+        let a = ClusterAnalysis::new(&p, InitialCondition::Delta).unwrap();
+        let e_ts = a.expected_safe_events().unwrap();
+        let e_tp = a.expected_polluted_events().unwrap();
+        let split = a.absorption_split().unwrap();
+        assert!(
+            (r.safe_events.mean - e_ts).abs() < 4.0 * r.safe_events.ci_half_width,
+            "T_S: des {} vs markov {e_ts}",
+            r.safe_events
+        );
+        assert!(
+            (r.polluted_events.mean - e_tp).abs() < 4.0 * r.polluted_events.ci_half_width.max(0.01),
+            "T_P: des {} vs markov {e_tp}",
+            r.polluted_events
+        );
+        assert!(
+            (r.absorption.2 - split.polluted_merge).abs() < 0.02,
+            "AmP: des {} vs markov {}",
+            r.absorption.2,
+            split.polluted_merge
+        );
+        // Time layer consistent with the event layer: mean lifetime ≈
+        // mean per-cluster events / λ.
+        let per_cluster_events = r.safe_events.mean + r.polluted_events.mean;
+        assert!(
+            (r.lifetime.mean - per_cluster_events).abs() < 5.0 * r.lifetime.ci_half_width + 1.0,
+            "lifetime {} vs events-per-cluster {per_cluster_events}",
+            r.lifetime.mean
+        );
+    }
+
+    #[test]
+    fn beta_initial_and_k7_run_under_all_strategies() {
+        let p = params(0.3, 0.8).with_k(7).unwrap();
+        let cfg = config(7);
+        let targeted = TargetedStrategy::new(7, 0.1).unwrap();
+        let t = run_des_overlay(&p, &InitialCondition::Beta, &targeted, &cfg, 3);
+        let passive = PassiveAdversary::new();
+        let pa = run_des_overlay(&p, &InitialCondition::Beta, &passive, &cfg, 3);
+        let reckless = RecklessAdversary::new();
+        let re = run_des_overlay(&p, &InitialCondition::Beta, &reckless, &cfg, 3);
+        for r in [&t, &pa, &re] {
+            assert_eq!(r.absorbed + r.censored, 128);
+            let total = r.absorption.0 + r.absorption.1 + r.absorption.2 + r.absorption.3;
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        // β starts polluted with positive probability, so the targeted
+        // adversary accrues polluted sojourn mass.
+        assert!(t.polluted_events.mean > 0.0);
+    }
+
+    #[test]
+    fn event_cap_censors_and_stops() {
+        let p = params(0.2, 0.99);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        // ~6 events per cluster on average: far too few for most clusters
+        // to absorb, so the cap truncates the run.
+        let cfg = DesOverlayConfig {
+            cluster_bits: 5,
+            lambda: 2.0,
+            max_events: 200,
+        };
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 9);
+        assert_eq!(r.events, 200, "the cap stops the run exactly");
+        assert!(r.censored > 0);
+        assert_eq!(r.absorbed + r.censored, 32);
+        assert!(r.end_time > 0.0);
+    }
+
+    #[test]
+    fn node_accounting_balances() {
+        let p = params(0.2, 0.8);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(8), 21);
+        // δ start: every cluster has C + ⌊Δ/2⌋ = 10 members.
+        assert_eq!(r.initial_nodes, 256 * 10);
+        assert!(r.peak_nodes >= r.initial_nodes);
+        // Peak is bounded by the arena's worst case.
+        assert!(r.peak_nodes <= 256 * 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn oversized_cluster_bits_panics() {
+        let p = params(0.1, 0.5);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let cfg = DesOverlayConfig {
+            cluster_bits: 25,
+            lambda: 1.0,
+            max_events: 10,
+        };
+        run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 1);
+    }
+}

@@ -26,6 +26,12 @@
 //!   simulator of the same process (validates the matrix), and
 //! * [`overlay_sim`] — an `n`-cluster competing simulation (validates
 //!   Theorem 2), both driven by pluggable [`pollux_adversary`] strategies.
+//! * [`des_overlay`] — a continuous-time discrete-event simulation of the
+//!   **whole overlay at node granularity** (10⁵–10⁶ nodes) on the
+//!   [`pollux_des`] engine: per-cluster Poisson churn, an index-based node
+//!   arena, prefix-labelled identifiers, and per-cluster sojourn /
+//!   absorption statistics that cross-validate the Markov chain at scales
+//!   state-space enumeration cannot reach.
 //! * [`experiments`] — canned parameterizations reproducing every table
 //!   and figure of the paper's evaluation.
 //!
@@ -46,6 +52,7 @@
 //! ```
 
 mod analysis;
+pub mod des_overlay;
 pub mod experiments;
 mod initial;
 mod overlay_analysis;

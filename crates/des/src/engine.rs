@@ -14,6 +14,32 @@ pub trait EventHandler {
 ///
 /// Wraps the future-event list and the current clock so handlers cannot
 /// schedule into the past.
+///
+/// # Example
+///
+/// ```
+/// use pollux_des::{EventHandler, Scheduler, SimTime, Simulation};
+///
+/// /// Fires `n` more times, one time unit apart, then stops the run.
+/// struct Countdown(u32);
+/// impl EventHandler for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+///         assert_eq!(sched.now(), t);
+///         if self.0 == 0 {
+///             sched.stop();
+///         } else {
+///             self.0 -= 1;
+///             sched.schedule_in(1.0, ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Countdown(3));
+/// sim.schedule(SimTime::ZERO, ());
+/// sim.run();
+/// assert_eq!(sim.now(), SimTime::from(3.0));
+/// ```
 #[derive(Debug)]
 pub struct Scheduler<'a, E> {
     queue: &'a mut EventQueue<E>,
@@ -61,7 +87,34 @@ impl<E> Scheduler<'_, E> {
 /// The simulation loop: owns the clock, the future-event list and the
 /// handler.
 ///
-/// See the crate-level example for typical use.
+/// See the crate-level example for typical use. The loop itself never
+/// allocates: each [`Simulation::step`] pops one entry from the
+/// future-event list and hands it to the handler by value, so a simulation
+/// whose event type is a small `Copy` payload (an index into an arena, say)
+/// and whose queue was pre-sized with [`Simulation::with_queue_capacity`]
+/// runs entirely allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use pollux_des::{EventHandler, Scheduler, SimTime, Simulation};
+///
+/// struct Ping(u64);
+/// impl EventHandler for Ping {
+///     type Event = u32;
+///     fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+///         self.0 += u64::from(ev);
+///         if ev > 0 {
+///             sched.schedule_in(0.5, ev - 1);
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::with_queue_capacity(Ping(0), 16);
+/// sim.schedule(SimTime::ZERO, 4);
+/// assert_eq!(sim.run(), 5); // events 4, 3, 2, 1, 0
+/// assert_eq!(sim.handler().0, 10);
+/// ```
 #[derive(Debug)]
 pub struct Simulation<H: EventHandler> {
     handler: H,
@@ -80,6 +133,23 @@ impl<H: EventHandler> Simulation<H> {
             now: SimTime::ZERO,
             processed: 0,
         }
+    }
+
+    /// Creates a simulation whose future-event list is pre-sized for
+    /// `capacity` pending events (see [`EventQueue::with_capacity`]); the
+    /// hot loop of a large simulation then runs without reallocation.
+    pub fn with_queue_capacity(handler: H, capacity: usize) -> Self {
+        Simulation {
+            handler,
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Number of pending (not yet processed) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Current simulation time (the timestamp of the last processed event).

@@ -14,6 +14,11 @@
 //! * [`replication`] — seeded, embarrassingly parallel Monte-Carlo
 //!   replication over OS threads.
 //!
+//! The engine is deliberately model-agnostic; its flagship consumer is
+//! `pollux::des_overlay`, which drives a whole clustered overlay
+//! (10⁵–10⁶ nodes) through one [`Simulation`] with per-cluster Poisson
+//! arrival streams and an allocation-free event loop.
+//!
 //! # Example
 //!
 //! ```

@@ -68,6 +68,29 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose backing heap holds `capacity` events
+    /// without reallocating.
+    ///
+    /// Large-scale simulations (one pending arrival per simulated cluster)
+    /// pre-size the future-event list once so the hot loop never touches
+    /// the allocator.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserves room for at least `additional` further events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;

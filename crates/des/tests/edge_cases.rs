@@ -1,0 +1,250 @@
+//! Edge-case tests for the discrete-event engine: timestamp ties through
+//! the full simulation loop, `stop()` semantics mid-dispatch, empty-queue
+//! termination, queue pre-sizing, and long-horizon churn balance.
+
+use pollux_des::churn::{ChurnKind, EventMix, PoissonProcess};
+use pollux_des::{EventHandler, EventQueue, Scheduler, SimTime, Simulation};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Records the payload order of every dispatched event.
+struct Tape {
+    seen: Vec<u32>,
+}
+
+impl EventHandler for Tape {
+    type Event = u32;
+    fn handle(&mut self, _t: SimTime, ev: u32, _sched: &mut Scheduler<u32>) {
+        self.seen.push(ev);
+    }
+}
+
+#[test]
+fn simultaneous_events_dispatch_in_schedule_order() {
+    // Many events at the same SimTime must reach the handler in exactly
+    // the order they were scheduled (deterministic FIFO tie-break), even
+    // interleaved with earlier and later timestamps.
+    let mut sim = Simulation::new(Tape { seen: vec![] });
+    for i in 0..50 {
+        sim.schedule(SimTime::from(5.0), i);
+    }
+    sim.schedule(SimTime::from(1.0), 1000);
+    sim.schedule(SimTime::from(9.0), 2000);
+    sim.run();
+    let expect: Vec<u32> = std::iter::once(1000)
+        .chain(0..50)
+        .chain(std::iter::once(2000))
+        .collect();
+    assert_eq!(sim.handler().seen, expect);
+    assert_eq!(sim.now(), SimTime::from(9.0));
+}
+
+#[test]
+fn ties_scheduled_from_within_a_handler_stay_fifo() {
+    // A handler scheduling at its *own* timestamp enqueues behind every
+    // event already pending at that timestamp.
+    struct Spawner {
+        seen: Vec<u32>,
+    }
+    impl EventHandler for Spawner {
+        type Event = u32;
+        fn handle(&mut self, t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push(ev);
+            if ev == 0 {
+                sched.schedule(t, 10); // same instant, goes last
+            }
+        }
+    }
+    let mut sim = Simulation::new(Spawner { seen: vec![] });
+    sim.schedule(SimTime::from(2.0), 0);
+    sim.schedule(SimTime::from(2.0), 1);
+    sim.run();
+    assert_eq!(sim.handler().seen, vec![0, 1, 10]);
+}
+
+/// Stops after `limit` events; keeps rescheduling itself forever.
+struct StopAfter {
+    count: u64,
+    limit: u64,
+}
+
+impl EventHandler for StopAfter {
+    type Event = ();
+    fn handle(&mut self, _t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+        self.count += 1;
+        sched.schedule_in(1.0, ());
+        sched.schedule_in(1.0, ());
+        if self.count >= self.limit {
+            sched.stop();
+        }
+    }
+}
+
+#[test]
+fn stop_mid_dispatch_halts_after_current_event_and_preserves_queue() {
+    let mut sim = Simulation::new(StopAfter { count: 0, limit: 3 });
+    sim.schedule(SimTime::ZERO, ());
+    let processed = sim.run();
+    // The stop request takes effect after the current event: exactly 3
+    // dispatches, every event the handlers scheduled still pending.
+    assert_eq!(processed, 3);
+    assert_eq!(sim.handler().count, 3);
+    assert!(sim.pending() > 0, "stop() must not drain the queue");
+    // The simulation is resumable: a fresh run() picks the queue back up.
+    let before = sim.pending();
+    sim.run_events(1);
+    assert_eq!(sim.handler().count, 4);
+    assert_eq!(sim.pending(), before + 1); // one popped, two scheduled
+}
+
+#[test]
+fn stop_requested_on_final_queue_entry_terminates_cleanly() {
+    struct OneShotStop;
+    impl EventHandler for OneShotStop {
+        type Event = ();
+        fn handle(&mut self, _t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            sched.stop();
+        }
+    }
+    let mut sim = Simulation::new(OneShotStop);
+    sim.schedule(SimTime::ZERO, ());
+    assert_eq!(sim.run(), 1);
+    assert_eq!(sim.pending(), 0);
+    // Queue now empty: further runs are no-ops, not hangs or panics.
+    assert_eq!(sim.run(), 0);
+    assert_eq!(sim.run_events(10), 0);
+    assert_eq!(sim.run_until(SimTime::from(1e9)), 0);
+}
+
+#[test]
+fn empty_queue_terminates_without_touching_the_clock() {
+    let mut sim = Simulation::new(Tape { seen: vec![] });
+    assert_eq!(sim.run(), 0);
+    assert_eq!(sim.now(), SimTime::ZERO);
+    assert!(!sim.step());
+    assert_eq!(sim.processed(), 0);
+    // run_until on an empty queue is likewise a no-op.
+    assert_eq!(sim.run_until(SimTime::from(100.0)), 0);
+    assert_eq!(sim.now(), SimTime::ZERO);
+}
+
+#[test]
+fn drained_queue_ends_the_run_even_at_equal_horizon() {
+    // One event exactly at the horizon: it runs, then the empty queue
+    // (not the horizon test) terminates the loop.
+    let mut sim = Simulation::new(Tape { seen: vec![] });
+    sim.schedule(SimTime::from(4.0), 7);
+    assert_eq!(sim.run_until(SimTime::from(4.0)), 1);
+    assert_eq!(sim.handler().seen, vec![7]);
+    assert_eq!(sim.pending(), 0);
+}
+
+#[test]
+fn presized_queue_never_reallocates_within_capacity() {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+    let cap = q.capacity();
+    assert!(cap >= 1024);
+    for i in 0..1024 {
+        q.push(SimTime::from(f64::from(i % 17)), i as u32);
+    }
+    assert_eq!(q.capacity(), cap, "pushes within capacity must not grow");
+    while q.pop().is_some() {}
+    assert_eq!(q.capacity(), cap, "pops must not shrink");
+    q.reserve(2048);
+    assert!(q.capacity() >= 2048);
+}
+
+/// A churn-driven handler: one Poisson arrival stream, each arrival flips
+/// the join/leave coin and maintains a population counter.
+struct ChurnCounter {
+    rng: StdRng,
+    process: PoissonProcess,
+    mix: EventMix,
+    joins: u64,
+    leaves: u64,
+    population: i64,
+    min_population: i64,
+    max_population: i64,
+    horizon: SimTime,
+}
+
+impl EventHandler for ChurnCounter {
+    type Event = ();
+    fn handle(&mut self, t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+        match self.mix.sample(&mut self.rng) {
+            ChurnKind::Join => {
+                self.joins += 1;
+                self.population += 1;
+            }
+            ChurnKind::Leave => {
+                self.leaves += 1;
+                self.population -= 1;
+            }
+        }
+        self.min_population = self.min_population.min(self.population);
+        self.max_population = self.max_population.max(self.population);
+        let next = self.process.next_after(t, &mut self.rng);
+        if next <= self.horizon {
+            sched.schedule(next, ());
+        }
+    }
+}
+
+#[test]
+fn churn_arrivals_and_departures_balance_over_long_horizons() {
+    // A balanced mix over a long horizon: the arrival count concentrates
+    // around rate * horizon and the join/leave split around 1/2 (both
+    // within 5 sigma), so the population drift stays O(sqrt(events)).
+    let horizon = 50_000.0;
+    let rate = 2.0;
+    let mut sim = Simulation::new(ChurnCounter {
+        rng: StdRng::seed_from_u64(2024),
+        process: PoissonProcess::new(rate).unwrap(),
+        mix: EventMix::balanced(),
+        joins: 0,
+        leaves: 0,
+        population: 0,
+        min_population: 0,
+        max_population: 0,
+        horizon: SimTime::from(horizon),
+    });
+    sim.schedule(SimTime::ZERO, ());
+    sim.run();
+
+    let h = sim.handler();
+    let events = (h.joins + h.leaves) as f64;
+    let expected = rate * horizon;
+    assert!(
+        (events - expected).abs() < 5.0 * expected.sqrt(),
+        "arrival count {events} vs expected {expected}"
+    );
+    let drift = (h.joins as i64 - h.leaves as i64).unsigned_abs() as f64;
+    assert!(
+        drift < 5.0 * (events * 0.25).sqrt(),
+        "join/leave imbalance {drift} over {events} events"
+    );
+    // The recorded extremes bound every intermediate population value.
+    assert!(h.min_population <= 0 && h.max_population >= 0);
+    assert!(sim.now() <= SimTime::from(horizon));
+    assert!(sim.pending() == 0, "horizon filter leaves no stragglers");
+}
+
+#[test]
+fn biased_mix_drifts_in_the_biased_direction() {
+    let mut sim = Simulation::new(ChurnCounter {
+        rng: StdRng::seed_from_u64(7),
+        process: PoissonProcess::new(1.0).unwrap(),
+        mix: EventMix::with_join_probability(0.75).unwrap(),
+        joins: 0,
+        leaves: 0,
+        population: 0,
+        min_population: 0,
+        max_population: 0,
+        horizon: SimTime::from(20_000.0),
+    });
+    sim.schedule(SimTime::ZERO, ());
+    sim.run();
+    let h = sim.handler();
+    let frac = h.joins as f64 / (h.joins + h.leaves) as f64;
+    assert!((frac - 0.75).abs() < 0.02, "join fraction {frac}");
+    assert!(h.population > 0, "3:1 join bias must grow the population");
+}

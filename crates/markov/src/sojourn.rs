@@ -61,6 +61,33 @@ impl SojournPartition {
 /// * `E[T_S (T_S − 1)] = 2 v R (I − R)^{-2} 1` (for the variance)
 ///
 /// and the mirror-image set for `P` (Relations 6 and 8).
+///
+/// # Example
+///
+/// A gambler's-ruin walk on `{0, 1, 2, 3}` with absorbing barriers,
+/// partitioned into `S = {1}` and `P = {2}`: started at state 1, the
+/// chain spends two steps in expectation in the transient band, split
+/// evenly between the two subsets.
+///
+/// ```
+/// use pollux_markov::{Dtmc, SojournAnalysis, SojournPartition};
+///
+/// # fn main() -> Result<(), pollux_markov::MarkovError> {
+/// let chain = Dtmc::from_rows(&[
+///     &[1.0, 0.0, 0.0, 0.0],
+///     &[0.5, 0.0, 0.5, 0.0],
+///     &[0.0, 0.5, 0.0, 0.5],
+///     &[0.0, 0.0, 0.0, 1.0],
+/// ])?;
+/// let partition = SojournPartition::new(vec![1], vec![2])?;
+/// let alpha = [0.0, 1.0, 0.0, 0.0];
+/// let sojourns = SojournAnalysis::new(&chain, &partition, &alpha)?;
+/// let e_s = sojourns.expected_total_s()?;
+/// let e_p = sojourns.expected_total_p()?;
+/// assert!((e_s + e_p - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SojournAnalysis {
     side_s: SubsetAnalysis,

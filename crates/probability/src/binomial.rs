@@ -97,6 +97,57 @@ impl Binomial {
     }
 }
 
+/// The Wilson score interval for a binomial proportion: the `(lo, hi)`
+/// confidence bounds on the success probability after observing
+/// `successes` out of `trials`, at normal quantile `z` (1.96 for 95 %).
+///
+/// Unlike the naive `p̂ ± z·√(p̂(1−p̂)/n)` interval, Wilson's bounds stay
+/// inside `[0, 1]` and remain informative at the extremes (`p̂ = 0` or
+/// `1`), which is exactly where absorption-frequency checks live: a run
+/// that observes zero polluted merges still yields a non-degenerate upper
+/// bound to compare against the Markov prediction.
+///
+/// With `trials == 0` the interval is the vacuous `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use pollux_prob::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(56, 1000, 1.96);
+/// assert!(lo < 0.056 && 0.056 < hi);
+/// assert!(hi - lo < 0.03);
+/// // Zero successes still bound p away from large values.
+/// let (lo0, hi0) = wilson_interval(0, 1000, 1.96);
+/// assert_eq!(lo0, 0.0);
+/// assert!(hi0 < 0.005);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `successes > trials` or `z` is not a positive finite
+/// number.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(
+        successes <= trials,
+        "{successes} successes in {trials} trials"
+    );
+    assert!(
+        z.is_finite() && z > 0.0,
+        "z = {z} must be a positive quantile"
+    );
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p_hat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p_hat + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +226,34 @@ mod tests {
         let sum: u64 = (0..n).map(|_| b.sample(&mut rng)).sum();
         let emp = sum as f64 / n as f64;
         assert!((emp - b.mean()).abs() < 0.1, "empirical {emp}");
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_true_proportion() {
+        // Coverage sanity: the interval contains p̂ and tightens with n.
+        let (lo, hi) = wilson_interval(500, 1000, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        let (lo_big, hi_big) = wilson_interval(50_000, 100_000, 1.96);
+        assert!(hi_big - lo_big < hi - lo);
+        // Monotone in z.
+        let (lo3, hi3) = wilson_interval(500, 1000, 3.0);
+        assert!(lo3 < lo && hi < hi3);
+    }
+
+    #[test]
+    fn wilson_interval_extremes_stay_in_unit_range() {
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15);
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.85 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn wilson_interval_rejects_impossible_counts() {
+        wilson_interval(5, 4, 1.96);
     }
 }

@@ -34,7 +34,7 @@ pub mod exponential;
 mod hypergeometric;
 
 pub use alias::AliasTable;
-pub use binomial::Binomial;
+pub use binomial::{wilson_interval, Binomial};
 pub use hypergeometric::{hypergeometric_q, Hypergeometric};
 
 use std::error::Error;

@@ -1,10 +1,12 @@
 //! The measurement taken at each grid cell: one [`OutputKind`] per
 //! scenario, mapping a cell (plus its deterministic seed) to typed rows.
 
+use pollux::des_overlay::{run_des_overlay, DesOverlayConfig};
 use pollux::simulation;
 use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpace, OverlayModel};
 use pollux_adversary::TargetedStrategy;
 use pollux_des::replication::replication_seed;
+use pollux_prob::wilson_interval;
 
 use crate::{SweepCell, SweepError, Value};
 
@@ -49,6 +51,30 @@ pub enum OutputKind {
         /// Monte-Carlo replications per cell.
         replications: usize,
         /// Slack in CI half-widths before a mismatch is flagged.
+        sigmas: f64,
+    },
+    /// The cluster-level Markov predictions vs the **whole-overlay
+    /// discrete-event simulation** ([`pollux::des_overlay`]) at
+    /// production scale: one row per overlay size, each comparing the
+    /// measured per-cluster sojourns and absorption split of
+    /// `2^cluster_bits` concurrently simulated clusters (10⁵–10⁶ nodes)
+    /// against Relations 5–6 and 9, with Welford confidence intervals on
+    /// the sojourns and a Wilson score interval
+    /// ([`pollux_prob::wilson_interval`]) on the polluted-merge
+    /// frequency.
+    DesValidation {
+        /// Overlay sizes to run: `n = 2^bits` clusters per entry, one
+        /// output row each (seeded independently from the cell seed).
+        cluster_bits: Vec<u32>,
+        /// Per-cluster churn rate of the Poisson arrival streams.
+        lambda: f64,
+        /// Event budget per cluster: the run caps at
+        /// `max_events_per_cluster · n` churn events, censoring clusters
+        /// that have not absorbed by then.
+        max_events_per_cluster: u64,
+        /// Slack multiplier on the confidence half-widths (sojourns) and
+        /// the Wilson z quantile (absorption) before a mismatch is
+        /// flagged.
         sigmas: f64,
     },
     /// Theorem 2 vs the `n`-cluster competing Monte-Carlo simulation.
@@ -122,6 +148,24 @@ impl OutputKind {
                 "sim_T_P_ci".into(),
                 "p_polluted_merge".into(),
                 "sim_polluted_merge".into(),
+                "censored".into(),
+                "ok".into(),
+            ],
+            OutputKind::DesValidation { .. } => vec![
+                "n_clusters".into(),
+                "nodes".into(),
+                "events".into(),
+                "t_end".into(),
+                "E_T_S".into(),
+                "des_T_S".into(),
+                "des_T_S_ci".into(),
+                "E_T_P".into(),
+                "des_T_P".into(),
+                "des_T_P_ci".into(),
+                "p_polluted_merge".into(),
+                "des_polluted_merge".into(),
+                "des_pm_lo".into(),
+                "des_pm_hi".into(),
                 "censored".into(),
                 "ok".into(),
             ],
@@ -269,6 +313,69 @@ impl OutputKind {
                     (ok_s && ok_p && ok_a).into(),
                 ]])
             }
+            OutputKind::DesValidation {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                sigmas,
+            } => {
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let e_ts = a.expected_safe_events()?;
+                let e_tp = a.expected_polluted_events()?;
+                let split = a.absorption_split()?;
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                let mut rows = Vec::with_capacity(cluster_bits.len());
+                for (i, &bits) in cluster_bits.iter().enumerate() {
+                    let config = DesOverlayConfig {
+                        cluster_bits: bits,
+                        lambda: *lambda,
+                        max_events: max_events_per_cluster << bits,
+                    };
+                    // Each overlay size gets its own stream derived from
+                    // the cell seed, so adding a size never perturbs the
+                    // others.
+                    let r = run_des_overlay(
+                        &cell.params,
+                        &cell.initial,
+                        &strategy,
+                        &config,
+                        replication_seed(seed, i as u64),
+                    );
+                    let (pm_lo, pm_hi) =
+                        wilson_interval(r.absorption_counts[2], r.absorbed, *sigmas);
+                    let ok_s = (r.safe_events.mean - e_ts).abs()
+                        <= sigmas * r.safe_events.ci_half_width.max(1e-6);
+                    let ok_p = (r.polluted_events.mean - e_tp).abs()
+                        <= sigmas * r.polluted_events.ci_half_width.max(1e-6);
+                    let ok_a = (pm_lo..=pm_hi).contains(&split.polluted_merge);
+                    rows.push(vec![
+                        (r.n_clusters as u64).into(),
+                        r.initial_nodes.into(),
+                        r.events.into(),
+                        r.end_time.into(),
+                        e_ts.into(),
+                        r.safe_events.mean.into(),
+                        r.safe_events.ci_half_width.into(),
+                        e_tp.into(),
+                        r.polluted_events.mean.into(),
+                        r.polluted_events.ci_half_width.into(),
+                        split.polluted_merge.into(),
+                        r.absorption.2.into(),
+                        pm_lo.into(),
+                        pm_hi.into(),
+                        r.censored.into(),
+                        (ok_s && ok_p && ok_a).into(),
+                    ]);
+                }
+                Ok(rows)
+            }
             OutputKind::OverlayMcValidation {
                 n_clusters,
                 runs,
@@ -331,7 +438,9 @@ impl OutputKind {
     pub fn is_monte_carlo(&self) -> bool {
         matches!(
             self,
-            OutputKind::McValidation { .. } | OutputKind::OverlayMcValidation { .. }
+            OutputKind::McValidation { .. }
+                | OutputKind::OverlayMcValidation { .. }
+                | OutputKind::DesValidation { .. }
         )
     }
 }
@@ -398,6 +507,12 @@ mod tests {
                 tol_safe: 1.0,
                 tol_polluted: 1.0,
             },
+            OutputKind::DesValidation {
+                cluster_bits: vec![4, 6],
+                lambda: 1.0,
+                max_events_per_cluster: 100,
+                sigmas: 4.0,
+            },
         ];
         for kind in kinds {
             let rows = kind.evaluate(&cell, 7).unwrap();
@@ -406,6 +521,41 @@ mod tests {
                 assert_eq!(row.len(), kind.columns().len(), "{kind:?}");
             }
         }
+    }
+
+    #[test]
+    fn des_validation_is_seed_deterministic_with_one_row_per_size() {
+        let cell = paper_cell();
+        let kind = OutputKind::DesValidation {
+            cluster_bits: vec![6, 8],
+            lambda: 1.0,
+            max_events_per_cluster: 100,
+            sigmas: 4.0,
+        };
+        let rows = kind.evaluate(&cell, 17).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].as_f64().unwrap(), 64.0);
+        assert_eq!(rows[1][0].as_f64().unwrap(), 256.0);
+        assert_eq!(rows, kind.evaluate(&cell, 17).unwrap());
+        assert_ne!(rows, kind.evaluate(&cell, 18).unwrap());
+        assert!(kind.is_monte_carlo());
+    }
+
+    #[test]
+    fn des_validation_agrees_with_the_chain_at_moderate_scale() {
+        let cell = paper_cell(); // mu = 0.2, d = 0.9
+        let kind = OutputKind::DesValidation {
+            cluster_bits: vec![11],
+            lambda: 1.0,
+            max_events_per_cluster: 200,
+            sigmas: 4.0,
+        };
+        let rows = kind.evaluate(&cell, 5).unwrap();
+        let cols = kind.columns();
+        let ok_at = cols.iter().position(|c| c == "ok").unwrap();
+        assert_eq!(rows[0][ok_at].as_bool(), Some(true), "rows: {rows:?}");
+        let censored_at = cols.iter().position(|c| c == "censored").unwrap();
+        assert_eq!(rows[0][censored_at].as_f64(), Some(0.0));
     }
 
     #[test]

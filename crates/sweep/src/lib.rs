@@ -8,13 +8,14 @@
 //! * [`Scenario`] — a named experiment: a [`ParamGrid`] (cartesian axes
 //!   over the model parameters, adversary toggles and initial
 //!   conditions) plus an [`OutputKind`] (sojourns, absorption splits,
-//!   overlay proportions, Monte-Carlo validations, …).
+//!   overlay proportions, Monte-Carlo validations, and the large-N
+//!   whole-overlay DES validation).
 //! * [`SweepRunner`] — a std-only worker pool (`std::thread` + channels)
 //!   that evaluates grid cells in parallel with deterministic per-cell
 //!   seeding, so artefacts are **byte-identical regardless of thread
 //!   count**.
 //! * [`SweepReport`] — structured rows with shared TSV / JSON / text
-//!   renderings and [`writers`] for one-call artefact emission.
+//!   renderings and [`write_report`] for one-call artefact emission.
 //! * [`registry`] — every paper artefact (`fig3`, `table1`, …,
 //!   `validate_overlay`) and a set of beyond-paper grids, by name.
 //!

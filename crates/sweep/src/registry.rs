@@ -216,6 +216,62 @@ pub fn extended() -> Vec<Scenario> {
                 .mu(vec![0.1, 0.2, 0.3]),
             OutputKind::PollutionRisk,
         ),
+        Scenario::new(
+            "des_validate",
+            "DES cross-validation: whole-overlay event-driven runs (10^4 and 1.6*10^5 nodes) vs the Markov chain",
+            ParamGrid::paper().mu(vec![0.1, 0.25]).d(vec![0.8, 0.9]),
+            OutputKind::DesValidation {
+                cluster_bits: vec![10, 14],
+                lambda: 1.0,
+                max_events_per_cluster: 200,
+                sigmas: 4.0,
+            },
+        ),
+        Scenario::new(
+            "des_validate_wide",
+            "DES cross-validation across structure and adversary ablations: (C, Delta, k) x {full, no-rule2, no-bias, passive}",
+            ParamGrid::paper()
+                .core_size(vec![4, 7])
+                .max_spare(vec![5, 7])
+                .k(vec![1, 7])
+                .mu(vec![0.2])
+                .d(vec![0.8])
+                .toggles(vec![
+                    ToggleSpec::full(),
+                    ToggleSpec::named(
+                        "no-rule2",
+                        AdversaryToggles {
+                            rule2: false,
+                            ..AdversaryToggles::all()
+                        },
+                    ),
+                    ToggleSpec::named(
+                        "no-bias",
+                        AdversaryToggles {
+                            bias: false,
+                            ..AdversaryToggles::all()
+                        },
+                    ),
+                    ToggleSpec::named("passive", AdversaryToggles::none()),
+                ]),
+            OutputKind::DesValidation {
+                cluster_bits: vec![11],
+                lambda: 1.0,
+                max_events_per_cluster: 300,
+                sigmas: 4.5,
+            },
+        ),
+        Scenario::new(
+            "des_scale",
+            "DES at production scale: one 1.3-million-node overlay (2^17 clusters) vs the Markov chain",
+            ParamGrid::paper().mu(vec![0.25]).d(vec![0.9]),
+            OutputKind::DesValidation {
+                cluster_bits: vec![17],
+                lambda: 1.0,
+                max_events_per_cluster: 200,
+                sigmas: 4.0,
+            },
+        ),
     ]
 }
 

@@ -83,6 +83,37 @@ fn pooled_multi_scenario_run_is_deterministic_too() {
 }
 
 #[test]
+fn des_validation_bytes_identical_across_thread_counts() {
+    // A scaled-down twin of the registry's `des_validate` scenario
+    // (same kind, same axes, smaller overlays) so debug-mode CI proves
+    // the whole-overlay DES keeps the byte-identity contract.
+    let scenario = Scenario::new(
+        "des_probe",
+        "DES validation grid for the determinism test",
+        ParamGrid::paper().mu(vec![0.1, 0.25]).d(vec![0.8, 0.9]),
+        OutputKind::DesValidation {
+            cluster_bits: vec![5, 7],
+            lambda: 1.0,
+            max_events_per_cluster: 100,
+            sigmas: 6.0,
+        },
+    );
+    let base = SweepRunner::new()
+        .with_threads(1)
+        .run(&scenario)
+        .expect("runs");
+    assert_eq!(base.rows.len(), 8); // 4 cells x 2 overlay sizes
+    for threads in [2, 8] {
+        let report = SweepRunner::new()
+            .with_threads(threads)
+            .run(&scenario)
+            .expect("runs");
+        assert_eq!(report.to_tsv(), base.to_tsv(), "{threads} threads");
+        assert_eq!(report.to_json(), base.to_json(), "{threads} threads");
+    }
+}
+
+#[test]
 fn registry_covers_every_paper_artefact() {
     // The paper's evaluation consists of these artefacts; each must be
     // reachable as a named scenario.

@@ -1,0 +1,48 @@
+//! Repo-level acceptance tests for the whole-overlay discrete-event
+//! simulator: the registry's `des_validate` scenario (10⁵⁺ nodes at its
+//! largest overlay size) must be byte-identical across thread counts and
+//! must agree with the Markov model within its statistical tolerances.
+
+use pollux_sweep::{registry, SweepRunner};
+
+#[test]
+fn registry_des_validate_is_byte_identical_across_threads_and_agrees() {
+    let scenario = registry::find("des_validate").expect("registered");
+    let one = SweepRunner::new()
+        .with_threads(1)
+        .run(&scenario)
+        .expect("runs");
+    let eight = SweepRunner::new()
+        .with_threads(8)
+        .run(&scenario)
+        .expect("runs");
+
+    // Byte-identity of both artefact encodings, 1 vs 8 threads.
+    assert_eq!(one.to_tsv(), eight.to_tsv());
+    assert_eq!(one.to_json(), eight.to_json());
+
+    // The scenario's largest overlay is the 10^5-node acceptance point.
+    let nodes_col = one.column("nodes").expect("nodes column");
+    let max_nodes = one
+        .rows
+        .iter()
+        .filter_map(|r| r[nodes_col].as_f64())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_nodes >= 1e5,
+        "des_validate must reach 10^5 nodes (saw {max_nodes})"
+    );
+
+    // Simulated-vs-Markov agreement within the CI-checked tolerance on
+    // every row (the `ok` verdict column), with no censored clusters.
+    assert!(
+        one.all_ok(),
+        "DES vs Markov mismatch:\n{}",
+        one.render_text()
+    );
+    let censored_col = one.column("censored").expect("censored column");
+    assert!(one
+        .rows
+        .iter()
+        .all(|r| r[censored_col].as_f64() == Some(0.0)));
+}
