@@ -1,0 +1,205 @@
+//! Perf trajectory of the analytical pipeline: dense vs sparse across a
+//! Δ ladder, serialized to `BENCH_markov.json` at the repository root.
+//!
+//! The paper's own evaluation stops at Δ = 7 (288 states). This bench
+//! drives `ClusterChain::build` and the full `ClusterAnalysis` battery
+//! (sojourns, absorption split, pollution probability) through both
+//! pipelines:
+//!
+//! * **dense** — the historical path: densified matrix, LU factorization,
+//!   O(n²) memory / O(n³) time. Only run up to `DENSE_CAP` states.
+//! * **sparse** — CSR transition chains and the crossover-aware
+//!   `TransientSolver` (BiCGSTAB with SOR/Gauss–Seidel fallback),
+//!   O(nnz) memory.
+//!
+//! Environment switches:
+//!
+//! * `POLLUX_BENCH_QUICK=1` — CI smoke: the smallest ladder, one sample
+//!   per point (compile + run in seconds).
+//! * `POLLUX_BENCH_FULL=1` — extends the sparse ladder to Δ = 156
+//!   (~10⁵ states).
+
+use criterion::{BenchmarkId, Criterion};
+use pollux::{AnalysisMode, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams};
+
+/// Largest state count the dense pipeline is asked to handle (the n²
+/// matrix alone is ~27 MiB here; the LU grows cubically).
+const DENSE_CAP: usize = 2_000;
+
+fn params_for(delta: usize) -> ModelParams {
+    ModelParams::new(7, delta, 1)
+        .expect("valid ladder parameters")
+        .with_mu(0.2)
+        .with_d(0.8)
+}
+
+struct LadderPoint {
+    delta: usize,
+    states: usize,
+    nnz: usize,
+    dense_matrix_bytes: u64,
+    sparse_matrix_bytes: u64,
+    build_s: f64,
+    dense_s: Option<f64>,
+    sparse_s: f64,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("POLLUX_BENCH_QUICK").is_some();
+    let full = std::env::var_os("POLLUX_BENCH_FULL").is_some();
+    let deltas: &[usize] = if quick {
+        &[7, 20, 48]
+    } else if full {
+        &[7, 14, 20, 48, 70, 100, 140, 156]
+    } else {
+        &[7, 14, 20, 48, 100]
+    };
+    let samples = if quick { 2 } else { 3 };
+
+    let mut criterion = Criterion::default();
+    let mut points = Vec::new();
+
+    for &delta in deltas {
+        let params = params_for(delta);
+        let chain = ClusterChain::build(&params);
+        let states = chain.space().len();
+        let nnz = chain.sparse_dtmc().matrix().nnz();
+        // values + column indices + row offsets vs the dense n² block.
+        let sparse_matrix_bytes = (nnz * 16 + (states + 1) * 8) as u64;
+        let dense_matrix_bytes = (states * states * 8) as u64;
+
+        let mut group = criterion.benchmark_group("markov_pipeline");
+        group.sample_size(samples);
+        group.bench_with_input(BenchmarkId::new("build", delta), &params, |b, p| {
+            b.iter(|| ClusterChain::build(p))
+        });
+        if states <= DENSE_CAP {
+            group.bench_with_input(BenchmarkId::new("analyze_dense", delta), &params, |b, p| {
+                b.iter(|| {
+                    ClusterAnalysis::new_with_mode(p, InitialCondition::Delta, AnalysisMode::Dense)
+                        .map(|a| {
+                            (
+                                a.expected_safe_events().unwrap(),
+                                a.expected_polluted_events().unwrap(),
+                                a.absorption_split().unwrap(),
+                                a.pollution_probability().unwrap(),
+                            )
+                        })
+                        .unwrap()
+                })
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("analyze_sparse", delta),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    ClusterAnalysis::new_with_mode(p, InitialCondition::Delta, AnalysisMode::Sparse)
+                        .map(|a| {
+                            (
+                                a.expected_safe_events().unwrap(),
+                                a.expected_polluted_events().unwrap(),
+                                a.absorption_split().unwrap(),
+                                a.pollution_probability().unwrap(),
+                            )
+                        })
+                        .unwrap()
+                })
+            },
+        );
+        group.finish();
+
+        let results = criterion.take_results();
+        let mean_of = |suffix: &str| {
+            results
+                .iter()
+                .find(|r| r.id == format!("markov_pipeline/{suffix}/{delta}"))
+                .map(|r| r.mean_s)
+        };
+        points.push(LadderPoint {
+            delta,
+            states,
+            nnz,
+            dense_matrix_bytes,
+            sparse_matrix_bytes,
+            build_s: mean_of("build").expect("build benchmark ran"),
+            dense_s: mean_of("analyze_dense"),
+            sparse_s: mean_of("analyze_sparse").expect("sparse benchmark ran"),
+        });
+    }
+
+    // Headline numbers at the largest Δ the dense pipeline still handles.
+    let crossover_point = points
+        .iter()
+        .rev()
+        .find(|p| p.dense_s.is_some())
+        .expect("at least one dense point");
+    let dense_s = crossover_point.dense_s.expect("checked above");
+    let speedup =
+        (crossover_point.build_s + dense_s) / (crossover_point.build_s + crossover_point.sparse_s);
+    let memory_ratio =
+        crossover_point.dense_matrix_bytes as f64 / crossover_point.sparse_matrix_bytes as f64;
+    println!(
+        "\nheadline @ delta={} ({} states): build+solve speedup {speedup:.1}x, \
+         matrix memory ratio {memory_ratio:.1}x (dense {} B vs sparse {} B)",
+        crossover_point.delta,
+        crossover_point.states,
+        crossover_point.dense_matrix_bytes,
+        crossover_point.sparse_matrix_bytes,
+    );
+    let largest = points.last().expect("ladder is non-empty");
+    println!(
+        "largest sparse point: delta={} ({} states, {} nnz) analyzed in {:.2} s",
+        largest.delta, largest.states, largest.nnz, largest.sparse_s,
+    );
+
+    // Serialize the trajectory point. Timings are measurements (not part
+    // of any determinism contract); structural fields are exact.
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(format!(
+            "    {{\"delta\": {}, \"states\": {}, \"nnz\": {}, \"dense_matrix_bytes\": {}, \
+             \"sparse_matrix_bytes\": {}, \"build_s\": {}, \"analyze_dense_s\": {}, \
+             \"analyze_sparse_s\": {}}}",
+            p.delta,
+            p.states,
+            p.nnz,
+            p.dense_matrix_bytes,
+            p.sparse_matrix_bytes,
+            json_f64(p.build_s),
+            p.dense_s.map(json_f64).unwrap_or_else(|| "null".into()),
+            json_f64(p.sparse_s),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"suite\": \"markov_pipeline\",\n  \"mode\": \"{}\",\n  \
+         \"model\": \"C=7, k=1, mu=0.2, d=0.8, initial=delta\",\n  \
+         \"headline\": {{\"delta\": {}, \"states\": {}, \"build_plus_solve_speedup\": {}, \
+         \"matrix_memory_ratio\": {}}},\n  \"ladder\": [\n{}\n  ]\n}}\n",
+        if quick {
+            "quick"
+        } else if full {
+            "full"
+        } else {
+            "default"
+        },
+        crossover_point.delta,
+        crossover_point.states,
+        json_f64(speedup),
+        json_f64(memory_ratio),
+        rows.join(",\n"),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_markov.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

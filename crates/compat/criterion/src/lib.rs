@@ -157,12 +157,28 @@ fn human_time(seconds: f64) -> String {
     }
 }
 
+/// One finished measurement, retrievable via [`Criterion::results`] —
+/// an extension over upstream criterion that lets harnesses serialize
+/// timings (e.g. into the repository's `BENCH_*.json` trajectory) without
+/// scraping stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/id` of the benchmark.
+    pub id: String,
+    /// Mean seconds per iteration over the timed samples.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -206,7 +222,7 @@ impl BenchmarkGroup<'_> {
     /// Finishes the group (printing is immediate; kept for API parity).
     pub fn finish(&mut self) {}
 
-    fn report(&self, id: &str, bencher: &Bencher) {
+    fn report(&mut self, id: &str, bencher: &Bencher) {
         match bencher.result {
             Some((mean, min, max)) => {
                 let mut line = format!(
@@ -227,6 +243,12 @@ impl BenchmarkGroup<'_> {
                     line.push_str(&format!(" ({per_sec})"));
                 }
                 println!("{line}");
+                self.criterion.results.push(BenchResult {
+                    id: format!("{}/{}", self.name, id),
+                    mean_s: mean,
+                    min_s: min,
+                    max_s: max,
+                });
             }
             None => println!("{}/{}: no measurement taken", self.name, id),
         }
@@ -235,16 +257,27 @@ impl BenchmarkGroup<'_> {
 
 /// The top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
+    /// All measurements taken so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drains the collected measurements.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             samples: 10,
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -304,6 +337,25 @@ mod tests {
     #[test]
     fn harness_runs_to_completion() {
         benches();
+    }
+
+    #[test]
+    fn results_are_collected() {
+        let mut c = Criterion::default();
+        c.bench_function("collected", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.bench_function("fast", |b| b.iter(|| 2u64 * 2));
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "collected/");
+        assert_eq!(results[1].id, "grouped/fast");
+        for r in &results {
+            assert!(r.min_s <= r.mean_s && r.mean_s <= r.max_s);
+            assert!(r.mean_s > 0.0);
+        }
+        assert!(c.results().is_empty());
     }
 
     #[test]

@@ -1,6 +1,28 @@
+use pollux_linalg::{SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER};
+use pollux_markov::sparse_chain::sparse_block;
 use pollux_markov::{AbsorbingChain, MarkovError, SojournAnalysis, SojournPartition};
 
 use crate::{ClusterChain, InitialCondition, ModelParams, StateClass};
+
+/// State-count threshold at which [`ClusterAnalysis`] switches from the
+/// dense pipeline (dense matrices + LU, bit-stable with the historical
+/// results) to the sparse pipeline (CSR blocks + iterative solves in
+/// O(nnz)). Matches the solver crossover so the two layers agree on what
+/// "small" means.
+pub const SPARSE_PIPELINE_THRESHOLD: usize = DEFAULT_SPARSE_CROSSOVER;
+
+/// Which analytical pipeline a [`ClusterAnalysis`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Pick by state count: dense below
+    /// [`SPARSE_PIPELINE_THRESHOLD`], sparse at or above it.
+    #[default]
+    Auto,
+    /// Force the dense pipeline (O(n²) memory, O(n³) solves).
+    Dense,
+    /// Force the sparse pipeline (O(nnz) memory and per-sweep cost).
+    Sparse,
+}
 
 /// Absorption probabilities split over the Figure-1 classes
 /// (Relation 9 evaluated per class).
@@ -51,12 +73,102 @@ pub struct ClusterAnalysis {
     alpha: Vec<f64>,
     initial: InitialCondition,
     sojourn: SojournAnalysis,
-    absorbing: AbsorbingChain,
+    absorbing: AbsorptionEngine,
+}
+
+/// The absorption-side engine behind a [`ClusterAnalysis`].
+#[derive(Debug, Clone)]
+enum AbsorptionEngine {
+    /// Full structural classification + per-closed-class solves.
+    Dense(Box<AbsorbingChain>),
+    /// Figure-1-bucket solves on the CSR transient block (the sparse
+    /// pipeline needs 4 solves, not one per absorbing state).
+    Sparse(SparseAbsorption),
+}
+
+/// Absorption metrics computed directly from the Figure-1 partition on
+/// the sparse representation: `ModelSpace` already knows the absorbing
+/// sets, so no Tarjan pass and no per-singleton-class solve is needed.
+#[derive(Debug, Clone)]
+struct SparseAbsorption {
+    /// `α N 1` — expected events to absorption.
+    expected_steps: f64,
+    /// Relation 9 aggregated per Figure-1 class.
+    split: AbsorptionSplit,
+}
+
+impl SparseAbsorption {
+    fn build(
+        chain: &ClusterChain,
+        alpha: &[f64],
+        options: SolverOptions,
+    ) -> Result<Self, MarkovError> {
+        let space = chain.space();
+        let transient = space.transient();
+        let q = sparse_block(chain.sparse_dtmc().matrix(), &transient, &transient);
+        let solver = TransientSolver::new(&q, options)?;
+
+        let steps = solver.solve(&vec![1.0; transient.len()])?;
+        let expected_steps = transient
+            .iter()
+            .enumerate()
+            .map(|(t, &g)| alpha[g] * steps[t])
+            .sum();
+
+        // bucket[j] = Figure-1 class of absorbing state j (or MAX).
+        const BUCKETS: usize = 4;
+        let mut bucket = vec![usize::MAX; space.len()];
+        let sets = [
+            space.safe_merge(),
+            space.safe_split(),
+            space.polluted_merge(),
+            space.polluted_split(),
+        ];
+        for (b, set) in sets.iter().enumerate() {
+            for &j in *set {
+                bucket[j] = b;
+            }
+        }
+        // r[b][t] = P(transient[t] → bucket b in one step), one pass.
+        let mut rhs = vec![vec![0.0; transient.len()]; BUCKETS];
+        for (t, &g) in transient.iter().enumerate() {
+            for (j, v) in chain.sparse_dtmc().successors(g) {
+                if bucket[j] != usize::MAX {
+                    rhs[bucket[j]][t] += v;
+                }
+            }
+        }
+        let sols = solver.solve_many(&rhs)?;
+        let mut masses = [0.0f64; BUCKETS];
+        for (b, sol) in masses.iter_mut().zip(sols.iter()) {
+            *b = transient
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| alpha[g] * sol[t])
+                .sum();
+        }
+        // Initial mass already sitting on an absorbing state stays there.
+        for (j, &a) in alpha.iter().enumerate() {
+            if a > 0.0 && bucket[j] != usize::MAX {
+                masses[bucket[j]] += a;
+            }
+        }
+        Ok(SparseAbsorption {
+            expected_steps,
+            split: AbsorptionSplit {
+                safe_merge: masses[0],
+                safe_split: masses[1],
+                polluted_merge: masses[2],
+                polluted_split: masses[3],
+            },
+        })
+    }
 }
 
 impl ClusterAnalysis {
     /// Builds the chain for `params` and prepares all analyses under
-    /// `initial`.
+    /// `initial`, picking the pipeline by state count
+    /// ([`AnalysisMode::Auto`]).
     ///
     /// # Errors
     ///
@@ -67,6 +179,21 @@ impl ClusterAnalysis {
         Self::from_chain(chain, initial)
     }
 
+    /// As [`ClusterAnalysis::new`] with an explicit pipeline choice
+    /// (benchmarks and equivalence tests force one side).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterAnalysis::new`].
+    pub fn new_with_mode(
+        params: &ModelParams,
+        initial: InitialCondition,
+        mode: AnalysisMode,
+    ) -> Result<Self, MarkovError> {
+        let chain = ClusterChain::build(params);
+        Self::from_chain_with_mode(chain, initial, mode)
+    }
+
     /// Prepares the analyses on an already-built chain (avoids rebuilding
     /// the matrix when sweeping initial conditions).
     ///
@@ -75,13 +202,42 @@ impl ClusterAnalysis {
     /// Propagates initial-distribution validation and linear-algebra
     /// failures.
     pub fn from_chain(chain: ClusterChain, initial: InitialCondition) -> Result<Self, MarkovError> {
+        Self::from_chain_with_mode(chain, initial, AnalysisMode::Auto)
+    }
+
+    /// As [`ClusterAnalysis::from_chain`] with an explicit pipeline
+    /// choice.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterAnalysis::from_chain`].
+    pub fn from_chain_with_mode(
+        chain: ClusterChain,
+        initial: InitialCondition,
+        mode: AnalysisMode,
+    ) -> Result<Self, MarkovError> {
+        let sparse = match mode {
+            AnalysisMode::Auto => chain.space().len() >= SPARSE_PIPELINE_THRESHOLD,
+            AnalysisMode::Dense => false,
+            AnalysisMode::Sparse => true,
+        };
         let alpha = initial.distribution(chain.space())?;
         let partition = SojournPartition::new(
             chain.space().transient_safe().to_vec(),
             chain.space().transient_polluted().to_vec(),
         )?;
-        let sojourn = SojournAnalysis::new(chain.dtmc(), &partition, &alpha)?;
-        let absorbing = AbsorbingChain::new(chain.dtmc())?;
+        let (sojourn, absorbing) = if sparse {
+            let options = SolverOptions::default();
+            let sojourn =
+                SojournAnalysis::new_sparse(chain.sparse_dtmc(), &partition, &alpha, options)?;
+            let absorbing =
+                AbsorptionEngine::Sparse(SparseAbsorption::build(&chain, &alpha, options)?);
+            (sojourn, absorbing)
+        } else {
+            let sojourn = SojournAnalysis::new(chain.dtmc(), &partition, &alpha)?;
+            let absorbing = AbsorptionEngine::Dense(Box::new(AbsorbingChain::new(chain.dtmc())?));
+            (sojourn, absorbing)
+        };
         Ok(ClusterAnalysis {
             chain,
             alpha,
@@ -89,6 +245,11 @@ impl ClusterAnalysis {
             sojourn,
             absorbing,
         })
+    }
+
+    /// `true` when this analysis runs on the sparse pipeline.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.absorbing, AbsorptionEngine::Sparse(_))
     }
 
     /// The underlying chain.
@@ -138,7 +299,10 @@ impl ClusterAnalysis {
     ///
     /// Propagates distribution validation failures.
     pub fn expected_absorption_events(&self) -> Result<f64, MarkovError> {
-        self.absorbing.expected_steps(&self.alpha)
+        match &self.absorbing {
+            AbsorptionEngine::Dense(abs) => abs.expected_steps(&self.alpha),
+            AbsorptionEngine::Sparse(abs) => Ok(abs.expected_steps),
+        }
     }
 
     /// `E(T_{S,n})` for `n = 1..=count` (Relation 7).
@@ -197,7 +361,20 @@ impl ClusterAnalysis {
         let mut targets: Vec<usize> = space.transient_polluted().to_vec();
         targets.extend_from_slice(space.polluted_merge());
         targets.extend_from_slice(space.polluted_split());
-        pollux_markov::hitting::hitting_probability_from(self.chain.dtmc(), &self.alpha, &targets)
+        if self.is_sparse() {
+            pollux_markov::hitting::hitting_probability_from_sparse(
+                self.chain.sparse_dtmc(),
+                &self.alpha,
+                &targets,
+                SolverOptions::default(),
+            )
+        } else {
+            pollux_markov::hitting::hitting_probability_from(
+                self.chain.dtmc(),
+                &self.alpha,
+                &targets,
+            )
+        }
     }
 
     /// Transient occupancy curve of a single cluster: `P(X_m ∈ S)` and
@@ -221,13 +398,19 @@ impl ClusterAnalysis {
         let space = self.chain.space();
         let safe = space.transient_safe();
         let polluted = space.transient_polluted();
-        let matrix = self.chain.dtmc().matrix();
+        // The CSR push visits contributions in the same order as the dense
+        // row scan (ascending source, then ascending target), so this is
+        // bit-identical to the historical dense iteration at O(nnz) per
+        // step instead of O(n²).
+        let matrix = self.chain.sparse_dtmc().matrix();
         let mut dist = self.alpha.clone();
+        let mut next = vec![0.0; dist.len()];
         let mut out = Vec::with_capacity(sample_points.len());
         let mut m_cur = 0u64;
         for &m in sample_points {
             while m_cur < m {
-                dist = matrix.vec_mul(&dist);
+                matrix.vec_mul_into(&dist, &mut next);
+                std::mem::swap(&mut dist, &mut next);
                 m_cur += 1;
             }
             let p_s: f64 = safe.iter().map(|&i| dist[i]).sum();
@@ -267,7 +450,11 @@ impl ClusterAnalysis {
     ///
     /// Propagates distribution validation failures.
     pub fn absorption_split(&self) -> Result<AbsorptionSplit, MarkovError> {
-        let probs = self.absorbing.absorption_probabilities(&self.alpha)?;
+        let abs = match &self.absorbing {
+            AbsorptionEngine::Sparse(sparse) => return Ok(sparse.split),
+            AbsorptionEngine::Dense(abs) => abs,
+        };
+        let probs = abs.absorption_probabilities(&self.alpha)?;
         let mut split = AbsorptionSplit {
             safe_merge: 0.0,
             safe_split: 0.0,
@@ -275,8 +462,8 @@ impl ClusterAnalysis {
             polluted_split: 0.0,
         };
         let params = self.params();
-        for (class_pos, &class_id) in self.absorbing.closed_classes().iter().enumerate() {
-            let members = self.absorbing.class_members(class_id);
+        for (class_pos, &class_id) in abs.closed_classes().iter().enumerate() {
+            let members = abs.class_members(class_id);
             // Absorbing classes of this chain are singleton self-loop
             // states; classify the representative.
             let state = self.chain.space().state(members[0]);
@@ -455,6 +642,81 @@ mod tests {
             (got - want).abs() < 5.0 * sigma + 1e-4,
             "sim {got} vs analytic {want}"
         );
+    }
+
+    #[test]
+    fn sparse_pipeline_agrees_with_dense() {
+        // Force both pipelines on the paper-scale chain (auto would pick
+        // dense at 288 states) and compare every sweep-visible metric.
+        let params = ModelParams::paper_defaults()
+            .with_mu(0.25)
+            .with_d(0.9)
+            .with_k(3)
+            .unwrap();
+        let dense =
+            ClusterAnalysis::new_with_mode(&params, InitialCondition::Delta, AnalysisMode::Dense)
+                .unwrap();
+        let sparse =
+            ClusterAnalysis::new_with_mode(&params, InitialCondition::Delta, AnalysisMode::Sparse)
+                .unwrap();
+        assert!(!dense.is_sparse());
+        assert!(sparse.is_sparse());
+        let pairs = [
+            (
+                dense.expected_safe_events().unwrap(),
+                sparse.expected_safe_events().unwrap(),
+            ),
+            (
+                dense.expected_polluted_events().unwrap(),
+                sparse.expected_polluted_events().unwrap(),
+            ),
+            (
+                dense.expected_absorption_events().unwrap(),
+                sparse.expected_absorption_events().unwrap(),
+            ),
+            (
+                dense.pollution_probability().unwrap(),
+                sparse.pollution_probability().unwrap(),
+            ),
+            (
+                dense.variance_safe_events().unwrap(),
+                sparse.variance_safe_events().unwrap(),
+            ),
+        ];
+        for (a, b) in pairs {
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        let sd = dense.absorption_split().unwrap();
+        let ss = sparse.absorption_split().unwrap();
+        assert!((sd.safe_merge - ss.safe_merge).abs() < 1e-9);
+        assert!((sd.safe_split - ss.safe_split).abs() < 1e-9);
+        assert!((sd.polluted_merge - ss.polluted_merge).abs() < 1e-9);
+        assert!((sd.polluted_split - ss.polluted_split).abs() < 1e-9);
+        for (a, b) in dense
+            .successive_safe_sojourns(5)
+            .iter()
+            .zip(sparse.successive_safe_sojourns(5).iter())
+        {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn auto_mode_goes_sparse_above_the_threshold() {
+        // Δ = 20 at C = 7 gives 8·21·22/2 = 1848 ≥ 1024 states.
+        let params = ModelParams::new(7, 20, 1).unwrap().with_mu(0.2).with_d(0.8);
+        assert!(params.state_count() >= crate::SPARSE_PIPELINE_THRESHOLD);
+        let auto = ClusterAnalysis::new(&params, InitialCondition::Delta).unwrap();
+        assert!(auto.is_sparse());
+        // The sojourn totals stay finite and positive, and absorption
+        // masses form a distribution.
+        let ts = auto.expected_safe_events().unwrap();
+        let tp = auto.expected_polluted_events().unwrap();
+        assert!(ts > 0.0 && tp >= 0.0);
+        let split = auto.absorption_split().unwrap();
+        assert!((split.total() - 1.0).abs() < 1e-8, "{}", split.total());
+        let tot = auto.expected_absorption_events().unwrap();
+        assert!((ts + tp - tot).abs() < 1e-7 * tot, "{ts} + {tp} != {tot}");
     }
 
     #[test]

@@ -18,14 +18,24 @@
 //! `τ(x, a, b) = q(k−1, C−1, a, x) · q(k, s+k−1, b, y+a)`
 //! in safe clusters, the adversary-biased replacement in polluted ones.
 
+use std::sync::OnceLock;
+
 use pollux_adversary::{rules, ClusterView};
-use pollux_markov::Dtmc;
+use pollux_markov::{Dtmc, SparseDtmc};
 use pollux_prob::hypergeometric_q;
 
 use crate::{ClusterState, ModelParams, ModelSpace, StateClass};
 
 /// The cluster chain: the enumerated space `Ω` plus the validated
 /// transition matrix `M` of Figure 2.
+///
+/// The matrix is built and stored **sparse-first**: the builder emits
+/// `(state, successor, probability)` triplets straight into a
+/// [`SparseDtmc`] (each state reaches a handful of successors, so the
+/// chain holds O(n) non-zeros). The dense [`Dtmc`] bridge is materialized
+/// lazily, only for consumers that genuinely need the O(n²)
+/// representation (per-row alias samplers, the Theorem-1 competing-chain
+/// construction) — the analytical pipeline never does.
 ///
 /// # Example
 ///
@@ -34,11 +44,13 @@ use crate::{ClusterState, ModelParams, ModelSpace, StateClass};
 ///
 /// let chain = ClusterChain::build(&ModelParams::paper_defaults().with_mu(0.2).with_d(0.8));
 /// assert!(chain.dtmc().matrix().is_stochastic_default());
+/// assert!(chain.sparse_dtmc().matrix().nnz() < 288 * 16);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClusterChain {
     space: ModelSpace,
-    dtmc: Dtmc,
+    sparse: SparseDtmc,
+    dense: OnceLock<Dtmc>,
 }
 
 impl ClusterChain {
@@ -52,12 +64,11 @@ impl ClusterChain {
     pub fn build(params: &ModelParams) -> Self {
         let space = ModelSpace::new(params);
         let n = space.len();
-        let mut rows = vec![vec![0.0f64; n]; n];
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 16);
 
         for (i, state) in space.iter() {
-            let row = &mut rows[i];
             if state.classify(params).is_absorbing() {
-                row[i] = 1.0;
+                triplets.push((i, i, 1.0));
                 continue;
             }
             for (target, prob) in transitions_from(params, state) {
@@ -65,13 +76,17 @@ impl ClusterChain {
                     target.is_consistent(params),
                     "builder produced {target} outside Ω from {state}"
                 );
-                row[space.index(&target)] += prob;
+                triplets.push((i, space.index(&target), prob));
             }
         }
 
-        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-        let dtmc = Dtmc::from_rows(&refs).expect("Figure-2 rows must be stochastic");
-        ClusterChain { space, dtmc }
+        let sparse =
+            SparseDtmc::from_triplets(n, triplets).expect("Figure-2 rows must be stochastic");
+        ClusterChain {
+            space,
+            sparse,
+            dense: OnceLock::new(),
+        }
     }
 
     /// The enumerated state space.
@@ -79,9 +94,17 @@ impl ClusterChain {
         &self.space
     }
 
-    /// The validated chain.
+    /// The validated chain in sparse (CSR) form — the representation the
+    /// analytical pipeline runs on.
+    pub fn sparse_dtmc(&self) -> &SparseDtmc {
+        &self.sparse
+    }
+
+    /// The validated chain in dense form, materialized on first use (an
+    /// O(n²) bridge kept for simulation samplers and the dense analyses;
+    /// carries bit-identical probabilities to [`ClusterChain::sparse_dtmc`]).
     pub fn dtmc(&self) -> &Dtmc {
-        &self.dtmc
+        self.dense.get_or_init(|| self.sparse.to_dense())
     }
 
     /// Convenience: transition probability between explicit states.
@@ -90,7 +113,8 @@ impl ClusterChain {
     ///
     /// Panics when either state lies outside `Ω`.
     pub fn prob(&self, from: &ClusterState, to: &ClusterState) -> f64 {
-        self.dtmc.prob(self.space.index(from), self.space.index(to))
+        self.sparse
+            .prob(self.space.index(from), self.space.index(to))
     }
 }
 
@@ -245,15 +269,20 @@ fn push_maintenance(
 /// `true` when no transition in the chain enters a polluted-split state
 /// (the Rule-2 guarantee the paper notes below Figure 1).
 pub fn polluted_split_unreachable(chain: &ClusterChain) -> bool {
-    let targets = chain.space().polluted_split();
+    let mut is_target = vec![false; chain.space().len()];
+    for &j in chain.space().polluted_split() {
+        is_target[j] = true;
+    }
     for (i, state) in chain.space().iter() {
         if state.classify(chain.space().params()) == StateClass::PollutedSplit {
             continue; // its own self-loop does not count as entering
         }
-        for &j in targets {
-            if chain.dtmc().prob(i, j) > 0.0 {
-                return false;
-            }
+        if chain
+            .sparse_dtmc()
+            .successors(i)
+            .any(|(j, p)| is_target[j] && p > 0.0)
+        {
+            return false;
         }
     }
     true

@@ -31,6 +31,16 @@ pub enum LinalgError {
         /// The exclusive bound it violated.
         bound: usize,
     },
+    /// An iterative solve exhausted its sweep budget without meeting the
+    /// residual tolerance.
+    ///
+    /// Carries the sweep count and the final residual ∞-norm.
+    NoConvergence {
+        /// Sweeps performed before giving up.
+        sweeps: usize,
+        /// Residual ∞-norm at that point.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -50,6 +60,10 @@ impl fmt::Display for LinalgError {
             LinalgError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (must be < {bound})")
             }
+            LinalgError::NoConvergence { sweeps, residual } => write!(
+                f,
+                "iterative solve did not converge after {sweeps} sweeps (residual {residual:.3e})"
+            ),
         }
     }
 }

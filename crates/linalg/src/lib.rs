@@ -16,6 +16,12 @@
 //! * [`sparse::CsrMatrix`] — compressed sparse row matrix with fast
 //!   vector–matrix iteration, used for the overlay-level computation
 //!   `α (T/n + (1−1/n) I)^m` over hundreds of thousands of events.
+//! * [`solver::TransientSolver`] — the sparse-first solver for
+//!   `(I − Q) x = b` systems: dense LU below a size crossover
+//!   (bit-stable for the paper-scale chains), deterministic SOR sweeps
+//!   in O(nnz) per iteration above it, with batched and transposed
+//!   solves. This is what lets the analytical pipeline reach 10⁴–10⁵
+//!   state spaces.
 //! * [`power`] — matrix powers and iterated distribution pushes.
 //!
 //! # Example
@@ -38,12 +44,14 @@ mod error;
 mod lu;
 mod matrix;
 pub mod power;
+pub mod solver;
 pub mod sparse;
 pub mod vec_ops;
 
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use solver::{IterStats, SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER};
 
 /// Default absolute tolerance used by the stochasticity checks.
 pub const STOCHASTIC_TOL: f64 = 1e-9;

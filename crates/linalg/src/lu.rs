@@ -99,6 +99,7 @@ impl Lu {
     }
 
     /// Dimension of the factorized matrix.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.lu.rows()
     }
@@ -204,6 +205,7 @@ impl Lu {
 
     /// Determinant of the original matrix (product of pivots, signed by the
     /// permutation parity).
+    #[must_use]
     pub fn det(&self) -> f64 {
         let mut d = self.perm_sign;
         for i in 0..self.dim() {

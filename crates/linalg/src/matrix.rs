@@ -33,6 +33,7 @@ pub struct Matrix {
 
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
@@ -42,6 +43,7 @@ impl Matrix {
     }
 
     /// Creates the `n x n` identity matrix.
+    #[must_use]
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
@@ -57,6 +59,7 @@ impl Matrix {
     /// let hilbert = Matrix::from_fn(3, 3, |i, j| 1.0 / (i + j + 1) as f64);
     /// assert_eq!(hilbert[(0, 0)], 1.0);
     /// ```
+    #[must_use]
     pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
@@ -114,26 +117,31 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// `(rows, cols)` pair.
+    #[must_use]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
 
     /// `true` when the matrix is square.
+    #[must_use]
     pub fn is_square(&self) -> bool {
         self.rows == self.cols
     }
 
     /// Borrows the backing row-major storage.
+    #[must_use]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
@@ -143,6 +151,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i >= self.rows()`.
+    #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
@@ -163,6 +172,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
+    #[must_use]
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
         (0..self.rows)
@@ -171,6 +181,7 @@ impl Matrix {
     }
 
     /// Returns the transposed matrix.
+    #[must_use]
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
@@ -184,6 +195,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
+    #[must_use]
     pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
         Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
             self[(row_idx[i], col_idx[j])]
@@ -191,11 +203,13 @@ impl Matrix {
     }
 
     /// Sum of each row.
+    #[must_use]
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
     }
 
     /// Maximum absolute row sum (the induced infinity norm).
+    #[must_use]
     pub fn norm_inf(&self) -> f64 {
         (0..self.rows)
             .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
@@ -203,12 +217,14 @@ impl Matrix {
     }
 
     /// Largest absolute entry.
+    #[must_use]
     pub fn max_abs(&self) -> f64 {
         self.data.iter().map(|v| v.abs()).fold(0.0, f64::max)
     }
 
     /// `true` when every row sums to 1 within `tol` and all entries are
     /// non-negative: the matrix is (row-)stochastic.
+    #[must_use]
     pub fn is_stochastic(&self, tol: f64) -> bool {
         self.data.iter().all(|&v| v >= -tol)
             && self.row_sums().iter().all(|&s| (s - 1.0).abs() <= tol)
@@ -216,12 +232,14 @@ impl Matrix {
 
     /// `true` when all entries are non-negative and every row sums to at
     /// most `1 + tol`: the matrix is sub-stochastic.
+    #[must_use]
     pub fn is_substochastic(&self, tol: f64) -> bool {
         self.data.iter().all(|&v| v >= -tol) && self.row_sums().iter().all(|&s| s <= 1.0 + tol)
     }
 
     /// Convenience wrapper for [`Matrix::is_stochastic`] with the default
     /// tolerance [`STOCHASTIC_TOL`].
+    #[must_use]
     pub fn is_stochastic_default(&self) -> bool {
         self.is_stochastic(STOCHASTIC_TOL)
     }
@@ -231,6 +249,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
+    #[must_use]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(
             x.len(),
@@ -258,6 +277,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `x.len() != self.rows()`.
+    #[must_use]
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(
             x.len(),
@@ -309,6 +329,7 @@ impl Matrix {
     }
 
     /// Multiplies every entry by `s`, returning a new matrix.
+    #[must_use]
     pub fn scale(&self, s: f64) -> Matrix {
         Matrix {
             rows: self.rows,
@@ -328,6 +349,7 @@ impl Matrix {
     }
 
     /// Entry-wise check against another matrix.
+    #[must_use]
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.shape() == other.shape()
             && self

@@ -6,8 +6,6 @@
 //! successors), so a CSR representation makes the iteration linear in the
 //! number of non-zeros.
 
-use std::collections::BTreeMap;
-
 use crate::{LinalgError, Matrix};
 
 /// A compressed sparse row matrix over `f64`.
@@ -36,7 +34,9 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Builds a CSR matrix from `(row, col, value)` triplets.
     ///
-    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    /// Duplicate coordinates are summed (in their order of appearance, so
+    /// the result is bit-identical to a scatter-accumulate into a dense
+    /// row); explicit zeros are dropped.
     ///
     /// # Errors
     ///
@@ -47,8 +47,23 @@ impl CsrMatrix {
         cols: usize,
         triplets: &[(usize, usize, f64)],
     ) -> Result<Self, LinalgError> {
-        let mut per_row: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); rows];
-        for &(i, j, v) in triplets {
+        Self::from_triplet_vec(rows, cols, triplets.to_vec())
+    }
+
+    /// Consuming variant of [`CsrMatrix::from_triplets`]: sorts the triplet
+    /// buffer in place, so building from a large transition enumeration
+    /// allocates nothing beyond the CSR arrays themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when a triplet lies outside
+    /// the declared shape.
+    pub fn from_triplet_vec(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(usize, usize, f64)>,
+    ) -> Result<Self, LinalgError> {
+        for &(i, j, _) in &triplets {
             if i >= rows {
                 return Err(LinalgError::IndexOutOfBounds {
                     index: i,
@@ -61,21 +76,39 @@ impl CsrMatrix {
                     bound: cols,
                 });
             }
-            *per_row[i].entry(j).or_insert(0.0) += v;
         }
+        // Stable sort keeps duplicates in appearance order, so the running
+        // sum below adds them exactly as a dense `row[j] += v` loop would.
+        triplets.sort_by_key(|&(i, j, _)| (i, j));
+        let nnz_upper = triplets.len();
         let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
+        let mut col_idx = Vec::with_capacity(nnz_upper);
+        let mut values = Vec::with_capacity(nnz_upper);
         row_ptr.push(0);
-        for row in &per_row {
-            for (&j, &v) in row {
-                if v != 0.0 {
-                    col_idx.push(j);
-                    values.push(v);
-                }
+        let mut next_row = 0usize;
+        let mut t = 0usize;
+        while t < nnz_upper {
+            let (i, j, v) = triplets[t];
+            while next_row < i {
+                row_ptr.push(col_idx.len());
+                next_row += 1;
             }
-            row_ptr.push(col_idx.len());
+            let mut acc = v;
+            t += 1;
+            while t < nnz_upper && triplets[t].0 == i && triplets[t].1 == j {
+                acc += triplets[t].2;
+                t += 1;
+            }
+            if acc != 0.0 {
+                col_idx.push(j);
+                values.push(acc);
+            }
         }
+        while next_row < rows {
+            row_ptr.push(col_idx.len());
+            next_row += 1;
+        }
+        debug_assert_eq!(row_ptr.len(), rows + 1);
         Ok(CsrMatrix {
             rows,
             cols,
@@ -87,8 +120,9 @@ impl CsrMatrix {
 
     /// Converts a dense matrix, dropping entries with absolute value at or
     /// below `drop_tol`.
+    #[must_use]
     pub fn from_dense(dense: &Matrix, drop_tol: f64) -> Self {
-        let mut triplets = Vec::new();
+        let mut triplets = Vec::with_capacity(dense.rows() * 4);
         for i in 0..dense.rows() {
             for (j, &v) in dense.row(i).iter().enumerate() {
                 if v.abs() > drop_tol {
@@ -96,23 +130,102 @@ impl CsrMatrix {
                 }
             }
         }
-        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+        CsrMatrix::from_triplet_vec(dense.rows(), dense.cols(), triplets)
             .expect("dense shape is consistent by construction")
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Number of stored non-zero entries.
+    #[must_use]
     pub fn nnz(&self) -> usize {
         self.values.len()
+    }
+
+    /// The stored entry at `(i, j)`, or 0 when the coordinate holds no
+    /// entry (columns are sorted within a row, so this is a binary
+    /// search).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate lies outside the matrix shape.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        match self.col_idx[span.clone()].binary_search(&j) {
+            Ok(pos) => self.values[span.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Mutable access to the stored values of row `i` (columns are not
+    /// exposed, so the sparsity pattern stays immutable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_values_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        &mut self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Sum of each row's stored entries (in column order).
+    #[must_use]
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| {
+                self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+                    .iter()
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The transpose as a new CSR matrix (a CSC view of `self`), built in
+    /// O(nnz) by counting sort — no per-row maps, no re-sorting.
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.col_idx {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut cursor = counts;
+        for i in 0..self.rows {
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[idx];
+                let at = cursor[j];
+                cursor[j] += 1;
+                col_idx[at] = i;
+                values[at] = self.values[idx];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Iterates over the stored entries of row `i` as `(col, value)` pairs.
@@ -134,9 +247,22 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
+    #[must_use]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// In-place version of [`CsrMatrix::mul_vec`] writing into `out`
+    /// (fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec_into");
+        assert_eq!(out.len(), self.rows, "output dimension mismatch");
         for (i, out_i) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
@@ -144,7 +270,24 @@ impl CsrMatrix {
             }
             *out_i = acc;
         }
-        out
+    }
+
+    /// Fused multiply-add `out += A x` — the accumulation kernel of the
+    /// batched iterative solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_add(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_add");
+        assert_eq!(out.len(), self.rows, "output dimension mismatch");
+        for (i, out_i) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[idx] * x[self.col_idx[idx]];
+            }
+            *out_i += acc;
+        }
     }
 
     /// Vector–matrix product `x A` (row vector times matrix).
@@ -152,6 +295,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != self.rows()`.
+    #[must_use]
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "dimension mismatch in vec_mul");
         let mut out = vec![0.0; self.cols];
@@ -189,6 +333,7 @@ impl CsrMatrix {
     }
 
     /// Densifies the matrix (for tests and small problems).
+    #[must_use]
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
         for i in 0..self.rows {
@@ -223,7 +368,7 @@ impl CsrMatrix {
             }
             triplets.push((i, i, shift));
         }
-        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+        CsrMatrix::from_triplet_vec(self.rows, self.cols, triplets)
     }
 }
 
@@ -308,6 +453,71 @@ mod tests {
     fn affine_requires_square() {
         let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
         assert!(m.affine(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_rows_and_trailing_rows() {
+        // Rows 0, 2 and 4 empty; row 4 is trailing.
+        let m = CsrMatrix::from_triplets(5, 3, &[(1, 2, 1.0), (3, 0, 2.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(2).count(), 0);
+        assert_eq!(m.row_entries(4).count(), 0);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![0.0, 1.0, 0.0, 2.0, 0.0]);
+        // A fully empty matrix still has a consistent shape.
+        let z = CsrMatrix::from_triplets(3, 3, &[]).unwrap();
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.mul_vec(&[1.0; 3]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn duplicates_sum_in_appearance_order() {
+        // The running sum must add duplicates left to right exactly as a
+        // dense scatter-accumulate would (bit-identical, not just close).
+        let vals = [0.1, 0.7, 1e-17, 0.2];
+        let triplets: Vec<_> = vals.iter().map(|&v| (0usize, 0usize, v)).collect();
+        let m = CsrMatrix::from_triplets(1, 1, &triplets).unwrap();
+        let dense = vals.iter().fold(0.0, |acc, &v| acc + v);
+        assert_eq!(m.get(0, 0), dense);
+    }
+
+    #[test]
+    fn get_and_row_sums() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.row_sums(), vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m =
+            CsrMatrix::from_triplets(2, 4, &[(0, 3, 1.0), (0, 0, 2.0), (1, 1, 3.0), (1, 3, 4.0)])
+                .unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        // Columns stay sorted within each transposed row.
+        for i in 0..t.rows() {
+            let cols: Vec<usize> = t.row_entries(i).map(|(j, _)| j).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn mul_add_accumulates() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut out = vec![10.0, 10.0, 10.0];
+        m.mul_add(&x, &mut out);
+        let want = m.mul_vec(&x);
+        for (o, w) in out.iter().zip(want.iter()) {
+            assert_eq!(*o, 10.0 + w);
+        }
+        let mut direct = vec![0.0; 3];
+        m.mul_vec_into(&x, &mut direct);
+        assert_eq!(direct, want);
     }
 
     #[test]

@@ -9,22 +9,26 @@
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
 /// Sum of all entries (the total mass of a measure).
+#[must_use]
 pub fn sum(a: &[f64]) -> f64 {
     a.iter().sum()
 }
 
 /// Maximum absolute entry.
+#[must_use]
 pub fn norm_inf(a: &[f64]) -> f64 {
     a.iter().map(|v| v.abs()).fold(0.0, f64::max)
 }
 
 /// L1 norm.
+#[must_use]
 pub fn norm_l1(a: &[f64]) -> f64 {
     a.iter().map(|v| v.abs()).sum()
 }
@@ -34,6 +38,7 @@ pub fn norm_l1(a: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[must_use]
 pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "vector addition length mismatch");
     a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
@@ -44,24 +49,28 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[must_use]
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "vector subtraction length mismatch");
     a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
 }
 
 /// `a * s` into a new vector.
+#[must_use]
 pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
     a.iter().map(|v| v * s).collect()
 }
 
 /// `true` when the vector is a probability distribution within `tol`:
 /// non-negative entries summing to 1.
+#[must_use]
 pub fn is_distribution(a: &[f64], tol: f64) -> bool {
     a.iter().all(|&v| v >= -tol) && (sum(a) - 1.0).abs() <= tol
 }
 
 /// Normalizes a non-negative vector to unit mass, returning `None` when the
 /// total mass is zero (there is nothing meaningful to normalize to).
+#[must_use]
 pub fn normalized(a: &[f64]) -> Option<Vec<f64>> {
     let mass = sum(a);
     if mass <= 0.0 {
@@ -71,6 +80,7 @@ pub fn normalized(a: &[f64]) -> Option<Vec<f64>> {
 }
 
 /// Index of the maximum entry (first occurrence), or `None` for empty input.
+#[must_use]
 pub fn argmax(a: &[f64]) -> Option<usize> {
     if a.is_empty() {
         return None;
@@ -89,6 +99,7 @@ pub fn argmax(a: &[f64]) -> Option<usize> {
 /// # Panics
 ///
 /// Panics if any index is out of bounds.
+#[must_use]
 pub fn gather(a: &[f64], idx: &[usize]) -> Vec<f64> {
     idx.iter().map(|&i| a[i]).collect()
 }
@@ -154,6 +165,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
-        dot(&[1.0], &[1.0, 2.0]);
+        let _ = dot(&[1.0], &[1.0, 2.0]);
     }
 }

@@ -1,7 +1,8 @@
-use pollux_linalg::{Lu, Matrix};
+use pollux_linalg::{Matrix, SolverOptions, TransientSolver};
 
-use crate::classify::{classify, Classification};
-use crate::{Dtmc, MarkovError};
+use crate::classify::{classify, classify_sparse, Classification};
+use crate::sparse_chain::sparse_block;
+use crate::{Dtmc, MarkovError, SparseDtmc};
 
 /// Absorbing-chain analysis: fundamental matrix, expected steps to
 /// absorption, expected visit counts and absorption probabilities per
@@ -29,14 +30,16 @@ use crate::{Dtmc, MarkovError};
 /// ```
 #[derive(Debug, Clone)]
 pub struct AbsorbingChain {
-    chain: Dtmc,
+    n_states: usize,
     classification: Classification,
     /// Global indices of transient states, increasing.
     transient: Vec<usize>,
     /// Position of each global state inside `transient` (or `None`).
     transient_pos: Vec<Option<usize>>,
-    /// LU factors of `I − Q` where `Q` is the transient block.
-    lu: Lu,
+    /// Solver for `(I − Q) x = b` where `Q` is the transient block —
+    /// dense LU when built from a [`Dtmc`], crossover-aware when built
+    /// from a [`SparseDtmc`].
+    solver: TransientSolver,
     /// Expected steps to absorption from each transient state.
     steps: Vec<f64>,
     /// Ids of closed classes, in classification order.
@@ -47,7 +50,8 @@ pub struct AbsorbingChain {
 }
 
 impl AbsorbingChain {
-    /// Builds the analysis for `chain`.
+    /// Builds the analysis for a dense chain (always by dense LU — the
+    /// historical bit-exact path for paper-scale chains).
     ///
     /// # Errors
     ///
@@ -62,17 +66,12 @@ impl AbsorbingChain {
             return Err(MarkovError::NoTransientStates);
         }
         let n = chain.n_states();
-        let mut transient_pos = vec![None; n];
-        for (t, &g) in transient.iter().enumerate() {
-            transient_pos[g] = Some(t);
-        }
         let q = chain.matrix().submatrix(&transient, &transient);
         let i_minus_q = &Matrix::identity(transient.len()) - &q;
-        let lu = Lu::decompose(&i_minus_q)?;
-        let steps = lu.solve(&vec![1.0; transient.len()])?;
+        let solver = TransientSolver::from_dense_system(&i_minus_q)?;
 
         let closed_classes = classification.closed_classes();
-        let mut absorption = Vec::with_capacity(closed_classes.len());
+        let mut rhs = Vec::with_capacity(closed_classes.len());
         for &c in &closed_classes {
             // r[t] = P(transient[t] -> class c in one step).
             let members = &classification.classes[c];
@@ -80,24 +79,90 @@ impl AbsorbingChain {
                 .iter()
                 .map(|&g| members.iter().map(|&j| chain.prob(g, j)).sum())
                 .collect();
-            absorption.push(lu.solve(&r)?);
+            rhs.push(r);
         }
+        Self::finish(n, classification, transient, solver, rhs)
+    }
 
+    /// Builds the analysis for a sparse chain: classification runs on the
+    /// CSR adjacency in O(nnz), the fundamental systems go through the
+    /// crossover-aware [`TransientSolver`] (dense LU below
+    /// `options.crossover` states, batched SOR sweeps above), and the
+    /// per-class entry vectors are accumulated in a single pass over the
+    /// transient rows instead of one dense column scan per class.
+    ///
+    /// Per-class absorption still costs one solve per closed class; chains
+    /// with many absorbing states (like the large-Δ cluster chains, where
+    /// every split state is its own class) should aggregate classes before
+    /// asking, as `pollux`'s scaling analysis does.
+    ///
+    /// # Errors
+    ///
+    /// As [`AbsorbingChain::new`], plus [`MarkovError::Linalg`] carrying
+    /// [`pollux_linalg::LinalgError::NoConvergence`] if an iterative solve
+    /// exhausts its sweep budget.
+    pub fn new_sparse(chain: &SparseDtmc, options: SolverOptions) -> Result<Self, MarkovError> {
+        let classification = classify_sparse(chain);
+        let transient = classification.transient_states();
+        if transient.is_empty() {
+            return Err(MarkovError::NoTransientStates);
+        }
+        let n = chain.n_states();
+        let q = sparse_block(chain.matrix(), &transient, &transient);
+        let solver = TransientSolver::new(&q, options)?;
+
+        let closed_classes = classification.closed_classes();
+        // class_slot[j] = position of j's closed class in `closed_classes`
+        // (or MAX for transient / open-class states).
+        let mut class_slot = vec![usize::MAX; n];
+        for (slot, &c) in closed_classes.iter().enumerate() {
+            for &j in &classification.classes[c] {
+                class_slot[j] = slot;
+            }
+        }
+        let mut rhs = vec![vec![0.0; transient.len()]; closed_classes.len()];
+        for (t, &g) in transient.iter().enumerate() {
+            for (j, v) in chain.successors(g) {
+                let slot = class_slot[j];
+                if slot != usize::MAX {
+                    rhs[slot][t] += v;
+                }
+            }
+        }
+        Self::finish(n, classification, transient, solver, rhs)
+    }
+
+    /// Shared tail of both constructors: solve for the expected steps and
+    /// the per-class absorption probabilities (batched).
+    fn finish(
+        n: usize,
+        classification: Classification,
+        transient: Vec<usize>,
+        solver: TransientSolver,
+        rhs: Vec<Vec<f64>>,
+    ) -> Result<Self, MarkovError> {
+        let mut transient_pos = vec![None; n];
+        for (t, &g) in transient.iter().enumerate() {
+            transient_pos[g] = Some(t);
+        }
+        let steps = solver.solve(&vec![1.0; transient.len()])?;
+        let absorption = solver.solve_many(&rhs)?;
+        let closed_classes = classification.closed_classes();
         Ok(AbsorbingChain {
-            chain: chain.clone(),
+            n_states: n,
             classification,
             transient,
             transient_pos,
-            lu,
+            solver,
             steps,
             closed_classes,
             absorption,
         })
     }
 
-    /// The underlying chain.
-    pub fn chain(&self) -> &Dtmc {
-        &self.chain
+    /// Number of states of the underlying chain.
+    pub fn n_states(&self) -> usize {
+        self.n_states
     }
 
     /// The structural classification computed for the chain.
@@ -132,16 +197,22 @@ impl AbsorbingChain {
     ///
     /// Returns [`MarkovError::InvalidState`] when `i` is out of range.
     pub fn expected_steps_from(&self, i: usize) -> Result<f64, MarkovError> {
-        if i >= self.chain.n_states() {
+        if i >= self.n_states {
             return Err(MarkovError::InvalidState {
                 index: i,
-                states: self.chain.n_states(),
+                states: self.n_states,
             });
         }
         Ok(match self.transient_pos[i] {
             Some(t) => self.steps[t],
             None => 0.0,
         })
+    }
+
+    /// Validates `alpha` as a distribution over this chain's states (the
+    /// same contract as [`Dtmc::check_distribution`]).
+    fn check_distribution(&self, alpha: &[f64]) -> Result<(), MarkovError> {
+        crate::chain::validate_distribution(alpha, self.n_states)
     }
 
     /// Expected number of steps until absorption from an initial
@@ -151,7 +222,7 @@ impl AbsorbingChain {
     ///
     /// Propagates distribution validation failures.
     pub fn expected_steps(&self, alpha: &[f64]) -> Result<f64, MarkovError> {
-        self.chain.check_distribution(alpha)?;
+        self.check_distribution(alpha)?;
         Ok(self
             .transient
             .iter()
@@ -170,7 +241,7 @@ impl AbsorbingChain {
     /// transient, or [`MarkovError::InvalidState`] for an out-of-range
     /// index.
     pub fn expected_visits(&self, i: usize, j: usize) -> Result<f64, MarkovError> {
-        let n = self.chain.n_states();
+        let n = self.n_states;
         for idx in [i, j] {
             if idx >= n {
                 return Err(MarkovError::InvalidState {
@@ -191,7 +262,7 @@ impl AbsorbingChain {
         // N e_j gives column j, so x[ti] is the desired entry.
         let mut e = vec![0.0; self.transient.len()];
         e[tj] = 1.0;
-        let col = self.lu.solve(&e)?;
+        let col = self.solver.solve(&e)?;
         Ok(col[ti])
     }
 
@@ -205,10 +276,10 @@ impl AbsorbingChain {
     ///
     /// Returns [`MarkovError::InvalidState`] when `i` is out of range.
     pub fn absorption_probabilities_from(&self, i: usize) -> Result<Vec<f64>, MarkovError> {
-        if i >= self.chain.n_states() {
+        if i >= self.n_states {
             return Err(MarkovError::InvalidState {
                 index: i,
-                states: self.chain.n_states(),
+                states: self.n_states,
             });
         }
         Ok(match self.transient_pos[i] {
@@ -231,7 +302,7 @@ impl AbsorbingChain {
     ///
     /// Propagates distribution validation failures.
     pub fn absorption_probabilities(&self, alpha: &[f64]) -> Result<Vec<f64>, MarkovError> {
-        self.chain.check_distribution(alpha)?;
+        self.check_distribution(alpha)?;
         let mut out = vec![0.0; self.closed_classes.len()];
         for (g, &a) in alpha.iter().enumerate() {
             if a == 0.0 {
@@ -364,6 +435,32 @@ mod tests {
             AbsorbingChain::new(&irr),
             Err(MarkovError::NoTransientStates)
         ));
+    }
+
+    #[test]
+    fn sparse_constructor_agrees_with_dense() {
+        let n = 10;
+        let chain = gamblers_ruin(0.55, n);
+        let sparse = SparseDtmc::from_dense(&chain);
+        let dense_abs = AbsorbingChain::new(&chain).unwrap();
+        for options in [SolverOptions::force_dense(), SolverOptions::force_sparse()] {
+            let sparse_abs = AbsorbingChain::new_sparse(&sparse, options).unwrap();
+            assert_eq!(sparse_abs.closed_classes(), dense_abs.closed_classes());
+            assert_eq!(sparse_abs.transient_states(), dense_abs.transient_states());
+            for i in 0..=n {
+                let a = dense_abs.expected_steps_from(i).unwrap();
+                let b = sparse_abs.expected_steps_from(i).unwrap();
+                assert!((a - b).abs() < 1e-9, "steps i={i}: {a} vs {b}");
+                let pa = dense_abs.absorption_probabilities_from(i).unwrap();
+                let pb = sparse_abs.absorption_probabilities_from(i).unwrap();
+                for (x, y) in pa.iter().zip(pb.iter()) {
+                    assert!((x - y).abs() < 1e-9, "absorption i={i}: {x} vs {y}");
+                }
+            }
+            let v_dense = dense_abs.expected_visits(2, 3).unwrap();
+            let v_sparse = sparse_abs.expected_visits(2, 3).unwrap();
+            assert!((v_dense - v_sparse).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -6,6 +6,31 @@ use crate::MarkovError;
 /// Validation tolerance for row sums of a transition matrix.
 const ROW_SUM_TOL: f64 = 1e-9;
 
+/// Shared distribution validation: right length, no negative mass, total
+/// mass 1 within `1e-9`. Every chain representation and analysis in this
+/// crate funnels through here so the tolerances live in one place.
+pub(crate) fn validate_distribution(alpha: &[f64], n_states: usize) -> Result<(), MarkovError> {
+    if alpha.len() != n_states {
+        return Err(MarkovError::InvalidDistribution(format!(
+            "length {} does not match {} states",
+            alpha.len(),
+            n_states
+        )));
+    }
+    if alpha.iter().any(|&v| v < -1e-12) {
+        return Err(MarkovError::InvalidDistribution(
+            "negative probability mass".into(),
+        ));
+    }
+    let total: f64 = alpha.iter().sum();
+    if (total - 1.0).abs() > 1e-9 {
+        return Err(MarkovError::InvalidDistribution(format!(
+            "total mass {total}"
+        )));
+    }
+    Ok(())
+}
+
 /// A validated discrete-time Markov chain on states `0..n`.
 ///
 /// Construction checks that the matrix is square, entries are non-negative
@@ -78,6 +103,15 @@ impl Dtmc {
         Dtmc::new(m)
     }
 
+    /// Wraps a matrix that is already validated and exactly normalized
+    /// (used when bridging from [`crate::SparseDtmc`], whose constructor
+    /// enforces the same contract — re-running the normalization would
+    /// perturb the probabilities by an ulp).
+    pub(crate) fn from_validated_matrix(p: Matrix) -> Self {
+        debug_assert!(p.is_stochastic(1e-9));
+        Dtmc { p }
+    }
+
     /// Number of states.
     pub fn n_states(&self) -> usize {
         self.p.rows()
@@ -104,25 +138,7 @@ impl Dtmc {
     /// Returns [`MarkovError::InvalidDistribution`] for wrong length,
     /// negative mass or total mass differing from 1 by more than `1e-9`.
     pub fn check_distribution(&self, alpha: &[f64]) -> Result<(), MarkovError> {
-        if alpha.len() != self.n_states() {
-            return Err(MarkovError::InvalidDistribution(format!(
-                "length {} does not match {} states",
-                alpha.len(),
-                self.n_states()
-            )));
-        }
-        if alpha.iter().any(|&v| v < -1e-12) {
-            return Err(MarkovError::InvalidDistribution(
-                "negative probability mass".into(),
-            ));
-        }
-        let total: f64 = alpha.iter().sum();
-        if (total - 1.0).abs() > 1e-9 {
-            return Err(MarkovError::InvalidDistribution(format!(
-                "total mass {total}"
-            )));
-        }
-        Ok(())
+        validate_distribution(alpha, self.n_states())
     }
 
     /// Distribution after `m` steps: `α P^m`.

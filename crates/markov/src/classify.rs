@@ -7,7 +7,7 @@
 //! absorption sets `AmS`, `AℓS`, `AmP` of Figure 1) plus transient safe and
 //! polluted states.
 
-use crate::Dtmc;
+use crate::{Dtmc, SparseDtmc};
 
 /// Result of classifying a chain's states.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +68,31 @@ pub fn classify(chain: &Dtmc) -> Classification {
                 .collect::<Vec<_>>()
         })
         .collect();
+    classify_adjacency(adj)
+}
+
+/// Sparse counterpart of [`classify`]: the adjacency comes straight from
+/// the CSR rows, so the whole classification is O(nnz) instead of O(n²).
+///
+/// Successors are visited in the same (ascending) order as the dense
+/// scan, so both entry points produce identical class ids.
+pub fn classify_sparse(chain: &SparseDtmc) -> Classification {
+    let n = chain.n_states();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            chain
+                .successors(i)
+                .filter(|&(_, v)| v > 0.0)
+                .map(|(j, _)| j)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    classify_adjacency(adj)
+}
+
+/// Shared classification core over an explicit adjacency list.
+fn classify_adjacency(adj: Vec<Vec<usize>>) -> Classification {
+    let n = adj.len();
     let sccs = tarjan_scc(&adj);
 
     let mut class_of = vec![usize::MAX; n];
@@ -246,6 +271,15 @@ mod tests {
         let c = classify(&p);
         assert_eq!(c.transient_states().len(), n - 1);
         assert!(c.is_absorbing_state(n - 1));
+    }
+
+    #[test]
+    fn sparse_and_dense_classification_agree() {
+        let dense = gamblers_ruin();
+        let sparse = crate::SparseDtmc::from_dense(&dense);
+        let a = classify(&dense);
+        let b = classify_sparse(&sparse);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   indices.
 //! * [`Dtmc`] — a validated discrete-time Markov chain with simulation
 //!   support.
+//! * [`SparseDtmc`] — the same validation contract on CSR storage, so
+//!   sparse chains (each state reaching a handful of successors) never
+//!   materialize an O(n²) matrix; the analyses below accept either
+//!   representation, switching to O(nnz) iterative solvers at a size
+//!   crossover.
 //! * [`classify`] — communicating classes (iterative Tarjan SCC), closed /
 //!   transient classification, reachability.
 //! * [`AbsorbingChain`] — fundamental matrix, expected time to absorption,
@@ -48,6 +53,7 @@ mod competing;
 mod error;
 pub mod hitting;
 mod sojourn;
+pub mod sparse_chain;
 mod state_space;
 
 pub use absorbing::AbsorbingChain;
@@ -55,4 +61,5 @@ pub use chain::Dtmc;
 pub use competing::CompetingChains;
 pub use error::MarkovError;
 pub use sojourn::{SojournAnalysis, SojournPartition};
+pub use sparse_chain::SparseDtmc;
 pub use state_space::StateSpace;

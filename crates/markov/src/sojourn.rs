@@ -1,6 +1,8 @@
-use pollux_linalg::{vec_ops, Lu, Matrix};
+use pollux_linalg::sparse::CsrMatrix;
+use pollux_linalg::{vec_ops, Lu, Matrix, SolverOptions, TransientSolver};
 
-use crate::{Dtmc, MarkovError};
+use crate::sparse_chain::sparse_block;
+use crate::{Dtmc, MarkovError, SparseDtmc};
 
 /// A two-subset partition `(S, P)` of (a subset of) the transient states of
 /// a chain, given by global state indices.
@@ -90,8 +92,48 @@ impl SojournPartition {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SojournAnalysis {
-    side_s: SubsetAnalysis,
-    side_p: SubsetAnalysis,
+    side_s: Side,
+    side_p: Side,
+}
+
+/// Representation of one side of the analysis.
+#[derive(Debug, Clone)]
+enum Side {
+    /// Dense censored matrices and LU factors (the historical path).
+    Dense(SubsetAnalysis),
+    /// Operator-form sparse path: `R` and `G` are never materialized,
+    /// every application is a chain of CSR products and block solves.
+    Sparse(Box<SparseSubset>),
+}
+
+impl Side {
+    fn expected_total(&self) -> Result<f64, MarkovError> {
+        match self {
+            Side::Dense(s) => s.expected_total(),
+            Side::Sparse(s) => Ok(s.expected_total),
+        }
+    }
+
+    fn expected_sojourns(&self, count: usize) -> Vec<f64> {
+        match self {
+            Side::Dense(s) => s.expected_sojourns(count),
+            Side::Sparse(s) => s.expected_sojourns(count),
+        }
+    }
+
+    fn distribution(&self, j_max: usize) -> Vec<f64> {
+        match self {
+            Side::Dense(s) => s.distribution(j_max),
+            Side::Sparse(s) => s.distribution(j_max),
+        }
+    }
+
+    fn variance(&self) -> Result<f64, MarkovError> {
+        match self {
+            Side::Dense(s) => s.variance(),
+            Side::Sparse(s) => Ok(s.variance),
+        }
+    }
 }
 
 /// One side (`S` or `P`) of the analysis; the other side is obtained by
@@ -163,9 +205,108 @@ impl SojournAnalysis {
         let alpha_s = vec_ops::gather(alpha, s_idx);
         let alpha_p = vec_ops::gather(alpha, p_idx);
 
-        let side_s = SubsetAnalysis::build(m, s_idx, p_idx, &alpha_s, &alpha_p)?;
-        let side_p = SubsetAnalysis::build(m, p_idx, s_idx, &alpha_p, &alpha_s)?;
+        let side_s = Side::Dense(SubsetAnalysis::build(m, s_idx, p_idx, &alpha_s, &alpha_p)?);
+        let side_p = Side::Dense(SubsetAnalysis::build(m, p_idx, s_idx, &alpha_p, &alpha_s)?);
         Ok(SojournAnalysis { side_s, side_p })
+    }
+
+    /// Builds the analysis on a sparse chain without ever materializing
+    /// the censored matrices `R` and `G`: every quantity is evaluated in
+    /// operator form through CSR blocks and the crossover-aware
+    /// [`TransientSolver`] (dense LU below `options.crossover` unknowns,
+    /// SOR sweeps in O(nnz) above).
+    ///
+    /// The totals and variances use the full-transient-block identities
+    ///
+    /// * `E(T_S) = α_T N 1_S` with `N = (I − Q_T)⁻¹` over `T = S ∪ P`,
+    /// * `E[T_S (T_S − 1)] = 2 (α_T N) I_S (N − I) 1_S`,
+    ///
+    /// which are algebraically equal to Relations (5)–(6) but need two
+    /// sparse solves instead of a censored-matrix inverse. Sojourn series
+    /// and distributions iterate `G`- and `R`-applications as solve
+    /// chains.
+    ///
+    /// # Errors
+    ///
+    /// As [`SojournAnalysis::new`], plus [`MarkovError::Linalg`] carrying
+    /// [`pollux_linalg::LinalgError::NoConvergence`] when an iterative
+    /// solve exhausts its budget during construction. The series /
+    /// distribution query methods additionally solve per call on this
+    /// path and *panic* on budget exhaustion there (see their `# Panics`
+    /// sections) — construction already exercises the same blocks, so a
+    /// construction success makes that remote.
+    pub fn new_sparse(
+        chain: &SparseDtmc,
+        partition: &SojournPartition,
+        alpha: &[f64],
+        options: SolverOptions,
+    ) -> Result<Self, MarkovError> {
+        let n = chain.n_states();
+        for &i in partition.s_states().iter().chain(partition.p_states()) {
+            if i >= n {
+                return Err(MarkovError::InvalidState {
+                    index: i,
+                    states: n,
+                });
+            }
+        }
+        if alpha.len() != n {
+            return Err(MarkovError::InvalidDistribution(format!(
+                "length {} does not match {} states",
+                alpha.len(),
+                n
+            )));
+        }
+        if alpha.iter().any(|&a| a < -1e-12) {
+            return Err(MarkovError::InvalidDistribution(
+                "negative probability mass".into(),
+            ));
+        }
+        if alpha.iter().sum::<f64>() > 1.0 + 1e-9 {
+            return Err(MarkovError::InvalidDistribution(
+                "total mass exceeds 1".into(),
+            ));
+        }
+
+        // The public quantities are aggregates, so the internal subset
+        // order is free: sort for CSR block extraction.
+        let mut s_idx = partition.s_states().to_vec();
+        let mut p_idx = partition.p_states().to_vec();
+        s_idx.sort_unstable();
+        p_idx.sort_unstable();
+        let mut t_idx: Vec<usize> = s_idx.iter().chain(p_idx.iter()).copied().collect();
+        t_idx.sort_unstable();
+
+        let p = chain.matrix();
+        let q_t = sparse_block(p, &t_idx, &t_idx);
+        let solver_t = TransientSolver::new(&q_t, options)?;
+        let alpha_t = vec_ops::gather(alpha, &t_idx);
+        // α_T N, shared by both sides' variance computation.
+        let weights = solver_t.solve_transposed(&alpha_t)?;
+
+        let mut t_pos = vec![usize::MAX; n];
+        for (pos, &g) in t_idx.iter().enumerate() {
+            t_pos[g] = pos;
+        }
+        let mask_s: Vec<bool> = {
+            let mut mask = vec![false; t_idx.len()];
+            for &g in &s_idx {
+                mask[t_pos[g]] = true;
+            }
+            mask
+        };
+        let mask_p: Vec<bool> = mask_s.iter().map(|&b| !b).collect();
+
+        let side_s = SparseSubset::build(
+            p, &s_idx, &p_idx, alpha, &alpha_t, &mask_s, &solver_t, &weights, options,
+        )?;
+        let side_p = SparseSubset::build(
+            p, &p_idx, &s_idx, alpha, &alpha_t, &mask_p, &solver_t, &weights, options,
+        )?;
+        Ok(SojournAnalysis {
+            side_s: Side::Sparse(Box::new(side_s)),
+            side_p: Side::Sparse(Box::new(side_p)),
+        })
     }
 
     /// `E(T_S)` — expected total time in `S` before absorption
@@ -189,21 +330,40 @@ impl SojournAnalysis {
     }
 
     /// `E(T_{S,n})` for `n = 1, 2, …, count` (Relation 7).
+    ///
+    /// # Panics
+    ///
+    /// On a [`SojournAnalysis::new_sparse`] analysis whose blocks sit on
+    /// the iterative path, panics in the (remote — three solver fallbacks
+    /// deep) event that a per-call censored-block solve exhausts its
+    /// budget. The dense path never panics.
     pub fn expected_sojourns_s(&self, count: usize) -> Vec<f64> {
         self.side_s.expected_sojourns(count)
     }
 
     /// `E(T_{P,n})` for `n = 1, 2, …, count` (Relation 8).
+    ///
+    /// # Panics
+    ///
+    /// As [`SojournAnalysis::expected_sojourns_s`].
     pub fn expected_sojourns_p(&self, count: usize) -> Vec<f64> {
         self.side_p.expected_sojourns(count)
     }
 
     /// Distribution `P(T_S = j)` for `j = 0, …, j_max`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SojournAnalysis::expected_sojourns_s`].
     pub fn distribution_s(&self, j_max: usize) -> Vec<f64> {
         self.side_s.distribution(j_max)
     }
 
     /// Distribution `P(T_P = j)` for `j = 0, …, j_max`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SojournAnalysis::expected_sojourns_s`].
     pub fn distribution_p(&self, j_max: usize) -> Vec<f64> {
         self.side_p.distribution(j_max)
     }
@@ -349,6 +509,164 @@ impl SubsetAnalysis {
     }
 }
 
+/// One side of the sparse analysis. `A` is "our" subset, `B` the other;
+/// the censored operators are applied as solve chains:
+///
+/// * `R y   = M_A y + M_AB (I − M_B)⁻¹ M_BA y`
+/// * `G y   = (I − M_A)⁻¹ M_AB (I − M_B)⁻¹ M_BA y`
+/// * `x R   = (x M_A) + ((x M_AB) (I − M_B)⁻¹) M_BA`
+#[derive(Debug, Clone)]
+struct SparseSubset {
+    /// Entry vector `v` over `A` (defective distribution of the first
+    /// visited state of the subset).
+    v: Vec<f64>,
+    /// `E(T_A)`, precomputed via `α_T N 1_A`.
+    expected_total: f64,
+    /// `Var(T_A)`, precomputed via the full-block identity.
+    variance: f64,
+    /// CSR censored blocks.
+    m_a: CsrMatrix,
+    m_ab: CsrMatrix,
+    m_ba: CsrMatrix,
+    /// Solvers for `I − M_A` and `I − M_B`.
+    solver_a: TransientSolver,
+    solver_b: TransientSolver,
+    /// `(I − M_A)⁻¹ 1` — expected length of one sojourn per entry state.
+    one_sojourn: Vec<f64>,
+    /// `(I − R) 1` — per-state exit probability of the censored chain.
+    r_exit: Vec<f64>,
+}
+
+impl SparseSubset {
+    /// Builds one side. `alpha_t`, `mask_a` and the shared full-block
+    /// solver / weight vector live over `T = A ∪ B` in sorted order.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        p: &CsrMatrix,
+        a_idx: &[usize],
+        b_idx: &[usize],
+        alpha: &[f64],
+        alpha_t: &[f64],
+        mask_a: &[bool],
+        solver_t: &TransientSolver,
+        weights: &[f64],
+        options: SolverOptions,
+    ) -> Result<Self, MarkovError> {
+        let na = a_idx.len();
+        let m_a = sparse_block(p, a_idx, a_idx);
+        let m_ab = sparse_block(p, a_idx, b_idx);
+        let m_ba = sparse_block(p, b_idx, a_idx);
+        let m_b = sparse_block(p, b_idx, b_idx);
+        let solver_a = TransientSolver::new(&m_a, options)?;
+        let solver_b = TransientSolver::new(&m_b, options)?;
+
+        let alpha_a = vec_ops::gather(alpha, a_idx);
+        let alpha_b = vec_ops::gather(alpha, b_idx);
+
+        // v = α_A + α_B (I − M_B)⁻¹ M_BA.
+        let z = solver_b.solve_transposed(&alpha_b)?;
+        let v = vec_ops::add(&alpha_a, &m_ba.vec_mul(&z));
+
+        let one_sojourn = solver_a.solve(&vec![1.0; na])?;
+
+        // (I − R) 1 = 1 − M_A 1 − M_AB (I − M_B)⁻¹ M_BA 1.
+        let w1 = solver_b.solve(&m_ba.mul_vec(&vec![1.0; na]))?;
+        let mut r_one = m_a.mul_vec(&vec![1.0; na]);
+        m_ab.mul_add(&w1, &mut r_one);
+        let r_exit: Vec<f64> = r_one.iter().map(|s| (1.0 - s).max(0.0)).collect();
+
+        // E(T_A) = α_T N 1_A and the factorial moment
+        // E[T_A (T_A − 1)] = 2 Σ_{i ∈ A} (α_T N)_i ((N 1_A)_i − 1).
+        let ind_a: Vec<f64> = mask_a.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect();
+        let occupancy = solver_t.solve(&ind_a)?;
+        let expected_total = vec_ops::dot(alpha_t, &occupancy);
+        let mut factorial = 0.0;
+        for (i, &in_a) in mask_a.iter().enumerate() {
+            if in_a {
+                factorial += weights[i] * (occupancy[i] - 1.0);
+            }
+        }
+        let variance = if na == 0 {
+            0.0
+        } else {
+            2.0 * factorial + expected_total - expected_total * expected_total
+        };
+
+        Ok(SparseSubset {
+            v,
+            expected_total,
+            variance,
+            m_a,
+            m_ab,
+            m_ba,
+            solver_a,
+            solver_b,
+            one_sojourn,
+            r_exit,
+        })
+    }
+
+    /// `E(T_{A,n})` for `n = 1..=count`: iterate `u ← G u` starting from
+    /// `(I − M_A)⁻¹ 1` and dot with `v` (Relations 7–8).
+    fn expected_sojourns(&self, count: usize) -> Vec<f64> {
+        if self.v.is_empty() {
+            return vec![0.0; count];
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut u = self.one_sojourn.clone();
+        for n in 0..count {
+            if n > 0 {
+                u = self.apply_g(&u);
+            }
+            out.push(vec_ops::dot(&self.v, &u));
+        }
+        out
+    }
+
+    /// `P(T_A = j)` for `j = 0..=j_max`: iterate the row vector `v Rʲ⁻¹`
+    /// and dot with the exit probabilities.
+    fn distribution(&self, j_max: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(j_max + 1);
+        let entering: f64 = vec_ops::sum(&self.v);
+        out.push((1.0 - entering).max(0.0));
+        if self.v.is_empty() {
+            out.resize(j_max + 1, 0.0);
+            return out;
+        }
+        let mut cur = self.v.clone();
+        for _ in 1..=j_max {
+            out.push(vec_ops::dot(&cur, &self.r_exit));
+            cur = self.apply_r_left(&cur);
+        }
+        out
+    }
+
+    /// `G u` as a solve chain (no materialized `G`).
+    fn apply_g(&self, u: &[f64]) -> Vec<f64> {
+        let through_b = self
+            .solver_b
+            .solve(&self.m_ba.mul_vec(u))
+            .expect("censored block solves succeed after construction");
+        self.solver_a
+            .solve(&self.m_ab.mul_vec(&through_b))
+            .expect("censored block solves succeed after construction")
+    }
+
+    /// `x R` (row vector) as a solve chain (no materialized `R`).
+    fn apply_r_left(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.m_a.vec_mul(x);
+        let through_b = self
+            .solver_b
+            .solve_transposed(&self.m_ab.vec_mul(x))
+            .expect("censored block solves succeed after construction");
+        let back = self.m_ba.vec_mul(&through_b);
+        for (o, b) in out.iter_mut().zip(back.iter()) {
+            *o += b;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +806,69 @@ mod tests {
         let partition = SojournPartition::new(vec![0, 1], vec![2, 3]).unwrap();
         let r = SojournAnalysis::new(&chain, &partition, &alpha);
         assert!(matches!(r, Err(MarkovError::Linalg(_))));
+    }
+
+    #[test]
+    fn sparse_constructor_agrees_with_dense() {
+        let (chain, partition, alpha) = setup();
+        let dense = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let sparse_chain = SparseDtmc::from_dense(&chain);
+        for options in [SolverOptions::force_dense(), SolverOptions::force_sparse()] {
+            let sparse =
+                SojournAnalysis::new_sparse(&sparse_chain, &partition, &alpha, options).unwrap();
+            let pairs = [
+                (
+                    dense.expected_total_s().unwrap(),
+                    sparse.expected_total_s().unwrap(),
+                ),
+                (
+                    dense.expected_total_p().unwrap(),
+                    sparse.expected_total_p().unwrap(),
+                ),
+                (dense.variance_s().unwrap(), sparse.variance_s().unwrap()),
+                (dense.variance_p().unwrap(), sparse.variance_p().unwrap()),
+            ];
+            for (a, b) in pairs {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+            for (a, b) in dense
+                .expected_sojourns_s(20)
+                .iter()
+                .zip(sparse.expected_sojourns_s(20).iter())
+            {
+                assert!((a - b).abs() < 1e-9, "sojourn series: {a} vs {b}");
+            }
+            for (a, b) in dense
+                .distribution_s(200)
+                .iter()
+                .zip(sparse.distribution_s(200).iter())
+            {
+                assert!((a - b).abs() < 1e-9, "distribution: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_empty_subset_is_degenerate() {
+        let (chain, _, alpha) = setup();
+        let partition = SojournPartition::new(vec![], vec![1, 2, 3]).unwrap();
+        let sparse_chain = SparseDtmc::from_dense(&chain);
+        let soj = SojournAnalysis::new_sparse(
+            &sparse_chain,
+            &partition,
+            &alpha,
+            SolverOptions::force_sparse(),
+        )
+        .unwrap();
+        assert_eq!(soj.expected_total_s().unwrap(), 0.0);
+        assert_eq!(soj.expected_sojourns_s(3), vec![0.0, 0.0, 0.0]);
+        let d = soj.distribution_s(3);
+        assert_eq!(d[0], 1.0);
+        assert_eq!(soj.variance_s().unwrap(), 0.0);
+        let dense = SojournAnalysis::new(&chain, &partition, &alpha).unwrap();
+        let a = soj.expected_total_p().unwrap();
+        let b = dense.expected_total_p().unwrap();
+        assert!((a - b).abs() < 1e-9);
     }
 
     #[test]

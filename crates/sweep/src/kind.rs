@@ -37,6 +37,14 @@ pub enum OutputKind {
     /// State-space partition counts and the Rule-2 reachability check —
     /// Figure 1.
     StateSpace,
+    /// Sparse-pipeline scaling probe: the full analytical battery
+    /// (Relations 5–6, Relation 9, pollution probability) evaluated
+    /// through [`pollux::AnalysisMode::Auto`], reporting the state-space
+    /// and non-zero counts alongside. Pushes Δ far past the paper's 7
+    /// (state spaces of 10⁴–10⁵ states, where the dense pipeline's O(n²)
+    /// memory and O(n³) solves are unusable); deterministic, so the
+    /// artefacts stay byte-identical across thread counts.
+    StateSpaceScaling,
     /// Overlay-level proportions `E(N_S(m))/n`, `E(N_P(m))/n`
     /// (Theorem 2) — Figure 5. One row per `(n, m)`.
     OverlayProportions {
@@ -132,6 +140,16 @@ impl OutputKind {
                 "n_polluted_merge".into(),
                 "n_polluted_split".into(),
                 "polluted_split_unreachable".into(),
+            ],
+            OutputKind::StateSpaceScaling => vec![
+                "n_states".into(),
+                "n_transient".into(),
+                "nnz".into(),
+                "pipeline".into(),
+                "E_T_S".into(),
+                "E_T_P".into(),
+                "p_polluted_merge".into(),
+                "p_ever_polluted".into(),
             ],
             OutputKind::OverlayProportions { .. } => vec![
                 "n".into(),
@@ -249,6 +267,23 @@ impl OutputKind {
                     space.polluted_merge().len().into(),
                     space.polluted_split().len().into(),
                     polluted_split_unreachable(&chain).into(),
+                ]])
+            }
+            OutputKind::StateSpaceScaling => {
+                let chain = ClusterChain::build(&cell.params);
+                let n_states = chain.space().len();
+                let n_transient = chain.space().transient().len();
+                let nnz = chain.sparse_dtmc().matrix().nnz();
+                let a = ClusterAnalysis::from_chain(chain, cell.initial.clone())?;
+                Ok(vec![vec![
+                    n_states.into(),
+                    n_transient.into(),
+                    nnz.into(),
+                    if a.is_sparse() { "sparse" } else { "dense" }.into(),
+                    a.expected_safe_events()?.into(),
+                    a.expected_polluted_events()?.into(),
+                    a.absorption_split()?.polluted_merge.into(),
+                    a.pollution_probability()?.into(),
                 ]])
             }
             OutputKind::OverlayProportions {
@@ -492,6 +527,7 @@ mod tests {
             OutputKind::Absorption,
             OutputKind::PollutionRisk,
             OutputKind::StateSpace,
+            OutputKind::StateSpaceScaling,
             OutputKind::OverlayProportions {
                 n_clusters: vec![10],
                 sample_points: vec![0, 10, 20],
@@ -556,6 +592,28 @@ mod tests {
         assert_eq!(rows[0][ok_at].as_bool(), Some(true), "rows: {rows:?}");
         let censored_at = cols.iter().position(|c| c == "censored").unwrap();
         assert_eq!(rows[0][censored_at].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn scaling_kind_matches_direct_analysis_and_reports_pipeline() {
+        let cell = paper_cell();
+        let rows = OutputKind::StateSpaceScaling.evaluate(&cell, 0).unwrap();
+        assert_eq!(rows.len(), 1);
+        let cols = OutputKind::StateSpaceScaling.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        assert_eq!(rows[0][at("n_states")].as_f64(), Some(288.0));
+        // The paper-scale space stays on the dense pipeline under Auto.
+        assert_eq!(rows[0][at("pipeline")], crate::Value::Str("dense".into()));
+        let a = ClusterAnalysis::new(&cell.params, cell.initial.clone()).unwrap();
+        assert_eq!(
+            rows[0][at("E_T_S")].as_f64().unwrap(),
+            a.expected_safe_events().unwrap()
+        );
+        assert_eq!(
+            rows[0][at("p_ever_polluted")].as_f64().unwrap(),
+            a.pollution_probability().unwrap()
+        );
+        assert!(!OutputKind::StateSpaceScaling.is_monte_carlo());
     }
 
     #[test]

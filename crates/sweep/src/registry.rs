@@ -262,6 +262,20 @@ pub fn extended() -> Vec<Scenario> {
             },
         ),
         Scenario::new(
+            "state_space_scaling",
+            "Sparse-pipeline scaling: the full analytical battery at Delta up to 100 (10^4-10^5 states, far past the paper's Delta = 7)",
+            // Δ = 20 (1 848 states) crosses into the sparse pipeline;
+            // Δ = 48 ≈ 10⁴ states; Δ = 100 ≈ 4·10⁴ states (the bench
+            // suite pushes to Δ = 156 ≈ 10⁵). μ/d sit at the paper's
+            // hardest evaluated corner so pollution metrics stay
+            // non-trivial at every size.
+            ParamGrid::paper()
+                .max_spare(vec![7, 20, 48, 100])
+                .mu(vec![0.2])
+                .d(vec![0.8]),
+            OutputKind::StateSpaceScaling,
+        ),
+        Scenario::new(
             "des_scale",
             "DES at production scale: one 1.3-million-node overlay (2^17 clusters) vs the Markov chain",
             ParamGrid::paper().mu(vec![0.25]).d(vec![0.9]),
