@@ -21,6 +21,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use pollux::{AnalysisMode, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams};
+use pollux_defense::InducedChurn;
 
 /// Largest state count the dense pipeline is asked to handle (the n²
 /// matrix alone is ~27 MiB here; the LU grows cubically).
@@ -42,6 +43,9 @@ struct LadderPoint {
     build_s: f64,
     dense_s: Option<f64>,
     sparse_s: f64,
+    /// Full analytic duel (defense-folded chain build + sparse battery +
+    /// steady-state fractions) under `InducedChurn(0.1)`.
+    duel_s: f64,
 }
 
 fn json_f64(v: f64) -> String {
@@ -115,6 +119,22 @@ fn main() {
                 })
             },
         );
+        // The analytic half of a duel at this state-space size: the
+        // defense-folded chain goes through the same sparse battery, so
+        // countermeasure sweeps ride the perf trajectory too.
+        group.bench_with_input(BenchmarkId::new("analyze_duel", delta), &params, |b, p| {
+            let defense = InducedChurn::new(0.1).unwrap();
+            b.iter(|| {
+                let chain = ClusterChain::build_with_defense(p, &defense);
+                ClusterAnalysis::from_chain_with_mode(
+                    chain,
+                    InitialCondition::Delta,
+                    AnalysisMode::Sparse,
+                )
+                .map(|a| a.steady_state_fractions().unwrap())
+                .unwrap()
+            })
+        });
         group.finish();
 
         let results = criterion.take_results();
@@ -133,6 +153,7 @@ fn main() {
             build_s: mean_of("build").expect("build benchmark ran"),
             dense_s: mean_of("analyze_dense"),
             sparse_s: mean_of("analyze_sparse").expect("sparse benchmark ran"),
+            duel_s: mean_of("analyze_duel").expect("duel benchmark ran"),
         });
     }
 
@@ -168,7 +189,7 @@ fn main() {
         rows.push(format!(
             "    {{\"delta\": {}, \"states\": {}, \"nnz\": {}, \"dense_matrix_bytes\": {}, \
              \"sparse_matrix_bytes\": {}, \"build_s\": {}, \"analyze_dense_s\": {}, \
-             \"analyze_sparse_s\": {}}}",
+             \"analyze_sparse_s\": {}, \"analyze_duel_s\": {}}}",
             p.delta,
             p.states,
             p.nnz,
@@ -177,6 +198,7 @@ fn main() {
             json_f64(p.build_s),
             p.dense_s.map(json_f64).unwrap_or_else(|| "null".into()),
             json_f64(p.sparse_s),
+            json_f64(p.duel_s),
         ));
     }
     let json = format!(

@@ -1,0 +1,48 @@
+//! Adversary-vs-defense duels: the `duel_matrix`, `defense_frontier` and
+//! `des_steady_state` scenarios of `pollux-sweep`.
+//!
+//! `duel_matrix` evaluates every defense (`none`, `induced-churn`,
+//! `incarnation-refresh`, `adaptive-cluster-size`) against a panel of
+//! adversary strategies over a `(C, Δ)` grid — analytically (the
+//! defense-folded chain through the sparse pipeline) **and** empirically
+//! (regeneration-mode whole-overlay DES), with a renewal-adjusted Wilson
+//! interval tying the two estimates together per row.
+//! `defense_frontier` scans for the minimum induced-churn rate keeping
+//! steady-state pollution below 1%, and `des_steady_state` validates the
+//! measurement substrate (regeneration-mode event fractions vs the
+//! renewal–reward closed form). The process exits non-zero when any
+//! agreement verdict fails.
+//!
+//! ```text
+//! duel                         # all three scenarios
+//! duel duel_matrix             # the duel matrix only
+//! ```
+
+use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
+
+fn main() {
+    let args = parse_cli_or_exit(
+        "duel",
+        "adversary-vs-defense duels: countermeasures vs the targeted attack, analytic and DES",
+    );
+    banner("Duels — pluggable countermeasures vs the targeted adversary");
+    let reports = run_and_emit(
+        &args,
+        &["des_steady_state", "duel_matrix", "defense_frontier"],
+    );
+    let mut all_ok = true;
+    for report in &reports {
+        println!("{}", report.render_text());
+        // defense_frontier has no `ok` column; all_ok() is true there.
+        all_ok &= report.all_ok();
+    }
+    println!(
+        "\nverdict: {}",
+        if all_ok {
+            "analytic and measured duel outcomes AGREE"
+        } else {
+            "MISMATCH DETECTED — investigate"
+        }
+    );
+    std::process::exit(i32::from(!all_ok));
+}

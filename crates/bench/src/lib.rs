@@ -18,6 +18,7 @@
 //! | `ablation_k`       | `ablation_k`       | k-sweep behind the "protocol₁ wins" lesson       |
 //! | `ablation_rules`   | `ablation_rules`, `ablation_nu` | Rule-1/Rule-2/bias toggles, ν sweep |
 //! | `pollution_risk`   | `risk_decomposition` | beyond-paper pollution decomposition           |
+//! | `duel`             | `des_steady_state`, `duel_matrix`, `defense_frontier` | adversary-vs-defense duels (beyond-paper countermeasures) |
 //! | `reproduce_all`    | every paper artefact | one parallel run writing all TSVs              |
 //!
 //! Every binary accepts the common sweep flags (`--threads N`,

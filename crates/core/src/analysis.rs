@@ -1,6 +1,7 @@
-use pollux_linalg::{SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER};
-use pollux_markov::sparse_chain::sparse_block;
-use pollux_markov::{AbsorbingChain, MarkovError, SojournAnalysis, SojournPartition};
+use pollux_linalg::{SolverOptions, DEFAULT_SPARSE_CROSSOVER};
+use pollux_markov::{
+    AbsorbingChain, MarkovError, PartitionSolvers, SojournAnalysis, SojournPartition,
+};
 
 use crate::{ClusterChain, InitialCondition, ModelParams, StateClass};
 
@@ -74,6 +75,9 @@ pub struct ClusterAnalysis {
     initial: InitialCondition,
     sojourn: SojournAnalysis,
     absorbing: AbsorptionEngine,
+    /// The sparse pipeline's shared solver bundle (sojourn, absorption
+    /// and hitting all run on it); `None` on the dense pipeline.
+    solvers: Option<PartitionSolvers>,
 }
 
 /// The absorption-side engine behind a [`ClusterAnalysis`].
@@ -98,15 +102,16 @@ struct SparseAbsorption {
 }
 
 impl SparseAbsorption {
+    /// Builds the absorption metrics on the partition's **shared**
+    /// `T`-block solver — the block is never factored a second time.
     fn build(
         chain: &ClusterChain,
         alpha: &[f64],
-        options: SolverOptions,
+        solvers: &PartitionSolvers,
     ) -> Result<Self, MarkovError> {
         let space = chain.space();
-        let transient = space.transient();
-        let q = sparse_block(chain.sparse_dtmc().matrix(), &transient, &transient);
-        let solver = TransientSolver::new(&q, options)?;
+        let transient = solvers.t_indices();
+        let solver = solvers.solver_t();
 
         let steps = solver.solve(&vec![1.0; transient.len()])?;
         let expected_steps = transient
@@ -226,17 +231,21 @@ impl ClusterAnalysis {
             chain.space().transient_safe().to_vec(),
             chain.space().transient_polluted().to_vec(),
         )?;
-        let (sojourn, absorbing) = if sparse {
+        let (sojourn, absorbing, solvers) = if sparse {
+            // One solver bundle serves all three stages: the T block
+            // (sojourn totals + absorption) and the S block (sojourn side
+            // + pollution hitting) are each factored exactly once.
             let options = SolverOptions::default();
+            let solvers = PartitionSolvers::build(chain.sparse_dtmc(), &partition, options)?;
             let sojourn =
-                SojournAnalysis::new_sparse(chain.sparse_dtmc(), &partition, &alpha, options)?;
+                SojournAnalysis::new_sparse_shared(chain.sparse_dtmc(), &alpha, &solvers)?;
             let absorbing =
-                AbsorptionEngine::Sparse(SparseAbsorption::build(&chain, &alpha, options)?);
-            (sojourn, absorbing)
+                AbsorptionEngine::Sparse(SparseAbsorption::build(&chain, &alpha, &solvers)?);
+            (sojourn, absorbing, Some(solvers))
         } else {
             let sojourn = SojournAnalysis::new(chain.dtmc(), &partition, &alpha)?;
             let absorbing = AbsorptionEngine::Dense(Box::new(AbsorbingChain::new(chain.dtmc())?));
-            (sojourn, absorbing)
+            (sojourn, absorbing, None)
         };
         Ok(ClusterAnalysis {
             chain,
@@ -244,6 +253,7 @@ impl ClusterAnalysis {
             initial,
             sojourn,
             absorbing,
+            solvers,
         })
     }
 
@@ -358,17 +368,45 @@ impl ClusterAnalysis {
     /// Propagates linear-algebra failures.
     pub fn pollution_probability(&self) -> Result<f64, MarkovError> {
         let space = self.chain.space();
-        let mut targets: Vec<usize> = space.transient_polluted().to_vec();
-        targets.extend_from_slice(space.polluted_merge());
-        targets.extend_from_slice(space.polluted_split());
-        if self.is_sparse() {
-            pollux_markov::hitting::hitting_probability_from_sparse(
-                self.chain.sparse_dtmc(),
-                &self.alpha,
-                &targets,
-                SolverOptions::default(),
-            )
+        if let Some(solvers) = &self.solvers {
+            // Complement on the shared S-block solver: a trajectory never
+            // gets polluted exactly when it wanders inside the safe
+            // transient band S and exits straight into a safe absorbing
+            // class, so with r[i] = P(i → AmS ∪ AℓS in one step),
+            //   P(never polluted | start i ∈ S) = [(I − M_S)⁻¹ r]_i
+            // — one solve on a factorization the sojourn stage already
+            // set up, instead of a dedicated hitting system.
+            let s_idx = solvers.s_indices();
+            let mut is_safe_abs = vec![false; space.len()];
+            for &j in space.safe_merge().iter().chain(space.safe_split()) {
+                is_safe_abs[j] = true;
+            }
+            let mut r = vec![0.0; s_idx.len()];
+            for (t, &g) in s_idx.iter().enumerate() {
+                for (j, v) in self.chain.sparse_dtmc().successors(g) {
+                    if is_safe_abs[j] {
+                        r[t] += v;
+                    }
+                }
+            }
+            let p_never = solvers.solver_s().solve(&r)?;
+            let mut never: f64 = s_idx
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| self.alpha[g] * p_never[t])
+                .sum();
+            // Initial mass already sitting on a safe absorbing state
+            // stays clean forever.
+            for (j, &a) in self.alpha.iter().enumerate() {
+                if a > 0.0 && is_safe_abs[j] {
+                    never += a;
+                }
+            }
+            Ok((1.0 - never).clamp(0.0, 1.0))
         } else {
+            let mut targets: Vec<usize> = space.transient_polluted().to_vec();
+            targets.extend_from_slice(space.polluted_merge());
+            targets.extend_from_slice(space.polluted_split());
             pollux_markov::hitting::hitting_probability_from(
                 self.chain.dtmc(),
                 &self.alpha,

@@ -23,7 +23,24 @@
 //!   draws rather than being sampled directly);
 //! * the adversary is pluggable: any [`pollux_adversary::Strategy`]
 //!   drives Rule 1, Rule 2 and the maintenance bias, gated by the
-//!   [`crate::AdversaryToggles`] carried in [`ModelParams`].
+//!   [`crate::AdversaryToggles`] carried in [`ModelParams`];
+//! * the defense is pluggable too: [`run_des_overlay_duel`] consults a
+//!   [`pollux_defense::Defense`] inside the event loop — induced-churn
+//!   preemptions, join-admission shaping (including the cluster-size
+//!   taper) and incarnation-refresh evictions — turning a one-sided
+//!   attack run into an adversary-vs-defense duel. A
+//!   [`pollux_defense::NullDefense`] consumes no randomness, so its runs
+//!   are bit-identical to plain [`run_des_overlay`] calls;
+//! * **regeneration mode** ([`DesOverlayConfig::regenerate`]) re-seeds an
+//!   absorbed cluster from the initial condition on its next arrival
+//!   (mirroring `overlay_sim`'s flag: the arrival that performs the
+//!   re-seed is the renewal–reward "+1" event), so the overlay runs
+//!   forever and the share of events landing on polluted clusters
+//!   estimates the long-run polluted fraction that
+//!   [`crate::ClusterAnalysis::steady_state_fractions`] predicts in
+//!   closed form; live safe/polluted cluster fractions are additionally
+//!   sampled on the fixed time grid of
+//!   [`DesOverlayConfig::sample_times`].
 //!
 //! The hot event loop is allocation-free: the future-event list is
 //! pre-sized to one pending arrival per cluster, the event payload is a
@@ -48,11 +65,8 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let params = ModelParams::paper_defaults().with_mu(0.2).with_d(0.8);
 //! let strategy = TargetedStrategy::new(params.k(), params.nu()).unwrap();
-//! let config = DesOverlayConfig {
-//!     cluster_bits: 8, // 256 clusters ≈ 2 500 nodes
-//!     lambda: 1.0,
-//!     max_events: 200_000,
-//! };
+//! // 2^8 = 256 clusters ≈ 2 500 nodes.
+//! let config = DesOverlayConfig::new(8, 1.0, 200_000);
 //! let report = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &config, 42);
 //! assert_eq!(report.n_clusters, 256);
 //! assert!(report.initial_nodes >= 2_500);
@@ -67,6 +81,7 @@
 //! ```
 
 use pollux_adversary::{ClusterView, JoinDecision, Strategy};
+use pollux_defense::{effective_join_admission, effective_survival, Defense, NullDefense};
 use pollux_des::churn::{ChurnKind, EventMix, PoissonProcess};
 use pollux_des::stats::{Summary, Welford};
 use pollux_des::{EventHandler, Scheduler, SimTime, Simulation};
@@ -74,10 +89,12 @@ use pollux_overlay::{Label, NodeId};
 use pollux_prob::AliasTable;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-use crate::{AdversaryToggles, ClusterState, InitialCondition, ModelParams, ModelSpace};
+use crate::{
+    AdversaryToggles, ClusterState, InitialCondition, ModelParams, ModelSpace, StateClass,
+};
 
 /// Configuration of a whole-overlay discrete-event run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesOverlayConfig {
     /// The overlay holds `n = 2^cluster_bits` clusters (a power of two so
     /// cluster labels tile the identifier space evenly). `10` is ~10⁴
@@ -86,9 +103,55 @@ pub struct DesOverlayConfig {
     /// Per-cluster churn rate (events per simulated time unit); the
     /// overlay-wide arrival rate is `n · lambda`.
     pub lambda: f64,
-    /// Global cap on churn events; the run stops early (censoring any
-    /// still-transient clusters) when it is reached.
+    /// Global cap on churn events; the run stops when it is reached
+    /// (censoring still-transient clusters, or ending the steady-state
+    /// measurement in regeneration mode).
     pub max_events: u64,
+    /// When `true`, an absorbed cluster is re-seeded from the initial
+    /// condition by its **next arrival** (the event is consumed by the
+    /// regeneration, counting toward neither sojourn — the "+1" of the
+    /// renewal–reward cycle), so the overlay never drains and long-run
+    /// fractions are measurable.
+    pub regenerate: bool,
+    /// Fixed time grid (sorted, increasing) at which the live
+    /// safe/polluted cluster fractions are recorded into
+    /// [`DesOverlayReport::occupancy`]. Points the run never reaches
+    /// (event cap hit first) are dropped.
+    pub sample_times: Vec<f64>,
+}
+
+impl DesOverlayConfig {
+    /// The historical one-shot configuration: no regeneration, no time
+    /// grid.
+    pub fn new(cluster_bits: u32, lambda: f64, max_events: u64) -> Self {
+        DesOverlayConfig {
+            cluster_bits,
+            lambda,
+            max_events,
+            regenerate: false,
+            sample_times: Vec::new(),
+        }
+    }
+
+    /// Switches regeneration mode on.
+    pub fn with_regeneration(mut self) -> Self {
+        self.regenerate = true;
+        self
+    }
+
+    /// Sets the occupancy sample grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid is not sorted increasing.
+    pub fn with_sample_times(mut self, sample_times: Vec<f64>) -> Self {
+        assert!(
+            sample_times.windows(2).all(|w| w[0] <= w[1]),
+            "sample times must be sorted"
+        );
+        self.sample_times = sample_times;
+        self
+    }
 }
 
 /// Aggregated results of one whole-overlay run.
@@ -118,10 +181,44 @@ pub struct DesOverlayReport {
     /// Raw absorption counts `[AmS, AℓS, AmP, AℓP]` (for exact binomial
     /// confidence intervals on the frequencies).
     pub absorption_counts: [u64; 4],
-    /// Clusters absorbed before the event cap.
+    /// Completed absorptions. Without regeneration this is the number of
+    /// absorbed clusters; with it, the number of completed renewal cycles
+    /// over all clusters.
     pub absorbed: u64,
-    /// Clusters still transient when the event cap hit.
+    /// Clusters still transient when the event cap hit. In regeneration
+    /// mode these are mid-cycle clusters (their partial sojourns are
+    /// **not** pushed into the per-cycle summaries).
     pub censored: u64,
+    /// Events that found their cluster in a safe transient state.
+    pub safe_event_total: u64,
+    /// Events that found their cluster in a polluted transient state.
+    pub polluted_event_total: u64,
+    /// Events consumed by regenerations (regeneration mode only; the
+    /// renewal–reward "+1" per cycle).
+    pub regen_events: u64,
+    /// `(t, safe fraction, polluted fraction)` of **live** clusters at
+    /// each reached point of [`DesOverlayConfig::sample_times`].
+    pub occupancy: Vec<(f64, f64, f64)>,
+}
+
+impl DesOverlayReport {
+    /// Measured long-run `(safe, polluted)` event fractions: the share of
+    /// processed events that found their cluster safe resp. polluted —
+    /// the regeneration-mode estimator of
+    /// [`crate::ClusterAnalysis::steady_state_fractions`].
+    pub fn steady_state_fractions(&self) -> (f64, f64) {
+        let total = self.events.max(1) as f64;
+        (
+            self.safe_event_total as f64 / total,
+            self.polluted_event_total as f64 / total,
+        )
+    }
+
+    /// Mean events per completed renewal cycle (the decorrelation length
+    /// of the steady-state estimator).
+    pub fn mean_cycle_events(&self) -> f64 {
+        self.events as f64 / self.absorbed.max(1) as f64
+    }
 }
 
 /// Where an absorbed cluster ended up (compact per-cluster status).
@@ -176,9 +273,10 @@ impl NodeArena {
 }
 
 /// The event handler: the whole overlay, structure-of-arrays.
-struct OverlayDes<'a, S: Strategy> {
+struct OverlayDes<'a, S: Strategy, D: Defense + ?Sized> {
     params: &'a ModelParams,
     strategy: &'a S,
+    defense: &'a D,
     rng: StdRng,
     process: PoissonProcess,
     mix: EventMix,
@@ -208,14 +306,32 @@ struct OverlayDes<'a, S: Strategy> {
     events: u64,
     max_events: u64,
     transient_left: usize,
+    // Regeneration mode.
+    regenerate: bool,
+    /// The initial distribution's sampler and the state table, kept for
+    /// re-seeding absorbed clusters.
+    table: AliasTable,
+    states: Vec<ClusterState>,
+    /// Birth time of the current cycle per cluster (0 for the initial
+    /// population).
+    birth: Vec<f64>,
+    // Occupancy sampling.
+    sample_times: Vec<f64>,
+    next_sample: usize,
+    live_safe: usize,
+    live_polluted: usize,
+    occupancy: Vec<(f64, f64, f64)>,
     // Accumulators.
     safe_w: Welford,
     poll_w: Welford,
     lifetime_w: Welford,
     absorption_counts: [u64; 4],
+    safe_event_total: u64,
+    poll_event_total: u64,
+    regen_events: u64,
 }
 
-impl<S: Strategy> OverlayDes<'_, S> {
+impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
     fn c_size(&self) -> usize {
         self.params.core_size()
     }
@@ -246,13 +362,15 @@ impl<S: Strategy> OverlayDes<'_, S> {
     }
 
     /// `true` when none of `count` malicious identifiers expired at this
-    /// event (probability `d^count`), as in the analytical chain.
-    fn survives(&mut self, count: usize) -> bool {
-        let d = self.params.d();
-        if d <= 0.0 {
+    /// event (probability `d_eff^count`), as in the analytical chain.
+    /// `d_eff` is the defense-shaped survival probability of the current
+    /// cluster (exactly `d` under a neutral defense).
+    fn survives(&mut self, d_eff: f64, count: usize) -> bool {
+        if d_eff <= 0.0 {
             return false;
         }
-        self.rng.random_bool(d.powi(count as i32).clamp(0.0, 1.0))
+        self.rng
+            .random_bool(d_eff.powi(count as i32).clamp(0.0, 1.0))
     }
 
     /// Removes spare slot `j` of cluster `c` (swap-remove; slot selection
@@ -365,7 +483,10 @@ impl<S: Strategy> OverlayDes<'_, S> {
     }
 
     /// Plays one churn event on (transient) cluster `c`, mirroring the
-    /// probabilities of the analytical chain at node granularity.
+    /// probabilities of the analytical chain at node granularity. The
+    /// defense hooks gate in exactly the chain builder's three places;
+    /// neutral hooks consume no randomness, so a [`NullDefense`] run's
+    /// RNG stream is bit-identical to a defense-free run's.
     fn churn_event(&mut self, c: usize) {
         let c_size = self.c_size();
         let delta = self.delta();
@@ -377,12 +498,26 @@ impl<S: Strategy> OverlayDes<'_, S> {
         let y = self.y[c] as usize;
         let polluted = x > quorum;
 
+        let view =
+            ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
+        // Induced churn preempts the event with a forced eviction.
+        let eta = self.defense.induced_churn(&view);
+        if eta > 0.0 && self.rng.random_bool(eta.clamp(0.0, 1.0)) {
+            self.induced_eviction(c, polluted, toggles);
+            return;
+        }
+        let d_eff = effective_survival(self.defense, &view, self.params.d());
+
         match self.mix.sample(&mut self.rng) {
             ChurnKind::Join => {
+                // Join-rate shaping (plus the cluster-size taper): the
+                // defense may drop the join before the cluster sees it.
+                let g = effective_join_admission(self.defense, &view);
+                if g < 1.0 && !self.rng.random_bool(g.clamp(0.0, 1.0)) {
+                    return;
+                }
                 let malicious = mu > 0.0 && self.rng.random_bool(mu);
                 let accept = if polluted && toggles.rule2 {
-                    let view = ClusterView::new(c_size, delta, s, x, y)
-                        .expect("simulated clusters stay inside Ω");
                     self.strategy.join_decision(&view, malicious) == JoinDecision::Accept
                 } else {
                     true
@@ -410,8 +545,9 @@ impl<S: Strategy> OverlayDes<'_, S> {
                         let node = self.take_spare(c, j);
                         self.nodes.release(node);
                         self.s[c] -= 1;
-                    } else if !self.survives(y) {
-                        // Property 1 forces the expired identifier out.
+                    } else if !self.survives(d_eff, y) {
+                        // Property 1 (or the defense's incarnation
+                        // refresh) forces the expired identifier out.
                         let node = self.take_spare(c, j);
                         self.nodes.release(node);
                         self.s[c] -= 1;
@@ -419,14 +555,21 @@ impl<S: Strategy> OverlayDes<'_, S> {
                     }
                     // A valid malicious spare refuses to leave: self-loop.
                 } else {
-                    self.core_leave(c, r, polluted, toggles);
+                    self.core_leave(c, r, polluted, toggles, d_eff);
                 }
             }
         }
     }
 
     /// Handles a leave event that selected core slot `r`.
-    fn core_leave(&mut self, c: usize, r: usize, polluted: bool, toggles: AdversaryToggles) {
+    fn core_leave(
+        &mut self,
+        c: usize,
+        r: usize,
+        polluted: bool,
+        toggles: AdversaryToggles,
+        d_eff: f64,
+    ) {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
@@ -453,7 +596,7 @@ impl<S: Strategy> OverlayDes<'_, S> {
                 self.maintenance(c, r);
             }
             self.s[c] -= 1;
-        } else if !self.survives(x) {
+        } else if !self.survives(d_eff, x) {
             // A malicious core member whose identifier expired is forced
             // out by Property 1.
             self.nodes.release(node);
@@ -487,6 +630,66 @@ impl<S: Strategy> OverlayDes<'_, S> {
         // A valid malicious core member otherwise stays: self-loop.
     }
 
+    /// The defense's forced eviction of a uniformly chosen member of
+    /// cluster `c` — the DES mirror of the chain builder's induced-churn
+    /// kernel. Unlike a voluntary leave, a valid malicious member cannot
+    /// refuse (the protocol revokes the membership), so no survival roll
+    /// happens; the replacement machinery is the usual one.
+    fn induced_eviction(&mut self, c: usize, polluted: bool, toggles: AdversaryToggles) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        let quorum = self.params.quorum();
+        let s = self.s[c] as usize;
+        let x = self.x[c] as usize;
+        let y = self.y[c] as usize;
+
+        let r = self.rng.random_range(0..c_size + s);
+        if r >= c_size {
+            // Evicted spare (slot r − C is uniform).
+            let j = r - c_size;
+            let node = self.spare[c * delta + j];
+            let malicious = self.nodes.malicious[node as usize];
+            let node = self.take_spare(c, j);
+            self.nodes.release(node);
+            self.s[c] -= 1;
+            if malicious {
+                self.y[c] -= 1;
+            }
+        } else {
+            let node = self.core[c * c_size + r];
+            let malicious = self.nodes.malicious[node as usize];
+            self.nodes.release(node);
+            if malicious {
+                // The defense expels a captured seat.
+                if x - 1 > quorum && toggles.bias {
+                    let j = self.pick_spare_by_kind(c, y > 0);
+                    let promoted = self.take_spare(c, j);
+                    self.core[c * c_size + r] = promoted;
+                    if y > 0 {
+                        self.y[c] -= 1; // malicious replacement keeps x
+                    } else {
+                        self.x[c] -= 1; // honest replacement
+                    }
+                } else {
+                    self.x[c] -= 1;
+                    self.maintenance(c, r);
+                }
+            } else if polluted && toggles.bias {
+                // The adversary exploits the vacancy like any other.
+                let j = self.pick_spare_by_kind(c, y > 0);
+                let promoted = self.take_spare(c, j);
+                self.core[c * c_size + r] = promoted;
+                if y > 0 {
+                    self.x[c] += 1;
+                    self.y[c] -= 1;
+                }
+            } else {
+                self.maintenance(c, r);
+            }
+            self.s[c] -= 1;
+        }
+    }
+
     /// Frees every node of cluster `c` (called on absorption — the
     /// cluster's chain has reached a closed state; the overlay would
     /// merge or split it, retiring these memberships).
@@ -501,7 +704,8 @@ impl<S: Strategy> OverlayDes<'_, S> {
         }
     }
 
-    /// Records the absorption of cluster `c` at time `t`.
+    /// Records the absorption of cluster `c` at time `t` (ending the
+    /// current renewal cycle in regeneration mode).
     fn absorb(&mut self, c: usize, t: SimTime) {
         let polluted = self.x[c] as usize > self.params.quorum();
         let (status, slot) = if self.s[c] == 0 {
@@ -519,63 +723,176 @@ impl<S: Strategy> OverlayDes<'_, S> {
         self.absorption_counts[slot] += 1;
         self.safe_w.push(f64::from(self.safe_ev[c]));
         self.poll_w.push(f64::from(self.poll_ev[c]));
-        self.lifetime_w.push(t.value());
+        self.lifetime_w.push(t.value() - self.birth[c]);
         self.release_cluster_nodes(c);
         self.transient_left -= 1;
     }
+
+    /// Re-seeds an absorbed cluster from the initial condition (the
+    /// regeneration event of the renewal process): a fresh start state is
+    /// drawn, concrete members are materialized, and the per-cycle
+    /// counters restart.
+    fn regenerate_cluster(&mut self, c: usize, t: SimTime) {
+        let c_size = self.c_size();
+        let delta = self.delta();
+        let start = self.states[self.table.sample(&mut self.rng)];
+        self.s[c] = start.s as u8;
+        self.x[c] = start.x as u8;
+        self.y[c] = start.y as u8;
+        for slot in 0..c_size {
+            let malicious = slot < start.x;
+            let id = self.draw_id(c);
+            let node = self.nodes.alloc(malicious, id);
+            self.core[c * c_size + slot] = node;
+        }
+        for j in 0..start.s {
+            let malicious = j < start.y;
+            let id = self.draw_id(c);
+            let node = self.nodes.alloc(malicious, id);
+            self.spare[c * delta + j] = node;
+        }
+        self.safe_ev[c] = 0;
+        self.poll_ev[c] = 0;
+        self.birth[c] = t.value();
+        self.status[c] = ClusterStatus::Transient;
+        self.transient_left += 1;
+        match start.classify(self.params) {
+            StateClass::TransientSafe => self.live_safe += 1,
+            StateClass::TransientPolluted => self.live_polluted += 1,
+            // A Custom initial distribution may re-seed straight into an
+            // absorbing state: a zero-event cycle, as at t = 0.
+            _ => self.absorb(c, t),
+        }
+    }
+
+    /// Records every sample-grid point reached strictly before the event
+    /// about to be processed at `t` (the recorded fractions are the
+    /// overlay's state left by the previous event).
+    fn sample_until(&mut self, t: SimTime) {
+        while self.next_sample < self.sample_times.len()
+            && self.sample_times[self.next_sample] <= t.value()
+        {
+            let n = self.status.len() as f64;
+            self.occupancy.push((
+                self.sample_times[self.next_sample],
+                self.live_safe as f64 / n,
+                self.live_polluted as f64 / n,
+            ));
+            self.next_sample += 1;
+        }
+    }
 }
 
-impl<S: Strategy> EventHandler for OverlayDes<'_, S> {
+impl<S: Strategy, D: Defense + ?Sized> EventHandler for OverlayDes<'_, S, D> {
     type Event = u32;
 
     fn handle(&mut self, t: SimTime, cluster: u32, sched: &mut Scheduler<u32>) {
+        self.sample_until(t);
         let c = cluster as usize;
-        debug_assert_eq!(self.status[c], ClusterStatus::Transient);
+
+        if self.status[c] != ClusterStatus::Transient {
+            // Only regeneration mode reschedules absorbed clusters: this
+            // arrival is consumed by the re-seed (the renewal–reward "+1"
+            // event, counted toward neither sojourn).
+            debug_assert!(self.regenerate);
+            self.events += 1;
+            self.regen_events += 1;
+            self.regenerate_cluster(c, t);
+            let next = self.process.next_after(t, &mut self.rng);
+            sched.schedule(next, cluster);
+            if self.events >= self.max_events {
+                sched.stop();
+            }
+            return;
+        }
 
         // The event counts toward the sojourn of the class it lands in
         // (the same accounting as the single-cluster simulator).
-        if self.x[c] as usize > self.params.quorum() {
+        let polluted_before = self.x[c] as usize > self.params.quorum();
+        if polluted_before {
             self.poll_ev[c] += 1;
+            self.poll_event_total += 1;
         } else {
             self.safe_ev[c] += 1;
+            self.safe_event_total += 1;
         }
         self.events += 1;
 
         self.churn_event(c);
 
+        if polluted_before {
+            self.live_polluted -= 1;
+        } else {
+            self.live_safe -= 1;
+        }
         let s = self.s[c] as usize;
         if s == 0 || s == self.delta() {
             self.absorb(c, t);
-            // An absorbed chain sits in a closed state forever: its
-            // arrival stream carries no further information, so it is
+            if self.regenerate {
+                // The next arrival will regenerate the cluster.
+                let next = self.process.next_after(t, &mut self.rng);
+                sched.schedule(next, cluster);
+            }
+            // Otherwise an absorbed chain sits in a closed state forever:
+            // its arrival stream carries no further information, so it is
             // simply not rescheduled (the self-loops are implicit).
         } else {
+            if self.x[c] as usize > self.params.quorum() {
+                self.live_polluted += 1;
+            } else {
+                self.live_safe += 1;
+            }
             let next = self.process.next_after(t, &mut self.rng);
             sched.schedule(next, cluster);
         }
 
-        if self.events >= self.max_events || self.transient_left == 0 {
+        if self.events >= self.max_events || (!self.regenerate && self.transient_left == 0) {
             sched.stop();
         }
     }
 }
 
-/// Runs one whole-overlay discrete-event simulation.
+/// Runs one whole-overlay discrete-event simulation (no defense).
 ///
 /// Deterministic in `(params, initial, strategy, config, seed)`: a single
 /// RNG stream drives every draw and the engine's event ordering is total,
-/// so two identical calls return identical reports.
+/// so two identical calls return identical reports. Equivalent to
+/// [`run_des_overlay_duel`] with a [`NullDefense`] — bit-identically so,
+/// because neutral defense hooks consume no randomness.
+///
+/// # Panics
+///
+/// As [`run_des_overlay_duel`].
+pub fn run_des_overlay<S: Strategy>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    config: &DesOverlayConfig,
+    seed: u64,
+) -> DesOverlayReport {
+    run_des_overlay_duel(params, initial, strategy, &NullDefense::new(), config, seed)
+}
+
+/// Runs one whole-overlay discrete-event simulation with a [`Defense`]
+/// consulted inside the event loop — the measured half of an
+/// adversary-vs-defense duel.
+///
+/// Deterministic in `(params, initial, strategy, defense, config, seed)`.
+/// The hot path stays allocation-free: defense hooks are evaluated
+/// against a stack [`ClusterView`], and a hook returning its neutral
+/// element costs no random draw.
 ///
 /// # Panics
 ///
 /// Panics when `cluster_bits > 24` (16.7M clusters — past any sensible
 /// memory budget), when `C + Δ > 255` (membership counters are `u8`),
-/// when `lambda` is not a positive finite rate, or when the initial
-/// condition is invalid for the parameters.
-pub fn run_des_overlay<S: Strategy>(
+/// when `lambda` is not a positive finite rate, when the sample grid is
+/// unsorted, or when the initial condition is invalid for the parameters.
+pub fn run_des_overlay_duel<S: Strategy, D: Defense + ?Sized>(
     params: &ModelParams,
     initial: &InitialCondition,
     strategy: &S,
+    defense: &D,
     config: &DesOverlayConfig,
     seed: u64,
 ) -> DesOverlayReport {
@@ -591,6 +908,10 @@ pub fn run_des_overlay<S: Strategy>(
         "C + Δ = {} overflows the per-cluster u8 counters",
         c_size + delta
     );
+    assert!(
+        config.sample_times.windows(2).all(|w| w[0] <= w[1]),
+        "sample times must be sorted"
+    );
     let n = 1usize << config.cluster_bits;
     let process = PoissonProcess::new(config.lambda).expect("lambda must be a positive rate");
 
@@ -605,6 +926,7 @@ pub fn run_des_overlay<S: Strategy>(
     let mut des = OverlayDes {
         params,
         strategy,
+        defense,
         rng,
         process,
         mix: EventMix::balanced(),
@@ -624,10 +946,22 @@ pub fn run_des_overlay<S: Strategy>(
         events: 0,
         max_events: config.max_events.max(1),
         transient_left: 0,
+        regenerate: config.regenerate,
+        table,
+        states,
+        birth: vec![0.0; n],
+        sample_times: config.sample_times.clone(),
+        next_sample: 0,
+        live_safe: 0,
+        live_polluted: 0,
+        occupancy: Vec::with_capacity(config.sample_times.len()),
         safe_w: Welford::new(),
         poll_w: Welford::new(),
         lifetime_w: Welford::new(),
         absorption_counts: [0; 4],
+        safe_event_total: 0,
+        poll_event_total: 0,
+        regen_events: 0,
     };
     for c in 0..n {
         let bits: Vec<bool> = (0..config.cluster_bits)
@@ -639,7 +973,7 @@ pub fn run_des_overlay<S: Strategy>(
     // Populate the overlay: each cluster draws its start state from the
     // initial distribution and materializes concrete members for it.
     for c in 0..n {
-        let start = states[table.sample(&mut des.rng)];
+        let start = des.states[des.table.sample(&mut des.rng)];
         des.s[c] = start.s as u8;
         des.x[c] = start.x as u8;
         des.y[c] = start.y as u8;
@@ -656,21 +990,27 @@ pub fn run_des_overlay<S: Strategy>(
             des.spare[c * delta + j] = node;
         }
         des.transient_left += 1;
-        if start.classify(params).is_absorbing() {
+        match start.classify(params) {
+            StateClass::TransientSafe => des.live_safe += 1,
+            StateClass::TransientPolluted => des.live_polluted += 1,
             // Legal only for Custom initial distributions: the cluster
             // is born absorbed, with zero transient events.
-            des.absorb(c, SimTime::ZERO);
+            _ => des.absorb(c, SimTime::ZERO),
         }
     }
     let initial_nodes = des.nodes.live;
 
-    // Every still-transient cluster gets its first arrival; absorbed-at-
-    // birth clusters never enter the event list. One pending arrival per
-    // transient cluster is the queue's invariant, so `n + 1` capacity
-    // keeps the hot loop reallocation-free.
+    // Every still-transient cluster gets its first arrival. Without
+    // regeneration, absorbed-at-birth clusters never enter the event
+    // list; with it, they are scheduled too — their first arrival
+    // performs the regeneration, upholding the "overlay never drains"
+    // contract for Custom initial distributions with absorbing mass.
+    // One pending arrival per scheduled cluster is the queue's
+    // invariant, so `n + 1` capacity keeps the hot loop
+    // reallocation-free.
     let mut sim = Simulation::with_queue_capacity(des, n + 1);
     for c in 0..n {
-        if sim.handler().status[c] == ClusterStatus::Transient {
+        if sim.handler().regenerate || sim.handler().status[c] == ClusterStatus::Transient {
             let h = sim.handler_mut();
             let t0 = h.process.next_after(SimTime::ZERO, &mut h.rng);
             sim.schedule(t0, c as u32);
@@ -681,14 +1021,17 @@ pub fn run_des_overlay<S: Strategy>(
     let end_time = sim.now().value();
     let mut des = sim.into_handler();
 
-    // Clusters still transient at the event cap are censored: their
-    // partial sojourn counts enter the estimates, exactly as in
-    // `simulation::estimate`.
+    // Clusters still transient at the event cap are censored: without
+    // regeneration their partial sojourn counts enter the estimates,
+    // exactly as in `simulation::estimate`; with it they are mid-cycle
+    // and the per-cycle summaries keep completed cycles only.
     let mut censored = 0u64;
     for c in 0..n {
         if des.status[c] == ClusterStatus::Transient {
-            des.safe_w.push(f64::from(des.safe_ev[c]));
-            des.poll_w.push(f64::from(des.poll_ev[c]));
+            if !des.regenerate {
+                des.safe_w.push(f64::from(des.safe_ev[c]));
+                des.poll_w.push(f64::from(des.poll_ev[c]));
+            }
             censored += 1;
         }
     }
@@ -713,6 +1056,10 @@ pub fn run_des_overlay<S: Strategy>(
         absorption_counts: des.absorption_counts,
         absorbed,
         censored,
+        safe_event_total: des.safe_event_total,
+        polluted_event_total: des.poll_event_total,
+        regen_events: des.regen_events,
+        occupancy: des.occupancy,
     }
 }
 
@@ -728,11 +1075,7 @@ mod tests {
     }
 
     fn config(bits: u32) -> DesOverlayConfig {
-        DesOverlayConfig {
-            cluster_bits: bits,
-            lambda: 1.0,
-            max_events: 5_000_000,
-        }
+        DesOverlayConfig::new(bits, 1.0, 5_000_000)
     }
 
     #[test]
@@ -829,11 +1172,7 @@ mod tests {
         let strategy = TargetedStrategy::new(1, 0.1).unwrap();
         // ~6 events per cluster on average: far too few for most clusters
         // to absorb, so the cap truncates the run.
-        let cfg = DesOverlayConfig {
-            cluster_bits: 5,
-            lambda: 2.0,
-            max_events: 200,
-        };
+        let cfg = DesOverlayConfig::new(5, 2.0, 200);
         let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 9);
         assert_eq!(r.events, 200, "the cap stops the run exactly");
         assert!(r.censored > 0);
@@ -854,15 +1193,176 @@ mod tests {
     }
 
     #[test]
+    fn null_defense_run_is_bit_identical_to_defense_free() {
+        use pollux_defense::NullDefense;
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        for cfg in [
+            config(7),
+            config(6).with_regeneration(),
+            config(6)
+                .with_regeneration()
+                .with_sample_times(vec![5.0, 10.0, 20.0]),
+        ] {
+            let plain = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 5);
+            let duel = run_des_overlay_duel(
+                &p,
+                &InitialCondition::Delta,
+                &strategy,
+                &NullDefense::new(),
+                &cfg,
+                5,
+            );
+            assert_eq!(plain, duel);
+        }
+    }
+
+    #[test]
+    fn regeneration_keeps_the_overlay_alive_and_measures_steady_state() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let cfg = DesOverlayConfig::new(9, 1.0, 800 << 9).with_regeneration();
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 13);
+        // The cap (not drain-out) ends the run, with every cluster live or
+        // awaiting regeneration.
+        assert_eq!(r.events, 800 << 9);
+        assert!(r.absorbed > 10_000, "cycles: {}", r.absorbed);
+        assert!(r.regen_events > 0);
+        assert_eq!(
+            r.safe_event_total + r.polluted_event_total + r.regen_events,
+            r.events
+        );
+        // The event fractions match the renewal–reward closed form.
+        let a = ClusterAnalysis::new(&p, InitialCondition::Delta).unwrap();
+        let (want_safe, want_poll) = a.steady_state_fractions().unwrap();
+        let (got_safe, got_poll) = r.steady_state_fractions();
+        let (lo, hi) =
+            crate::duel::renewal_wilson(r.polluted_event_total, r.events, r.absorbed, 4.0);
+        assert!(
+            (lo..=hi).contains(&want_poll),
+            "polluted: des {got_poll} ∉ [{lo}, {hi}] around analytic {want_poll}"
+        );
+        assert!(
+            (got_safe - want_safe).abs() < 0.02,
+            "{got_safe} vs {want_safe}"
+        );
+        // Mean cycle length is E(T_S) + E(T_P) + 1.
+        let want_cycle =
+            a.expected_safe_events().unwrap() + a.expected_polluted_events().unwrap() + 1.0;
+        assert!(
+            (r.mean_cycle_events() - want_cycle).abs() < 0.5,
+            "cycle {} vs {want_cycle}",
+            r.mean_cycle_events()
+        );
+    }
+
+    #[test]
+    fn occupancy_sampling_tracks_the_time_grid() {
+        let p = params(0.2, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let grid: Vec<f64> = (0..20).map(|i| i as f64 * 5.0).collect();
+        let cfg = DesOverlayConfig::new(7, 1.0, 200 << 7)
+            .with_regeneration()
+            .with_sample_times(grid.clone());
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 17);
+        // The run lasts ~200 time units (λ = 1), so the whole grid is hit.
+        assert_eq!(r.occupancy.len(), grid.len());
+        for (i, &(t, safe, poll)) in r.occupancy.iter().enumerate() {
+            assert_eq!(t, grid[i]);
+            assert!((0.0..=1.0).contains(&safe) && (0.0..=1.0).contains(&poll));
+            assert!(safe + poll <= 1.0 + 1e-12);
+        }
+        // t = 0 (before any event): everything transient from δ.
+        assert_eq!(r.occupancy[0].1, 1.0);
+        assert_eq!(r.occupancy[0].2, 0.0);
+        // In steady state most clusters stay live (regeneration wait is
+        // one event of ~14 per cycle).
+        let last = r.occupancy.last().unwrap();
+        assert!(last.1 + last.2 > 0.8, "live fraction {}", last.1 + last.2);
+        // A truncated run drops unreached grid points.
+        let short = DesOverlayConfig::new(5, 1.0, 50)
+            .with_regeneration()
+            .with_sample_times(vec![0.0, 1e6]);
+        let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &short, 17);
+        assert_eq!(r.occupancy.len(), 1);
+    }
+
+    #[test]
+    fn regeneration_revives_clusters_born_absorbed() {
+        // A Custom initial with mass on an absorbing state: in
+        // regeneration mode those clusters must be scheduled at t = 0 so
+        // their first arrival re-seeds them — the overlay never drains.
+        let p = params(0.2, 0.8);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let space = ModelSpace::new(&p);
+        let mut alpha = vec![0.0; space.len()];
+        // Half the mass born absorbed (safe merge, s = 0), half at δ.
+        alpha[space.index(&ClusterState::new(0, 0, 0))] = 0.5;
+        alpha[space.index(&ClusterState::new(3, 0, 0))] = 0.5;
+        let initial = InitialCondition::Custom(alpha);
+        let cfg = DesOverlayConfig::new(6, 1.0, 100 << 6).with_regeneration();
+        let r = run_des_overlay(&p, &initial, &strategy, &cfg, 31);
+        // Every cluster keeps cycling: far more completed cycles than the
+        // 64 clusters, and regeneration events from both birth paths.
+        assert_eq!(r.events, 100 << 6);
+        assert!(r.absorbed > 64, "cycles: {}", r.absorbed);
+        assert!(r.regen_events >= r.absorbed / 2);
+        // The event fractions match the renewal closed form under the
+        // same Custom initial (cycles born absorbed contribute length-1
+        // cycles: T_S = T_P = 0 plus the regeneration event).
+        let a = ClusterAnalysis::new(&p, InitialCondition::Custom(r2_alpha(&space))).unwrap();
+        let (_, want_poll) = a.steady_state_fractions().unwrap();
+        let (lo, hi) =
+            crate::duel::renewal_wilson(r.polluted_event_total, r.events, r.absorbed, 5.0);
+        assert!(
+            (lo..=hi).contains(&want_poll),
+            "polluted ∉ [{lo}, {hi}] around {want_poll}"
+        );
+    }
+
+    /// The same half-absorbed/half-δ Custom distribution as above.
+    fn r2_alpha(space: &ModelSpace) -> Vec<f64> {
+        let mut alpha = vec![0.0; space.len()];
+        alpha[space.index(&ClusterState::new(0, 0, 0))] = 0.5;
+        alpha[space.index(&ClusterState::new(3, 0, 0))] = 0.5;
+        alpha
+    }
+
+    #[test]
+    fn induced_churn_defense_suppresses_pollution_in_the_loop() {
+        use pollux_defense::InducedChurn;
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let cfg = DesOverlayConfig::new(9, 1.0, 500 << 9).with_regeneration();
+        let plain = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 23);
+        let defended = run_des_overlay_duel(
+            &p,
+            &InitialCondition::Delta,
+            &strategy,
+            &InducedChurn::new(0.2).unwrap(),
+            &cfg,
+            23,
+        );
+        let (_, poll_plain) = plain.steady_state_fractions();
+        let (_, poll_defended) = defended.steady_state_fractions();
+        assert!(
+            poll_defended < 0.6 * poll_plain,
+            "induced churn: {poll_defended} vs undefended {poll_plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_sample_grid_panics() {
+        let _ = DesOverlayConfig::new(5, 1.0, 10).with_sample_times(vec![3.0, 1.0]);
+    }
+
+    #[test]
     #[should_panic(expected = "ceiling")]
     fn oversized_cluster_bits_panics() {
         let p = params(0.1, 0.5);
         let strategy = TargetedStrategy::new(1, 0.1).unwrap();
-        let cfg = DesOverlayConfig {
-            cluster_bits: 25,
-            lambda: 1.0,
-            max_events: 10,
-        };
+        let cfg = DesOverlayConfig::new(25, 1.0, 10);
         run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 1);
     }
 }

@@ -31,7 +31,13 @@
 //!   [`pollux_des`] engine: per-cluster Poisson churn, an index-based node
 //!   arena, prefix-labelled identifiers, and per-cluster sojourn /
 //!   absorption statistics that cross-validate the Markov chain at scales
-//!   state-space enumeration cannot reach.
+//!   state-space enumeration cannot reach — plus a regeneration mode
+//!   whose event fractions estimate the renewal–reward steady state.
+//! * [`duel`] — adversary-vs-defense duels: any
+//!   [`pollux_defense::Defense`] folds into both the transition matrix
+//!   ([`ClusterChain::build_with_defense`]) and the DES event loop, and
+//!   [`duel::run_duel`] compares the two steady-state pollution
+//!   estimates inside a renewal-adjusted Wilson interval.
 //! * [`experiments`] — canned parameterizations reproducing every table
 //!   and figure of the paper's evaluation.
 //!
@@ -53,6 +59,7 @@
 
 mod analysis;
 pub mod des_overlay;
+pub mod duel;
 pub mod experiments;
 mod initial;
 mod overlay_analysis;

@@ -21,6 +21,7 @@
 use std::sync::OnceLock;
 
 use pollux_adversary::{rules, ClusterView};
+use pollux_defense::{effective_join_admission, effective_survival, Defense, NullDefense};
 use pollux_markov::{Dtmc, SparseDtmc};
 use pollux_prob::hypergeometric_q;
 
@@ -62,6 +63,40 @@ impl ClusterChain {
     /// that would be a bug in the builder, not a user error, and the
     /// builder is exhaustively tested against closed forms.
     pub fn build(params: &ModelParams) -> Self {
+        Self::build_with_defense(params, &NullDefense::new())
+    }
+
+    /// Builds the chain for `params` with a [`Defense`] folded into the
+    /// transition probabilities — the analytical half of an
+    /// adversary-vs-defense duel.
+    ///
+    /// The defense's hooks are Markovian (per-event probabilities against
+    /// the `(s, x, y)` view), so they compose with Figure 2 exactly:
+    ///
+    /// * a fraction [`Defense::induced_churn`] of every transient row's
+    ///   mass moves to the forced-eviction kernel (a uniformly chosen
+    ///   member is expelled; valid malicious members cannot refuse, so
+    ///   the honest maintenance redraw runs unless the cluster stays
+    ///   polluted and biased);
+    /// * join outcomes are scaled by the
+    ///   [`effective_join_admission`] probability (join-rate shaping and
+    ///   the cluster-size-adaptation taper), the remainder self-looping;
+    /// * every survival probability `d^count` uses
+    ///   [`effective_survival`]'s `d_eff` instead of `d` (incarnation
+    ///   refresh shortens the adversary's lifetimes).
+    ///
+    /// With [`NullDefense`] every fold is the exact neutral element and
+    /// the matrix is **bit-identical** to [`ClusterChain::build`]
+    /// (test-enforced), so defended and undefended analyses share one
+    /// code path. The triplets still go straight into the [`SparseDtmc`],
+    /// so duels ride the sparse pipeline at 10⁴–10⁵-state spaces.
+    ///
+    /// # Panics
+    ///
+    /// As [`ClusterChain::build`]; a defense hook returning values
+    /// outside its documented range surfaces here as a stochasticity
+    /// failure.
+    pub fn build_with_defense<D: Defense + ?Sized>(params: &ModelParams, defense: &D) -> Self {
         let space = ModelSpace::new(params);
         let n = space.len();
         let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 16);
@@ -71,7 +106,7 @@ impl ClusterChain {
                 triplets.push((i, i, 1.0));
                 continue;
             }
-            for (target, prob) in transitions_from(params, state) {
+            for (target, prob) in transitions_from(params, state, defense) {
                 debug_assert!(
                     target.is_consistent(params),
                     "builder produced {target} outside Ω from {state}"
@@ -120,41 +155,110 @@ impl ClusterChain {
 
 /// Enumerates the outgoing transitions of one transient state as
 /// `(target, probability)` pairs (targets may repeat; the builder sums).
-fn transitions_from(params: &ModelParams, st: &ClusterState) -> Vec<(ClusterState, f64)> {
+///
+/// The defense folds enter exactly three places: the per-event induced-
+/// churn preemption (weight `eta`), the join-admission scaling `g`, and
+/// the effective survival probability `d_eff`. All three are neutral
+/// no-ops (bit-identical weights) under [`NullDefense`].
+fn transitions_from<D: Defense + ?Sized>(
+    params: &ModelParams,
+    st: &ClusterState,
+    defense: &D,
+) -> Vec<(ClusterState, f64)> {
     let mut out = Vec::with_capacity(32);
     let (s, x, y) = (st.s, st.x, st.y);
     let c_size = params.core_size();
     let delta = params.max_spare();
     let quorum = params.quorum();
     let mu = params.mu();
-    let d = params.d();
     let k = params.k();
     let toggles = params.toggles();
     let polluted = x > quorum;
 
-    const P_JOIN: f64 = 0.5;
-    const P_LEAVE: f64 = 0.5;
+    let view =
+        ClusterView::new(c_size, delta, s, x, y).expect("transient states are consistent views");
+    let eta = defense.induced_churn(&view);
+    debug_assert!((0.0..1.0).contains(&eta), "induced_churn = {eta}");
+    let g = effective_join_admission(defense, &view);
+    let d = effective_survival(defense, &view, params.d());
+
+    // The normal join/leave event carries the mass the defense does not
+    // preempt; `1 − 0 = 1` and `0.5 · 1 = 0.5` exactly, so the undefended
+    // weights are reproduced bit-for-bit.
+    let p_join = 0.5 * (1.0 - eta);
+    let p_leave = 0.5 * (1.0 - eta);
+
+    // ---- Induced churn: forced eviction of a uniform member ------------
+    if eta > 0.0 {
+        let p_core = c_size as f64 / (c_size + s) as f64;
+        let p_spare = 1.0 - p_core;
+        let p_mal_spare = y as f64 / s as f64;
+        // Evicted spare (honest or malicious — no survival roll: the
+        // protocol revokes the membership).
+        let w = eta * p_spare * (1.0 - p_mal_spare);
+        if w > 0.0 {
+            out.push((ClusterState::new(s - 1, x, y), w));
+        }
+        let w = eta * p_spare * p_mal_spare;
+        if w > 0.0 {
+            out.push((ClusterState::new(s - 1, x, y - 1), w));
+        }
+        let p_mal_core = x as f64 / c_size as f64;
+        // Evicted honest core member: the usual replacement machinery.
+        let w = eta * p_core * (1.0 - p_mal_core);
+        if w > 0.0 {
+            if polluted && toggles.bias {
+                if y > 0 {
+                    out.push((ClusterState::new(s - 1, x + 1, y - 1), w));
+                } else {
+                    out.push((ClusterState::new(s - 1, x, y), w));
+                }
+            } else {
+                push_maintenance(&mut out, params, s, x, y, w);
+            }
+        }
+        // Evicted malicious core member: expelled regardless of identifier
+        // validity — this is the channel that drains captured cores.
+        let w = eta * p_core * p_mal_core;
+        if w > 0.0 {
+            if x - 1 > quorum && toggles.bias {
+                if y > 0 {
+                    out.push((ClusterState::new(s - 1, x, y - 1), w));
+                } else {
+                    out.push((ClusterState::new(s - 1, x - 1, y), w));
+                }
+            } else {
+                push_maintenance(&mut out, params, s, x - 1, y, w);
+            }
+        }
+    }
 
     // ---- Join event ----------------------------------------------------
+    // Join-rate shaping: only a `g` share of join events reaches the
+    // cluster; the rest are dropped by the defense (self-loop).
+    let p_adm = p_join * g;
+    if g < 1.0 {
+        out.push((*st, p_join - p_adm));
+    }
     if polluted && toggles.rule2 {
         if s == delta - 1 {
             // Rule 2: dodge the split — discard every join.
-            out.push((*st, P_JOIN));
+            out.push((*st, p_adm));
         } else {
             // Malicious joins always execute.
-            out.push((ClusterState::new(s + 1, x, y + 1), P_JOIN * mu));
+            out.push((ClusterState::new(s + 1, x, y + 1), p_adm * mu));
             if s > 1 {
                 // Honest joins are silently discarded.
-                out.push((*st, P_JOIN * (1.0 - mu)));
+                out.push((*st, p_adm * (1.0 - mu)));
             } else {
                 // s = 1: keep a merge buffer — accept the honest join.
-                out.push((ClusterState::new(s + 1, x, y), P_JOIN * (1.0 - mu)));
+                out.push((ClusterState::new(s + 1, x, y), p_adm * (1.0 - mu)));
             }
         }
     } else {
         // Safe cluster (or Rule 2 ablated): joins always execute.
-        out.push((ClusterState::new(s + 1, x, y + 1), P_JOIN * mu));
-        out.push((ClusterState::new(s + 1, x, y), P_JOIN * (1.0 - mu)));
+        out.push((ClusterState::new(s + 1, x, y + 1), p_adm * mu));
+        out.push((ClusterState::new(s + 1, x, y), p_adm * (1.0 - mu)));
     }
 
     // ---- Leave event ---------------------------------------------------
@@ -164,12 +268,12 @@ fn transitions_from(params: &ModelParams, st: &ClusterState) -> Vec<(ClusterStat
     // Spare member selected.
     let p_mal_spare = y as f64 / s as f64;
     // Honest spare: leaves.
-    let w = P_LEAVE * p_spare * (1.0 - p_mal_spare);
+    let w = p_leave * p_spare * (1.0 - p_mal_spare);
     if w > 0.0 {
         out.push((ClusterState::new(s - 1, x, y), w));
     }
     // Malicious spare: only an expiry forces it out (Property 1).
-    let w = P_LEAVE * p_spare * p_mal_spare;
+    let w = p_leave * p_spare * p_mal_spare;
     if w > 0.0 {
         let survive = d.powi(y as i32);
         out.push((*st, w * survive));
@@ -179,7 +283,7 @@ fn transitions_from(params: &ModelParams, st: &ClusterState) -> Vec<(ClusterStat
     // Core member selected.
     let p_mal_core = x as f64 / c_size as f64;
     // Honest core member: leaves; maintenance runs.
-    let w = P_LEAVE * p_core * (1.0 - p_mal_core);
+    let w = p_leave * p_core * (1.0 - p_mal_core);
     if w > 0.0 {
         if polluted && toggles.bias {
             // Adversary-biased replacement.
@@ -193,7 +297,7 @@ fn transitions_from(params: &ModelParams, st: &ClusterState) -> Vec<(ClusterStat
         }
     }
     // Malicious core member: Property 1 / Rule 1.
-    let w = P_LEAVE * p_core * p_mal_core;
+    let w = p_leave * p_core * p_mal_core;
     if w > 0.0 {
         let survive = d.powi(x as i32);
         // Forced departure: some malicious core identifier expired.
@@ -212,8 +316,6 @@ fn transitions_from(params: &ModelParams, st: &ClusterState) -> Vec<(ClusterStat
         // Still valid: leave only when Rule 1 says the gamble pays.
         let w_valid = w * survive;
         if w_valid > 0.0 {
-            let view = ClusterView::new(c_size, delta, s, x, y)
-                .expect("transient states are consistent views");
             let voluntary = toggles.rule1 && rules::rule1_triggers(&view, k, params.nu());
             if voluntary {
                 push_maintenance(&mut out, params, s, x - 1, y, w_valid);
@@ -551,6 +653,132 @@ mod tests {
             assert!(up <= 0.5 + 1e-12, "state {st}: up mass {up}");
             assert!(down <= 0.5 + 1e-12, "state {st}: down mass {down}");
         }
+    }
+
+    #[test]
+    fn null_defense_chain_is_bit_identical() {
+        use pollux_defense::NullDefense;
+        for &(mu, d, k) in &[(0.0, 0.9, 1usize), (0.3, 0.9, 7), (0.2, 0.5, 3)] {
+            let plain = chain(mu, d, k);
+            let defended = ClusterChain::build_with_defense(
+                &ModelParams::paper_defaults()
+                    .with_mu(mu)
+                    .with_d(d)
+                    .with_k(k)
+                    .unwrap(),
+                &NullDefense::new(),
+            );
+            // Same sparsity structure and the same bits in every entry.
+            assert_eq!(
+                plain.sparse_dtmc().matrix().nnz(),
+                defended.sparse_dtmc().matrix().nnz(),
+                "mu={mu} d={d} k={k}"
+            );
+            for (i, _) in plain.space().iter() {
+                let a: Vec<(usize, u64)> = plain
+                    .sparse_dtmc()
+                    .successors(i)
+                    .map(|(j, p)| (j, p.to_bits()))
+                    .collect();
+                let b: Vec<(usize, u64)> = defended
+                    .sparse_dtmc()
+                    .successors(i)
+                    .map(|(j, p)| (j, p.to_bits()))
+                    .collect();
+                assert_eq!(a, b, "row {i} differs at mu={mu} d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn defended_chains_stay_stochastic() {
+        use pollux_defense::{
+            AdaptiveClusterSize, Defense, IncarnationRefresh, InducedChurn, NullDefense,
+        };
+        let params = ModelParams::paper_defaults()
+            .with_mu(0.3)
+            .with_d(0.9)
+            .with_k(3)
+            .unwrap();
+        let defenses: Vec<Box<dyn Defense>> = vec![
+            Box::new(NullDefense::new()),
+            Box::new(InducedChurn::new(0.15).unwrap()),
+            Box::new(IncarnationRefresh::new(5.0, 0.8).unwrap()),
+            Box::new(AdaptiveClusterSize::new(0.5).unwrap()),
+        ];
+        for defense in &defenses {
+            let ch = ClusterChain::build_with_defense(&params, defense.as_ref());
+            assert!(
+                ch.dtmc().matrix().is_stochastic(1e-9),
+                "defense {}",
+                defense.name()
+            );
+        }
+    }
+
+    #[test]
+    fn induced_churn_drains_the_valid_malicious_self_loop() {
+        use pollux_defense::InducedChurn;
+        let params = ModelParams::paper_defaults().with_mu(0.3).with_d(0.9);
+        let plain = ClusterChain::build(&params);
+        let defended = ClusterChain::build_with_defense(&params, &InducedChurn::new(0.2).unwrap());
+        // A fully captured core at d = 0.9 self-loops heavily without the
+        // defense; induced churn moves 20% of that row's mass into forced
+        // evictions.
+        let from = ClusterState::new(3, 7, 0);
+        assert!(defended.prob(&from, &from) < plain.prob(&from, &from) - 0.1);
+        // Forced eviction of a malicious core member lands mass on x = 6
+        // territory that the undefended chain cannot reach from here
+        // (valid members never leave a polluted biased cluster at y = 0
+        // except via expiry, which also exists — compare magnitudes).
+        let evicted = ClusterState::new(2, 6, 0);
+        assert!(defended.prob(&from, &evicted) > plain.prob(&from, &evicted));
+    }
+
+    #[test]
+    fn refresh_defense_equals_reduced_survival_probability() {
+        use pollux_defense::IncarnationRefresh;
+        // d_eff = d (1 − q/period) — the defended chain at d must equal
+        // the undefended chain at d_eff (the fold is exactly a d shift).
+        let d = 0.9;
+        let refresh = IncarnationRefresh::new(10.0, 0.5).unwrap();
+        let defended = ClusterChain::build_with_defense(
+            &ModelParams::paper_defaults().with_mu(0.3).with_d(d),
+            &refresh,
+        );
+        let shifted = ClusterChain::build(
+            &ModelParams::paper_defaults()
+                .with_mu(0.3)
+                .with_d(d * (1.0 - 0.05)),
+        );
+        for (i, _) in defended.space().iter() {
+            for j in 0..defended.space().len() {
+                let a = defended.dtmc().prob(i, j);
+                let b = shifted.dtmc().prob(i, j);
+                assert!((a - b).abs() < 1e-12, "({i}, {j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_size_moves_join_mass_to_the_self_loop() {
+        use pollux_defense::AdaptiveClusterSize;
+        let params = ModelParams::paper_defaults().with_mu(0.2).with_d(0.8);
+        let defense = AdaptiveClusterSize::new(0.5).unwrap(); // setpoint 4
+        let defended = ClusterChain::build_with_defense(&params, &defense);
+        let plain = ClusterChain::build(&params);
+        // Safe state above the setpoint: s = 6 admits joins w.p. 1/3.
+        let from = ClusterState::new(6, 0, 0);
+        let up = ClusterState::new(7, 0, 0);
+        let want = 0.5 * (1.0 / 3.0) * 0.8; // p_join · taper · (1 − μ)
+        assert!((defended.prob(&from, &up) - want).abs() < 1e-12);
+        // Below the setpoint nothing changes.
+        let low = ClusterState::new(2, 0, 0);
+        let low_up = ClusterState::new(3, 0, 0);
+        assert_eq!(
+            defended.prob(&low, &low_up).to_bits(),
+            plain.prob(&low, &low_up).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+use pollux_adversary::ClusterView;
+
+/// A pluggable countermeasure: the decision points the overlay operator
+/// controls, mirrored on the paper's adversary trait.
+///
+/// Every hook is consulted per churn event against the `(s, x, y)` view of
+/// the cluster the event lands on, and returns a probability (or a
+/// setpoint that folds into one). That makes any implementation
+/// **Markovian**: the analytical chain builder folds the hooks into the
+/// Figure-2 transition probabilities, and the discrete-event loop rolls
+/// them per event — the same `Defense` object drives both evaluations.
+///
+/// The hooks see the exact malicious counts through [`ClusterView`], like
+/// the analytical chain itself does. A deployed defense would observe
+/// noisy proxies; giving it the model's omniscient view evaluates the
+/// *best-case envelope* of each mechanism, which is the right yardstick
+/// for "can this countermeasure family help at all".
+///
+/// Neutral returns (`1.0`, `0.0`, `0.0`, `None`) leave the model
+/// untouched: engines are required to consume **no randomness** for a
+/// hook that returns its neutral element, so [`crate::NullDefense`] runs
+/// are bit-identical to defense-free runs.
+pub trait Defense {
+    /// Short machine-friendly identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// **Join-rate shaping**: probability in `[0, 1]` that a join event
+    /// reaching this cluster is admitted (an unadmitted join is dropped
+    /// before the cluster — or the adversary squatting in it — sees it;
+    /// the event is a no-op). Neutral: `1.0`.
+    fn join_admission(&self, view: &ClusterView) -> f64 {
+        let _ = view;
+        1.0
+    }
+
+    /// **Induced-churn scheduling**: probability in `[0, 1)` that the
+    /// defense preempts a churn event with a forced eviction of a
+    /// uniformly chosen member. Unlike voluntary departures, a forced
+    /// eviction cannot be refused by a valid malicious member — it is the
+    /// protocol revoking the membership, not the member leaving — so the
+    /// usual maintenance redraw runs. Neutral: `0.0`.
+    fn induced_churn(&self, view: &ClusterView) -> f64 {
+        let _ = view;
+        0.0
+    }
+
+    /// **Polluted-node eviction on incarnation refresh**: per-event
+    /// probability in `[0, 1]` that a malicious identifier fails the
+    /// defense's re-certification and is evicted, folding into Property
+    /// 1's survival probability as `d_eff = d · (1 − q)` (see
+    /// [`effective_survival`]). Neutral: `0.0`.
+    fn refresh_eviction(&self, view: &ClusterView) -> f64 {
+        let _ = view;
+        0.0
+    }
+
+    /// **Cluster-size adaptation**: a soft setpoint on the spare size.
+    /// When `Some(t)` with `t < Δ`, join admission is additionally tapered
+    /// linearly for `s ≥ t` — a join is admitted with the extra factor
+    /// `(Δ − s) / (Δ − t)` (see [`effective_join_admission`]), steering
+    /// the cluster away from the split boundary. Neutral: `None`.
+    fn spare_setpoint(&self, view: &ClusterView) -> Option<usize> {
+        let _ = view;
+        None
+    }
+}
+
+/// The admission probability both engines apply to a join event: the
+/// [`Defense::join_admission`] shaping times the linear
+/// [`Defense::spare_setpoint`] taper.
+///
+/// Shared by the analytical chain builder and the discrete-event loop so
+/// the two fold cluster-size adaptation identically. Neutral defenses
+/// return exactly `1.0` (no arithmetic is applied to the neutral case, so
+/// bit-identity with defense-free runs is preserved).
+pub fn effective_join_admission<D: Defense + ?Sized>(defense: &D, view: &ClusterView) -> f64 {
+    let g = defense.join_admission(view);
+    debug_assert!(
+        (0.0..=1.0).contains(&g),
+        "join_admission = {g} outside [0, 1]"
+    );
+    match defense.spare_setpoint(view) {
+        Some(t) if view.spare_size() > t && view.max_spare() > t => {
+            g * ((view.max_spare() - view.spare_size()) as f64 / (view.max_spare() - t) as f64)
+        }
+        _ => g,
+    }
+}
+
+/// The effective identifier-survival probability both engines use:
+/// Property 1's `d` times the complement of the defense's
+/// [`Defense::refresh_eviction`] hazard.
+///
+/// A malicious identifier survives one event when it neither expires
+/// (probability `1 − d`) nor fails the defense's re-certification
+/// (probability `q`), the two checks being independent. Neutral defenses
+/// return `d` bit-exactly (`d · (1 − 0) = d · 1`).
+pub fn effective_survival<D: Defense + ?Sized>(defense: &D, view: &ClusterView, d: f64) -> f64 {
+    let q = defense.refresh_eviction(view);
+    debug_assert!(
+        (0.0..=1.0).contains(&q),
+        "refresh_eviction = {q} outside [0, 1]"
+    );
+    d * (1.0 - q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial defense to pin the trait's object safety and defaults.
+    struct Inert;
+
+    impl Defense for Inert {
+        fn name(&self) -> &'static str {
+            "inert"
+        }
+    }
+
+    #[test]
+    fn defense_is_object_safe_with_neutral_defaults() {
+        let d: Box<dyn Defense> = Box::new(Inert);
+        let view = ClusterView::new(7, 7, 3, 1, 1).unwrap();
+        assert_eq!(d.name(), "inert");
+        assert_eq!(d.join_admission(&view), 1.0);
+        assert_eq!(d.induced_churn(&view), 0.0);
+        assert_eq!(d.refresh_eviction(&view), 0.0);
+        assert_eq!(d.spare_setpoint(&view), None);
+        // The fold helpers accept unsized trait objects.
+        assert_eq!(effective_join_admission(&*d, &view), 1.0);
+        assert_eq!(effective_survival(&*d, &view, 0.9), 0.9);
+    }
+
+    /// A setpoint-only defense exercising the shared taper.
+    struct Cap(usize);
+
+    impl Defense for Cap {
+        fn name(&self) -> &'static str {
+            "cap"
+        }
+        fn spare_setpoint(&self, _view: &ClusterView) -> Option<usize> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn setpoint_taper_is_linear_above_the_setpoint() {
+        let cap = Cap(4);
+        let at = |s: usize| {
+            let view = ClusterView::new(7, 7, s, 0, 0).unwrap();
+            effective_join_admission(&cap, &view)
+        };
+        // At or below the setpoint: no shaping.
+        assert_eq!(at(3), 1.0);
+        assert_eq!(at(4), 1.0);
+        // Above: (Δ − s) / (Δ − t).
+        assert!((at(5) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((at(6) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_setpoint_at_delta_is_inert() {
+        let cap = Cap(7);
+        let view = ClusterView::new(7, 7, 6, 0, 0).unwrap();
+        assert_eq!(effective_join_admission(&cap, &view), 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+use std::error::Error;
+use std::fmt;
+
+/// Validation errors for defense constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DefenseError {
+    /// A numeric parameter was outside its domain.
+    OutOfRange(String),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::OutOfRange(msg) => write!(f, "defense parameter out of range: {msg}"),
+        }
+    }
+}
+
+impl Error for DefenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_message() {
+        let e = DefenseError::OutOfRange("rate = 2".into());
+        assert!(e.to_string().contains("rate = 2"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Pluggable countermeasures against targeted overlay attacks.
+//!
+//! The DSN'11 paper evaluates its adversary against a *passive* overlay;
+//! its discussion of countermeasures (induced churn, identifier refresh,
+//! cluster-size adaptation) is exactly the half of the model this crate
+//! supplies. It mirrors [`pollux_adversary`] on the defending side:
+//!
+//! * [`Defense`] — the trait: four hooks covering join-rate shaping,
+//!   induced-churn scheduling, polluted-node eviction on incarnation
+//!   refresh, and cluster-size adaptation. Every hook is expressed as a
+//!   per-event probability (or a setpoint folded into one), so a defense
+//!   is **Markovian by construction**: the same object modifies the
+//!   analytical transition matrix (`ClusterChain::build_with_defense` in
+//!   `pollux`) and drives the discrete-event loop
+//!   (`run_des_overlay_duel`), and the two evaluations stay comparable.
+//! * [`NullDefense`] — the do-nothing baseline: engines given a
+//!   `NullDefense` produce **bit-identical** artefacts to defense-free
+//!   runs (all hooks return exact neutral elements and engines skip the
+//!   defense's random draws when a hook is neutral).
+//! * [`InducedChurn`] — periodic forced refresh: a fraction of churn
+//!   events is preempted by the eviction of a uniformly chosen member,
+//!   malicious members included (they cannot refuse a protocol-level
+//!   eviction the way they refuse voluntary departures).
+//! * [`IncarnationRefresh`] — periodic re-certification sweeps that catch
+//!   a malicious identifier with some probability, folding into the
+//!   survival probability `d` of Property 1.
+//! * [`AdaptiveClusterSize`] — a soft setpoint on the spare size: join
+//!   admission tapers linearly above the setpoint, steering clusters
+//!   toward merge (short lifetimes) instead of the split boundary the
+//!   adversary games with Rule 2.
+//! * [`DefenseOutcome`] — the report type of one adversary-vs-defense
+//!   duel: analytical and measured steady-state pollution side by side
+//!   with the agreement verdict.
+//! * [`DefenseSpec`] — a declarative, comparable description of a defense
+//!   (what sweep scenarios embed in their output kinds).
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_adversary::ClusterView;
+//! use pollux_defense::{effective_join_admission, Defense, InducedChurn, NullDefense};
+//!
+//! let churn = InducedChurn::new(0.1).unwrap();
+//! let view = ClusterView::new(7, 7, 3, 3, 1).unwrap();
+//! assert_eq!(churn.induced_churn(&view), 0.1);
+//! // The null defense is neutral everywhere.
+//! let null = NullDefense::new();
+//! assert_eq!(null.induced_churn(&view), 0.0);
+//! assert_eq!(effective_join_admission(&null, &view), 1.0);
+//! ```
+
+mod defense;
+mod error;
+mod mechanisms;
+mod outcome;
+mod spec;
+
+pub use defense::{effective_join_admission, effective_survival, Defense};
+pub use error::DefenseError;
+pub use mechanisms::{AdaptiveClusterSize, IncarnationRefresh, InducedChurn, NullDefense};
+pub use outcome::DefenseOutcome;
+pub use spec::DefenseSpec;

@@ -1,0 +1,245 @@
+//! The four concrete countermeasures of the duel engine.
+
+use pollux_adversary::ClusterView;
+
+use crate::{Defense, DefenseError};
+
+/// The do-nothing baseline: every hook returns its neutral element, so
+/// engines given a `NullDefense` produce bit-identical artefacts to
+/// defense-free runs (this is test-enforced at the repository level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullDefense;
+
+impl NullDefense {
+    /// Creates the null defense.
+    pub fn new() -> Self {
+        NullDefense
+    }
+}
+
+impl Defense for NullDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Induced churn: the overlay operator forces a uniformly chosen member of
+/// a cluster to re-join elsewhere on a fraction `rate` of that cluster's
+/// churn events.
+///
+/// A forced eviction is a protocol-level membership revocation, so —
+/// unlike the voluntary departures of the base model — a valid malicious
+/// member cannot refuse it. This directly drains the self-loop that keeps
+/// polluted cores polluted: the adversary's captured seats are recycled
+/// through the honest maintenance redraw at rate
+/// `rate · x / (C + s)` per event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InducedChurn {
+    rate: f64,
+}
+
+impl InducedChurn {
+    /// Creates the defense with per-event preemption probability
+    /// `rate ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DefenseError::OutOfRange`] for a rate outside `[0, 1)`.
+    pub fn new(rate: f64) -> Result<Self, DefenseError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(DefenseError::OutOfRange(format!(
+                "induced-churn rate = {rate} outside [0, 1)"
+            )));
+        }
+        Ok(InducedChurn { rate })
+    }
+
+    /// The per-event preemption probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Defense for InducedChurn {
+    fn name(&self) -> &'static str {
+        "induced-churn"
+    }
+
+    fn induced_churn(&self, _view: &ClusterView) -> f64 {
+        self.rate
+    }
+}
+
+/// Incarnation refresh: identifiers must periodically re-certify, and a
+/// malicious identifier fails the check with probability `detection_prob`.
+///
+/// A sweep reaches a given cluster once per `period` events on average,
+/// so per event a malicious identifier is evicted by the defense with
+/// hazard `detection_prob / period`; that folds into Property 1 as
+/// `d_eff = d · (1 − detection_prob / period)` — the defense literally
+/// shortens the adversary's incarnation lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncarnationRefresh {
+    period: f64,
+    detection_prob: f64,
+}
+
+impl IncarnationRefresh {
+    /// Creates the defense: a refresh sweep every `period ≥ 1` events
+    /// (per cluster, on average) catching a malicious identifier with
+    /// probability `detection_prob ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DefenseError::OutOfRange`] for `period < 1`, a non-finite period,
+    /// or a detection probability outside `[0, 1]`.
+    pub fn new(period: f64, detection_prob: f64) -> Result<Self, DefenseError> {
+        if !period.is_finite() || period < 1.0 {
+            return Err(DefenseError::OutOfRange(format!(
+                "refresh period = {period} must be a finite value ≥ 1"
+            )));
+        }
+        if !(0.0..=1.0).contains(&detection_prob) {
+            return Err(DefenseError::OutOfRange(format!(
+                "detection probability = {detection_prob} outside [0, 1]"
+            )));
+        }
+        Ok(IncarnationRefresh {
+            period,
+            detection_prob,
+        })
+    }
+
+    /// Mean events between refresh sweeps of one cluster.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Probability a sweep catches (and evicts) a malicious identifier.
+    pub fn detection_prob(&self) -> f64 {
+        self.detection_prob
+    }
+}
+
+impl Defense for IncarnationRefresh {
+    fn name(&self) -> &'static str {
+        "incarnation-refresh"
+    }
+
+    fn refresh_eviction(&self, _view: &ClusterView) -> f64 {
+        self.detection_prob / self.period
+    }
+}
+
+/// Cluster-size adaptation: a soft setpoint on the spare size at
+/// `⌈target_fraction · Δ⌉`, enforced by the engines' linear join-admission
+/// taper above it.
+///
+/// Keeping spare sets small starves the two levers Rule 2 plays against
+/// the split boundary (join stuffing and split dodging) and shortens
+/// cluster lifetimes, trading a higher merge rate for less accumulated
+/// exposure per cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveClusterSize {
+    target_fraction: f64,
+}
+
+impl AdaptiveClusterSize {
+    /// Creates the defense with a setpoint at
+    /// `max(1, round(target_fraction · Δ))`, `target_fraction ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DefenseError::OutOfRange`] for a fraction outside `(0, 1]`.
+    pub fn new(target_fraction: f64) -> Result<Self, DefenseError> {
+        if !(target_fraction > 0.0 && target_fraction <= 1.0) {
+            return Err(DefenseError::OutOfRange(format!(
+                "target fraction = {target_fraction} outside (0, 1]"
+            )));
+        }
+        Ok(AdaptiveClusterSize { target_fraction })
+    }
+
+    /// The setpoint fraction of `Δ`.
+    pub fn target_fraction(&self) -> f64 {
+        self.target_fraction
+    }
+
+    /// The absolute setpoint for a cluster with spare bound `Δ`.
+    pub fn setpoint(&self, max_spare: usize) -> usize {
+        ((self.target_fraction * max_spare as f64).round() as usize).max(1)
+    }
+}
+
+impl Defense for AdaptiveClusterSize {
+    fn name(&self) -> &'static str {
+        "adaptive-cluster-size"
+    }
+
+    fn spare_setpoint(&self, view: &ClusterView) -> Option<usize> {
+        Some(self.setpoint(view.max_spare()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{effective_join_admission, effective_survival};
+
+    fn view(s: usize, x: usize, y: usize) -> ClusterView {
+        ClusterView::new(7, 7, s, x, y).unwrap()
+    }
+
+    #[test]
+    fn null_defense_is_neutral_everywhere() {
+        let d = NullDefense::new();
+        for s in 1..7 {
+            let v = view(s, 3, 1);
+            assert_eq!(d.join_admission(&v), 1.0);
+            assert_eq!(d.induced_churn(&v), 0.0);
+            assert_eq!(d.refresh_eviction(&v), 0.0);
+            assert_eq!(d.spare_setpoint(&v), None);
+            // The folds return the untouched bit patterns.
+            assert_eq!(effective_join_admission(&d, &v), 1.0);
+            assert_eq!(effective_survival(&d, &v, 0.9).to_bits(), 0.9f64.to_bits());
+        }
+        assert_eq!(d.name(), "none");
+    }
+
+    #[test]
+    fn induced_churn_validates_and_reports_its_rate() {
+        assert!(InducedChurn::new(-0.1).is_err());
+        assert!(InducedChurn::new(1.0).is_err());
+        let d = InducedChurn::new(0.25).unwrap();
+        assert_eq!(d.rate(), 0.25);
+        assert_eq!(d.induced_churn(&view(3, 3, 1)), 0.25);
+        assert_eq!(d.name(), "induced-churn");
+    }
+
+    #[test]
+    fn incarnation_refresh_folds_into_survival() {
+        assert!(IncarnationRefresh::new(0.5, 0.5).is_err());
+        assert!(IncarnationRefresh::new(10.0, 1.5).is_err());
+        assert!(IncarnationRefresh::new(f64::NAN, 0.5).is_err());
+        let d = IncarnationRefresh::new(10.0, 0.5).unwrap();
+        assert_eq!(d.period(), 10.0);
+        assert_eq!(d.detection_prob(), 0.5);
+        let v = view(3, 3, 1);
+        assert!((d.refresh_eviction(&v) - 0.05).abs() < 1e-15);
+        assert!((effective_survival(&d, &v, 0.9) - 0.9 * 0.95).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adaptive_size_tapers_admission_above_its_setpoint() {
+        assert!(AdaptiveClusterSize::new(0.0).is_err());
+        assert!(AdaptiveClusterSize::new(1.2).is_err());
+        let d = AdaptiveClusterSize::new(0.5).unwrap();
+        assert_eq!(d.setpoint(7), 4);
+        assert_eq!(d.setpoint(2), 1);
+        assert_eq!(effective_join_admission(&d, &view(4, 0, 0)), 1.0);
+        assert!((effective_join_admission(&d, &view(6, 0, 0)) - 1.0 / 3.0).abs() < 1e-15);
+        // Full fraction keeps the setpoint at Δ: inert.
+        let full = AdaptiveClusterSize::new(1.0).unwrap();
+        assert_eq!(effective_join_admission(&full, &view(6, 0, 0)), 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+/// The report of one adversary-vs-defense duel: analytical and measured
+/// steady-state pollution side by side.
+///
+/// Produced by `pollux::duel::run_duel` (and consumed by the sweep
+/// engine's `Duel` output kind): the analytical side evaluates the
+/// defense-modified Markov chain through the sparse pipeline, the
+/// measured side runs the regeneration-mode whole-overlay discrete-event
+/// simulation, and [`DefenseOutcome::agrees`] records whether the
+/// analytical value falls inside the renewal-adjusted Wilson interval of
+/// the measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefenseOutcome {
+    /// The defense's identifier ([`crate::Defense::name`]).
+    pub defense: String,
+    /// Analytical `E(T_S)` under the defense (events per renewal cycle).
+    pub analytic_safe_events: f64,
+    /// Analytical `E(T_P)` under the defense.
+    pub analytic_polluted_events: f64,
+    /// Analytical long-run safe fraction (renewal–reward).
+    pub analytic_safe: f64,
+    /// Analytical long-run polluted fraction (renewal–reward) — the duel's
+    /// headline number.
+    pub analytic_polluted: f64,
+    /// Measured long-run polluted fraction (regeneration-mode DES, share
+    /// of events landing on polluted clusters).
+    pub des_polluted: f64,
+    /// Lower edge of the measurement's renewal-adjusted Wilson interval.
+    pub des_lo: f64,
+    /// Upper edge of the interval.
+    pub des_hi: f64,
+    /// Analytical polluted fraction of the *undefended* model (the
+    /// [`crate::NullDefense`] baseline this duel is compared against).
+    pub baseline_polluted: f64,
+    /// Churn events the measurement processed.
+    pub events: u64,
+    /// Completed renewal (absorption → regeneration) cycles observed.
+    pub cycles: u64,
+    /// `true` when `analytic_polluted ∈ [des_lo, des_hi]`.
+    pub agrees: bool,
+}
+
+impl DefenseOutcome {
+    /// Relative reduction of the analytical steady-state polluted fraction
+    /// vs the undefended baseline (`0` for a pollution-free baseline,
+    /// negative when the defense backfires).
+    pub fn reduction(&self) -> f64 {
+        if self.baseline_polluted > 0.0 {
+            1.0 - self.analytic_polluted / self.baseline_polluted
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` when the measured interval sits strictly below the baseline
+    /// — the defense **measurably** (not just analytically) reduces
+    /// steady-state pollution.
+    pub fn measurably_improves(&self) -> bool {
+        self.des_hi < self.baseline_polluted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(analytic: f64, baseline: f64, lo: f64, hi: f64) -> DefenseOutcome {
+        DefenseOutcome {
+            defense: "test".into(),
+            analytic_safe_events: 10.0,
+            analytic_polluted_events: 1.0,
+            analytic_safe: 0.8,
+            analytic_polluted: analytic,
+            des_polluted: (lo + hi) / 2.0,
+            des_lo: lo,
+            des_hi: hi,
+            baseline_polluted: baseline,
+            events: 1000,
+            cycles: 80,
+            agrees: analytic >= lo && analytic <= hi,
+        }
+    }
+
+    #[test]
+    fn reduction_is_relative_to_the_baseline() {
+        let o = outcome(0.02, 0.08, 0.015, 0.025);
+        assert!((o.reduction() - 0.75).abs() < 1e-12);
+        assert!(o.agrees);
+        assert!(o.measurably_improves());
+    }
+
+    #[test]
+    fn clean_baseline_reports_zero_reduction() {
+        let o = outcome(0.0, 0.0, 0.0, 0.001);
+        assert_eq!(o.reduction(), 0.0);
+        assert!(!o.measurably_improves());
+    }
+
+    #[test]
+    fn a_backfiring_defense_has_negative_reduction() {
+        let o = outcome(0.1, 0.05, 0.09, 0.11);
+        assert!(o.reduction() < 0.0);
+        assert!(!o.measurably_improves());
+    }
+}

@@ -1,0 +1,144 @@
+use crate::{
+    AdaptiveClusterSize, Defense, DefenseError, IncarnationRefresh, InducedChurn, NullDefense,
+};
+
+/// A declarative, comparable description of a defense.
+///
+/// Sweep scenarios embed specs (not trait objects) in their output kinds
+/// so scenarios stay `Clone + PartialEq + Debug`; [`DefenseSpec::build`]
+/// materializes the trait object at evaluation time and
+/// [`DefenseSpec::label`] names the variant (parameters included) in
+/// output rows.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DefenseSpec {
+    /// [`NullDefense`] — the undefended baseline.
+    Null,
+    /// [`InducedChurn`] with the given per-event preemption rate.
+    InducedChurn {
+        /// Per-event preemption probability in `[0, 1)`.
+        rate: f64,
+    },
+    /// [`IncarnationRefresh`] with the given sweep period and detection
+    /// probability.
+    IncarnationRefresh {
+        /// Mean events between sweeps (≥ 1).
+        period: f64,
+        /// Probability a sweep catches a malicious identifier.
+        detection_prob: f64,
+    },
+    /// [`AdaptiveClusterSize`] with the given setpoint fraction of `Δ`.
+    AdaptiveClusterSize {
+        /// Setpoint fraction in `(0, 1]`.
+        target_fraction: f64,
+    },
+}
+
+impl DefenseSpec {
+    /// The row label of this variant: the mechanism name plus its
+    /// parameters, so duel artefacts stay self-describing.
+    pub fn label(&self) -> String {
+        match self {
+            DefenseSpec::Null => "none".into(),
+            DefenseSpec::InducedChurn { rate } => format!("induced-churn@{rate}"),
+            DefenseSpec::IncarnationRefresh {
+                period,
+                detection_prob,
+            } => format!("refresh@{period}:{detection_prob}"),
+            DefenseSpec::AdaptiveClusterSize { target_fraction } => {
+                format!("adaptive@{target_fraction}")
+            }
+        }
+    }
+
+    /// Materializes the defense.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mechanism constructors' validation.
+    pub fn build(&self) -> Result<Box<dyn Defense>, DefenseError> {
+        Ok(match self {
+            DefenseSpec::Null => Box::new(NullDefense::new()),
+            DefenseSpec::InducedChurn { rate } => Box::new(InducedChurn::new(*rate)?),
+            DefenseSpec::IncarnationRefresh {
+                period,
+                detection_prob,
+            } => Box::new(IncarnationRefresh::new(*period, *detection_prob)?),
+            DefenseSpec::AdaptiveClusterSize { target_fraction } => {
+                Box::new(AdaptiveClusterSize::new(*target_fraction)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_adversary::ClusterView;
+
+    #[test]
+    fn labels_are_self_describing_and_unique() {
+        let specs = [
+            DefenseSpec::Null,
+            DefenseSpec::InducedChurn { rate: 0.1 },
+            DefenseSpec::IncarnationRefresh {
+                period: 10.0,
+                detection_prob: 0.5,
+            },
+            DefenseSpec::AdaptiveClusterSize {
+                target_fraction: 0.5,
+            },
+        ];
+        let labels: Vec<String> = specs.iter().map(DefenseSpec::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "none",
+                "induced-churn@0.1",
+                "refresh@10:0.5",
+                "adaptive@0.5"
+            ]
+        );
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn build_round_trips_the_mechanisms() {
+        let view = ClusterView::new(7, 7, 3, 3, 1).unwrap();
+        let churn = DefenseSpec::InducedChurn { rate: 0.2 }.build().unwrap();
+        assert_eq!(churn.induced_churn(&view), 0.2);
+        let refresh = DefenseSpec::IncarnationRefresh {
+            period: 5.0,
+            detection_prob: 1.0,
+        }
+        .build()
+        .unwrap();
+        assert!((refresh.refresh_eviction(&view) - 0.2).abs() < 1e-15);
+        let adaptive = DefenseSpec::AdaptiveClusterSize {
+            target_fraction: 0.5,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(adaptive.spare_setpoint(&view), Some(4));
+        assert_eq!(DefenseSpec::Null.build().unwrap().name(), "none");
+    }
+
+    #[test]
+    fn build_propagates_validation() {
+        assert!(DefenseSpec::InducedChurn { rate: 1.5 }.build().is_err());
+        assert!(DefenseSpec::IncarnationRefresh {
+            period: 0.0,
+            detection_prob: 0.5
+        }
+        .build()
+        .is_err());
+        assert!(DefenseSpec::AdaptiveClusterSize {
+            target_fraction: 0.0
+        }
+        .build()
+        .is_err());
+    }
+}

@@ -60,6 +60,6 @@ pub use absorbing::AbsorbingChain;
 pub use chain::Dtmc;
 pub use competing::CompetingChains;
 pub use error::MarkovError;
-pub use sojourn::{SojournAnalysis, SojournPartition};
+pub use sojourn::{PartitionSolvers, SojournAnalysis, SojournPartition};
 pub use sparse_chain::SparseDtmc;
 pub use state_space::StateSpace;

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use pollux_linalg::sparse::CsrMatrix;
 use pollux_linalg::{vec_ops, Lu, Matrix, SolverOptions, TransientSolver};
 
@@ -40,6 +42,124 @@ impl SojournPartition {
     /// Global indices of the `P` subset.
     pub fn p_states(&self) -> &[usize] {
         &self.p_states
+    }
+}
+
+/// The solver bundle of a sojourn partition, built **once** and shared by
+/// every downstream analysis stage.
+///
+/// A sparse [`SojournAnalysis`] needs factorizations/setups of three
+/// censored blocks — the full transient block `T = S ∪ P`, the `S` block
+/// and the `P` block — and so do its sibling stages (absorption metrics
+/// reuse `T`, hitting probabilities reuse `S`). Historically each stage
+/// set its own solvers up, factoring the `T` block multiple times per
+/// analysis; this bundle hoists the construction so each block is set up
+/// exactly once and handed around by [`Arc`].
+///
+/// Index sets are stored sorted ascending (the CSR block order).
+#[derive(Debug, Clone)]
+pub struct PartitionSolvers {
+    options: SolverOptions,
+    t_idx: Vec<usize>,
+    s_idx: Vec<usize>,
+    p_idx: Vec<usize>,
+    solver_t: Arc<TransientSolver>,
+    solver_s: Arc<TransientSolver>,
+    solver_p: Arc<TransientSolver>,
+    m_s: Arc<CsrMatrix>,
+    m_sp: Arc<CsrMatrix>,
+    m_ps: Arc<CsrMatrix>,
+    m_p: Arc<CsrMatrix>,
+}
+
+impl PartitionSolvers {
+    /// Extracts the censored blocks of `partition` from `chain` and sets
+    /// up the three solvers.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidState`] for an out-of-range partition
+    ///   index.
+    /// * [`MarkovError::Linalg`] when a block is singular (the subset
+    ///   contains a closed class) or an iterative setup fails.
+    pub fn build(
+        chain: &SparseDtmc,
+        partition: &SojournPartition,
+        options: SolverOptions,
+    ) -> Result<Self, MarkovError> {
+        let n = chain.n_states();
+        for &i in partition.s_states().iter().chain(partition.p_states()) {
+            if i >= n {
+                return Err(MarkovError::InvalidState {
+                    index: i,
+                    states: n,
+                });
+            }
+        }
+        let mut s_idx = partition.s_states().to_vec();
+        let mut p_idx = partition.p_states().to_vec();
+        s_idx.sort_unstable();
+        p_idx.sort_unstable();
+        let mut t_idx: Vec<usize> = s_idx.iter().chain(p_idx.iter()).copied().collect();
+        t_idx.sort_unstable();
+
+        let p = chain.matrix();
+        let q_t = sparse_block(p, &t_idx, &t_idx);
+        let solver_t = Arc::new(TransientSolver::new(&q_t, options)?);
+        let m_s = Arc::new(sparse_block(p, &s_idx, &s_idx));
+        let m_sp = Arc::new(sparse_block(p, &s_idx, &p_idx));
+        let m_ps = Arc::new(sparse_block(p, &p_idx, &s_idx));
+        let m_p = Arc::new(sparse_block(p, &p_idx, &p_idx));
+        let solver_s = Arc::new(TransientSolver::new(&m_s, options)?);
+        let solver_p = Arc::new(TransientSolver::new(&m_p, options)?);
+        Ok(PartitionSolvers {
+            options,
+            t_idx,
+            s_idx,
+            p_idx,
+            solver_t,
+            solver_s,
+            solver_p,
+            m_s,
+            m_sp,
+            m_ps,
+            m_p,
+        })
+    }
+
+    /// The options the solvers were built with.
+    pub fn options(&self) -> SolverOptions {
+        self.options
+    }
+
+    /// Sorted global indices of `T = S ∪ P`.
+    pub fn t_indices(&self) -> &[usize] {
+        &self.t_idx
+    }
+
+    /// Sorted global indices of `S`.
+    pub fn s_indices(&self) -> &[usize] {
+        &self.s_idx
+    }
+
+    /// Sorted global indices of `P`.
+    pub fn p_indices(&self) -> &[usize] {
+        &self.p_idx
+    }
+
+    /// Solver for `I − Q_T` (the full transient block).
+    pub fn solver_t(&self) -> &Arc<TransientSolver> {
+        &self.solver_t
+    }
+
+    /// Solver for `I − M_S`.
+    pub fn solver_s(&self) -> &Arc<TransientSolver> {
+        &self.solver_s
+    }
+
+    /// Solver for `I − M_P`.
+    pub fn solver_p(&self) -> &Arc<TransientSolver> {
+        &self.solver_p
     }
 }
 
@@ -241,15 +361,25 @@ impl SojournAnalysis {
         alpha: &[f64],
         options: SolverOptions,
     ) -> Result<Self, MarkovError> {
+        let solvers = PartitionSolvers::build(chain, partition, options)?;
+        Self::new_sparse_shared(chain, alpha, &solvers)
+    }
+
+    /// As [`SojournAnalysis::new_sparse`] with a prebuilt
+    /// [`PartitionSolvers`] bundle — sibling stages (absorption, hitting)
+    /// reuse the same factorizations instead of setting the blocks up
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// As [`SojournAnalysis::new_sparse`] (the bundle already validated
+    /// the partition against the chain).
+    pub fn new_sparse_shared(
+        chain: &SparseDtmc,
+        alpha: &[f64],
+        solvers: &PartitionSolvers,
+    ) -> Result<Self, MarkovError> {
         let n = chain.n_states();
-        for &i in partition.s_states().iter().chain(partition.p_states()) {
-            if i >= n {
-                return Err(MarkovError::InvalidState {
-                    index: i,
-                    states: n,
-                });
-            }
-        }
         if alpha.len() != n {
             return Err(MarkovError::InvalidDistribution(format!(
                 "length {} does not match {} states",
@@ -268,21 +398,12 @@ impl SojournAnalysis {
             ));
         }
 
-        // The public quantities are aggregates, so the internal subset
-        // order is free: sort for CSR block extraction.
-        let mut s_idx = partition.s_states().to_vec();
-        let mut p_idx = partition.p_states().to_vec();
-        s_idx.sort_unstable();
-        p_idx.sort_unstable();
-        let mut t_idx: Vec<usize> = s_idx.iter().chain(p_idx.iter()).copied().collect();
-        t_idx.sort_unstable();
-
-        let p = chain.matrix();
-        let q_t = sparse_block(p, &t_idx, &t_idx);
-        let solver_t = TransientSolver::new(&q_t, options)?;
-        let alpha_t = vec_ops::gather(alpha, &t_idx);
+        let t_idx = solvers.t_indices();
+        let s_idx = solvers.s_indices();
+        let p_idx = solvers.p_indices();
+        let alpha_t = vec_ops::gather(alpha, t_idx);
         // α_T N, shared by both sides' variance computation.
-        let weights = solver_t.solve_transposed(&alpha_t)?;
+        let weights = solvers.solver_t().solve_transposed(&alpha_t)?;
 
         let mut t_pos = vec![usize::MAX; n];
         for (pos, &g) in t_idx.iter().enumerate() {
@@ -290,18 +411,42 @@ impl SojournAnalysis {
         }
         let mask_s: Vec<bool> = {
             let mut mask = vec![false; t_idx.len()];
-            for &g in &s_idx {
+            for &g in s_idx {
                 mask[t_pos[g]] = true;
             }
             mask
         };
         let mask_p: Vec<bool> = mask_s.iter().map(|&b| !b).collect();
 
+        // Side S censors through P and vice versa: the four censored
+        // blocks and both subset solvers come from the bundle, swapped.
         let side_s = SparseSubset::build(
-            p, &s_idx, &p_idx, alpha, &alpha_t, &mask_s, &solver_t, &weights, options,
+            s_idx,
+            p_idx,
+            alpha,
+            &alpha_t,
+            &mask_s,
+            Arc::clone(&solvers.m_s),
+            Arc::clone(&solvers.m_sp),
+            Arc::clone(&solvers.m_ps),
+            Arc::clone(solvers.solver_s()),
+            Arc::clone(solvers.solver_p()),
+            solvers.solver_t(),
+            &weights,
         )?;
         let side_p = SparseSubset::build(
-            p, &p_idx, &s_idx, alpha, &alpha_t, &mask_p, &solver_t, &weights, options,
+            p_idx,
+            s_idx,
+            alpha,
+            &alpha_t,
+            &mask_p,
+            Arc::clone(&solvers.m_p),
+            Arc::clone(&solvers.m_ps),
+            Arc::clone(&solvers.m_sp),
+            Arc::clone(solvers.solver_p()),
+            Arc::clone(solvers.solver_s()),
+            solvers.solver_t(),
+            &weights,
         )?;
         Ok(SojournAnalysis {
             side_s: Side::Sparse(Box::new(side_s)),
@@ -524,13 +669,14 @@ struct SparseSubset {
     expected_total: f64,
     /// `Var(T_A)`, precomputed via the full-block identity.
     variance: f64,
-    /// CSR censored blocks.
-    m_a: CsrMatrix,
-    m_ab: CsrMatrix,
-    m_ba: CsrMatrix,
-    /// Solvers for `I − M_A` and `I − M_B`.
-    solver_a: TransientSolver,
-    solver_b: TransientSolver,
+    /// CSR censored blocks, shared with the partition's solver bundle
+    /// (and the mirror side, roles swapped).
+    m_a: Arc<CsrMatrix>,
+    m_ab: Arc<CsrMatrix>,
+    m_ba: Arc<CsrMatrix>,
+    /// Solvers for `I − M_A` and `I − M_B`, shared likewise.
+    solver_a: Arc<TransientSolver>,
+    solver_b: Arc<TransientSolver>,
     /// `(I − M_A)⁻¹ 1` — expected length of one sojourn per entry state.
     one_sojourn: Vec<f64>,
     /// `(I − R) 1` — per-state exit probability of the censored chain.
@@ -538,28 +684,25 @@ struct SparseSubset {
 }
 
 impl SparseSubset {
-    /// Builds one side. `alpha_t`, `mask_a` and the shared full-block
-    /// solver / weight vector live over `T = A ∪ B` in sorted order.
+    /// Builds one side from the shared blocks and solvers. `alpha_t`,
+    /// `mask_a` and the shared full-block solver / weight vector live
+    /// over `T = A ∪ B` in sorted order.
     #[allow(clippy::too_many_arguments)]
     fn build(
-        p: &CsrMatrix,
         a_idx: &[usize],
         b_idx: &[usize],
         alpha: &[f64],
         alpha_t: &[f64],
         mask_a: &[bool],
+        m_a: Arc<CsrMatrix>,
+        m_ab: Arc<CsrMatrix>,
+        m_ba: Arc<CsrMatrix>,
+        solver_a: Arc<TransientSolver>,
+        solver_b: Arc<TransientSolver>,
         solver_t: &TransientSolver,
         weights: &[f64],
-        options: SolverOptions,
     ) -> Result<Self, MarkovError> {
         let na = a_idx.len();
-        let m_a = sparse_block(p, a_idx, a_idx);
-        let m_ab = sparse_block(p, a_idx, b_idx);
-        let m_ba = sparse_block(p, b_idx, a_idx);
-        let m_b = sparse_block(p, b_idx, b_idx);
-        let solver_a = TransientSolver::new(&m_a, options)?;
-        let solver_b = TransientSolver::new(&m_b, options)?;
-
         let alpha_a = vec_ops::gather(alpha, a_idx);
         let alpha_b = vec_ops::gather(alpha, b_idx);
 
@@ -846,6 +989,54 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "distribution: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn shared_solver_bundle_reproduces_new_sparse_exactly() {
+        let (chain, partition, alpha) = setup();
+        let sparse_chain = SparseDtmc::from_dense(&chain);
+        for options in [SolverOptions::force_dense(), SolverOptions::force_sparse()] {
+            let own =
+                SojournAnalysis::new_sparse(&sparse_chain, &partition, &alpha, options).unwrap();
+            let solvers = PartitionSolvers::build(&sparse_chain, &partition, options).unwrap();
+            assert_eq!(solvers.t_indices(), &[1, 2, 3]);
+            assert_eq!(solvers.s_indices(), &[1]);
+            assert_eq!(solvers.p_indices(), &[2, 3]);
+            assert_eq!(solvers.options(), options);
+            let shared =
+                SojournAnalysis::new_sparse_shared(&sparse_chain, &alpha, &solvers).unwrap();
+            // Bit-identical: the same blocks go through the same solves.
+            assert_eq!(
+                own.expected_total_s().unwrap().to_bits(),
+                shared.expected_total_s().unwrap().to_bits()
+            );
+            assert_eq!(
+                own.variance_p().unwrap().to_bits(),
+                shared.variance_p().unwrap().to_bits()
+            );
+            assert_eq!(own.expected_sojourns_s(10), shared.expected_sojourns_s(10));
+            assert_eq!(own.distribution_p(50), shared.distribution_p(50));
+            // The bundle's standalone solvers answer block systems.
+            let steps = solvers.solver_t().solve(&[1.0; 3]).unwrap();
+            assert!((steps[1] - 4.0).abs() < 1e-9); // middle of the ruin walk
+        }
+    }
+
+    #[test]
+    fn partition_solvers_validate_indices() {
+        let (chain, _, _) = setup();
+        let sparse_chain = SparseDtmc::from_dense(&chain);
+        let bad = SojournPartition::new(vec![99], vec![]).unwrap();
+        assert!(matches!(
+            PartitionSolvers::build(&sparse_chain, &bad, SolverOptions::default()),
+            Err(MarkovError::InvalidState { .. })
+        ));
+        // A closed class inside a subset surfaces as a solver failure.
+        let closed = SojournPartition::new(vec![0, 1], vec![2, 3]).unwrap();
+        assert!(matches!(
+            PartitionSolvers::build(&sparse_chain, &closed, SolverOptions::default()),
+            Err(MarkovError::Linalg(_))
+        ));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! scenario, mapping a cell (plus its deterministic seed) to typed rows.
 
 use pollux::des_overlay::{run_des_overlay, DesOverlayConfig};
+use pollux::duel::{renewal_wilson, run_duel_with_baseline, DuelConfig};
 use pollux::simulation;
 use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpace, OverlayModel};
 use pollux_adversary::TargetedStrategy;
+use pollux_defense::{DefenseSpec, InducedChurn};
 use pollux_des::replication::replication_seed;
 use pollux_prob::wilson_interval;
 
@@ -84,6 +86,53 @@ pub enum OutputKind {
         /// the Wilson z quantile (absorption) before a mismatch is
         /// flagged.
         sigmas: f64,
+    },
+    /// Regeneration-mode DES vs the renewal–reward closed form
+    /// ([`pollux::ClusterAnalysis::steady_state_fractions`]): the share
+    /// of churn events landing on polluted clusters over an overlay whose
+    /// absorbed clusters are re-seeded from the initial condition, with a
+    /// renewal-adjusted Wilson interval
+    /// ([`pollux::duel::renewal_wilson`]) around the measurement. Also
+    /// samples live safe/polluted fractions on a fixed time grid (the
+    /// continuous-time Figure-5 analogue) and reports their count and
+    /// mean. The measurement substrate of the duel scenarios.
+    DesSteadyState {
+        /// Overlay sizes to run: `n = 2^bits` clusters per entry.
+        cluster_bits: Vec<u32>,
+        /// Per-cluster churn rate.
+        lambda: f64,
+        /// Event budget per cluster.
+        max_events_per_cluster: u64,
+        /// Fixed time grid for the live-fraction samples (sorted).
+        sample_times: Vec<f64>,
+        /// Wilson z-quantile of the agreement interval.
+        sigmas: f64,
+    },
+    /// An adversary-vs-defense duel per cell: every listed defense is
+    /// evaluated analytically (defense-folded chain through the sparse
+    /// pipeline) **and** empirically (regeneration-mode DES), with the
+    /// undefended baseline and the agreement verdict per row.
+    Duel {
+        /// The defenses to duel (one output row each).
+        defenses: Vec<DefenseSpec>,
+        /// `2^bits` clusters per DES run.
+        cluster_bits: u32,
+        /// Per-cluster churn rate.
+        lambda: f64,
+        /// Event budget per cluster.
+        max_events_per_cluster: u64,
+        /// Wilson z-quantile of the agreement interval.
+        sigmas: f64,
+    },
+    /// The defense frontier: the minimum [`InducedChurn`] rate keeping
+    /// the analytical steady-state polluted fraction at or below a
+    /// threshold, scanned over an ascending rate grid. Purely analytical
+    /// (byte-identical across thread counts by construction).
+    DefenseFrontier {
+        /// Ascending induced-churn rates to scan.
+        rates: Vec<f64>,
+        /// Target ceiling on the steady-state polluted fraction.
+        threshold: f64,
     },
     /// Theorem 2 vs the `n`-cluster competing Monte-Carlo simulation.
     OverlayMcValidation {
@@ -186,6 +235,41 @@ impl OutputKind {
                 "des_pm_hi".into(),
                 "censored".into(),
                 "ok".into(),
+            ],
+            OutputKind::DesSteadyState { .. } => vec![
+                "n_clusters".into(),
+                "events".into(),
+                "cycles".into(),
+                "analytic_safe".into(),
+                "analytic_polluted".into(),
+                "des_safe".into(),
+                "des_polluted".into(),
+                "des_lo".into(),
+                "des_hi".into(),
+                "n_samples".into(),
+                "mean_live_polluted".into(),
+                "ok".into(),
+            ],
+            OutputKind::Duel { .. } => vec![
+                "defense".into(),
+                "E_T_S".into(),
+                "E_T_P".into(),
+                "analytic_polluted".into(),
+                "des_polluted".into(),
+                "des_lo".into(),
+                "des_hi".into(),
+                "baseline_polluted".into(),
+                "reduction".into(),
+                "cycles".into(),
+                "ok".into(),
+            ],
+            OutputKind::DefenseFrontier { .. } => vec![
+                "baseline_polluted".into(),
+                "threshold".into(),
+                "found".into(),
+                "frontier_rate".into(),
+                "polluted_at_frontier".into(),
+                "rates_scanned".into(),
             ],
             OutputKind::OverlayMcValidation { .. } => vec![
                 "n".into(),
@@ -368,11 +452,8 @@ impl OutputKind {
                     })?;
                 let mut rows = Vec::with_capacity(cluster_bits.len());
                 for (i, &bits) in cluster_bits.iter().enumerate() {
-                    let config = DesOverlayConfig {
-                        cluster_bits: bits,
-                        lambda: *lambda,
-                        max_events: max_events_per_cluster << bits,
-                    };
+                    let config =
+                        DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits);
                     // Each overlay size gets its own stream derived from
                     // the cell seed, so adding a size never perturbs the
                     // others.
@@ -410,6 +491,164 @@ impl OutputKind {
                     ]);
                 }
                 Ok(rows)
+            }
+            OutputKind::DesSteadyState {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                sample_times,
+                sigmas,
+            } => {
+                if sample_times.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(SweepError::InvalidScenario(
+                        "sample times must be sorted increasing".into(),
+                    ));
+                }
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let (want_safe, want_poll) = a.steady_state_fractions()?;
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                let mut rows = Vec::with_capacity(cluster_bits.len());
+                for (i, &bits) in cluster_bits.iter().enumerate() {
+                    let config =
+                        DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits)
+                            .with_regeneration()
+                            .with_sample_times(sample_times.clone());
+                    let r = run_des_overlay(
+                        &cell.params,
+                        &cell.initial,
+                        &strategy,
+                        &config,
+                        replication_seed(seed, i as u64),
+                    );
+                    let (des_safe, des_poll) = r.steady_state_fractions();
+                    let (lo, hi) =
+                        renewal_wilson(r.polluted_event_total, r.events, r.absorbed, *sigmas);
+                    let mean_live_polluted = if r.occupancy.is_empty() {
+                        0.0
+                    } else {
+                        r.occupancy.iter().map(|&(_, _, p)| p).sum::<f64>()
+                            / r.occupancy.len() as f64
+                    };
+                    rows.push(vec![
+                        (r.n_clusters as u64).into(),
+                        r.events.into(),
+                        r.absorbed.into(),
+                        want_safe.into(),
+                        want_poll.into(),
+                        des_safe.into(),
+                        des_poll.into(),
+                        lo.into(),
+                        hi.into(),
+                        (r.occupancy.len() as u64).into(),
+                        mean_live_polluted.into(),
+                        ((lo..=hi).contains(&want_poll)).into(),
+                    ]);
+                }
+                Ok(rows)
+            }
+            OutputKind::Duel {
+                defenses,
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                sigmas,
+            } => {
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                // The undefended baseline is computed once per cell and
+                // shared by every defense row.
+                let baseline = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let (_, baseline_polluted) = baseline.steady_state_fractions()?;
+                let config = DuelConfig {
+                    cluster_bits: *cluster_bits,
+                    lambda: *lambda,
+                    max_events_per_cluster: *max_events_per_cluster,
+                    sigmas: *sigmas,
+                };
+                let mut rows = Vec::with_capacity(defenses.len());
+                for (i, spec) in defenses.iter().enumerate() {
+                    let defense = spec
+                        .build()
+                        .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                    // Each defense gets its own stream derived from the
+                    // cell seed and its list position (so appending a
+                    // defense never perturbs earlier rows; reordering or
+                    // inserting mid-list re-seeds the rows after it).
+                    let outcome = run_duel_with_baseline(
+                        &cell.params,
+                        &cell.initial,
+                        &strategy,
+                        defense.as_ref(),
+                        &config,
+                        replication_seed(seed, i as u64),
+                        baseline_polluted,
+                    )?;
+                    rows.push(vec![
+                        Value::Str(spec.label()),
+                        outcome.analytic_safe_events.into(),
+                        outcome.analytic_polluted_events.into(),
+                        outcome.analytic_polluted.into(),
+                        outcome.des_polluted.into(),
+                        outcome.des_lo.into(),
+                        outcome.des_hi.into(),
+                        outcome.baseline_polluted.into(),
+                        outcome.reduction().into(),
+                        outcome.cycles.into(),
+                        outcome.agrees.into(),
+                    ]);
+                }
+                Ok(rows)
+            }
+            OutputKind::DefenseFrontier { rates, threshold } => {
+                if rates.is_empty() || rates.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(SweepError::InvalidScenario(
+                        "frontier rates must be non-empty and strictly increasing".into(),
+                    ));
+                }
+                let baseline = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let (_, baseline_polluted) = baseline.steady_state_fractions()?;
+                let mut frontier: Option<(f64, f64)> = None;
+                let mut scanned = 0u64;
+                for &rate in rates {
+                    scanned += 1;
+                    let polluted = if rate == 0.0 {
+                        baseline_polluted
+                    } else {
+                        let defense = InducedChurn::new(rate)
+                            .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                        let chain = ClusterChain::build_with_defense(&cell.params, &defense);
+                        let a = ClusterAnalysis::from_chain(chain, cell.initial.clone())?;
+                        a.steady_state_fractions()?.1
+                    };
+                    if polluted <= *threshold {
+                        frontier = Some((rate, polluted));
+                        break;
+                    }
+                }
+                let found = frontier.is_some();
+                // −1 marks "no rate in the grid reaches the threshold".
+                let (rate, at) = frontier.unwrap_or((-1.0, -1.0));
+                Ok(vec![vec![
+                    baseline_polluted.into(),
+                    (*threshold).into(),
+                    found.into(),
+                    rate.into(),
+                    at.into(),
+                    scanned.into(),
+                ]])
             }
             OutputKind::OverlayMcValidation {
                 n_clusters,
@@ -476,6 +715,8 @@ impl OutputKind {
             OutputKind::McValidation { .. }
                 | OutputKind::OverlayMcValidation { .. }
                 | OutputKind::DesValidation { .. }
+                | OutputKind::DesSteadyState { .. }
+                | OutputKind::Duel { .. }
         )
     }
 }
@@ -549,6 +790,24 @@ mod tests {
                 max_events_per_cluster: 100,
                 sigmas: 4.0,
             },
+            OutputKind::DesSteadyState {
+                cluster_bits: vec![4],
+                lambda: 1.0,
+                max_events_per_cluster: 60,
+                sample_times: vec![0.0, 20.0],
+                sigmas: 5.0,
+            },
+            OutputKind::Duel {
+                defenses: vec![DefenseSpec::Null, DefenseSpec::InducedChurn { rate: 0.1 }],
+                cluster_bits: 4,
+                lambda: 1.0,
+                max_events_per_cluster: 60,
+                sigmas: 5.0,
+            },
+            OutputKind::DefenseFrontier {
+                rates: vec![0.0, 0.2],
+                threshold: 0.05,
+            },
         ];
         for kind in kinds {
             let rows = kind.evaluate(&cell, 7).unwrap();
@@ -614,6 +873,129 @@ mod tests {
             a.pollution_probability().unwrap()
         );
         assert!(!OutputKind::StateSpaceScaling.is_monte_carlo());
+    }
+
+    #[test]
+    fn des_steady_state_rows_and_determinism() {
+        let cell = ParamGrid::paper()
+            .mu(vec![0.25])
+            .d(vec![0.9])
+            .cells()
+            .unwrap()
+            .remove(0);
+        let kind = OutputKind::DesSteadyState {
+            cluster_bits: vec![7],
+            lambda: 1.0,
+            max_events_per_cluster: 400,
+            sample_times: vec![0.0, 50.0, 100.0],
+            sigmas: 5.0,
+        };
+        let rows = kind.evaluate(&cell, 3).unwrap();
+        assert_eq!(rows, kind.evaluate(&cell, 3).unwrap());
+        assert_eq!(rows.len(), 1);
+        let cols = kind.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        assert_eq!(rows[0][at("n_clusters")].as_f64(), Some(128.0));
+        assert_eq!(rows[0][at("n_samples")].as_f64(), Some(3.0));
+        assert_eq!(rows[0][at("ok")].as_bool(), Some(true), "rows: {rows:?}");
+        assert!(kind.is_monte_carlo());
+        // Unsorted grids are a scenario error, not a panic.
+        let bad = OutputKind::DesSteadyState {
+            cluster_bits: vec![4],
+            lambda: 1.0,
+            max_events_per_cluster: 10,
+            sample_times: vec![5.0, 1.0],
+            sigmas: 4.0,
+        };
+        assert!(matches!(
+            bad.evaluate(&cell, 0),
+            Err(SweepError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn duel_rows_carry_defense_labels_and_null_matches_baseline() {
+        let cell = ParamGrid::paper()
+            .mu(vec![0.25])
+            .d(vec![0.9])
+            .cells()
+            .unwrap()
+            .remove(0);
+        let kind = OutputKind::Duel {
+            defenses: vec![
+                DefenseSpec::Null,
+                DefenseSpec::IncarnationRefresh {
+                    period: 5.0,
+                    detection_prob: 0.8,
+                },
+            ],
+            cluster_bits: 6,
+            lambda: 1.0,
+            max_events_per_cluster: 300,
+            sigmas: 5.0,
+        };
+        let rows = kind.evaluate(&cell, 9).unwrap();
+        assert_eq!(rows.len(), 2);
+        let cols = kind.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        assert_eq!(rows[0][at("defense")], Value::Str("none".into()));
+        assert_eq!(rows[1][at("defense")], Value::Str("refresh@5:0.8".into()));
+        // The null duel's analytic value IS the baseline.
+        assert_eq!(
+            rows[0][at("analytic_polluted")].as_f64(),
+            rows[0][at("baseline_polluted")].as_f64()
+        );
+        assert_eq!(rows[0][at("reduction")].as_f64(), Some(0.0));
+        // The refresh defense reduces pollution analytically.
+        assert!(
+            rows[1][at("analytic_polluted")].as_f64().unwrap()
+                < rows[1][at("baseline_polluted")].as_f64().unwrap()
+        );
+        assert!(kind.is_monte_carlo());
+    }
+
+    #[test]
+    fn defense_frontier_finds_the_minimum_rate() {
+        let cell = ParamGrid::paper()
+            .mu(vec![0.25])
+            .d(vec![0.9])
+            .cells()
+            .unwrap()
+            .remove(0);
+        let kind = OutputKind::DefenseFrontier {
+            rates: vec![0.0, 0.05, 0.1, 0.2, 0.4],
+            threshold: 0.01,
+        };
+        let rows = kind.evaluate(&cell, 0).unwrap();
+        let cols = kind.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        assert_eq!(rows[0][at("found")].as_bool(), Some(true));
+        let rate = rows[0][at("frontier_rate")].as_f64().unwrap();
+        assert!(rate > 0.0, "undefended pollution exceeds the threshold");
+        assert!(rows[0][at("polluted_at_frontier")].as_f64().unwrap() <= 0.01);
+        assert!(!kind.is_monte_carlo());
+        assert_eq!(
+            rows,
+            kind.evaluate(&cell, 77).unwrap(),
+            "analytic: seed-free"
+        );
+        // An unreachable threshold reports found = false with sentinels.
+        let none = OutputKind::DefenseFrontier {
+            rates: vec![0.0, 0.01],
+            threshold: 1e-9,
+        };
+        let rows = none.evaluate(&cell, 0).unwrap();
+        assert_eq!(rows[0][at("found")].as_bool(), Some(false));
+        assert_eq!(rows[0][at("frontier_rate")].as_f64(), Some(-1.0));
+        // Unsorted grids are rejected.
+        let bad = OutputKind::DefenseFrontier {
+            rates: vec![0.2, 0.1],
+            threshold: 0.05,
+        };
+        assert!(matches!(
+            bad.evaluate(&cell, 0),
+            Err(SweepError::InvalidScenario(_))
+        ));
     }
 
     #[test]

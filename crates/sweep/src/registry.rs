@@ -6,6 +6,7 @@ use pollux::experiments::{
     figure5_sample_points, FIGURE_D_GRID, FIGURE_MU_GRID, TABLE1_D_GRID, TABLE_MU_GRID,
 };
 use pollux::{AdversaryToggles, InitialCondition};
+use pollux_defense::DefenseSpec;
 
 use crate::{OutputKind, ParamGrid, Scenario, SweepError, ToggleSpec};
 
@@ -284,6 +285,73 @@ pub fn extended() -> Vec<Scenario> {
                 lambda: 1.0,
                 max_events_per_cluster: 200,
                 sigmas: 4.0,
+            },
+        ),
+        Scenario::new(
+            "des_steady_state",
+            "Regeneration-mode DES vs the renewal-reward closed form: long-run safe/polluted event fractions plus a live-fraction time grid",
+            ParamGrid::paper().mu(vec![0.2, 0.3]).d(vec![0.8, 0.9]),
+            OutputKind::DesSteadyState {
+                cluster_bits: vec![10],
+                lambda: 1.0,
+                max_events_per_cluster: 2_000,
+                // ~2000 time units per run at λ = 1: sample the first
+                // tenth densely (the transient settles within a few
+                // cycles) and the rest coarsely.
+                sample_times: vec![
+                    0.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 1500.0, 2000.0,
+                ],
+                sigmas: 5.0,
+            },
+        ),
+        Scenario::new(
+            "duel_matrix",
+            "Adversary-vs-defense duels: strategies x defenses x (C, Delta), analytic (sparse pipeline) vs regeneration-mode DES per cell",
+            ParamGrid::paper()
+                .core_size(vec![4, 7])
+                .max_spare(vec![5, 7])
+                .mu(vec![0.25])
+                .d(vec![0.9])
+                .toggles(vec![
+                    ToggleSpec::full(),
+                    ToggleSpec::named(
+                        "no-bias",
+                        AdversaryToggles {
+                            bias: false,
+                            ..AdversaryToggles::all()
+                        },
+                    ),
+                    ToggleSpec::named("passive", AdversaryToggles::none()),
+                ]),
+            OutputKind::Duel {
+                defenses: vec![
+                    DefenseSpec::Null,
+                    DefenseSpec::InducedChurn { rate: 0.1 },
+                    DefenseSpec::IncarnationRefresh {
+                        period: 10.0,
+                        detection_prob: 0.8,
+                    },
+                    DefenseSpec::AdaptiveClusterSize {
+                        target_fraction: 0.5,
+                    },
+                ],
+                cluster_bits: 9,
+                lambda: 1.0,
+                max_events_per_cluster: 1_500,
+                sigmas: 5.0,
+            },
+        ),
+        Scenario::new(
+            "defense_frontier",
+            "Minimum induced-churn rate keeping steady-state pollution below 1% across the (mu, d) plane (analytic)",
+            ParamGrid::paper()
+                .mu(vec![0.2, 0.25, 0.3])
+                .d(vec![0.85, 0.9, 0.95]),
+            OutputKind::DefenseFrontier {
+                rates: vec![
+                    0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.25, 0.35, 0.5,
+                ],
+                threshold: 0.01,
             },
         ),
     ]

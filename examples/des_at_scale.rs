@@ -27,11 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("markov: E(T_S) = {e_ts:.4}  E(T_P) = {e_tp:.4}  p(AmP) = {amp:.4}\n");
 
     for bits in [14u32, 17] {
-        let config = DesOverlayConfig {
-            cluster_bits: bits,
-            lambda: 1.0,
-            max_events: 60 << bits, // ≈ enough for every cluster to absorb
-        };
+        // ≈ enough events for every cluster to absorb.
+        let config = DesOverlayConfig::new(bits, 1.0, 60 << bits);
         let start = Instant::now();
         let r = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &config, 2011);
         let secs = start.elapsed().as_secs_f64();

@@ -2,6 +2,7 @@
 //! integration tests can use one import root.
 pub use pollux;
 pub use pollux_adversary as adversary;
+pub use pollux_defense as defense;
 pub use pollux_des as des;
 pub use pollux_linalg as linalg;
 pub use pollux_markov as markov;
