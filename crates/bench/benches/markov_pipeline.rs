@@ -22,6 +22,9 @@
 use criterion::{BenchmarkId, Criterion};
 use pollux::{AnalysisMode, ClusterAnalysis, ClusterChain, InitialCondition, ModelParams};
 use pollux_defense::InducedChurn;
+use pollux_linalg::sparse::CsrMatrix;
+use pollux_linalg::{SolverOptions, TransientSolver};
+use pollux_markov::classify::classify_sparse;
 
 /// Largest state count the dense pipeline is asked to handle (the n²
 /// matrix alone is ~27 MiB here; the LU grows cubically).
@@ -157,6 +160,75 @@ fn main() {
         });
     }
 
+    // The BiCGSTAB Jacobi-preconditioner lever (the ROADMAP's named
+    // remaining perf item for Δ ≳ 300 state spaces): extract the
+    // transient block of the Δ = 100 chain (Δ = 48 in quick mode) and
+    // time the two canonical solves of the battery — expected absorption
+    // events `(I − Q) x = 1` and the transposed visit-count system —
+    // with the preconditioner off and on. Seconds cover setup plus both
+    // solves; the recorded Krylov iteration counts are the forward
+    // solve's (the transposed path reports no separate stats).
+    let precond_delta = if quick { 48 } else { 100 };
+    let precond_params = params_for(precond_delta);
+    let precond_chain = ClusterChain::build(&precond_params);
+    let sparse = precond_chain.sparse_dtmc();
+    let transient = classify_sparse(sparse).transient_states();
+    let mut to_local = vec![usize::MAX; sparse.n_states()];
+    for (i, &g) in transient.iter().enumerate() {
+        to_local[g] = i;
+    }
+    let mut triplets = Vec::new();
+    for (i, &g) in transient.iter().enumerate() {
+        for (j, v) in sparse.successors(g) {
+            if to_local[j] != usize::MAX {
+                triplets.push((i, to_local[j], v));
+            }
+        }
+    }
+    let nt = transient.len();
+    let q = CsrMatrix::from_triplet_vec(nt, nt, triplets).expect("transient block is well-formed");
+    let ones = vec![1.0; nt];
+    let mut group = criterion.benchmark_group("markov_pipeline");
+    group.sample_size(samples);
+    for (name, jacobi) in [("bicgstab_plain", false), ("bicgstab_jacobi", true)] {
+        group.bench_with_input(BenchmarkId::new(name, precond_delta), &q, |b, q| {
+            b.iter(|| {
+                let solver =
+                    TransientSolver::new(q, SolverOptions::force_sparse().with_jacobi(jacobi))
+                        .unwrap();
+                let x = solver.solve(&ones).unwrap();
+                let y = solver.solve_transposed(&ones).unwrap();
+                (x, y)
+            })
+        });
+    }
+    group.finish();
+    let precond_results = criterion.take_results();
+    let precond_mean = |suffix: &str| {
+        precond_results
+            .iter()
+            .find(|r| r.id == format!("markov_pipeline/{suffix}/{precond_delta}"))
+            .map(|r| r.mean_s)
+            .expect("preconditioner benchmark ran")
+    };
+    let absorption_plain_s = precond_mean("bicgstab_plain");
+    let absorption_jacobi_s = precond_mean("bicgstab_jacobi");
+    let sweeps_of = |jacobi: bool| {
+        let solver = TransientSolver::new(&q, SolverOptions::force_sparse().with_jacobi(jacobi))
+            .expect("transient block");
+        let (_, stats) = solver.solve_with_stats(&ones).expect("solves");
+        stats.map_or(0, |s| s.sweeps)
+    };
+    let sweeps_plain = sweeps_of(false);
+    let sweeps_jacobi = sweeps_of(true);
+    println!(
+        "jacobi preconditioner @ delta={precond_delta} ({nt} transient states): \
+         (I-Q)x=1 + transposed solve {absorption_plain_s:.4} s plain vs \
+         {absorption_jacobi_s:.4} s preconditioned ({:.2}x); forward-solve Krylov \
+         iterations {sweeps_plain} vs {sweeps_jacobi}",
+        absorption_plain_s / absorption_jacobi_s,
+    );
+
     // Headline numbers at the largest Δ the dense pipeline still handles.
     let crossover_point = points
         .iter()
@@ -205,7 +277,11 @@ fn main() {
         "{{\n  \"suite\": \"markov_pipeline\",\n  \"mode\": \"{}\",\n  \
          \"model\": \"C=7, k=1, mu=0.2, d=0.8, initial=delta\",\n  \
          \"headline\": {{\"delta\": {}, \"states\": {}, \"build_plus_solve_speedup\": {}, \
-         \"matrix_memory_ratio\": {}}},\n  \"ladder\": [\n{}\n  ]\n}}\n",
+         \"matrix_memory_ratio\": {}}},\n  \
+         \"bicgstab_jacobi\": {{\"delta\": {}, \"transient_states\": {}, \
+         \"solve_plain_s\": {}, \"solve_jacobi_s\": {}, \"speedup\": {}, \
+         \"forward_iters_plain\": {}, \"forward_iters_jacobi\": {}}},\n  \
+         \"ladder\": [\n{}\n  ]\n}}\n",
         if quick {
             "quick"
         } else if full {
@@ -217,6 +293,13 @@ fn main() {
         crossover_point.states,
         json_f64(speedup),
         json_f64(memory_ratio),
+        precond_delta,
+        nt,
+        json_f64(absorption_plain_s),
+        json_f64(absorption_jacobi_s),
+        json_f64(absorption_plain_s / absorption_jacobi_s),
+        sweeps_plain,
+        sweeps_jacobi,
         rows.join(",\n"),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_markov.json");

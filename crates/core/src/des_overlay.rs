@@ -6,21 +6,22 @@
 //! as a continuous-time discrete-event simulation on the
 //! [`pollux_des`] engine, at 10⁵–10⁶ nodes:
 //!
-//! * every cluster owns an independent Poisson arrival stream
-//!   ([`pollux_des::churn::PoissonProcess`]) whose arrivals flip the
-//!   paper's balanced join/leave coin ([`pollux_des::churn::EventMix`]);
-//!   the superposition of `n` equal-rate streams delivers events to
-//!   uniformly random clusters, exactly the competing-chains semantics of
-//!   Section VIII;
-//! * nodes are concrete: an index-based arena stores one malicious flag
-//!   and one 256-bit [`pollux_overlay::NodeId`] per node, and each
-//!   cluster's core/spare membership lists hold arena indices. Joins draw
-//!   fresh identifiers inside the cluster's prefix region
-//!   ([`pollux_overlay::Label`]), departures free slots back to the
-//!   arena, and the `protocol_k` maintenance procedure moves real nodes
-//!   between the core and spare sets (the hypergeometric kernel
-//!   `τ(x, a, b)` of the analytical chain emerges from the uniform
-//!   draws rather than being sampled directly);
+//! * every cluster owns an independent Poisson arrival stream whose
+//!   arrivals flip the paper's balanced join/leave coin
+//!   ([`pollux_des::churn::EventMix`]); the superposition of `n`
+//!   equal-rate streams delivers events to uniformly random clusters,
+//!   exactly the competing-chains semantics of Section VIII;
+//! * nodes are concrete: an index-based arena tracks one malicious flag
+//!   per node, and each cluster's core/spare membership lists hold arena
+//!   indices. Joins draw fresh 256-bit [`pollux_overlay::NodeId`]s
+//!   inside the cluster's prefix region ([`pollux_overlay::Label`]) and
+//!   validate the prefix routing invariant (the identifiers are
+//!   *write-only* for the dynamics, so the arena does not retain them —
+//!   see the `NodeArena` docs), departures free slots back to the arena, and
+//!   the `protocol_k` maintenance procedure moves real nodes between
+//!   the core and spare sets (the hypergeometric kernel `τ(x, a, b)` of
+//!   the analytical chain emerges from the uniform draws rather than
+//!   being sampled directly);
 //! * the adversary is pluggable: any [`pollux_adversary::Strategy`]
 //!   drives Rule 1, Rule 2 and the maintenance bias, gated by the
 //!   [`crate::AdversaryToggles`] carried in [`ModelParams`];
@@ -42,11 +43,59 @@
 //!   sampled on the fixed time grid of
 //!   [`DesOverlayConfig::sample_times`].
 //!
-//! The hot event loop is allocation-free: the future-event list is
-//! pre-sized to one pending arrival per cluster, the event payload is a
-//! bare `u32` cluster index (no boxing), membership updates touch flat
-//! pre-allocated tables, and the maintenance draw uses two reusable
-//! scratch buffers. A 10⁶-node overlay processes 10⁶ events in seconds.
+//! # The RNG-stream determinism contract
+//!
+//! Every cluster owns its **own counter-seeded random stream**: cluster
+//! `c` of a run seeded with `seed` draws exclusively from a
+//! [`rand::rngs::StdRng`] seeded with the SplitMix64 derivation
+//! [`pollux_des::replication::replication_seed`]`(seed, c)` — the same
+//! scheme the sweep pool uses per grid cell. The stream drives, in a
+//! fixed cluster-local order, the cluster's initial-state draw, its node
+//! identifiers, its Poisson inter-arrival gaps and every churn outcome.
+//! Clusters are probabilistically independent in the model, so giving
+//! each one a private stream changes no distribution — but it makes every
+//! cluster's entire sample path a function of `(seed, c)` **alone**,
+//! independent of how cluster events interleave in wall-clock or
+//! simulated time. Event interleaving, shard assignment and shard count
+//! therefore cannot affect results: a run is *shard-invariant by
+//! construction*, and the engine exploits exactly that.
+//!
+//! # The sharded engine
+//!
+//! [`DesOverlayConfig::shards`] partitions the clusters into contiguous
+//! ranges, one per worker shard (`std::thread::scope`, as in the
+//! `pollux-sweep` pool). Each shard runs its own event loop over its
+//! cluster subset with a **local** future-event list (an index-based
+//! 4-ary heap, [`pollux_des::EventQueue`], holding one pending arrival
+//! per cluster), then reports per-cluster statistics that the caller
+//! merges **in cluster order** — integer tallies by summation, sojourn
+//! and lifetime moments by ordered Welford merges, occupancy-grid counts
+//! by summation. Because the merge order is cluster order regardless of
+//! the partition, `shards = 1` and `shards = 64` produce byte-identical
+//! [`DesOverlayReport`]s (test-enforced, like the sweep pool's
+//! thread-count invariance).
+//!
+//! The event budget is likewise defined shard-invariantly:
+//! [`DesOverlayConfig::max_events`] is distributed over the clusters as
+//! fixed per-cluster budgets (`⌈max_events / n⌉` for the first
+//! `max_events mod n` clusters, `⌊max_events / n⌋` for the rest), so
+//! which events a run processes never depends on a global, order-coupled
+//! cutoff. In regeneration mode every budget is consumed exactly, so a
+//! run processes exactly `max_events` events; without regeneration a
+//! cluster also stops at absorption, and a cluster still transient when
+//! its budget runs out is censored with its partial counts, as in
+//! [`crate::simulation::estimate`].
+//!
+//! The hot event loop is allocation-free: each shard's future-event list
+//! is pre-sized to one pending arrival per cluster and popped/refilled
+//! with the fused [`pollux_des::EventQueue::replace_earliest`] (one
+//! sift per event instead of two), the event payload is a bare `u32`
+//! cluster index (no boxing), per-cluster hot state (membership counters,
+//! RNG, a small buffer of batched exponential gaps drawn through
+//! [`pollux_prob::exponential::fill`]) lives in one cache-line-sized
+//! record, membership updates touch flat pre-allocated tables, and the
+//! maintenance draw uses two reusable scratch buffers. A 10⁶-node
+//! overlay processes 10⁶ events in well under a second per shard.
 //!
 //! Per-cluster sojourn counts (`T_S`, `T_P` in events) and the absorption
 //! split are accumulated with Welford statistics, so one run yields `n`
@@ -71,6 +120,11 @@
 //! assert_eq!(report.n_clusters, 256);
 //! assert!(report.initial_nodes >= 2_500);
 //!
+//! // Sharding never changes the bytes, only the wall clock.
+//! let sharded = config.clone().with_shards(4);
+//! let report4 = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &sharded, 42);
+//! assert_eq!(report, report4);
+//!
 //! // The measured mean sojourn agrees with the Markov prediction.
 //! let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
 //! let predicted = analysis.expected_safe_events()?;
@@ -82,11 +136,14 @@
 
 use pollux_adversary::{ClusterView, JoinDecision, Strategy};
 use pollux_defense::{effective_join_admission, effective_survival, Defense, NullDefense};
-use pollux_des::churn::{ChurnKind, EventMix, PoissonProcess};
+use pollux_des::churn::{ChurnKind, EventMix};
+use pollux_des::replication::replication_seed;
 use pollux_des::stats::{Summary, Welford};
-use pollux_des::{EventHandler, Scheduler, SimTime, Simulation};
-use pollux_overlay::{Label, NodeId};
-use pollux_prob::AliasTable;
+use pollux_des::{EventQueue, SimTime};
+#[cfg(debug_assertions)]
+use pollux_overlay::Label;
+use pollux_overlay::NodeId;
+use pollux_prob::{exponential, AliasTable};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 use crate::{
@@ -103,9 +160,12 @@ pub struct DesOverlayConfig {
     /// Per-cluster churn rate (events per simulated time unit); the
     /// overlay-wide arrival rate is `n · lambda`.
     pub lambda: f64,
-    /// Global cap on churn events; the run stops when it is reached
-    /// (censoring still-transient clusters, or ending the steady-state
-    /// measurement in regeneration mode).
+    /// Global cap on churn events, distributed over the clusters as fixed
+    /// per-cluster budgets (see the module docs): cluster `c` processes at
+    /// most `⌊max_events / n⌋ + (c < max_events mod n)` events before it
+    /// is censored (or, in regeneration mode, before its stream ends). In
+    /// regeneration mode a run therefore processes exactly `max_events`
+    /// events; without it, at most.
     pub max_events: u64,
     /// When `true`, an absorbed cluster is re-seeded from the initial
     /// condition by its **next arrival** (the event is consumed by the
@@ -115,14 +175,25 @@ pub struct DesOverlayConfig {
     pub regenerate: bool,
     /// Fixed time grid (sorted, increasing) at which the live
     /// safe/polluted cluster fractions are recorded into
-    /// [`DesOverlayReport::occupancy`]. Points the run never reaches
-    /// (event cap hit first) are dropped.
+    /// [`DesOverlayReport::occupancy`]. Points beyond the end of the run
+    /// (no cluster processed an event at or after them) are dropped.
     pub sample_times: Vec<f64>,
+    /// Per-cluster warm-up: each cluster's first `warmup_events` events
+    /// are processed normally (they drive the dynamics, sojourns and
+    /// occupancy exactly like any other event) but are excluded from the
+    /// steady-state event tallies, so the safe-heavy transient of the
+    /// fresh-start initial condition cannot bias the long-run fractions.
+    /// Steady-state scenarios typically spend half the budget here.
+    pub warmup_events: u64,
+    /// Worker shards the clusters are partitioned across (contiguous
+    /// ranges, one OS thread each when > 1). Affects wall-clock time
+    /// only, never output bytes; clamped to the cluster count.
+    pub shards: usize,
 }
 
 impl DesOverlayConfig {
     /// The historical one-shot configuration: no regeneration, no time
-    /// grid.
+    /// grid, a single shard.
     pub fn new(cluster_bits: u32, lambda: f64, max_events: u64) -> Self {
         DesOverlayConfig {
             cluster_bits,
@@ -130,6 +201,8 @@ impl DesOverlayConfig {
             max_events,
             regenerate: false,
             sample_times: Vec::new(),
+            warmup_events: 0,
+            shards: 1,
         }
     }
 
@@ -152,6 +225,20 @@ impl DesOverlayConfig {
         self.sample_times = sample_times;
         self
     }
+
+    /// Sets the per-cluster warm-up (events excluded from the
+    /// steady-state tallies).
+    pub fn with_warmup_events(mut self, warmup_events: u64) -> Self {
+        self.warmup_events = warmup_events;
+        self
+    }
+
+    /// Sets the worker-shard count (min 1). Thread parallelism over
+    /// contiguous cluster ranges; byte-identical output at any value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 /// Aggregated results of one whole-overlay run.
@@ -161,11 +248,15 @@ pub struct DesOverlayReport {
     pub n_clusters: usize,
     /// Nodes alive at `t = 0` (core plus spares over all clusters).
     pub initial_nodes: u64,
-    /// Peak concurrent node count over the run.
+    /// Sum of per-cluster peak concurrent node counts — the arena
+    /// capacity the run actually touched (each cluster's peak is reached
+    /// at its own time, so this bounds the instantaneous overlay-wide
+    /// peak from above).
     pub peak_nodes: u64,
     /// Churn events processed.
     pub events: u64,
-    /// Simulation clock at the end of the run.
+    /// Simulation clock at the end of the run (the latest event time over
+    /// all clusters).
     pub end_time: f64,
     /// Per-cluster safe sojourn `T_S` (events; censored clusters included
     /// with their partial counts, as in [`crate::simulation::estimate`]).
@@ -185,14 +276,22 @@ pub struct DesOverlayReport {
     /// absorbed clusters; with it, the number of completed renewal cycles
     /// over all clusters.
     pub absorbed: u64,
-    /// Clusters still transient when the event cap hit. In regeneration
-    /// mode these are mid-cycle clusters (their partial sojourns are
-    /// **not** pushed into the per-cycle summaries).
+    /// Clusters still transient when their event budget ran out. In
+    /// regeneration mode these are mid-cycle clusters (their partial
+    /// sojourns are **not** pushed into the per-cycle summaries).
     pub censored: u64,
     /// Events that found their cluster in a safe transient state.
     pub safe_event_total: u64,
     /// Events that found their cluster in a polluted transient state.
     pub polluted_event_total: u64,
+    /// Events discarded as per-cluster warm-up (see
+    /// [`DesOverlayConfig::warmup_events`]); they are processed normally
+    /// but excluded from the steady-state tallies above.
+    pub warmup_events: u64,
+    /// Completed cycles whose absorption fell **after** their cluster's
+    /// warm-up window — the independent-trial count behind the
+    /// renewal-adjusted Wilson interval on the steady-state fractions.
+    pub measured_cycles: u64,
     /// Events consumed by regenerations (regeneration mode only; the
     /// renewal–reward "+1" per cycle).
     pub regen_events: u64,
@@ -203,11 +302,19 @@ pub struct DesOverlayReport {
 
 impl DesOverlayReport {
     /// Measured long-run `(safe, polluted)` event fractions: the share of
-    /// processed events that found their cluster safe resp. polluted —
+    /// post-warm-up events that found their cluster safe resp. polluted —
     /// the regeneration-mode estimator of
     /// [`crate::ClusterAnalysis::steady_state_fractions`].
+    ///
+    /// The event-indexed class process regenerates at every absorption,
+    /// so it converges geometrically to its long-run law — but from a
+    /// fresh δ start the transient is *safe-heavy* and, on slowly-mixing
+    /// parameter corners, biases an unwarmed share low by `O(1/budget)`.
+    /// Validation scenarios therefore discard each cluster's first
+    /// [`DesOverlayConfig::warmup_events`] events (typically half the
+    /// budget), after which the residual bias is exponentially small.
     pub fn steady_state_fractions(&self) -> (f64, f64) {
-        let total = self.events.max(1) as f64;
+        let total = (self.events - self.warmup_events).max(1) as f64;
         (
             self.safe_event_total as f64 / total,
             self.polluted_event_total as f64 / total,
@@ -221,6 +328,33 @@ impl DesOverlayReport {
     }
 }
 
+/// Per-shard execution statistics of a sharded run (wall-clock only —
+/// deliberately **not** part of [`DesOverlayReport`], whose bytes must be
+/// identical across shard counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesShardStats {
+    /// Events processed by each shard, in shard order.
+    pub shard_events: Vec<u64>,
+    /// Wall-clock seconds each shard's event loop ran.
+    pub shard_seconds: Vec<f64>,
+}
+
+impl DesShardStats {
+    /// Number of shards that ran.
+    pub fn shards(&self) -> usize {
+        self.shard_events.len()
+    }
+
+    /// Per-shard throughput in events per second, in shard order.
+    pub fn shard_events_per_sec(&self) -> Vec<f64> {
+        self.shard_events
+            .iter()
+            .zip(&self.shard_seconds)
+            .map(|(&e, &s)| if s > 0.0 { e as f64 / s } else { 0.0 })
+            .collect()
+    }
+}
+
 /// Where an absorbed cluster ended up (compact per-cluster status).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ClusterStatus {
@@ -231,38 +365,85 @@ enum ClusterStatus {
     PollutedSplit,
 }
 
+/// Batched inter-arrival gaps kept per cluster: one
+/// [`exponential::fill`] refill covers this many arrivals.
+const GAP_BATCH: usize = 4;
+
+/// Everything the event loop touches per event for one cluster, packed
+/// into a single record so an event costs one or two cache lines of
+/// cluster state instead of a load from each of eight scattered arrays:
+/// the cluster's private RNG, its buffered arrival gaps, the membership
+/// counters and the per-cycle tallies. The 128-byte alignment pins each
+/// record to exactly two cache lines (a straddling ~104-byte record
+/// would touch three).
+#[repr(align(128))]
+struct ClusterHot {
+    /// The cluster's private counter-seeded stream.
+    rng: StdRng,
+    /// Buffered exponential inter-arrival gaps (consumed front to back).
+    gaps: [f64; GAP_BATCH],
+    /// Birth time of the current cycle (0 for the initial population).
+    birth: f64,
+    /// Remaining event budget.
+    budget: u64,
+    /// Remaining warm-up events (excluded from steady-state tallies).
+    warmup: u64,
+    /// Events observed in transient safe states this cycle.
+    safe_ev: u32,
+    /// Events observed in transient polluted states this cycle.
+    poll_ev: u32,
+    /// Next unrecorded index of the occupancy sample grid.
+    next_sample: u32,
+    /// Next unconsumed slot of `gaps` (`GAP_BATCH` forces a refill).
+    gap_idx: u8,
+    /// Spare-set size `s`.
+    s: u8,
+    /// Malicious core count `x` (cached; ground truth is the arena).
+    x: u8,
+    /// Malicious spare count `y`.
+    y: u8,
+    /// Largest `s` the cluster ever held (peak-residency accounting).
+    peak_s: u8,
+    status: ClusterStatus,
+}
+
 /// The node arena: flat per-node attributes plus a free list, indexed by
-/// `u32` handles so membership tables stay dense.
+/// `u32` handles so membership tables stay dense. The hot/cold SoA split
+/// is taken to its conclusion: the event loop reads the one-byte
+/// `malicious` flags constantly, while the 256-bit identifiers turned
+/// out to be **write-only** state — drawn inside the cluster's prefix
+/// region and validated against its label, but never read back by the
+/// dynamics (only the flag decides anything). Materializing them cost a
+/// cold 32-byte store (one cache-line miss) per join, so the arena no
+/// longer retains them; `ShardSim::draw_id` still draws and
+/// prefix-checks every identifier, keeping the stream and the modeled
+/// behavior unchanged.
 struct NodeArena {
+    /// Hot: one byte per node, scanned by every maintenance recount.
     malicious: Vec<bool>,
-    ids: Vec<NodeId>,
     free: Vec<u32>,
     live: u64,
-    peak: u64,
 }
 
 impl NodeArena {
     fn with_capacity(capacity: usize) -> Self {
         NodeArena {
             malicious: vec![false; capacity],
-            ids: vec![NodeId::from_bytes([0; 32]); capacity],
             free: (0..capacity as u32).rev().collect(),
             live: 0,
-            peak: 0,
         }
     }
 
     /// Claims a slot for a fresh node. The arena is sized for the worst
-    /// case (`n · (C + Δ)` nodes), so exhaustion is a logic error.
-    fn alloc(&mut self, malicious: bool, id: NodeId) -> u32 {
+    /// case (`(C + Δ)` nodes per cluster of the shard), so exhaustion is
+    /// a logic error.
+    fn alloc(&mut self, malicious: bool) -> u32 {
         let slot = self
             .free
             .pop()
             .expect("node arena sized for Smax per cluster");
         self.malicious[slot as usize] = malicious;
-        self.ids[slot as usize] = id;
         self.live += 1;
-        self.peak = self.peak.max(self.live);
         slot
     }
 
@@ -272,66 +453,85 @@ impl NodeArena {
     }
 }
 
-/// The event handler: the whole overlay, structure-of-arrays.
-struct OverlayDes<'a, S: Strategy, D: Defense + ?Sized> {
+/// What one shard hands back for merging: integer tallies plus
+/// per-cluster moment accumulators in cluster order (so the caller's
+/// ordered merge is identical for every partition of the same overlay).
+struct ShardOutcome {
+    events: u64,
+    safe_event_total: u64,
+    poll_event_total: u64,
+    warmup_total: u64,
+    measured_cycles: u64,
+    regen_events: u64,
+    absorption_counts: [u64; 4],
+    censored: u64,
+    initial_nodes: u64,
+    peak_nodes: u64,
+    end_time: f64,
+    /// Per-cluster accumulators, local cluster order (= global order for
+    /// contiguous shards).
+    safe_w: Vec<Welford>,
+    poll_w: Vec<Welford>,
+    life_w: Vec<Welford>,
+    /// Per-grid-point counts of clusters observed transient-safe /
+    /// transient-polluted (exact integers: summable in any order).
+    occ_safe: Vec<u64>,
+    occ_poll: Vec<u64>,
+    /// Wall-clock seconds of the shard's event loop.
+    seconds: f64,
+}
+
+/// One worker shard: clusters `[lo, lo + count)` of the overlay,
+/// structure-of-arrays, with a local future-event list.
+struct ShardSim<'a, S: Strategy, D: Defense + ?Sized> {
     params: &'a ModelParams,
     strategy: &'a S,
     defense: &'a D,
-    rng: StdRng,
-    process: PoissonProcess,
     mix: EventMix,
-    nodes: NodeArena,
-    /// Flat core membership: `core[c * C .. (c + 1) * C]`.
-    core: Vec<u32>,
-    /// Flat spare membership: `spare[c * Δ ..][..s[c]]`.
-    spare: Vec<u32>,
-    /// Spare-set size `s` per cluster.
-    s: Vec<u8>,
-    /// Malicious core count `x` per cluster (cached; ground truth is the
-    /// arena's flags).
-    x: Vec<u8>,
-    /// Malicious spare count `y` per cluster.
-    y: Vec<u8>,
-    status: Vec<ClusterStatus>,
-    /// Events observed in transient safe / polluted states, per cluster.
-    safe_ev: Vec<u32>,
-    poll_ev: Vec<u32>,
-    /// Prefix label of each cluster (depth `cluster_bits`).
-    labels: Vec<Label>,
+    lambda: f64,
+    /// First global cluster index of the shard.
+    lo: usize,
     cluster_bits: u32,
+    regenerate: bool,
+    /// The initial distribution's sampler and the state table (shared,
+    /// read-only).
+    table: &'a AliasTable,
+    states: &'a [ClusterState],
+    sample_times: &'a [f64],
+    /// Per-cluster hot records, local index.
+    hot: Vec<ClusterHot>,
+    /// Flat core membership: `core[l * C .. (l + 1) * C]`.
+    core: Vec<u32>,
+    /// Flat spare membership: `spare[l * Δ ..][..s[l]]`.
+    spare: Vec<u32>,
+    /// Prefix label of each cluster (depth `cluster_bits`). Read only by
+    /// the prefix-routing debug assertions, so release builds skip the
+    /// per-cluster allocations entirely.
+    #[cfg(debug_assertions)]
+    labels: Vec<Label>,
+    nodes: NodeArena,
+    queue: EventQueue<u32>,
     /// Reusable maintenance scratch: candidate pool of node handles.
     pool: Vec<u32>,
     /// Reusable maintenance scratch: core slots awaiting promotion.
     empty_slots: Vec<usize>,
-    events: u64,
-    max_events: u64,
-    transient_left: usize,
-    // Regeneration mode.
-    regenerate: bool,
-    /// The initial distribution's sampler and the state table, kept for
-    /// re-seeding absorbed clusters.
-    table: AliasTable,
-    states: Vec<ClusterState>,
-    /// Birth time of the current cycle per cluster (0 for the initial
-    /// population).
-    birth: Vec<f64>,
-    // Occupancy sampling.
-    sample_times: Vec<f64>,
-    next_sample: usize,
-    live_safe: usize,
-    live_polluted: usize,
-    occupancy: Vec<(f64, f64, f64)>,
     // Accumulators.
-    safe_w: Welford,
-    poll_w: Welford,
-    lifetime_w: Welford,
-    absorption_counts: [u64; 4],
+    events: u64,
     safe_event_total: u64,
     poll_event_total: u64,
+    warmup_total: u64,
+    measured_cycles: u64,
     regen_events: u64,
+    absorption_counts: [u64; 4],
+    end_time: f64,
+    safe_w: Vec<Welford>,
+    poll_w: Vec<Welford>,
+    life_w: Vec<Welford>,
+    occ_safe: Vec<u64>,
+    occ_poll: Vec<u64>,
 }
 
-impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
+impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
     fn c_size(&self) -> usize {
         self.params.core_size()
     }
@@ -340,23 +540,36 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
         self.params.max_spare()
     }
 
-    /// Draws a fresh 256-bit identifier uniformly inside cluster `c`'s
+    /// The next buffered inter-arrival gap of cluster `l`, refilling the
+    /// batch from the cluster's stream when it runs dry.
+    fn next_gap(&mut self, l: usize) -> f64 {
+        let h = &mut self.hot[l];
+        if h.gap_idx as usize == GAP_BATCH {
+            exponential::fill(&mut h.rng, self.lambda, &mut h.gaps);
+            h.gap_idx = 0;
+        }
+        let g = h.gaps[h.gap_idx as usize];
+        h.gap_idx += 1;
+        g
+    }
+
+    /// Draws a fresh 256-bit identifier uniformly inside cluster `l`'s
     /// prefix region: random bits with the first `cluster_bits` bits
-    /// forced to the cluster index (PeerCube routes a joiner to the unique
-    /// cluster whose label prefixes its identifier, so conditioning on
-    /// "this join reached cluster c" is conditioning on the prefix).
-    fn draw_id(&mut self, c: usize) -> NodeId {
+    /// forced to the global cluster index (PeerCube routes a joiner to
+    /// the unique cluster whose label prefixes its identifier, so
+    /// conditioning on "this join reached cluster c" is conditioning on
+    /// the prefix). The prefix is blended into the leading four bytes in
+    /// one masked word operation (`cluster_bits ≤ 24`), not bit by bit.
+    fn draw_id(&mut self, l: usize) -> NodeId {
         let mut bytes = [0u8; 32];
-        self.rng.fill(&mut bytes);
-        for bit in 0..self.cluster_bits {
-            let value = (c >> (self.cluster_bits - 1 - bit)) & 1 == 1;
-            let byte = (bit / 8) as usize;
-            let mask = 0x80u8 >> (bit % 8);
-            if value {
-                bytes[byte] |= mask;
-            } else {
-                bytes[byte] &= !mask;
-            }
+        self.hot[l].rng.fill(&mut bytes);
+        if self.cluster_bits > 0 {
+            let c = (self.lo + l) as u32;
+            let shift = 32 - self.cluster_bits;
+            let mask = u32::MAX << shift;
+            let head = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let blended = (head & !mask) | (c << shift);
+            bytes[..4].copy_from_slice(&blended.to_be_bytes());
         }
         NodeId::from_bytes(bytes)
     }
@@ -365,20 +578,21 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
     /// event (probability `d_eff^count`), as in the analytical chain.
     /// `d_eff` is the defense-shaped survival probability of the current
     /// cluster (exactly `d` under a neutral defense).
-    fn survives(&mut self, d_eff: f64, count: usize) -> bool {
+    fn survives(&mut self, l: usize, d_eff: f64, count: usize) -> bool {
         if d_eff <= 0.0 {
             return false;
         }
-        self.rng
+        self.hot[l]
+            .rng
             .random_bool(d_eff.powi(count as i32).clamp(0.0, 1.0))
     }
 
-    /// Removes spare slot `j` of cluster `c` (swap-remove; slot selection
+    /// Removes spare slot `j` of cluster `l` (swap-remove; slot selection
     /// is uniform, so the arrangement never biases the dynamics) and
     /// returns the node handle.
-    fn take_spare(&mut self, c: usize, j: usize) -> u32 {
-        let base = c * self.delta();
-        let s = self.s[c] as usize;
+    fn take_spare(&mut self, l: usize, j: usize) -> u32 {
+        let base = l * self.delta();
+        let s = self.hot[l].s as usize;
         debug_assert!(j < s);
         let node = self.spare[base + j];
         self.spare[base + j] = self.spare[base + s - 1];
@@ -386,17 +600,14 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
     }
 
     /// Picks a uniformly random malicious (or, with `malicious == false`,
-    /// honest) spare of cluster `c`; returns its slot index.
-    fn pick_spare_by_kind(&mut self, c: usize, malicious: bool) -> usize {
-        let base = c * self.delta();
-        let s = self.s[c] as usize;
-        let want = if malicious {
-            self.y[c] as usize
-        } else {
-            s - self.y[c] as usize
-        };
+    /// honest) spare of cluster `l`; returns its slot index.
+    fn pick_spare_by_kind(&mut self, l: usize, malicious: bool) -> usize {
+        let base = l * self.delta();
+        let s = self.hot[l].s as usize;
+        let y = self.hot[l].y as usize;
+        let want = if malicious { y } else { s - y };
         debug_assert!(want > 0);
-        let target = self.rng.random_range(0..want);
+        let target = self.hot[l].rng.random_range(0..want);
         let mut seen = 0usize;
         for j in 0..s {
             if self.nodes.malicious[self.spare[base + j] as usize] == malicious {
@@ -410,21 +621,25 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
     }
 
     /// The `protocol_k` maintenance procedure after the core member in
-    /// `leaver_slot` departed (its node already released): demote `k − 1`
-    /// uniformly chosen remaining core members into the candidate pool
-    /// (the `s` spares plus the demoted), promote `k` uniformly chosen
-    /// pool members into the vacant core slots, and keep the remaining
-    /// `s − 1` candidates as the new spare set.
-    fn maintenance(&mut self, c: usize, leaver_slot: usize) {
+    /// `leaver_slot` departed (its node already released, the cached `x`
+    /// already reflecting the departure): demote `k − 1` uniformly chosen
+    /// remaining core members into the candidate pool (the `s` spares
+    /// plus the demoted), promote `k` uniformly chosen pool members into
+    /// the vacant core slots, and keep the remaining `s − 1` candidates
+    /// as the new spare set. The cached malicious counts are updated
+    /// incrementally from the demoted/promoted members (no full rescan of
+    /// the core).
+    fn maintenance(&mut self, l: usize, leaver_slot: usize) {
         let c_size = self.c_size();
         let delta = self.delta();
         let k = self.params.k();
-        let s = self.s[c] as usize;
+        let s = self.hot[l].s as usize;
         debug_assert!(s >= 1);
 
         self.pool.clear();
         self.empty_slots.clear();
         self.empty_slots.push(leaver_slot);
+        let mut mal_demoted = 0usize;
 
         // Demote k − 1 of the C − 1 remaining core members: partial
         // Fisher–Yates over the slot indices, skipping the leaver.
@@ -436,21 +651,24 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
                 }
             }
             for i in 0..k - 1 {
-                let j = self.rng.random_range(i..self.pool.len());
+                let j = self.hot[l].rng.random_range(i..self.pool.len());
                 self.pool.swap(i, j);
             }
             for i in 0..k - 1 {
                 self.empty_slots.push(self.pool[i] as usize);
             }
             self.pool.truncate(k - 1);
-            // Replace the demoted slots with their node handles.
+            // Replace the demoted slots with their node handles, counting
+            // the malicious ones on the way through.
             for entry in self.pool.iter_mut() {
-                *entry = self.core[c * c_size + *entry as usize];
+                let node = self.core[l * c_size + *entry as usize];
+                mal_demoted += usize::from(self.nodes.malicious[node as usize]);
+                *entry = node;
             }
         }
 
         // The candidate pool: every spare plus the demoted members.
-        let base = c * delta;
+        let base = l * delta;
         for j in 0..s {
             self.pool.push(self.spare[base + j]);
         }
@@ -458,104 +676,124 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
 
         // Promote k uniformly chosen candidates into the vacant slots.
         for i in 0..k {
-            let j = self.rng.random_range(i..self.pool.len());
+            let j = self.hot[l].rng.random_range(i..self.pool.len());
             self.pool.swap(i, j);
         }
+        let mut mal_promoted = 0usize;
         for (i, &slot) in self.empty_slots.iter().enumerate() {
-            self.core[c * c_size + slot] = self.pool[i];
+            let node = self.pool[i];
+            mal_promoted += usize::from(self.nodes.malicious[node as usize]);
+            self.core[l * c_size + slot] = node;
         }
         // The rest of the pool is the new spare set (s − 1 members).
         for (j, &node) in self.pool[k..].iter().enumerate() {
             self.spare[base + j] = node;
         }
 
-        // Re-derive the cached malicious counts from the arena flags.
-        let x_new = self.core[c * c_size..(c + 1) * c_size]
-            .iter()
-            .filter(|&&n| self.nodes.malicious[n as usize])
-            .count();
-        let y_new = self.pool[k..]
-            .iter()
-            .filter(|&&n| self.nodes.malicious[n as usize])
-            .count();
-        self.x[c] = x_new as u8;
-        self.y[c] = y_new as u8;
+        // Incremental count update: the pool held every spare (y
+        // malicious) plus the demoted (mal_demoted), of which
+        // mal_promoted moved into the core.
+        let h = &mut self.hot[l];
+        let x_new = h.x as usize - mal_demoted + mal_promoted;
+        let y_new = h.y as usize + mal_demoted - mal_promoted;
+        h.x = x_new as u8;
+        h.y = y_new as u8;
+        debug_assert_eq!(
+            x_new,
+            self.core[l * c_size..(l + 1) * c_size]
+                .iter()
+                .filter(|&&n| self.nodes.malicious[n as usize])
+                .count()
+        );
+        debug_assert_eq!(
+            y_new,
+            self.pool[k..]
+                .iter()
+                .filter(|&&n| self.nodes.malicious[n as usize])
+                .count()
+        );
     }
 
-    /// Plays one churn event on (transient) cluster `c`, mirroring the
+    /// Plays one churn event on (transient) cluster `l`, mirroring the
     /// probabilities of the analytical chain at node granularity. The
     /// defense hooks gate in exactly the chain builder's three places;
     /// neutral hooks consume no randomness, so a [`NullDefense`] run's
-    /// RNG stream is bit-identical to a defense-free run's.
-    fn churn_event(&mut self, c: usize) {
+    /// RNG streams are bit-identical to a defense-free run's.
+    fn churn_event(&mut self, l: usize) {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
         let mu = self.params.mu();
         let toggles = *self.params.toggles();
-        let s = self.s[c] as usize;
-        let x = self.x[c] as usize;
-        let y = self.y[c] as usize;
+        let s = self.hot[l].s as usize;
+        let x = self.hot[l].x as usize;
+        let y = self.hot[l].y as usize;
         let polluted = x > quorum;
 
         let view =
             ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
         // Induced churn preempts the event with a forced eviction.
         let eta = self.defense.induced_churn(&view);
-        if eta > 0.0 && self.rng.random_bool(eta.clamp(0.0, 1.0)) {
-            self.induced_eviction(c, polluted, toggles);
+        if eta > 0.0 && self.hot[l].rng.random_bool(eta.clamp(0.0, 1.0)) {
+            self.induced_eviction(l, polluted, toggles);
             return;
         }
         let d_eff = effective_survival(self.defense, &view, self.params.d());
 
-        match self.mix.sample(&mut self.rng) {
+        let mix = self.mix;
+        match mix.sample(&mut self.hot[l].rng) {
             ChurnKind::Join => {
                 // Join-rate shaping (plus the cluster-size taper): the
                 // defense may drop the join before the cluster sees it.
                 let g = effective_join_admission(self.defense, &view);
-                if g < 1.0 && !self.rng.random_bool(g.clamp(0.0, 1.0)) {
+                if g < 1.0 && !self.hot[l].rng.random_bool(g.clamp(0.0, 1.0)) {
                     return;
                 }
-                let malicious = mu > 0.0 && self.rng.random_bool(mu);
+                let malicious = mu > 0.0 && self.hot[l].rng.random_bool(mu);
                 let accept = if polluted && toggles.rule2 {
                     self.strategy.join_decision(&view, malicious) == JoinDecision::Accept
                 } else {
                     true
                 };
                 if accept {
-                    let id = self.draw_id(c);
-                    debug_assert!(self.labels[c].is_prefix_of(&id));
-                    let node = self.nodes.alloc(malicious, id);
-                    self.spare[c * delta + s] = node;
-                    self.s[c] += 1;
+                    let id = self.draw_id(l);
+                    #[cfg(debug_assertions)]
+                    debug_assert!(self.labels[l].is_prefix_of(&id));
+                    let _ = id; // drawn and checked, deliberately not stored
+                    let node = self.nodes.alloc(malicious);
+                    self.spare[l * delta + s] = node;
+                    let h = &mut self.hot[l];
+                    h.s += 1;
+                    h.peak_s = h.peak_s.max(h.s);
                     if malicious {
-                        self.y[c] += 1;
+                        h.y += 1;
                     }
                 }
             }
             ChurnKind::Leave => {
                 // One uniformly selected member of the C + s present.
-                let r = self.rng.random_range(0..c_size + s);
+                let r = self.hot[l].rng.random_range(0..c_size + s);
                 if r >= c_size {
                     // A spare was selected (slot r − C is uniform).
                     let j = r - c_size;
-                    let node = self.spare[c * delta + j];
+                    let node = self.spare[l * delta + j];
                     let malicious = self.nodes.malicious[node as usize];
                     if !malicious {
-                        let node = self.take_spare(c, j);
+                        let node = self.take_spare(l, j);
                         self.nodes.release(node);
-                        self.s[c] -= 1;
-                    } else if !self.survives(d_eff, y) {
+                        self.hot[l].s -= 1;
+                    } else if !self.survives(l, d_eff, y) {
                         // Property 1 (or the defense's incarnation
                         // refresh) forces the expired identifier out.
-                        let node = self.take_spare(c, j);
+                        let node = self.take_spare(l, j);
                         self.nodes.release(node);
-                        self.s[c] -= 1;
-                        self.y[c] -= 1;
+                        let h = &mut self.hot[l];
+                        h.s -= 1;
+                        h.y -= 1;
                     }
                     // A valid malicious spare refuses to leave: self-loop.
                 } else {
-                    self.core_leave(c, r, polluted, toggles, d_eff);
+                    self.core_leave(l, r, polluted, toggles, d_eff);
                 }
             }
         }
@@ -564,7 +802,7 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
     /// Handles a leave event that selected core slot `r`.
     fn core_leave(
         &mut self,
-        c: usize,
+        l: usize,
         r: usize,
         polluted: bool,
         toggles: AdversaryToggles,
@@ -573,10 +811,10 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
-        let s = self.s[c] as usize;
-        let x = self.x[c] as usize;
-        let y = self.y[c] as usize;
-        let node = self.core[c * c_size + r];
+        let s = self.hot[l].s as usize;
+        let x = self.hot[l].x as usize;
+        let y = self.hot[l].y as usize;
+        let node = self.core[l * c_size + r];
         let malicious = self.nodes.malicious[node as usize];
 
         if !malicious {
@@ -585,36 +823,38 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
             if polluted && toggles.bias {
                 // The adversary refills the slot with a malicious spare
                 // when it has one (x grows), an honest one otherwise.
-                let j = self.pick_spare_by_kind(c, y > 0);
-                let promoted = self.take_spare(c, j);
-                self.core[c * c_size + r] = promoted;
+                let j = self.pick_spare_by_kind(l, y > 0);
+                let promoted = self.take_spare(l, j);
+                self.core[l * c_size + r] = promoted;
                 if y > 0 {
-                    self.x[c] += 1;
-                    self.y[c] -= 1;
+                    let h = &mut self.hot[l];
+                    h.x += 1;
+                    h.y -= 1;
                 }
             } else {
-                self.maintenance(c, r);
+                self.maintenance(l, r);
             }
-            self.s[c] -= 1;
-        } else if !self.survives(d_eff, x) {
+            self.hot[l].s -= 1;
+        } else if !self.survives(l, d_eff, x) {
             // A malicious core member whose identifier expired is forced
             // out by Property 1.
             self.nodes.release(node);
             let x_rem = x - 1;
             if x_rem > quorum && toggles.bias {
-                let j = self.pick_spare_by_kind(c, y > 0);
-                let promoted = self.take_spare(c, j);
-                self.core[c * c_size + r] = promoted;
+                let j = self.pick_spare_by_kind(l, y > 0);
+                let promoted = self.take_spare(l, j);
+                self.core[l * c_size + r] = promoted;
+                let h = &mut self.hot[l];
                 if y > 0 {
-                    self.y[c] -= 1; // malicious replacement keeps x
+                    h.y -= 1; // malicious replacement keeps x
                 } else {
-                    self.x[c] -= 1; // honest replacement
+                    h.x -= 1; // honest replacement
                 }
             } else {
-                self.x[c] -= 1;
-                self.maintenance(c, r);
+                self.hot[l].x -= 1;
+                self.maintenance(l, r);
             }
-            self.s[c] -= 1;
+            self.hot[l].s -= 1;
         } else if !polluted && toggles.rule1 {
             // A valid malicious core member of a safe cluster may leave
             // voluntarily (Rule 1) to re-roll the maintenance dice.
@@ -622,93 +862,97 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
                 ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
             if self.strategy.voluntary_core_leave(&view) {
                 self.nodes.release(node);
-                self.x[c] -= 1;
-                self.maintenance(c, r);
-                self.s[c] -= 1;
+                self.hot[l].x -= 1;
+                self.maintenance(l, r);
+                self.hot[l].s -= 1;
             }
         }
         // A valid malicious core member otherwise stays: self-loop.
     }
 
     /// The defense's forced eviction of a uniformly chosen member of
-    /// cluster `c` — the DES mirror of the chain builder's induced-churn
+    /// cluster `l` — the DES mirror of the chain builder's induced-churn
     /// kernel. Unlike a voluntary leave, a valid malicious member cannot
     /// refuse (the protocol revokes the membership), so no survival roll
     /// happens; the replacement machinery is the usual one.
-    fn induced_eviction(&mut self, c: usize, polluted: bool, toggles: AdversaryToggles) {
+    fn induced_eviction(&mut self, l: usize, polluted: bool, toggles: AdversaryToggles) {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
-        let s = self.s[c] as usize;
-        let x = self.x[c] as usize;
-        let y = self.y[c] as usize;
+        let s = self.hot[l].s as usize;
+        let x = self.hot[l].x as usize;
+        let y = self.hot[l].y as usize;
 
-        let r = self.rng.random_range(0..c_size + s);
+        let r = self.hot[l].rng.random_range(0..c_size + s);
         if r >= c_size {
             // Evicted spare (slot r − C is uniform).
             let j = r - c_size;
-            let node = self.spare[c * delta + j];
+            let node = self.spare[l * delta + j];
             let malicious = self.nodes.malicious[node as usize];
-            let node = self.take_spare(c, j);
+            let node = self.take_spare(l, j);
             self.nodes.release(node);
-            self.s[c] -= 1;
+            let h = &mut self.hot[l];
+            h.s -= 1;
             if malicious {
-                self.y[c] -= 1;
+                h.y -= 1;
             }
         } else {
-            let node = self.core[c * c_size + r];
+            let node = self.core[l * c_size + r];
             let malicious = self.nodes.malicious[node as usize];
             self.nodes.release(node);
             if malicious {
                 // The defense expels a captured seat.
                 if x - 1 > quorum && toggles.bias {
-                    let j = self.pick_spare_by_kind(c, y > 0);
-                    let promoted = self.take_spare(c, j);
-                    self.core[c * c_size + r] = promoted;
+                    let j = self.pick_spare_by_kind(l, y > 0);
+                    let promoted = self.take_spare(l, j);
+                    self.core[l * c_size + r] = promoted;
+                    let h = &mut self.hot[l];
                     if y > 0 {
-                        self.y[c] -= 1; // malicious replacement keeps x
+                        h.y -= 1; // malicious replacement keeps x
                     } else {
-                        self.x[c] -= 1; // honest replacement
+                        h.x -= 1; // honest replacement
                     }
                 } else {
-                    self.x[c] -= 1;
-                    self.maintenance(c, r);
+                    self.hot[l].x -= 1;
+                    self.maintenance(l, r);
                 }
             } else if polluted && toggles.bias {
                 // The adversary exploits the vacancy like any other.
-                let j = self.pick_spare_by_kind(c, y > 0);
-                let promoted = self.take_spare(c, j);
-                self.core[c * c_size + r] = promoted;
+                let j = self.pick_spare_by_kind(l, y > 0);
+                let promoted = self.take_spare(l, j);
+                self.core[l * c_size + r] = promoted;
                 if y > 0 {
-                    self.x[c] += 1;
-                    self.y[c] -= 1;
+                    let h = &mut self.hot[l];
+                    h.x += 1;
+                    h.y -= 1;
                 }
             } else {
-                self.maintenance(c, r);
+                self.maintenance(l, r);
             }
-            self.s[c] -= 1;
+            self.hot[l].s -= 1;
         }
     }
 
-    /// Frees every node of cluster `c` (called on absorption — the
+    /// Frees every node of cluster `l` (called on absorption — the
     /// cluster's chain has reached a closed state; the overlay would
     /// merge or split it, retiring these memberships).
-    fn release_cluster_nodes(&mut self, c: usize) {
+    fn release_cluster_nodes(&mut self, l: usize) {
         let c_size = self.c_size();
         let delta = self.delta();
         for slot in 0..c_size {
-            self.nodes.release(self.core[c * c_size + slot]);
+            self.nodes.release(self.core[l * c_size + slot]);
         }
-        for j in 0..self.s[c] as usize {
-            self.nodes.release(self.spare[c * delta + j]);
+        for j in 0..self.hot[l].s as usize {
+            self.nodes.release(self.spare[l * delta + j]);
         }
     }
 
-    /// Records the absorption of cluster `c` at time `t` (ending the
+    /// Records the absorption of cluster `l` at time `t` (ending the
     /// current renewal cycle in regeneration mode).
-    fn absorb(&mut self, c: usize, t: SimTime) {
-        let polluted = self.x[c] as usize > self.params.quorum();
-        let (status, slot) = if self.s[c] == 0 {
+    fn absorb(&mut self, l: usize, t: SimTime) {
+        let h = &self.hot[l];
+        let polluted = h.x as usize > self.params.quorum();
+        let (status, slot) = if h.s == 0 {
             if polluted {
                 (ClusterStatus::PollutedMerge, 2)
             } else {
@@ -719,151 +963,403 @@ impl<S: Strategy, D: Defense + ?Sized> OverlayDes<'_, S, D> {
         } else {
             (ClusterStatus::SafeSplit, 1)
         };
-        self.status[c] = status;
         self.absorption_counts[slot] += 1;
-        self.safe_w.push(f64::from(self.safe_ev[c]));
-        self.poll_w.push(f64::from(self.poll_ev[c]));
-        self.lifetime_w.push(t.value() - self.birth[c]);
-        self.release_cluster_nodes(c);
-        self.transient_left -= 1;
+        if h.warmup == 0 {
+            // A cycle completing after the warm-up window: one
+            // independent trial of the steady-state measurement.
+            self.measured_cycles += 1;
+        }
+        self.safe_w[l].push(f64::from(h.safe_ev));
+        self.poll_w[l].push(f64::from(h.poll_ev));
+        self.life_w[l].push(t.value() - h.birth);
+        self.release_cluster_nodes(l);
+        self.hot[l].status = status;
     }
 
-    /// Re-seeds an absorbed cluster from the initial condition (the
-    /// regeneration event of the renewal process): a fresh start state is
-    /// drawn, concrete members are materialized, and the per-cycle
-    /// counters restart.
-    fn regenerate_cluster(&mut self, c: usize, t: SimTime) {
+    /// Materializes cluster `l` from a freshly drawn initial state at
+    /// time `t` — the initial population (`t = 0`) and every
+    /// regeneration go through here. A start state with absorbing mass
+    /// (legal for `Custom` initial distributions) absorbs immediately: a
+    /// zero-event cycle.
+    fn seed_cluster(&mut self, l: usize, t: SimTime) {
         let c_size = self.c_size();
         let delta = self.delta();
-        let start = self.states[self.table.sample(&mut self.rng)];
-        self.s[c] = start.s as u8;
-        self.x[c] = start.x as u8;
-        self.y[c] = start.y as u8;
+        let start = self.states[{
+            let table = self.table;
+            table.sample(&mut self.hot[l].rng)
+        }];
+        {
+            let h = &mut self.hot[l];
+            h.s = start.s as u8;
+            h.x = start.x as u8;
+            h.y = start.y as u8;
+            h.peak_s = h.peak_s.max(start.s as u8);
+            h.safe_ev = 0;
+            h.poll_ev = 0;
+            h.birth = t.value();
+            h.status = ClusterStatus::Transient;
+        }
         for slot in 0..c_size {
             let malicious = slot < start.x;
-            let id = self.draw_id(c);
-            let node = self.nodes.alloc(malicious, id);
-            self.core[c * c_size + slot] = node;
+            let id = self.draw_id(l);
+            #[cfg(debug_assertions)]
+            debug_assert!(self.labels[l].is_prefix_of(&id));
+            let _ = id;
+            let node = self.nodes.alloc(malicious);
+            self.core[l * c_size + slot] = node;
         }
         for j in 0..start.s {
             let malicious = j < start.y;
-            let id = self.draw_id(c);
-            let node = self.nodes.alloc(malicious, id);
-            self.spare[c * delta + j] = node;
+            let id = self.draw_id(l);
+            #[cfg(debug_assertions)]
+            debug_assert!(self.labels[l].is_prefix_of(&id));
+            let _ = id;
+            let node = self.nodes.alloc(malicious);
+            self.spare[l * delta + j] = node;
         }
-        self.safe_ev[c] = 0;
-        self.poll_ev[c] = 0;
-        self.birth[c] = t.value();
-        self.status[c] = ClusterStatus::Transient;
-        self.transient_left += 1;
-        match start.classify(self.params) {
-            StateClass::TransientSafe => self.live_safe += 1,
-            StateClass::TransientPolluted => self.live_polluted += 1,
-            // A Custom initial distribution may re-seed straight into an
-            // absorbing state: a zero-event cycle, as at t = 0.
-            _ => self.absorb(c, t),
+        if !matches!(
+            start.classify(self.params),
+            StateClass::TransientSafe | StateClass::TransientPolluted
+        ) {
+            self.absorb(l, t);
         }
     }
 
-    /// Records every sample-grid point reached strictly before the event
-    /// about to be processed at `t` (the recorded fractions are the
-    /// overlay's state left by the previous event).
-    fn sample_until(&mut self, t: SimTime) {
-        while self.next_sample < self.sample_times.len()
-            && self.sample_times[self.next_sample] <= t.value()
+    /// Records every sample-grid point of cluster `l` reached strictly
+    /// before its event about to be processed at `t` (the recorded class
+    /// is the one left by the cluster's previous event); absorbed
+    /// clusters contribute to neither count.
+    fn sample_to(&mut self, l: usize, t: f64) {
+        let h = &self.hot[l];
+        let mut idx = h.next_sample as usize;
+        if idx >= self.sample_times.len() || self.sample_times[idx] > t {
+            return;
+        }
+        let transient = h.status == ClusterStatus::Transient;
+        let polluted = h.x as usize > self.params.quorum();
+        while idx < self.sample_times.len() && self.sample_times[idx] <= t {
+            if transient {
+                if polluted {
+                    self.occ_poll[idx] += 1;
+                } else {
+                    self.occ_safe[idx] += 1;
+                }
+            }
+            idx += 1;
+        }
+        self.hot[l].next_sample = idx as u32;
+    }
+
+    /// Best-effort prefetch of cluster `l`'s hot state — issued for the
+    /// heap root's runner-up events, so the memory latency of the *next*
+    /// event's cluster record overlaps with processing the current one
+    /// (above ~4k clusters the per-cluster records outgrow L2, and an
+    /// unhinted loop stalls on one or two cache misses per event). A
+    /// no-op on non-x86_64 targets.
+    #[inline]
+    fn prefetch_cluster(&self, l: usize) {
+        #[cfg(target_arch = "x86_64")]
         {
-            let n = self.status.len() as f64;
-            self.occupancy.push((
-                self.sample_times[self.next_sample],
-                self.live_safe as f64 / n,
-                self.live_polluted as f64 / n,
-            ));
-            self.next_sample += 1;
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // SAFETY: prefetch is a pure hint — it performs no memory
+            // access and cannot fault even for a bad address; the
+            // pointers here are derived from live in-bounds references.
+            unsafe {
+                let hot = std::ptr::from_ref(&self.hot[l]).cast::<i8>();
+                _mm_prefetch(hot, _MM_HINT_T0);
+                _mm_prefetch(hot.add(64), _MM_HINT_T0);
+                let core = self
+                    .core
+                    .as_ptr()
+                    .add(l * self.params.core_size())
+                    .cast::<i8>();
+                _mm_prefetch(core, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = l;
+    }
+
+    /// The shard's event loop: pops the earliest local arrival, plays it
+    /// on its cluster, and reschedules the cluster's next arrival through
+    /// the fused root replacement — one heap sift per event.
+    fn run(&mut self) {
+        let delta = self.delta();
+        let quorum = self.params.quorum();
+        let sampling = !self.sample_times.is_empty();
+        while let Some((t, l)) = self.queue.peek().map(|(t, &l)| (t, l)) {
+            // Hint the clusters that could fire next while this event is
+            // being processed.
+            let mut runners = [0u32; 4];
+            let mut n_runners = 0;
+            for &e in self.queue.runners_up() {
+                runners[n_runners] = e;
+                n_runners += 1;
+            }
+            for &r in &runners[..n_runners] {
+                self.prefetch_cluster(r as usize);
+            }
+            let li = l as usize;
+            let tv = t.value();
+            if tv > self.end_time {
+                self.end_time = tv;
+            }
+            if sampling {
+                self.sample_to(li, tv);
+            }
+            self.events += 1;
+            self.hot[li].budget -= 1;
+
+            if self.hot[li].status != ClusterStatus::Transient {
+                // Only regeneration mode schedules absorbed clusters:
+                // this arrival is consumed by the re-seed (the
+                // renewal–reward "+1" event, counted toward neither
+                // sojourn).
+                debug_assert!(self.regenerate);
+                let h = &mut self.hot[li];
+                if h.warmup > 0 {
+                    h.warmup -= 1;
+                    self.warmup_total += 1;
+                } else {
+                    self.regen_events += 1;
+                }
+                self.seed_cluster(li, t);
+            } else {
+                // The event counts toward the sojourn of the class it
+                // lands in (the same accounting as the single-cluster
+                // simulator); the steady-state tallies additionally skip
+                // each cluster's warm-up window.
+                {
+                    let h = &mut self.hot[li];
+                    let polluted = h.x as usize > quorum;
+                    if polluted {
+                        h.poll_ev += 1;
+                    } else {
+                        h.safe_ev += 1;
+                    }
+                    if h.warmup > 0 {
+                        h.warmup -= 1;
+                        self.warmup_total += 1;
+                    } else if polluted {
+                        self.poll_event_total += 1;
+                    } else {
+                        self.safe_event_total += 1;
+                    }
+                }
+                self.churn_event(li);
+                let s = self.hot[li].s as usize;
+                if s == 0 || s == delta {
+                    self.absorb(li, t);
+                }
+            }
+
+            // Reschedule the cluster's next arrival unless its stream
+            // ended: budget exhausted, or absorbed without regeneration
+            // (an absorbed chain sits in a closed state forever; its
+            // arrivals carry no further information).
+            let h = &self.hot[li];
+            if h.budget > 0 && (self.regenerate || h.status == ClusterStatus::Transient) {
+                let gap = self.next_gap(li);
+                let _ = self.queue.replace_earliest(t + gap, l);
+            } else {
+                let _ = self.queue.pop();
+            }
+        }
+    }
+
+    /// Finishes the shard: censors still-transient clusters, freezes the
+    /// occupancy contribution of clusters whose stream ended before the
+    /// grid did, and packages the outcome.
+    fn into_outcome(mut self, seconds: f64) -> ShardOutcome {
+        let grid_len = self.sample_times.len();
+        let quorum = self.params.quorum();
+        let mut censored = 0u64;
+        let mut peak_nodes = 0u64;
+        let c_size = self.c_size() as u64;
+        for l in 0..self.hot.len() {
+            let transient = self.hot[l].status == ClusterStatus::Transient;
+            if transient {
+                censored += 1;
+                if !self.regenerate {
+                    // Partial sojourns of censored clusters enter the
+                    // estimates, exactly as in `simulation::estimate`;
+                    // regeneration-mode mid-cycle counts do not.
+                    let (safe_ev, poll_ev) = {
+                        let h = &self.hot[l];
+                        (f64::from(h.safe_ev), f64::from(h.poll_ev))
+                    };
+                    self.safe_w[l].push(safe_ev);
+                    self.poll_w[l].push(poll_ev);
+                }
+            }
+            peak_nodes += c_size + u64::from(self.hot[l].peak_s);
+            // A cluster whose stream ended keeps contributing its final
+            // class to the rest of the grid (points past the global end
+            // of the run are dropped at merge time).
+            if (self.hot[l].next_sample as usize) < grid_len {
+                if transient {
+                    let polluted = self.hot[l].x as usize > quorum;
+                    for g in self.hot[l].next_sample as usize..grid_len {
+                        if polluted {
+                            self.occ_poll[g] += 1;
+                        } else {
+                            self.occ_safe[g] += 1;
+                        }
+                    }
+                }
+                self.hot[l].next_sample = grid_len as u32;
+            }
+        }
+        ShardOutcome {
+            events: self.events,
+            safe_event_total: self.safe_event_total,
+            poll_event_total: self.poll_event_total,
+            warmup_total: self.warmup_total,
+            measured_cycles: self.measured_cycles,
+            regen_events: self.regen_events,
+            absorption_counts: self.absorption_counts,
+            censored,
+            initial_nodes: 0, // filled by the caller right after init
+            peak_nodes,
+            end_time: self.end_time,
+            safe_w: self.safe_w,
+            poll_w: self.poll_w,
+            life_w: self.life_w,
+            occ_safe: self.occ_safe,
+            occ_poll: self.occ_poll,
+            seconds,
         }
     }
 }
 
-impl<S: Strategy, D: Defense + ?Sized> EventHandler for OverlayDes<'_, S, D> {
-    type Event = u32;
+/// Builds, runs and packages one shard covering global clusters
+/// `[lo, lo + count)`.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<S: Strategy, D: Defense + ?Sized>(
+    params: &ModelParams,
+    strategy: &S,
+    defense: &D,
+    config: &DesOverlayConfig,
+    table: &AliasTable,
+    states: &[ClusterState],
+    seed: u64,
+    lo: usize,
+    count: usize,
+    n_total: usize,
+) -> ShardOutcome {
+    let c_size = params.core_size();
+    let delta = params.max_spare();
+    let base_budget = config.max_events / n_total as u64;
+    let budget_rem = (config.max_events % n_total as u64) as usize;
 
-    fn handle(&mut self, t: SimTime, cluster: u32, sched: &mut Scheduler<u32>) {
-        self.sample_until(t);
-        let c = cluster as usize;
-
-        if self.status[c] != ClusterStatus::Transient {
-            // Only regeneration mode reschedules absorbed clusters: this
-            // arrival is consumed by the re-seed (the renewal–reward "+1"
-            // event, counted toward neither sojourn).
-            debug_assert!(self.regenerate);
-            self.events += 1;
-            self.regen_events += 1;
-            self.regenerate_cluster(c, t);
-            let next = self.process.next_after(t, &mut self.rng);
-            sched.schedule(next, cluster);
-            if self.events >= self.max_events {
-                sched.stop();
-            }
-            return;
+    let mut shard = ShardSim {
+        params,
+        strategy,
+        defense,
+        mix: EventMix::balanced(),
+        lambda: config.lambda,
+        lo,
+        cluster_bits: config.cluster_bits,
+        regenerate: config.regenerate,
+        table,
+        states,
+        sample_times: &config.sample_times,
+        hot: Vec::with_capacity(count),
+        core: vec![0; count * c_size],
+        spare: vec![0; count * delta],
+        #[cfg(debug_assertions)]
+        labels: Vec::with_capacity(count),
+        nodes: NodeArena::with_capacity(count * (c_size + delta)),
+        queue: EventQueue::with_capacity(count),
+        pool: Vec::with_capacity(c_size + delta),
+        empty_slots: Vec::with_capacity(c_size),
+        events: 0,
+        safe_event_total: 0,
+        poll_event_total: 0,
+        warmup_total: 0,
+        measured_cycles: 0,
+        regen_events: 0,
+        absorption_counts: [0; 4],
+        end_time: 0.0,
+        safe_w: vec![Welford::new(); count],
+        poll_w: vec![Welford::new(); count],
+        life_w: vec![Welford::new(); count],
+        occ_safe: vec![0; config.sample_times.len()],
+        occ_poll: vec![0; config.sample_times.len()],
+    };
+    for l in 0..count {
+        let c = lo + l;
+        #[cfg(debug_assertions)]
+        {
+            let bits: Vec<bool> = (0..config.cluster_bits)
+                .map(|bit| (c >> (config.cluster_bits - 1 - bit)) & 1 == 1)
+                .collect();
+            shard.labels.push(Label::from_bits(bits));
         }
+        shard.hot.push(ClusterHot {
+            rng: StdRng::seed_from_u64(replication_seed(seed, c as u64)),
+            gaps: [0.0; GAP_BATCH],
+            birth: 0.0,
+            budget: base_budget + u64::from(c < budget_rem),
+            warmup: config.warmup_events,
+            safe_ev: 0,
+            poll_ev: 0,
+            next_sample: 0,
+            gap_idx: GAP_BATCH as u8,
+            s: 0,
+            x: 0,
+            y: 0,
+            peak_s: 0,
+            status: ClusterStatus::Transient,
+        });
+    }
 
-        // The event counts toward the sojourn of the class it lands in
-        // (the same accounting as the single-cluster simulator).
-        let polluted_before = self.x[c] as usize > self.params.quorum();
-        if polluted_before {
-            self.poll_ev[c] += 1;
-            self.poll_event_total += 1;
-        } else {
-            self.safe_ev[c] += 1;
-            self.safe_event_total += 1;
-        }
-        self.events += 1;
+    // Populate the shard's clusters: each draws its start state from the
+    // initial distribution (first draw of its stream) and materializes
+    // concrete members for it.
+    for l in 0..count {
+        shard.seed_cluster(l, SimTime::ZERO);
+    }
+    let initial_nodes = shard.nodes.live;
 
-        self.churn_event(c);
-
-        if polluted_before {
-            self.live_polluted -= 1;
-        } else {
-            self.live_safe -= 1;
-        }
-        let s = self.s[c] as usize;
-        if s == 0 || s == self.delta() {
-            self.absorb(c, t);
-            if self.regenerate {
-                // The next arrival will regenerate the cluster.
-                let next = self.process.next_after(t, &mut self.rng);
-                sched.schedule(next, cluster);
-            }
-            // Otherwise an absorbed chain sits in a closed state forever:
-            // its arrival stream carries no further information, so it is
-            // simply not rescheduled (the self-loops are implicit).
-        } else {
-            if self.x[c] as usize > self.params.quorum() {
-                self.live_polluted += 1;
-            } else {
-                self.live_safe += 1;
-            }
-            let next = self.process.next_after(t, &mut self.rng);
-            sched.schedule(next, cluster);
-        }
-
-        if self.events >= self.max_events || (!self.regenerate && self.transient_left == 0) {
-            sched.stop();
+    // Every cluster with a positive budget gets its first arrival, unless
+    // it was born absorbed without regeneration (in regeneration mode
+    // absorbed-at-birth clusters are scheduled too — their first arrival
+    // performs the re-seed, upholding the "overlay never drains" contract
+    // for Custom initial distributions with absorbing mass). One pending
+    // arrival per scheduled cluster is the queue's invariant, so `count`
+    // capacity keeps the hot loop reallocation-free.
+    for l in 0..count {
+        if shard.hot[l].budget > 0
+            && (config.regenerate || shard.hot[l].status == ClusterStatus::Transient)
+        {
+            let gap = shard.next_gap(l);
+            shard.queue.push(SimTime::ZERO + gap, l as u32);
         }
     }
+
+    let start = std::time::Instant::now();
+    shard.run();
+    let seconds = start.elapsed().as_secs_f64();
+    let mut outcome = shard.into_outcome(seconds);
+    outcome.initial_nodes = initial_nodes;
+    outcome
 }
 
 /// Runs one whole-overlay discrete-event simulation (no defense).
 ///
-/// Deterministic in `(params, initial, strategy, config, seed)`: a single
-/// RNG stream drives every draw and the engine's event ordering is total,
-/// so two identical calls return identical reports. Equivalent to
-/// [`run_des_overlay_duel`] with a [`NullDefense`] — bit-identically so,
-/// because neutral defense hooks consume no randomness.
+/// Deterministic in `(params, initial, strategy, config, seed)` and
+/// **byte-identical across [`DesOverlayConfig::shards`] values**: every
+/// cluster's sample path is a function of its own counter-seeded stream
+/// (see the module docs), so shard assignment affects wall-clock time
+/// only. Equivalent to [`run_des_overlay_duel`] with a [`NullDefense`] —
+/// bit-identically so, because neutral defense hooks consume no
+/// randomness.
 ///
 /// # Panics
 ///
 /// As [`run_des_overlay_duel`].
-pub fn run_des_overlay<S: Strategy>(
+pub fn run_des_overlay<S: Strategy + Sync>(
     params: &ModelParams,
     initial: &InitialCondition,
     strategy: &S,
@@ -877,10 +1373,11 @@ pub fn run_des_overlay<S: Strategy>(
 /// consulted inside the event loop — the measured half of an
 /// adversary-vs-defense duel.
 ///
-/// Deterministic in `(params, initial, strategy, defense, config, seed)`.
-/// The hot path stays allocation-free: defense hooks are evaluated
-/// against a stack [`ClusterView`], and a hook returning its neutral
-/// element costs no random draw.
+/// Deterministic in `(params, initial, strategy, defense, config, seed)`
+/// and byte-identical across shard counts. The hot path stays
+/// allocation-free: defense hooks are evaluated against a stack
+/// [`ClusterView`], and a hook returning its neutral element costs no
+/// random draw.
 ///
 /// # Panics
 ///
@@ -888,7 +1385,7 @@ pub fn run_des_overlay<S: Strategy>(
 /// memory budget), when `C + Δ > 255` (membership counters are `u8`),
 /// when `lambda` is not a positive finite rate, when the sample grid is
 /// unsorted, or when the initial condition is invalid for the parameters.
-pub fn run_des_overlay_duel<S: Strategy, D: Defense + ?Sized>(
+pub fn run_des_overlay_duel<S: Strategy + Sync, D: Defense + Sync + ?Sized>(
     params: &ModelParams,
     initial: &InitialCondition,
     strategy: &S,
@@ -896,6 +1393,26 @@ pub fn run_des_overlay_duel<S: Strategy, D: Defense + ?Sized>(
     config: &DesOverlayConfig,
     seed: u64,
 ) -> DesOverlayReport {
+    run_des_overlay_duel_with_stats(params, initial, strategy, defense, config, seed).0
+}
+
+/// As [`run_des_overlay_duel`], additionally reporting per-shard
+/// wall-clock statistics (events and seconds per shard) — the
+/// measurement hook behind `examples/des_at_scale` and the
+/// `des_overlay` bench. The stats are timing-dependent and deliberately
+/// kept out of the byte-stable [`DesOverlayReport`].
+///
+/// # Panics
+///
+/// As [`run_des_overlay_duel`].
+pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?Sized>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    defense: &D,
+    config: &DesOverlayConfig,
+    seed: u64,
+) -> (DesOverlayReport, DesShardStats) {
     assert!(
         config.cluster_bits <= 24,
         "cluster_bits = {} exceeds the 2^24-cluster ceiling",
@@ -909,13 +1426,17 @@ pub fn run_des_overlay_duel<S: Strategy, D: Defense + ?Sized>(
         c_size + delta
     );
     assert!(
+        config.lambda > 0.0 && config.lambda.is_finite(),
+        "lambda must be a positive rate, got {}",
+        config.lambda
+    );
+    assert!(
         config.sample_times.windows(2).all(|w| w[0] <= w[1]),
         "sample times must be sorted"
     );
     let n = 1usize << config.cluster_bits;
-    let process = PoissonProcess::new(config.lambda).expect("lambda must be a positive rate");
+    let shards = config.shards.clamp(1, n);
 
-    let rng = StdRng::seed_from_u64(seed);
     let space = ModelSpace::new(params);
     let alpha = initial
         .distribution(&space)
@@ -923,144 +1444,148 @@ pub fn run_des_overlay_duel<S: Strategy, D: Defense + ?Sized>(
     let table = AliasTable::new(&alpha).expect("alpha is a distribution");
     let states: Vec<ClusterState> = space.iter().map(|(_, st)| *st).collect();
 
-    let mut des = OverlayDes {
-        params,
-        strategy,
-        defense,
-        rng,
-        process,
-        mix: EventMix::balanced(),
-        nodes: NodeArena::with_capacity(n * (c_size + delta)),
-        core: vec![0; n * c_size],
-        spare: vec![0; n * delta],
-        s: vec![0; n],
-        x: vec![0; n],
-        y: vec![0; n],
-        status: vec![ClusterStatus::Transient; n],
-        safe_ev: vec![0; n],
-        poll_ev: vec![0; n],
-        labels: Vec::with_capacity(n),
-        cluster_bits: config.cluster_bits,
-        pool: Vec::with_capacity(c_size + delta),
-        empty_slots: Vec::with_capacity(c_size),
-        events: 0,
-        max_events: config.max_events.max(1),
-        transient_left: 0,
-        regenerate: config.regenerate,
-        table,
-        states,
-        birth: vec![0.0; n],
-        sample_times: config.sample_times.clone(),
-        next_sample: 0,
-        live_safe: 0,
-        live_polluted: 0,
-        occupancy: Vec::with_capacity(config.sample_times.len()),
-        safe_w: Welford::new(),
-        poll_w: Welford::new(),
-        lifetime_w: Welford::new(),
-        absorption_counts: [0; 4],
-        safe_event_total: 0,
-        poll_event_total: 0,
-        regen_events: 0,
+    // Contiguous partition: shard i owns clusters [i·n/S, (i+1)·n/S), so
+    // concatenating shard outcomes in shard order is cluster order for
+    // every shard count.
+    let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
+    let outcomes: Vec<ShardOutcome> = if shards == 1 {
+        vec![run_shard(
+            params, strategy, defense, config, &table, &states, seed, 0, n, n,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|i| {
+                    let (lo, hi) = (bounds[i], bounds[i + 1]);
+                    let table = &table;
+                    let states = &states[..];
+                    scope.spawn(move || {
+                        run_shard(
+                            params,
+                            strategy,
+                            defense,
+                            config,
+                            table,
+                            states,
+                            seed,
+                            lo,
+                            hi - lo,
+                            n,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DES shard panicked"))
+                .collect()
+        })
     };
-    for c in 0..n {
-        let bits: Vec<bool> = (0..config.cluster_bits)
-            .map(|bit| (c >> (config.cluster_bits - 1 - bit)) & 1 == 1)
-            .collect();
-        des.labels.push(Label::from_bits(bits));
-    }
 
-    // Populate the overlay: each cluster draws its start state from the
-    // initial distribution and materializes concrete members for it.
-    for c in 0..n {
-        let start = des.states[des.table.sample(&mut des.rng)];
-        des.s[c] = start.s as u8;
-        des.x[c] = start.x as u8;
-        des.y[c] = start.y as u8;
-        for slot in 0..c_size {
-            let malicious = slot < start.x;
-            let id = des.draw_id(c);
-            let node = des.nodes.alloc(malicious, id);
-            des.core[c * c_size + slot] = node;
-        }
-        for j in 0..start.s {
-            let malicious = j < start.y;
-            let id = des.draw_id(c);
-            let node = des.nodes.alloc(malicious, id);
-            des.spare[c * delta + j] = node;
-        }
-        des.transient_left += 1;
-        match start.classify(params) {
-            StateClass::TransientSafe => des.live_safe += 1,
-            StateClass::TransientPolluted => des.live_polluted += 1,
-            // Legal only for Custom initial distributions: the cluster
-            // is born absorbed, with zero transient events.
-            _ => des.absorb(c, SimTime::ZERO),
-        }
-    }
-    let initial_nodes = des.nodes.live;
-
-    // Every still-transient cluster gets its first arrival. Without
-    // regeneration, absorbed-at-birth clusters never enter the event
-    // list; with it, they are scheduled too — their first arrival
-    // performs the regeneration, upholding the "overlay never drains"
-    // contract for Custom initial distributions with absorbing mass.
-    // One pending arrival per scheduled cluster is the queue's
-    // invariant, so `n + 1` capacity keeps the hot loop
-    // reallocation-free.
-    let mut sim = Simulation::with_queue_capacity(des, n + 1);
-    for c in 0..n {
-        if sim.handler().regenerate || sim.handler().status[c] == ClusterStatus::Transient {
-            let h = sim.handler_mut();
-            let t0 = h.process.next_after(SimTime::ZERO, &mut h.rng);
-            sim.schedule(t0, c as u32);
-        }
-    }
-
-    sim.run();
-    let end_time = sim.now().value();
-    let mut des = sim.into_handler();
-
-    // Clusters still transient at the event cap are censored: without
-    // regeneration their partial sojourn counts enter the estimates,
-    // exactly as in `simulation::estimate`; with it they are mid-cycle
-    // and the per-cycle summaries keep completed cycles only.
+    // Merge in cluster order: integer tallies sum (order-free), the
+    // moment accumulators merge cluster by cluster (ordered, so the
+    // floating-point result is identical for every contiguous partition).
+    let mut safe_w = Welford::new();
+    let mut poll_w = Welford::new();
+    let mut life_w = Welford::new();
+    let mut events = 0u64;
+    let mut safe_event_total = 0u64;
+    let mut poll_event_total = 0u64;
+    let mut warmup_events = 0u64;
+    let mut measured_cycles = 0u64;
+    let mut regen_events = 0u64;
+    let mut absorption_counts = [0u64; 4];
     let mut censored = 0u64;
-    for c in 0..n {
-        if des.status[c] == ClusterStatus::Transient {
-            if !des.regenerate {
-                des.safe_w.push(f64::from(des.safe_ev[c]));
-                des.poll_w.push(f64::from(des.poll_ev[c]));
-            }
-            censored += 1;
+    let mut initial_nodes = 0u64;
+    let mut peak_nodes = 0u64;
+    let mut end_time = 0.0f64;
+    let mut occ_safe = vec![0u64; config.sample_times.len()];
+    let mut occ_poll = vec![0u64; config.sample_times.len()];
+    let mut shard_events = Vec::with_capacity(shards);
+    let mut shard_seconds = Vec::with_capacity(shards);
+    for o in &outcomes {
+        for w in &o.safe_w {
+            safe_w.merge(w);
         }
+        for w in &o.poll_w {
+            poll_w.merge(w);
+        }
+        for w in &o.life_w {
+            life_w.merge(w);
+        }
+        events += o.events;
+        safe_event_total += o.safe_event_total;
+        poll_event_total += o.poll_event_total;
+        warmup_events += o.warmup_total;
+        measured_cycles += o.measured_cycles;
+        regen_events += o.regen_events;
+        for (acc, &c) in absorption_counts.iter_mut().zip(&o.absorption_counts) {
+            *acc += c;
+        }
+        censored += o.censored;
+        initial_nodes += o.initial_nodes;
+        peak_nodes += o.peak_nodes;
+        end_time = end_time.max(o.end_time);
+        for (acc, &c) in occ_safe.iter_mut().zip(&o.occ_safe) {
+            *acc += c;
+        }
+        for (acc, &c) in occ_poll.iter_mut().zip(&o.occ_poll) {
+            *acc += c;
+        }
+        shard_events.push(o.events);
+        shard_seconds.push(o.seconds);
     }
-    let absorbed: u64 = des.absorption_counts.iter().sum();
-    let denom = absorbed.max(1) as f64;
 
-    DesOverlayReport {
+    // Grid points the run never reached are dropped, exactly as the
+    // single-queue engine dropped points past its last processed event.
+    let occupancy: Vec<(f64, f64, f64)> = config
+        .sample_times
+        .iter()
+        .enumerate()
+        .take_while(|&(_, &t)| t <= end_time && events > 0)
+        .map(|(g, &t)| {
+            (
+                t,
+                occ_safe[g] as f64 / n as f64,
+                occ_poll[g] as f64 / n as f64,
+            )
+        })
+        .collect();
+
+    let absorbed: u64 = absorption_counts.iter().sum();
+    let denom = absorbed.max(1) as f64;
+    let report = DesOverlayReport {
         n_clusters: n,
         initial_nodes,
-        peak_nodes: des.nodes.peak,
-        events: des.events,
+        peak_nodes,
+        events,
         end_time,
-        safe_events: des.safe_w.summary(1.96),
-        polluted_events: des.poll_w.summary(1.96),
-        lifetime: des.lifetime_w.summary(1.96),
+        safe_events: safe_w.summary(1.96),
+        polluted_events: poll_w.summary(1.96),
+        lifetime: life_w.summary(1.96),
         absorption: (
-            des.absorption_counts[0] as f64 / denom,
-            des.absorption_counts[1] as f64 / denom,
-            des.absorption_counts[2] as f64 / denom,
-            des.absorption_counts[3] as f64 / denom,
+            absorption_counts[0] as f64 / denom,
+            absorption_counts[1] as f64 / denom,
+            absorption_counts[2] as f64 / denom,
+            absorption_counts[3] as f64 / denom,
         ),
-        absorption_counts: des.absorption_counts,
+        absorption_counts,
         absorbed,
         censored,
-        safe_event_total: des.safe_event_total,
-        polluted_event_total: des.poll_event_total,
-        regen_events: des.regen_events,
-        occupancy: des.occupancy,
-    }
+        safe_event_total,
+        polluted_event_total: poll_event_total,
+        warmup_events,
+        measured_cycles,
+        regen_events,
+        occupancy,
+    };
+    (
+        report,
+        DesShardStats {
+            shard_events,
+            shard_seconds,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1087,6 +1612,54 @@ mod tests {
         assert_eq!(a, b);
         let c = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &config(6), 12);
         assert_ne!(a.safe_events.mean, c.safe_events.mean);
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical() {
+        // The tentpole contract: shard count changes wall-clock only.
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        for cfg in [
+            config(6),
+            config(6).with_regeneration(),
+            config(6)
+                .with_regeneration()
+                .with_sample_times(vec![0.0, 5.0, 25.0, 1e9]),
+        ] {
+            let one = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 5);
+            for shards in [2usize, 3, 8, 64] {
+                let sharded = run_des_overlay(
+                    &p,
+                    &InitialCondition::Delta,
+                    &strategy,
+                    &cfg.clone().with_shards(shards),
+                    5,
+                );
+                assert_eq!(one, sharded, "shards = {shards}");
+            }
+        }
+        // Shard counts past the cluster count clamp.
+        let tiny = DesOverlayConfig::new(2, 1.0, 400).with_shards(64);
+        let a = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &tiny, 1);
+        assert_eq!(a.n_clusters, 4);
+    }
+
+    #[test]
+    fn shard_stats_partition_the_events() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let cfg = config(7).with_shards(4);
+        let (report, stats) = run_des_overlay_duel_with_stats(
+            &p,
+            &InitialCondition::Delta,
+            &strategy,
+            &NullDefense::new(),
+            &cfg,
+            3,
+        );
+        assert_eq!(stats.shards(), 4);
+        assert_eq!(stats.shard_events.iter().sum::<u64>(), report.events);
+        assert_eq!(stats.shard_events_per_sec().len(), 4);
     }
 
     #[test]
@@ -1167,17 +1740,29 @@ mod tests {
     }
 
     #[test]
-    fn event_cap_censors_and_stops() {
+    fn event_budgets_censor_and_bound_the_run() {
         let p = params(0.2, 0.99);
         let strategy = TargetedStrategy::new(1, 0.1).unwrap();
-        // ~6 events per cluster on average: far too few for most clusters
-        // to absorb, so the cap truncates the run.
+        // ~6 events per cluster: far too few for most clusters to absorb,
+        // so the budgets censor the run.
         let cfg = DesOverlayConfig::new(5, 2.0, 200);
         let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 9);
-        assert_eq!(r.events, 200, "the cap stops the run exactly");
+        // Budgets bound the total exactly from above; clusters absorbing
+        // early return part of theirs.
+        assert!(r.events <= 200, "budget overrun: {}", r.events);
         assert!(r.censored > 0);
         assert_eq!(r.absorbed + r.censored, 32);
         assert!(r.end_time > 0.0);
+        // In regeneration mode no budget is ever returned: the run
+        // processes exactly max_events.
+        let r = run_des_overlay(
+            &p,
+            &InitialCondition::Delta,
+            &strategy,
+            &cfg.clone().with_regeneration(),
+            9,
+        );
+        assert_eq!(r.events, 200, "regeneration consumes every budget");
     }
 
     #[test]
@@ -1202,7 +1787,8 @@ mod tests {
             config(6).with_regeneration(),
             config(6)
                 .with_regeneration()
-                .with_sample_times(vec![5.0, 10.0, 20.0]),
+                .with_sample_times(vec![5.0, 10.0, 20.0])
+                .with_shards(4),
         ] {
             let plain = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 5);
             let duel = run_des_overlay_duel(
@@ -1223,8 +1809,8 @@ mod tests {
         let strategy = TargetedStrategy::new(1, 0.1).unwrap();
         let cfg = DesOverlayConfig::new(9, 1.0, 800 << 9).with_regeneration();
         let r = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 13);
-        // The cap (not drain-out) ends the run, with every cluster live or
-        // awaiting regeneration.
+        // The budgets (not drain-out) end the run, with every cluster
+        // live or awaiting regeneration.
         assert_eq!(r.events, 800 << 9);
         assert!(r.absorbed > 10_000, "cycles: {}", r.absorbed);
         assert!(r.regen_events > 0);
@@ -1232,12 +1818,18 @@ mod tests {
             r.safe_event_total + r.polluted_event_total + r.regen_events,
             r.events
         );
-        // The event fractions match the renewal–reward closed form.
+        // The event fractions match the renewal–reward closed form (this
+        // run has no warm-up, so measured cycles = all cycles).
         let a = ClusterAnalysis::new(&p, InitialCondition::Delta).unwrap();
         let (want_safe, want_poll) = a.steady_state_fractions().unwrap();
         let (got_safe, got_poll) = r.steady_state_fractions();
-        let (lo, hi) =
-            crate::duel::renewal_wilson(r.polluted_event_total, r.events, r.absorbed, 4.0);
+        assert_eq!(r.measured_cycles, r.absorbed);
+        let (lo, hi) = crate::duel::renewal_wilson(
+            r.polluted_event_total,
+            r.events - r.warmup_events,
+            r.measured_cycles,
+            4.0,
+        );
         assert!(
             (lo..=hi).contains(&want_poll),
             "polluted: des {got_poll} ∉ [{lo}, {hi}] around analytic {want_poll}"
@@ -1312,8 +1904,12 @@ mod tests {
         // cycles: T_S = T_P = 0 plus the regeneration event).
         let a = ClusterAnalysis::new(&p, InitialCondition::Custom(r2_alpha(&space))).unwrap();
         let (_, want_poll) = a.steady_state_fractions().unwrap();
-        let (lo, hi) =
-            crate::duel::renewal_wilson(r.polluted_event_total, r.events, r.absorbed, 5.0);
+        let (lo, hi) = crate::duel::renewal_wilson(
+            r.polluted_event_total,
+            r.events - r.warmup_events,
+            r.measured_cycles,
+            5.0,
+        );
         assert!(
             (lo..=hi).contains(&want_poll),
             "polluted ∉ [{lo}, {hi}] around {want_poll}"
@@ -1326,6 +1922,57 @@ mod tests {
         alpha[space.index(&ClusterState::new(0, 0, 0))] = 0.5;
         alpha[space.index(&ClusterState::new(3, 0, 0))] = 0.5;
         alpha
+    }
+
+    #[test]
+    fn warmup_excludes_early_events_without_changing_the_dynamics() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let base = DesOverlayConfig::new(7, 1.0, 400 << 7).with_regeneration();
+        let warmed = base.clone().with_warmup_events(200);
+        let r0 = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &base, 29);
+        let rw = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &warmed, 29);
+        // Warm-up is pure bookkeeping: the sample paths are identical —
+        // same events, sojourn summaries, absorptions and end time.
+        assert_eq!(r0.events, rw.events);
+        assert_eq!(r0.safe_events, rw.safe_events);
+        assert_eq!(r0.absorption_counts, rw.absorption_counts);
+        assert_eq!(r0.end_time, rw.end_time);
+        // Exactly 200 events per cluster moved into the warm-up bucket,
+        // and the event-accounting identity holds on both sides.
+        assert_eq!(rw.warmup_events, 200 << 7);
+        assert_eq!(r0.warmup_events, 0);
+        for r in [&r0, &rw] {
+            assert_eq!(
+                r.safe_event_total + r.polluted_event_total + r.regen_events + r.warmup_events,
+                r.events
+            );
+        }
+        // Measured cycles shrink accordingly but stay plentiful, and the
+        // warmed estimator still matches the closed form.
+        assert!(rw.measured_cycles < r0.measured_cycles);
+        assert_eq!(r0.measured_cycles, r0.absorbed);
+        let a = ClusterAnalysis::new(&p, InitialCondition::Delta).unwrap();
+        let (_, want_poll) = a.steady_state_fractions().unwrap();
+        let (lo, hi) = crate::duel::renewal_wilson(
+            rw.polluted_event_total,
+            rw.events - rw.warmup_events,
+            rw.measured_cycles,
+            5.0,
+        );
+        assert!(
+            (lo..=hi).contains(&want_poll),
+            "[{lo}, {hi}] vs {want_poll}"
+        );
+        // Sharding invariance holds with warm-up in play.
+        let rw8 = run_des_overlay(
+            &p,
+            &InitialCondition::Delta,
+            &strategy,
+            &warmed.clone().with_shards(8),
+            29,
+        );
+        assert_eq!(rw, rw8);
     }
 
     #[test]

@@ -68,23 +68,33 @@ pub struct DuelConfig {
     pub max_events_per_cluster: u64,
     /// Wilson z-quantile of the agreement interval.
     pub sigmas: f64,
+    /// Worker shards of the DES half (see
+    /// [`DesOverlayConfig::shards`]); byte-identical output at any value.
+    pub shards: usize,
 }
 
 impl DuelConfig {
     /// A duel configuration with the default agreement quantile
-    /// (`sigmas = 4`).
+    /// (`sigmas = 4`) and a single DES shard.
     pub fn new(cluster_bits: u32, lambda: f64, max_events_per_cluster: u64) -> Self {
         DuelConfig {
             cluster_bits,
             lambda,
             max_events_per_cluster,
             sigmas: 4.0,
+            shards: 1,
         }
     }
 
     /// Overrides the agreement quantile.
     pub fn with_sigmas(mut self, sigmas: f64) -> Self {
         self.sigmas = sigmas;
+        self
+    }
+
+    /// Sets the DES worker-shard count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -116,7 +126,7 @@ pub fn renewal_wilson(polluted_events: u64, total_events: u64, cycles: u64, z: f
 /// # Errors
 ///
 /// Propagates analysis construction and linear-algebra failures.
-pub fn run_duel<S: Strategy, D: Defense + ?Sized>(
+pub fn run_duel<S: Strategy + Sync, D: Defense + Sync + ?Sized>(
     params: &ModelParams,
     initial: &InitialCondition,
     strategy: &S,
@@ -143,7 +153,7 @@ pub fn run_duel<S: Strategy, D: Defense + ?Sized>(
 /// # Errors
 ///
 /// As [`run_duel`].
-pub fn run_duel_with_baseline<S: Strategy, D: Defense + ?Sized>(
+pub fn run_duel_with_baseline<S: Strategy + Sync, D: Defense + Sync + ?Sized>(
     params: &ModelParams,
     initial: &InitialCondition,
     strategy: &S,
@@ -161,18 +171,25 @@ pub fn run_duel_with_baseline<S: Strategy, D: Defense + ?Sized>(
     let (analytic_safe, analytic_polluted) = analysis.steady_state_fractions()?;
 
     // Measured half: regeneration-mode whole-overlay DES.
+    // Half of every cluster's budget is warm-up: the event-class process
+    // regenerates at absorptions but mixes slowly on sticky parameter
+    // corners, and the fresh-δ transient is safe-heavy — an unwarmed
+    // share under-reports pollution by O(1/budget), which a z = 5
+    // interval over 10⁵ cycles is narrow enough to expose.
     let des_config = DesOverlayConfig::new(
         config.cluster_bits,
         config.lambda,
         config.max_events_per_cluster << config.cluster_bits,
     )
-    .with_regeneration();
+    .with_regeneration()
+    .with_warmup_events(config.max_events_per_cluster / 2)
+    .with_shards(config.shards);
     let report = run_des_overlay_duel(params, initial, strategy, defense, &des_config, seed);
     let (_, des_polluted) = report.steady_state_fractions();
     let (des_lo, des_hi) = renewal_wilson(
         report.polluted_event_total,
-        report.events,
-        report.absorbed,
+        report.events - report.warmup_events,
+        report.measured_cycles,
         config.sigmas,
     );
 

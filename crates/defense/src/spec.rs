@@ -51,12 +51,14 @@ impl DefenseSpec {
         }
     }
 
-    /// Materializes the defense.
+    /// Materializes the defense. The trait object is `Send + Sync` so a
+    /// built defense can be consulted concurrently by the sharded DES
+    /// engine (every shipped mechanism is plain immutable data).
     ///
     /// # Errors
     ///
     /// Propagates the mechanism constructors' validation.
-    pub fn build(&self) -> Result<Box<dyn Defense>, DefenseError> {
+    pub fn build(&self) -> Result<Box<dyn Defense + Send + Sync>, DefenseError> {
         Ok(match self {
             DefenseSpec::Null => Box::new(NullDefense::new()),
             DefenseSpec::InducedChurn { rate } => Box::new(InducedChurn::new(*rate)?),

@@ -1,11 +1,19 @@
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::SimTime;
 
 /// The future-event list: a priority queue ordered by timestamp with FIFO
 /// tie-breaking (events scheduled earlier pop first at equal times), which
 /// keeps simulations deterministic for a fixed seed.
+///
+/// Internally an **index-based 4-ary min-heap** over a flat `Vec`: for the
+/// exponential inter-arrival workloads the simulators generate, a freshly
+/// scheduled event usually lands near the *back* of the time order, so the
+/// dominant cost is the `pop` sift-down. A 4-ary layout halves the sift
+/// depth of the classical binary heap (`log₄ n` levels instead of
+/// `log₂ n`) and keeps each level's four candidate children on one or two
+/// cache lines, trading a few extra comparisons per level for roughly half
+/// the dependent cache misses — a measurable win once the pending-event
+/// set outgrows L1 (the whole-overlay simulations keep one pending arrival
+/// per cluster, i.e. 10⁴–10⁵ entries).
 ///
 /// # Example
 ///
@@ -23,9 +31,15 @@ use crate::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// 4-ary heap: children of slot `i` live at `4i + 1 ..= 4i + 4`.
+    heap: Vec<Entry<E>>,
     next_seq: u64,
 }
+
+/// Heap arity. Four keeps sift depth at `log₄ n` while a whole level of
+/// children (4 × 24-byte entries for a `u32` payload) still spans at most
+/// two cache lines.
+const ARITY: usize = 4;
 
 #[derive(Debug, Clone)]
 struct Entry<E> {
@@ -34,28 +48,15 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so earlier time (then smaller
-        // seq) is "greater".
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    /// Strict `(time, seq)` ordering: the min-heap key.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        match self.time.cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
@@ -63,12 +64,12 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             next_seq: 0,
         }
     }
 
-    /// Creates an empty queue whose backing heap holds `capacity` events
+    /// Creates an empty queue whose backing storage holds `capacity` events
     /// without reallocating.
     ///
     /// Large-scale simulations (one pending arrival per simulated cluster)
@@ -76,12 +77,13 @@ impl<E> EventQueue<E> {
     /// the allocator.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            heap: Vec::with_capacity(capacity),
             next_seq: 0,
         }
     }
 
     /// Number of events the queue can hold without reallocating.
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.heap.capacity()
     }
@@ -96,31 +98,141 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event.
+    #[must_use = "popping discards the event unless the result is consumed"]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("length checked above");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.time, entry.event))
     }
 
     /// Timestamp of the earliest pending event.
+    #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
+    }
+
+    /// The earliest pending event, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.first().map(|e| (e.time, &e.event))
+    }
+
+    /// The events that could become the earliest once the root leaves:
+    /// the root's direct children in the 4-ary layout (up to four, in
+    /// heap order, *not* sorted). Simulation hot loops use this as a
+    /// prefetch hint — the next event to fire is almost always one of
+    /// these or the root's own replacement — so the memory latency of
+    /// the next event's state can overlap with processing the current
+    /// one.
+    pub fn runners_up(&self) -> impl Iterator<Item = &E> {
+        let end = self.heap.len().min(1 + ARITY);
+        self.heap
+            .get(1..end)
+            .unwrap_or(&[])
+            .iter()
+            .map(|e| &e.event)
+    }
+
+    /// Removes and returns the earliest event while scheduling `event` at
+    /// `time` in its place — the fused form of a pop followed by a push.
+    ///
+    /// This is the dominant operation of a simulation whose handlers
+    /// reschedule the entity they just processed (one pending arrival per
+    /// cluster): replacing the root costs a single sift-down instead of a
+    /// sift-down *and* a sift-up, halving the heap work per event. The
+    /// replacement takes the next FIFO sequence number, exactly as a
+    /// `push` would.
+    ///
+    /// Returns `None` (after scheduling `event` as a plain push) when the
+    /// queue was empty.
+    pub fn replace_earliest(&mut self, time: SimTime, event: E) -> Option<(SimTime, E)> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { time, seq, event };
+        match self.heap.first_mut() {
+            None => {
+                self.heap.push(entry);
+                None
+            }
+            Some(root) => {
+                let old = std::mem::replace(root, entry);
+                self.sift_down(0);
+                Some((old.time, old.event))
+            }
+        }
     }
 
     /// Number of pending events.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// `true` when no events are pending.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events, **keeping the backing allocation** so a
+    /// reused queue (the per-shard queues of a sweep running many DES
+    /// cells, say) does not re-allocate on its next fill. Call
+    /// [`EventQueue::shrink_to_fit`] afterwards to actually return the
+    /// memory.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Releases backing capacity down to the current length, so a cleared
+    /// or drained queue stops holding its peak-size allocation.
+    pub fn shrink_to_fit(&mut self) {
+        self.heap.shrink_to_fit();
+    }
+
+    /// Restores the heap invariant upward from `pos` (after a push).
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if self.heap[pos].before(&self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap invariant downward from `pos` (after a pop).
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = pos * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            // Smallest of the (up to four) children.
+            let mut best = first_child;
+            let last_child = (first_child + ARITY).min(len);
+            for child in first_child + 1..last_child {
+                if self.heap[child].before(&self.heap[best]) {
+                    best = child;
+                }
+            }
+            if self.heap[best].before(&self.heap[pos]) {
+                self.heap.swap(pos, best);
+                pos = best;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -155,6 +267,60 @@ mod tests {
     }
 
     #[test]
+    fn fifo_ties_survive_interleaved_distinct_times() {
+        // Ties scheduled around other timestamps must still pop in
+        // scheduling order — the exact semantics the old BinaryHeap
+        // (time, then sequence) ordering provided.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from(2.0), "tie-1");
+        q.push(SimTime::from(1.0), "early");
+        q.push(SimTime::from(2.0), "tie-2");
+        q.push(SimTime::from(3.0), "late");
+        q.push(SimTime::from(2.0), "tie-3");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early", "tie-1", "tie-2", "tie-3", "late"]);
+    }
+
+    #[test]
+    fn matches_reference_sort_on_adversarial_sequences() {
+        // Deterministic pseudo-random push/pop mix, checked against a
+        // stable sort on (time, insertion index) — the queue's contract.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        let mut popped: Vec<usize> = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for i in 0..2000usize {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Coarse times force plenty of exact ties.
+            let t = state >> 59;
+            q.push(SimTime::from(t as f64), i);
+            reference.push((t, i));
+            if state.is_multiple_of(3) {
+                popped.push(q.pop().expect("nonempty").1);
+            }
+        }
+        while let Some((_, e)) = q.pop() {
+            popped.push(e);
+        }
+        // Popping interleaved with pushing is not globally sorted, but the
+        // multiset must match and the final drain must be sorted by
+        // (time, seq) among the events still pending at each point. The
+        // cheap end-to-end check: a full drain-only run agrees with the
+        // stable sort.
+        let mut q2 = EventQueue::new();
+        for &(t, i) in &reference {
+            q2.push(SimTime::from(t as f64), i);
+        }
+        let mut sorted = reference.clone();
+        sorted.sort_by_key(|&(t, i)| (t, i));
+        let drained: Vec<usize> = std::iter::from_fn(|| q2.pop().map(|(_, e)| e)).collect();
+        assert_eq!(drained, sorted.iter().map(|&(_, i)| i).collect::<Vec<_>>());
+        // And the interleaved run loses nothing.
+        popped.sort_unstable();
+        assert_eq!(popped, (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn peek_len_clear() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -168,6 +334,23 @@ mod tests {
     }
 
     #[test]
+    fn clear_keeps_capacity_until_shrunk() {
+        let mut q = EventQueue::with_capacity(256);
+        for i in 0..256 {
+            q.push(SimTime::from(i as f64), i);
+        }
+        let cap = q.capacity();
+        assert!(cap >= 256);
+        q.clear();
+        // Documented behavior: the allocation survives a clear…
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.capacity(), cap);
+        // …and is released by an explicit shrink.
+        q.shrink_to_fit();
+        assert!(q.capacity() < cap);
+    }
+
+    #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
         q.push(SimTime::from(1.0), 1);
@@ -176,5 +359,51 @@ mod tests {
         q.push(SimTime::from(2.0), 2);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn replace_earliest_equals_pop_then_push() {
+        // The fused operation must be observationally identical to
+        // pop-then-push across an adversarial interleaving.
+        let mut fused = EventQueue::new();
+        let mut plain = EventQueue::new();
+        let mut state = 1u64;
+        for i in 0..500usize {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let t = SimTime::from(((state >> 58) & 31) as f64);
+            fused.push(t, i);
+            plain.push(t, i);
+            if state.is_multiple_of(2) && !fused.is_empty() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                let t2 = SimTime::from(((state >> 57) & 63) as f64);
+                let a = fused.replace_earliest(t2, i + 10_000);
+                let b = plain.pop();
+                plain.push(t2, i + 10_000);
+                assert_eq!(a, b);
+            }
+        }
+        let fused_rest: Vec<_> = std::iter::from_fn(|| fused.pop()).collect();
+        let plain_rest: Vec<_> = std::iter::from_fn(|| plain.pop()).collect();
+        assert_eq!(
+            fused_rest.iter().map(|&(t, e)| (t, e)).collect::<Vec<_>>(),
+            plain_rest.iter().map(|&(t, e)| (t, e)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replace_earliest_on_empty_schedules() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.replace_earliest(SimTime::from(1.0), 'a'), None);
+        assert_eq!(q.peek(), Some((SimTime::from(1.0), &'a')));
+        assert_eq!(q.pop(), Some((SimTime::from(1.0), 'a')));
+    }
+
+    #[test]
+    fn single_element_and_empty_pops() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(SimTime::from(1.0), 9);
+        assert_eq!(q.pop(), Some((SimTime::from(1.0), 9)));
+        assert_eq!(q.pop(), None);
     }
 }

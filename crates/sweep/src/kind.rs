@@ -78,9 +78,12 @@ pub enum OutputKind {
         cluster_bits: Vec<u32>,
         /// Per-cluster churn rate of the Poisson arrival streams.
         lambda: f64,
-        /// Event budget per cluster: the run caps at
-        /// `max_events_per_cluster · n` churn events, censoring clusters
-        /// that have not absorbed by then.
+        /// Event budget **per cluster** (the DES distributes its global
+        /// cap as per-cluster budgets): a cluster that has not absorbed
+        /// within its budget is censored with its partial counts. Without
+        /// regeneration an unused budget costs nothing, so validation
+        /// scenarios set this generously to keep the sojourn tail's
+        /// censoring probability negligible.
         max_events_per_cluster: u64,
         /// Slack multiplier on the confidence half-widths (sojourns) and
         /// the Wilson z quantile (absorption) before a mismatch is
@@ -284,12 +287,21 @@ impl OutputKind {
     }
 
     /// Evaluates one cell. `seed` is the cell's deterministic seed; only
-    /// Monte-Carlo kinds consume it.
+    /// Monte-Carlo kinds consume it. `shards` is the worker-shard count
+    /// handed to the whole-overlay DES kinds (the runner passes its own
+    /// thread count, so a `--threads 8` sweep also shards each DES run
+    /// 8 ways) — DES output is byte-identical across shard counts, so
+    /// this affects wall-clock time only, never artefact bytes.
     ///
     /// # Errors
     ///
     /// Propagates model/analysis construction failures.
-    pub fn evaluate(&self, cell: &SweepCell, seed: u64) -> Result<Vec<Vec<Value>>, SweepError> {
+    pub fn evaluate(
+        &self,
+        cell: &SweepCell,
+        seed: u64,
+        shards: usize,
+    ) -> Result<Vec<Vec<Value>>, SweepError> {
         match self {
             OutputKind::Sojourns => {
                 let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
@@ -453,7 +465,8 @@ impl OutputKind {
                 let mut rows = Vec::with_capacity(cluster_bits.len());
                 for (i, &bits) in cluster_bits.iter().enumerate() {
                     let config =
-                        DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits);
+                        DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits)
+                            .with_shards(shards);
                     // Each overlay size gets its own stream derived from
                     // the cell seed, so adding a size never perturbs the
                     // others.
@@ -516,10 +529,15 @@ impl OutputKind {
                     })?;
                 let mut rows = Vec::with_capacity(cluster_bits.len());
                 for (i, &bits) in cluster_bits.iter().enumerate() {
+                    // Half the budget is warm-up (see `pollux::duel`): the
+                    // fresh-δ transient is safe-heavy, and an unwarmed
+                    // share biases the measured pollution low.
                     let config =
                         DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits)
                             .with_regeneration()
-                            .with_sample_times(sample_times.clone());
+                            .with_warmup_events(max_events_per_cluster / 2)
+                            .with_sample_times(sample_times.clone())
+                            .with_shards(shards);
                     let r = run_des_overlay(
                         &cell.params,
                         &cell.initial,
@@ -528,8 +546,12 @@ impl OutputKind {
                         replication_seed(seed, i as u64),
                     );
                     let (des_safe, des_poll) = r.steady_state_fractions();
-                    let (lo, hi) =
-                        renewal_wilson(r.polluted_event_total, r.events, r.absorbed, *sigmas);
+                    let (lo, hi) = renewal_wilson(
+                        r.polluted_event_total,
+                        r.events - r.warmup_events,
+                        r.measured_cycles,
+                        *sigmas,
+                    );
                     let mean_live_polluted = if r.occupancy.is_empty() {
                         0.0
                     } else {
@@ -577,6 +599,7 @@ impl OutputKind {
                     lambda: *lambda,
                     max_events_per_cluster: *max_events_per_cluster,
                     sigmas: *sigmas,
+                    shards,
                 };
                 let mut rows = Vec::with_capacity(defenses.len());
                 for (i, spec) in defenses.iter().enumerate() {
@@ -738,7 +761,7 @@ mod tests {
     #[test]
     fn sojourns_match_direct_analysis() {
         let cell = paper_cell();
-        let rows = OutputKind::Sojourns.evaluate(&cell, 0).unwrap();
+        let rows = OutputKind::Sojourns.evaluate(&cell, 0, 1).unwrap();
         assert_eq!(rows.len(), 1);
         let a = ClusterAnalysis::new(&cell.params, cell.initial.clone()).unwrap();
         assert_eq!(
@@ -753,7 +776,9 @@ mod tests {
 
     #[test]
     fn absorption_rows_sum_to_one() {
-        let rows = OutputKind::Absorption.evaluate(&paper_cell(), 0).unwrap();
+        let rows = OutputKind::Absorption
+            .evaluate(&paper_cell(), 0, 1)
+            .unwrap();
         let total = rows[0][4].as_f64().unwrap();
         assert!((total - 1.0).abs() < 1e-8, "total {total}");
     }
@@ -810,7 +835,7 @@ mod tests {
             },
         ];
         for kind in kinds {
-            let rows = kind.evaluate(&cell, 7).unwrap();
+            let rows = kind.evaluate(&cell, 7, 1).unwrap();
             assert!(!rows.is_empty());
             for row in &rows {
                 assert_eq!(row.len(), kind.columns().len(), "{kind:?}");
@@ -827,12 +852,12 @@ mod tests {
             max_events_per_cluster: 100,
             sigmas: 4.0,
         };
-        let rows = kind.evaluate(&cell, 17).unwrap();
+        let rows = kind.evaluate(&cell, 17, 1).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0].as_f64().unwrap(), 64.0);
         assert_eq!(rows[1][0].as_f64().unwrap(), 256.0);
-        assert_eq!(rows, kind.evaluate(&cell, 17).unwrap());
-        assert_ne!(rows, kind.evaluate(&cell, 18).unwrap());
+        assert_eq!(rows, kind.evaluate(&cell, 17, 1).unwrap());
+        assert_ne!(rows, kind.evaluate(&cell, 18, 1).unwrap());
         assert!(kind.is_monte_carlo());
     }
 
@@ -842,10 +867,10 @@ mod tests {
         let kind = OutputKind::DesValidation {
             cluster_bits: vec![11],
             lambda: 1.0,
-            max_events_per_cluster: 200,
+            max_events_per_cluster: 2_000,
             sigmas: 4.0,
         };
-        let rows = kind.evaluate(&cell, 5).unwrap();
+        let rows = kind.evaluate(&cell, 5, 1).unwrap();
         let cols = kind.columns();
         let ok_at = cols.iter().position(|c| c == "ok").unwrap();
         assert_eq!(rows[0][ok_at].as_bool(), Some(true), "rows: {rows:?}");
@@ -856,7 +881,7 @@ mod tests {
     #[test]
     fn scaling_kind_matches_direct_analysis_and_reports_pipeline() {
         let cell = paper_cell();
-        let rows = OutputKind::StateSpaceScaling.evaluate(&cell, 0).unwrap();
+        let rows = OutputKind::StateSpaceScaling.evaluate(&cell, 0, 1).unwrap();
         assert_eq!(rows.len(), 1);
         let cols = OutputKind::StateSpaceScaling.columns();
         let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
@@ -890,8 +915,8 @@ mod tests {
             sample_times: vec![0.0, 50.0, 100.0],
             sigmas: 5.0,
         };
-        let rows = kind.evaluate(&cell, 3).unwrap();
-        assert_eq!(rows, kind.evaluate(&cell, 3).unwrap());
+        let rows = kind.evaluate(&cell, 3, 1).unwrap();
+        assert_eq!(rows, kind.evaluate(&cell, 3, 1).unwrap());
         assert_eq!(rows.len(), 1);
         let cols = kind.columns();
         let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
@@ -908,7 +933,7 @@ mod tests {
             sigmas: 4.0,
         };
         assert!(matches!(
-            bad.evaluate(&cell, 0),
+            bad.evaluate(&cell, 0, 1),
             Err(SweepError::InvalidScenario(_))
         ));
     }
@@ -934,7 +959,7 @@ mod tests {
             max_events_per_cluster: 300,
             sigmas: 5.0,
         };
-        let rows = kind.evaluate(&cell, 9).unwrap();
+        let rows = kind.evaluate(&cell, 9, 1).unwrap();
         assert_eq!(rows.len(), 2);
         let cols = kind.columns();
         let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
@@ -966,7 +991,7 @@ mod tests {
             rates: vec![0.0, 0.05, 0.1, 0.2, 0.4],
             threshold: 0.01,
         };
-        let rows = kind.evaluate(&cell, 0).unwrap();
+        let rows = kind.evaluate(&cell, 0, 1).unwrap();
         let cols = kind.columns();
         let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
         assert_eq!(rows[0][at("found")].as_bool(), Some(true));
@@ -976,7 +1001,7 @@ mod tests {
         assert!(!kind.is_monte_carlo());
         assert_eq!(
             rows,
-            kind.evaluate(&cell, 77).unwrap(),
+            kind.evaluate(&cell, 77, 1).unwrap(),
             "analytic: seed-free"
         );
         // An unreachable threshold reports found = false with sentinels.
@@ -984,7 +1009,7 @@ mod tests {
             rates: vec![0.0, 0.01],
             threshold: 1e-9,
         };
-        let rows = none.evaluate(&cell, 0).unwrap();
+        let rows = none.evaluate(&cell, 0, 1).unwrap();
         assert_eq!(rows[0][at("found")].as_bool(), Some(false));
         assert_eq!(rows[0][at("frontier_rate")].as_f64(), Some(-1.0));
         // Unsorted grids are rejected.
@@ -993,7 +1018,7 @@ mod tests {
             threshold: 0.05,
         };
         assert!(matches!(
-            bad.evaluate(&cell, 0),
+            bad.evaluate(&cell, 0, 1),
             Err(SweepError::InvalidScenario(_))
         ));
     }
@@ -1006,8 +1031,8 @@ mod tests {
             sigmas: 3.0,
         };
         assert_eq!(
-            kind.evaluate(&cell, 99).unwrap(),
-            kind.evaluate(&cell, 99).unwrap()
+            kind.evaluate(&cell, 99, 1).unwrap(),
+            kind.evaluate(&cell, 99, 1).unwrap()
         );
         assert!(kind.is_monte_carlo());
         assert!(!OutputKind::Sojourns.is_monte_carlo());

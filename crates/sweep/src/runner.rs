@@ -123,8 +123,9 @@ impl SweepRunner {
         drop(job_tx);
         let job_rx = Mutex::new(job_rx);
 
+        let threads = self.threads;
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n_jobs.max(1)) {
+            for _ in 0..threads.min(n_jobs.max(1)) {
                 let job_rx = &job_rx;
                 let result_tx = result_tx.clone();
                 scope.spawn(move || loop {
@@ -134,7 +135,11 @@ impl SweepRunner {
                         Ok(job) => job,
                         Err(_) => break,
                     };
-                    let rows = job.scenario.kind.evaluate(&job.cell, job.seed);
+                    // The runner's thread count doubles as the DES shard
+                    // count: a sweep with few, large DES cells still uses
+                    // every core, and shard-invariance keeps the bytes
+                    // independent of it.
+                    let rows = job.scenario.kind.evaluate(&job.cell, job.seed, threads);
                     let keyed = rows.map(|rows| {
                         rows.into_iter()
                             .map(|row| {

@@ -3,17 +3,24 @@
 //! Runs `pollux::des_overlay` at 10⁵ and ~1.3·10⁶ nodes and prints the
 //! measured sojourn/absorption statistics next to the Markov chain's
 //! predictions — the cross-validation loop behind the `des_validate`
-//! sweep scenarios, plus wall-clock throughput (events per second).
+//! sweep scenarios — plus wall-clock throughput (events per second),
+//! single-shard and sharded: per-shard and aggregate rates, so a
+//! multi-core run finally yields a worker-pool scaling number (see
+//! `BENCH_des.json` for the recorded trajectory).
 //!
 //! ```text
 //! cargo run --release --example des_at_scale
 //! ```
+//!
+//! The shard count defaults to the machine's available parallelism;
+//! override it with `POLLUX_DES_SHARDS=N`.
 
 use std::time::Instant;
 
-use pollux::des_overlay::{run_des_overlay, DesOverlayConfig};
+use pollux::des_overlay::{run_des_overlay, run_des_overlay_duel_with_stats, DesOverlayConfig};
 use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
 use pollux_adversary::TargetedStrategy;
+use pollux_defense::NullDefense;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ModelParams::paper_defaults().with_mu(0.25).with_d(0.9);
@@ -23,12 +30,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e_tp = analysis.expected_polluted_events()?;
     let amp = analysis.absorption_split()?.polluted_merge;
 
+    let shards = std::env::var("POLLUX_DES_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+
     println!("model: {params}");
     println!("markov: E(T_S) = {e_ts:.4}  E(T_P) = {e_tp:.4}  p(AmP) = {amp:.4}\n");
 
     for bits in [14u32, 17] {
-        // ≈ enough events for every cluster to absorb.
-        let config = DesOverlayConfig::new(bits, 1.0, 60 << bits);
+        // A generous per-cluster budget: E(T) ≈ 13 events, and unused
+        // budget costs nothing without regeneration, so 3 000 per cluster
+        // keeps the censoring probability of the sojourn tail negligible.
+        let config = DesOverlayConfig::new(bits, 1.0, 3_000 << bits);
         let start = Instant::now();
         let r = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &config, 2011);
         let secs = start.elapsed().as_secs_f64();
@@ -41,11 +60,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.safe_events, r.polluted_events, r.absorption.2, r.censored
         );
         println!(
-            "  {} events in {:.2} s — {:.1}M events/s, end time {:.1}\n",
+            "  1 shard:   {} events in {:.2} s — {:.1}M events/s, end time {:.1}",
             r.events,
             secs,
             r.events as f64 / secs / 1e6,
             r.end_time
+        );
+
+        // The same run sharded: byte-identical report, scaled wall clock.
+        let start = Instant::now();
+        let (sharded, stats) = run_des_overlay_duel_with_stats(
+            &params,
+            &InitialCondition::Delta,
+            &strategy,
+            &NullDefense::new(),
+            &config.clone().with_shards(shards),
+            2011,
+        );
+        let sharded_secs = start.elapsed().as_secs_f64();
+        assert_eq!(r, sharded, "sharding must never change the bytes");
+        let per_shard: Vec<String> = stats
+            .shard_events_per_sec()
+            .iter()
+            .map(|rate| format!("{:.2}M", rate / 1e6))
+            .collect();
+        println!(
+            "  {} shards:  {:.2} s aggregate — {:.1}M events/s ({:.2}x), per shard [{}] events/s\n",
+            stats.shards(),
+            sharded_secs,
+            sharded.events as f64 / sharded_secs / 1e6,
+            secs / sharded_secs,
+            per_shard.join(", "),
         );
     }
     Ok(())

@@ -95,10 +95,14 @@ fn duel_sweep_artifacts_are_byte_identical_across_threads_and_reruns() {
         .cells()
         .unwrap()
         .remove(0);
-    let rows = scenario.kind.evaluate(&cell, 123).unwrap();
+    let rows = scenario.kind.evaluate(&cell, 123, 1).unwrap();
     let params = paper_params(0.25, 0.9);
     let strategy = TargetedStrategy::new(1, 0.1).unwrap();
-    let config = DesOverlayConfig::new(6, 1.0, 200 << 6).with_regeneration();
+    // The duel kind warms up half of each cluster's budget; replicate
+    // that exactly to reproduce its measurement bit-for-bit.
+    let config = DesOverlayConfig::new(6, 1.0, 200 << 6)
+        .with_regeneration()
+        .with_warmup_events(100);
     let free = run_des_overlay(
         &params,
         &InitialCondition::Delta,

@@ -1,9 +1,19 @@
 //! Repo-level acceptance tests for the whole-overlay discrete-event
 //! simulator: the registry's `des_validate` scenario (10⁵⁺ nodes at its
-//! largest overlay size) must be byte-identical across thread counts and
-//! must agree with the Markov model within its statistical tolerances.
+//! largest overlay size) must be byte-identical across thread counts —
+//! which, since the runner's thread count now also shards each DES run,
+//! exercises the sharded engine end-to-end — and must agree with the
+//! Markov model within its statistical tolerances. A property test
+//! additionally pins [`pollux::des_overlay`]'s shard-invariance contract
+//! (byte-identical `DesOverlayReport`s at 1, 2 and 8 shards, with and
+//! without a defense in the loop) across random `(C, Δ, k, μ, d)` draws.
 
+use pollux::des_overlay::{run_des_overlay, run_des_overlay_duel, DesOverlayConfig};
+use pollux::{InitialCondition, ModelParams};
+use pollux_adversary::TargetedStrategy;
+use pollux_defense::IncarnationRefresh;
 use pollux_sweep::{registry, SweepRunner};
+use proptest::prelude::*;
 
 #[test]
 fn registry_des_validate_is_byte_identical_across_threads_and_agrees() {
@@ -45,4 +55,63 @@ fn registry_des_validate_is_byte_identical_across_threads_and_agrees() {
         .rows
         .iter()
         .all(|r| r[censored_col].as_f64() == Some(0.0)));
+}
+
+/// Random model parameters small enough for fast debug-build DES runs.
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (
+        3usize..=7,
+        3usize..=8,
+        0.0f64..0.5,
+        0.0f64..0.95,
+        0.01f64..0.5,
+    )
+        .prop_flat_map(|(c, delta, mu, d, nu)| {
+            (1usize..=c).prop_map(move |k| {
+                ModelParams::new(c, delta, k)
+                    .expect("generated sizes are valid")
+                    .with_mu(mu)
+                    .with_d(d)
+                    .with_nu(nu)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded-DES determinism contract: per-cluster counter-seeded
+    /// streams make every report a function of `(inputs, seed)` alone, so
+    /// shard counts 1, 2 and 8 must produce byte-identical reports — in
+    /// plain runs, in regeneration mode with an occupancy grid, and with
+    /// a randomness-consuming defense in the loop.
+    #[test]
+    fn des_reports_are_byte_identical_across_shard_counts(
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let strategy = TargetedStrategy::new(params.k(), params.nu())
+            .expect("k and nu come from valid draws");
+        let defense = IncarnationRefresh::new(8.0, 0.5).expect("valid defense");
+        let plain = DesOverlayConfig::new(4, 1.0, 150 << 4);
+        let regen = DesOverlayConfig::new(4, 1.0, 150 << 4)
+            .with_regeneration()
+            .with_sample_times(vec![0.0, 3.0, 40.0, 1e9]);
+        for cfg in [plain, regen] {
+            let one = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &cfg, seed);
+            let one_duel = run_des_overlay_duel(
+                &params, &InitialCondition::Delta, &strategy, &defense, &cfg, seed,
+            );
+            for shards in [2usize, 8] {
+                let cfg_n = cfg.clone().with_shards(shards);
+                let many =
+                    run_des_overlay(&params, &InitialCondition::Delta, &strategy, &cfg_n, seed);
+                prop_assert_eq!(&one, &many, "shards = {}", shards);
+                let many_duel = run_des_overlay_duel(
+                    &params, &InitialCondition::Delta, &strategy, &defense, &cfg_n, seed,
+                );
+                prop_assert_eq!(&one_duel, &many_duel, "duel shards = {}", shards);
+            }
+        }
+    }
 }
