@@ -3,9 +3,9 @@
 //! counterpart of `BENCH_markov.json`.
 //!
 //! Drives `pollux::des_overlay` over the `des_at_scale` ladder
-//! (2¹⁴ = 16k and 2¹⁷ = 131k clusters, ≈1.6·10⁵ and ≈1.3·10⁶ nodes,
-//! the absorption workload: every cluster runs to absorption under a
-//! non-binding per-cluster budget, no regeneration) and records
+//! (2¹⁴ = 16k, 2¹⁷ = 131k and 2²⁰ ≈ 1M clusters — ≈1.6·10⁵ to ≈10⁷
+//! nodes — the absorption workload: every cluster runs to absorption
+//! under a non-binding per-cluster budget, no regeneration) and records
 //! events/second:
 //!
 //! * **single shard** — the raw hot-loop number, comparable against the
@@ -19,6 +19,13 @@
 //! Both runs must produce byte-identical reports (asserted here, on top
 //! of the test suite).
 //!
+//! Each rung also records a `memory` block: the exact analytic byte
+//! audit from `pollux::des_overlay::des_memory_audit` (arena, hot
+//! records, membership, event queue, accumulators → **bytes per node**,
+//! identical across platforms) plus the kernel's `VmHWM` peak RSS. Peak
+//! RSS is monotonic over the process, so it reflects the largest rung
+//! run *so far*; per-rung structure sizes come from the audit.
+//!
 //! Environment switches:
 //!
 //! * `POLLUX_BENCH_QUICK=1` — CI smoke: 16k clusters only, two samples.
@@ -29,8 +36,8 @@
 use std::time::Instant;
 
 use pollux::des_overlay::{
-    run_des_overlay, run_des_overlay_duel_with_stats, DesOverlayConfig, DesOverlayReport,
-    DesShardStats,
+    des_memory_audit, run_des_overlay, run_des_overlay_duel_with_stats, DesOverlayConfig,
+    DesOverlayReport, DesShardStats,
 };
 use pollux::{InitialCondition, ModelParams};
 use pollux_adversary::TargetedStrategy;
@@ -54,6 +61,9 @@ struct LadderPoint {
     sharded_s: f64,
     sharded_rate: f64,
     per_shard_rates: Vec<f64>,
+    bytes_per_node: f64,
+    audit_json: String,
+    peak_rss_bytes: Option<u64>,
 }
 
 fn json_f64(v: f64) -> String {
@@ -111,7 +121,7 @@ fn time_sharded(
 
 fn main() {
     let quick = std::env::var_os("POLLUX_BENCH_QUICK").is_some();
-    let ladder: &[u32] = if quick { &[14] } else { &[14, 17] };
+    let ladder: &[u32] = if quick { &[14] } else { &[14, 17, 20] };
     let samples = if quick { 2 } else { 3 };
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -134,6 +144,7 @@ fn main() {
             time_sharded(&params, &strategy, &sharded_config, samples);
         assert_eq!(single, sharded, "sharding must never change the bytes");
 
+        let audit = des_memory_audit(&params, &config);
         let point = LadderPoint {
             bits,
             clusters: single.n_clusters,
@@ -145,6 +156,10 @@ fn main() {
             sharded_s,
             sharded_rate: sharded.events as f64 / sharded_s,
             per_shard_rates: stats.shard_events_per_sec(),
+            bytes_per_node: audit.bytes_per_node(),
+            audit_json: audit.to_json(),
+            // Read *after* the rung's runs so it covers them; monotonic.
+            peak_rss_bytes: pollux_obs::mem::peak_rss_bytes(),
         };
         let per_shard: Vec<String> = point
             .per_shard_rates
@@ -164,6 +179,14 @@ fn main() {
             point.sharded_s,
             point.single_s / point.sharded_s,
             per_shard.join(", "),
+        );
+        println!(
+            "    memory: {:.1} B/node audited, peak RSS {}",
+            point.bytes_per_node,
+            point.peak_rss_bytes.map_or("n/a".to_string(), |b| format!(
+                "{:.1} MiB",
+                b as f64 / (1024.0 * 1024.0)
+            )),
         );
         points.push(point);
     }
@@ -185,11 +208,15 @@ fn main() {
     let mut rows = Vec::new();
     for p in &points {
         let per_shard: Vec<String> = p.per_shard_rates.iter().map(|&r| json_f64(r)).collect();
+        let peak = p
+            .peak_rss_bytes
+            .map_or("null".to_string(), |b| b.to_string());
         rows.push(format!(
             "    {{\"cluster_bits\": {}, \"clusters\": {}, \"nodes\": {}, \"events\": {}, \
              \"single_shard_s\": {}, \"single_shard_events_per_s\": {}, \"shards\": {}, \
              \"sharded_s\": {}, \"sharded_events_per_s\": {}, \
-             \"per_shard_events_per_s\": [{}]}}",
+             \"per_shard_events_per_s\": [{}], \
+             \"memory\": {{\"bytes_per_node\": {}, \"peak_rss_bytes\": {}, \"audit\": {}}}}}",
             p.bits,
             p.clusters,
             p.nodes,
@@ -200,6 +227,9 @@ fn main() {
             json_f64(p.sharded_s),
             json_f64(p.sharded_rate),
             per_shard.join(", "),
+            json_f64(p.bytes_per_node),
+            peak,
+            p.audit_json,
         ));
     }
     let json = format!(

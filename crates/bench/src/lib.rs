@@ -114,16 +114,38 @@ pub fn report_banner(report: &SweepReport, default_name: &str, title: &str) {
 }
 
 /// Runs a binary's scenarios as one pooled sweep and emits artefacts to
-/// `--out-dir` when set. Exits the process with a message on failure.
+/// `--out-dir` when set. Under `--metrics-dir` each scenario also gets a
+/// `<name>.metrics.json` instrumentation sidecar (populated only by
+/// builds with the `metrics` cargo feature; sidecars carry wall times,
+/// which is why they live outside the determinism-diffed `--out-dir`).
+/// Exits the process with a message on failure.
 pub fn run_and_emit(args: &SweepArgs, defaults: &[&str]) -> Vec<SweepReport> {
     let run = || -> Result<Vec<SweepReport>, SweepError> {
         let scenarios = resolve_scenarios(args, defaults)?;
-        let reports = args.runner().run_all(&scenarios)?;
+        let (reports, obs) = args.runner().run_all_observed(&scenarios)?;
         if let Some(dir) = &args.out_dir {
             for report in &reports {
                 for path in pollux_sweep::write_report(report, dir, args.format)? {
                     println!("wrote {}", path.display());
                 }
+            }
+        }
+        if let Some(dir) = &args.metrics_dir {
+            if !pollux_obs::METRICS_ENABLED {
+                eprintln!(
+                    "note: --metrics-dir set but this build lacks the `metrics` \
+                     cargo feature; sidecars will be empty"
+                );
+            }
+            std::fs::create_dir_all(dir)?;
+            for sidecar in &obs {
+                let mut report = pollux_obs::ObsReport::new(&sidecar.scenario);
+                report.set_u64("threads", args.runner().threads() as u64);
+                report.set_u64("seed", args.seed.unwrap_or(pollux_sweep::DEFAULT_SEED));
+                report.merge_registry(&sidecar.registry);
+                let path = dir.join(format!("{}.metrics.json", sidecar.scenario));
+                report.write_json(&path)?;
+                println!("wrote {}", path.display());
             }
         }
         Ok(reports)

@@ -140,6 +140,10 @@ use pollux_des::churn::{ChurnKind, EventMix};
 use pollux_des::replication::replication_seed;
 use pollux_des::stats::{Summary, Welford};
 use pollux_des::{EventQueue, SimTime};
+use pollux_obs::mem::MemoryAudit;
+use pollux_obs::{
+    DesEventKind, MetricsRecorder, NullRecorder, Recorder, Registry, TraceRecord, TraceRing,
+};
 #[cfg(debug_assertions)]
 use pollux_overlay::Label;
 use pollux_overlay::NodeId;
@@ -482,8 +486,11 @@ struct ShardOutcome {
 }
 
 /// One worker shard: clusters `[lo, lo + count)` of the overlay,
-/// structure-of-arrays, with a local future-event list.
-struct ShardSim<'a, S: Strategy, D: Defense + ?Sized> {
+/// structure-of-arrays, with a local future-event list. Generic over a
+/// [`Recorder`] so the observed and unobserved hot loops are separate
+/// monomorphizations: with [`NullRecorder`] every recording call inlines
+/// to nothing and the loop is the uninstrumented machine code.
+struct ShardSim<'a, S: Strategy, D: Defense + ?Sized, R: Recorder> {
     params: &'a ModelParams,
     strategy: &'a S,
     defense: &'a D,
@@ -529,9 +536,13 @@ struct ShardSim<'a, S: Strategy, D: Defense + ?Sized> {
     life_w: Vec<Welford>,
     occ_safe: Vec<u64>,
     occ_poll: Vec<u64>,
+    /// The shard's private recorder — consulted only *after* an event's
+    /// effects are committed, never drawing randomness (the inertness
+    /// contract of `pollux-obs`).
+    rec: R,
 }
 
-impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
+impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
     fn c_size(&self) -> usize {
         self.params.core_size()
     }
@@ -719,7 +730,10 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
     /// defense hooks gate in exactly the chain builder's three places;
     /// neutral hooks consume no randomness, so a [`NullDefense`] run's
     /// RNG streams are bit-identical to a defense-free run's.
-    fn churn_event(&mut self, l: usize) {
+    ///
+    /// Returns what happened, for the event-kind tallies and the tracer;
+    /// the return value never feeds back into the dynamics.
+    fn churn_event(&mut self, l: usize) -> DesEventKind {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
@@ -736,7 +750,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
         let eta = self.defense.induced_churn(&view);
         if eta > 0.0 && self.hot[l].rng.random_bool(eta.clamp(0.0, 1.0)) {
             self.induced_eviction(l, polluted, toggles);
-            return;
+            return DesEventKind::InducedEviction;
         }
         let d_eff = effective_survival(self.defense, &view, self.params.d());
 
@@ -747,7 +761,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                 // defense may drop the join before the cluster sees it.
                 let g = effective_join_admission(self.defense, &view);
                 if g < 1.0 && !self.hot[l].rng.random_bool(g.clamp(0.0, 1.0)) {
-                    return;
+                    return DesEventKind::JoinRejected;
                 }
                 let malicious = mu > 0.0 && self.hot[l].rng.random_bool(mu);
                 let accept = if polluted && toggles.rule2 {
@@ -768,6 +782,9 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                     if malicious {
                         h.y += 1;
                     }
+                    DesEventKind::Join
+                } else {
+                    DesEventKind::JoinRejected
                 }
             }
             ChurnKind::Leave => {
@@ -782,6 +799,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                         let node = self.take_spare(l, j);
                         self.nodes.release(node);
                         self.hot[l].s -= 1;
+                        DesEventKind::Leave
                     } else if !self.survives(l, d_eff, y) {
                         // Property 1 (or the defense's incarnation
                         // refresh) forces the expired identifier out.
@@ -790,16 +808,20 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                         let h = &mut self.hot[l];
                         h.s -= 1;
                         h.y -= 1;
+                        DesEventKind::Leave
+                    } else {
+                        // A valid malicious spare refuses to leave.
+                        DesEventKind::SelfLoop
                     }
-                    // A valid malicious spare refuses to leave: self-loop.
                 } else {
-                    self.core_leave(l, r, polluted, toggles, d_eff);
+                    self.core_leave(l, r, polluted, toggles, d_eff)
                 }
             }
         }
     }
 
-    /// Handles a leave event that selected core slot `r`.
+    /// Handles a leave event that selected core slot `r`, reporting
+    /// whether a member actually departed or the event self-looped.
     fn core_leave(
         &mut self,
         l: usize,
@@ -807,7 +829,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
         polluted: bool,
         toggles: AdversaryToggles,
         d_eff: f64,
-    ) {
+    ) -> DesEventKind {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
@@ -835,6 +857,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                 self.maintenance(l, r);
             }
             self.hot[l].s -= 1;
+            DesEventKind::Leave
         } else if !self.survives(l, d_eff, x) {
             // A malicious core member whose identifier expired is forced
             // out by Property 1.
@@ -855,6 +878,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                 self.maintenance(l, r);
             }
             self.hot[l].s -= 1;
+            DesEventKind::Leave
         } else if !polluted && toggles.rule1 {
             // A valid malicious core member of a safe cluster may leave
             // voluntarily (Rule 1) to re-roll the maintenance dice.
@@ -865,9 +889,14 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                 self.hot[l].x -= 1;
                 self.maintenance(l, r);
                 self.hot[l].s -= 1;
+                DesEventKind::Leave
+            } else {
+                DesEventKind::SelfLoop
             }
+        } else {
+            // A valid malicious core member otherwise stays: self-loop.
+            DesEventKind::SelfLoop
         }
-        // A valid malicious core member otherwise stays: self-loop.
     }
 
     /// The defense's forced eviction of a uniformly chosen member of
@@ -1110,7 +1139,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
             self.events += 1;
             self.hot[li].budget -= 1;
 
-            if self.hot[li].status != ClusterStatus::Transient {
+            let kind = if self.hot[li].status != ClusterStatus::Transient {
                 // Only regeneration mode schedules absorbed clusters:
                 // this arrival is consumed by the re-seed (the
                 // renewal–reward "+1" event, counted toward neither
@@ -1124,6 +1153,7 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                     self.regen_events += 1;
                 }
                 self.seed_cluster(li, t);
+                DesEventKind::Regeneration
             } else {
                 // The event counts toward the sojourn of the class it
                 // lands in (the same accounting as the single-cluster
@@ -1146,10 +1176,34 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                         self.safe_event_total += 1;
                     }
                 }
-                self.churn_event(li);
+                let kind = self.churn_event(li);
                 let s = self.hot[li].s as usize;
                 if s == 0 || s == delta {
                     self.absorb(li, t);
+                }
+                kind
+            };
+
+            // Observation — strictly after the event's effects committed
+            // (the inertness contract): tally the kind, trace the
+            // post-event state, and tally an absorption when this event
+            // closed the cluster. With `NullRecorder` every line below
+            // compiles away.
+            {
+                let c = (self.lo + li) as u32;
+                let (x, y, absorbed_now) = {
+                    let h = &self.hot[li];
+                    (
+                        u32::from(h.x),
+                        u32::from(h.y),
+                        h.status != ClusterStatus::Transient,
+                    )
+                };
+                self.rec.add(kind.counter_key(), 1);
+                self.rec.trace(tv, c, kind, x, y);
+                if absorbed_now {
+                    self.rec.add(DesEventKind::Absorption.counter_key(), 1);
+                    self.rec.trace(tv, c, DesEventKind::Absorption, x, y);
                 }
             }
 
@@ -1169,8 +1223,10 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
 
     /// Finishes the shard: censors still-transient clusters, freezes the
     /// occupancy contribution of clusters whose stream ended before the
-    /// grid did, and packages the outcome.
-    fn into_outcome(mut self, seconds: f64) -> ShardOutcome {
+    /// grid did, and packages the outcome together with the shard's
+    /// recorder (returned separately — observation data never enters the
+    /// byte-stable outcome).
+    fn into_outcome(mut self, seconds: f64) -> (ShardOutcome, R) {
         let grid_len = self.sample_times.len();
         let quorum = self.params.quorum();
         let mut censored = 0u64;
@@ -1210,7 +1266,12 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
                 self.hot[l].next_sample = grid_len as u32;
             }
         }
-        ShardOutcome {
+        // Per-shard utilization: busy seconds and the shard's share of
+        // the event total — the data the ROADMAP's work-stealing item
+        // needs to decide whether shard imbalance is worth stealing.
+        self.rec.span("des.shard.busy_s", seconds);
+        self.rec.observe("des.shard.events", self.events);
+        let outcome = ShardOutcome {
             events: self.events,
             safe_event_total: self.safe_event_total,
             poll_event_total: self.poll_event_total,
@@ -1228,14 +1289,15 @@ impl<S: Strategy, D: Defense + ?Sized> ShardSim<'_, S, D> {
             occ_safe: self.occ_safe,
             occ_poll: self.occ_poll,
             seconds,
-        }
+        };
+        (outcome, self.rec)
     }
 }
 
 /// Builds, runs and packages one shard covering global clusters
-/// `[lo, lo + count)`.
+/// `[lo, lo + count)`, observing through `rec`.
 #[allow(clippy::too_many_arguments)]
-fn run_shard<S: Strategy, D: Defense + ?Sized>(
+fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
     params: &ModelParams,
     strategy: &S,
     defense: &D,
@@ -1246,7 +1308,8 @@ fn run_shard<S: Strategy, D: Defense + ?Sized>(
     lo: usize,
     count: usize,
     n_total: usize,
-) -> ShardOutcome {
+    rec: R,
+) -> (ShardOutcome, R) {
     let c_size = params.core_size();
     let delta = params.max_spare();
     let base_budget = config.max_events / n_total as u64;
@@ -1286,6 +1349,7 @@ fn run_shard<S: Strategy, D: Defense + ?Sized>(
         life_w: vec![Welford::new(); count],
         occ_safe: vec![0; config.sample_times.len()],
         occ_poll: vec![0; config.sample_times.len()],
+        rec,
     };
     for l in 0..count {
         let c = lo + l;
@@ -1337,13 +1401,21 @@ fn run_shard<S: Strategy, D: Defense + ?Sized>(
             shard.queue.push(SimTime::ZERO + gap, l as u32);
         }
     }
+    // The future-event list holds one pending arrival per scheduled
+    // cluster and only ever shrinks, so its post-init length *is* the
+    // depth high-water mark of the whole run.
+    let depth = shard.queue.len() as u64;
+    shard.rec.high_water("des.queue.depth_high_water", depth);
+    shard
+        .rec
+        .high_water("des.queue.heap_bytes", shard.queue.heap_bytes() as u64);
 
     let start = std::time::Instant::now();
     shard.run();
     let seconds = start.elapsed().as_secs_f64();
-    let mut outcome = shard.into_outcome(seconds);
+    let (mut outcome, rec) = shard.into_outcome(seconds);
     outcome.initial_nodes = initial_nodes;
-    outcome
+    (outcome, rec)
 }
 
 /// Runs one whole-overlay discrete-event simulation (no defense).
@@ -1413,6 +1485,141 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
     config: &DesOverlayConfig,
     seed: u64,
 ) -> (DesOverlayReport, DesShardStats) {
+    let (report, stats, _) =
+        run_duel_core(params, initial, strategy, defense, config, seed, |_| {
+            NullRecorder
+        });
+    (report, stats)
+}
+
+/// The merged observation data of one observed DES run — everything the
+/// recorders captured, kept strictly **outside** the byte-stable
+/// [`DesOverlayReport`] (sidecar data only).
+#[derive(Debug, Clone, Default)]
+pub struct DesObs {
+    /// Per-shard registries merged in shard order (= cluster order):
+    /// event-kind counters, queue depth/bytes high-water marks, per-shard
+    /// busy-time spans and event-share histogram.
+    pub registry: Registry,
+    /// The ring-buffer traces of all shards merged chronologically (ties
+    /// broken by shard order). Each shard keeps its *own* last
+    /// `trace_capacity` events, so the merged view is the tail of every
+    /// shard's stream, not of the global stream.
+    pub trace: Vec<TraceRecord>,
+}
+
+impl DesObs {
+    /// Writes the merged trace as JSONL (one record per line, oldest
+    /// first) — the post-mortem export knob.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_trace_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        for rec in &self.trace {
+            writeln!(w, "{}", rec.to_jsonl())?;
+        }
+        Ok(())
+    }
+}
+
+/// As [`run_des_overlay_duel_with_stats`], but observed: every shard
+/// runs with a [`MetricsRecorder`] holding a `trace_capacity`-deep event
+/// ring (0 = no tracer), and the merged observation data comes back as a
+/// [`DesObs`] alongside the untouched report.
+///
+/// The report and stats are **byte-identical** to the unobserved run's —
+/// recorders draw no randomness and never reorder events (test-enforced).
+/// Without the `metrics` cargo feature the recorders are inert and the
+/// returned [`DesObs`] is empty.
+///
+/// # Panics
+///
+/// As [`run_des_overlay_duel`].
+pub fn run_des_overlay_duel_observed<S: Strategy + Sync, D: Defense + Sync + ?Sized>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    defense: &D,
+    config: &DesOverlayConfig,
+    seed: u64,
+    trace_capacity: usize,
+) -> (DesOverlayReport, DesShardStats, DesObs) {
+    let (report, stats, recorders) =
+        run_duel_core(params, initial, strategy, defense, config, seed, |_| {
+            MetricsRecorder::with_trace(trace_capacity)
+        });
+    let mut registry = Registry::new();
+    let mut rings = Vec::new();
+    for rec in recorders {
+        let (reg, ring) = rec.into_parts();
+        registry.merge(&reg);
+        if let Some(ring) = ring {
+            rings.push(ring);
+        }
+    }
+    let ring_refs: Vec<&TraceRing> = rings.iter().collect();
+    let trace = TraceRing::merge_in_order(&ring_refs);
+    (report, stats, DesObs { registry, trace })
+}
+
+/// The exact byte audit of a [`run_des_overlay_duel`] run's simulation
+/// state, computed from the allocation formulas (never sampled), plus
+/// the arena-capacity node count it normalizes by. Shard count does not
+/// change the audit: contiguous shards partition the same tables.
+///
+/// Structure keys: `des.arena` (malicious flags + free list),
+/// `des.cluster_hot` (the 128-byte-aligned per-cluster records),
+/// `des.membership` (flat core + spare tables), `des.event_queue` (the
+/// future-event list) and `des.accumulators` (per-cluster Welford
+/// triples).
+pub fn des_memory_audit(params: &ModelParams, config: &DesOverlayConfig) -> MemoryAudit {
+    let n = 1u64 << config.cluster_bits;
+    let c_size = params.core_size() as u64;
+    let delta = params.max_spare() as u64;
+    let capacity = n * (c_size + delta);
+    let mut audit = MemoryAudit::new(capacity);
+    // NodeArena: one `bool` flag plus one `u32` free-list slot per node.
+    audit.record("des.arena", capacity * 5);
+    audit.record(
+        "des.cluster_hot",
+        n * std::mem::size_of::<ClusterHot>() as u64,
+    );
+    // Flat membership tables: u32 handles, C + Δ slots per cluster.
+    audit.record("des.membership", capacity * 4);
+    audit.record(
+        "des.event_queue",
+        n * EventQueue::<u32>::entry_bytes() as u64,
+    );
+    // Three Welford accumulators (count, mean, M2) per cluster.
+    audit.record(
+        "des.accumulators",
+        n * 3 * std::mem::size_of::<Welford>() as u64,
+    );
+    audit
+}
+
+/// The recorder-generic driver behind every public entry point: builds
+/// the shard partition, runs the shards (each with its own recorder from
+/// `make_rec`), and merges outcomes in cluster order. Returns the
+/// recorders in shard order so observed callers can merge them; the
+/// unobserved path passes [`NullRecorder`] and the compiler erases every
+/// observation site from the hot loop.
+#[allow(clippy::too_many_arguments)]
+fn run_duel_core<S, D, R, F>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    defense: &D,
+    config: &DesOverlayConfig,
+    seed: u64,
+    make_rec: F,
+) -> (DesOverlayReport, DesShardStats, Vec<R>)
+where
+    S: Strategy + Sync,
+    D: Defense + Sync + ?Sized,
+    R: Recorder + Send,
+    F: Fn(usize) -> R + Sync,
+{
     assert!(
         config.cluster_bits <= 24,
         "cluster_bits = {} exceeds the 2^24-cluster ceiling",
@@ -1448,9 +1655,19 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
     // concatenating shard outcomes in shard order is cluster order for
     // every shard count.
     let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
-    let outcomes: Vec<ShardOutcome> = if shards == 1 {
+    let outcomes: Vec<(ShardOutcome, R)> = if shards == 1 {
         vec![run_shard(
-            params, strategy, defense, config, &table, &states, seed, 0, n, n,
+            params,
+            strategy,
+            defense,
+            config,
+            &table,
+            &states,
+            seed,
+            0,
+            n,
+            n,
+            make_rec(0),
         )]
     } else {
         std::thread::scope(|scope| {
@@ -1459,6 +1676,7 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
                     let (lo, hi) = (bounds[i], bounds[i + 1]);
                     let table = &table;
                     let states = &states[..];
+                    let rec = make_rec(i);
                     scope.spawn(move || {
                         run_shard(
                             params,
@@ -1471,6 +1689,7 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
                             lo,
                             hi - lo,
                             n,
+                            rec,
                         )
                     })
                 })
@@ -1503,7 +1722,7 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
     let mut occ_poll = vec![0u64; config.sample_times.len()];
     let mut shard_events = Vec::with_capacity(shards);
     let mut shard_seconds = Vec::with_capacity(shards);
-    for o in &outcomes {
+    for (o, _) in &outcomes {
         for w in &o.safe_w {
             safe_w.merge(w);
         }
@@ -1579,12 +1798,14 @@ pub fn run_des_overlay_duel_with_stats<S: Strategy + Sync, D: Defense + Sync + ?
         regen_events,
         occupancy,
     };
+    let recorders = outcomes.into_iter().map(|(_, r)| r).collect();
     (
         report,
         DesShardStats {
             shard_events,
             shard_seconds,
         },
+        recorders,
     )
 }
 
@@ -1660,6 +1881,92 @@ mod tests {
         assert_eq!(stats.shards(), 4);
         assert_eq!(stats.shard_events.iter().sum::<u64>(), report.events);
         assert_eq!(stats.shard_events_per_sec().len(), 4);
+    }
+
+    #[test]
+    fn observed_run_is_byte_identical_to_plain_run() {
+        // The inertness contract: attaching recorders (with or without
+        // the metrics feature, at any shard count) changes neither the
+        // report nor the shard partition of the events.
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        for cfg in [
+            config(6),
+            config(6).with_regeneration().with_warmup_events(10),
+            config(6).with_shards(8),
+        ] {
+            let (plain, plain_stats) = run_des_overlay_duel_with_stats(
+                &p,
+                &InitialCondition::Delta,
+                &strategy,
+                &pollux_defense::NullDefense::new(),
+                &cfg,
+                9,
+            );
+            let (observed, obs_stats, obs) = run_des_overlay_duel_observed(
+                &p,
+                &InitialCondition::Delta,
+                &strategy,
+                &pollux_defense::NullDefense::new(),
+                &cfg,
+                9,
+                64,
+            );
+            assert_eq!(plain, observed);
+            assert_eq!(plain_stats.shard_events, obs_stats.shard_events);
+            if pollux_obs::METRICS_ENABLED {
+                // Every processed event was tallied under exactly one
+                // churn kind (absorption tallies ride on top).
+                let churn: u64 = [
+                    DesEventKind::Join,
+                    DesEventKind::JoinRejected,
+                    DesEventKind::Leave,
+                    DesEventKind::SelfLoop,
+                    DesEventKind::InducedEviction,
+                    DesEventKind::Regeneration,
+                ]
+                .iter()
+                .filter_map(|k| obs.registry.counter(k.counter_key()))
+                .sum();
+                assert_eq!(churn, observed.events);
+                assert_eq!(
+                    obs.registry.counter(DesEventKind::Absorption.counter_key()),
+                    Some(observed.absorbed).filter(|&a| a > 0)
+                );
+                // Queues are shard-local: the merged high-water is the
+                // deepest *local* future-event list (64 clusters split
+                // over the shards).
+                assert_eq!(
+                    obs.registry.high_water_mark("des.queue.depth_high_water"),
+                    Some(64 / cfg.shards as u64)
+                );
+                assert!(!obs.trace.is_empty());
+                assert!(obs.trace.windows(2).all(|w| w[0].time <= w[1].time));
+            } else {
+                assert!(obs.registry.is_empty());
+                assert!(obs.trace.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_audit_matches_allocation_formulas() {
+        let p = params(0.2, 0.8);
+        let cfg = config(6);
+        let audit = des_memory_audit(&p, &cfg);
+        let n = 64u64;
+        let per_cluster = (p.core_size() + p.max_spare()) as u64;
+        assert_eq!(audit.nodes(), n * per_cluster);
+        assert_eq!(audit.get("des.arena"), Some(n * per_cluster * 5));
+        assert_eq!(audit.get("des.membership"), Some(n * per_cluster * 4));
+        assert_eq!(
+            audit.get("des.event_queue"),
+            Some(n * EventQueue::<u32>::entry_bytes() as u64)
+        );
+        assert!(audit.get("des.cluster_hot").unwrap() >= n * 128);
+        assert!(audit.bytes_per_node() > 0.0);
+        // Shard count never changes the audit's inputs.
+        assert_eq!(audit, des_memory_audit(&p, &cfg.clone().with_shards(8)));
     }
 
     #[test]

@@ -88,6 +88,20 @@ impl<E> EventQueue<E> {
         self.heap.capacity()
     }
 
+    /// Exact byte size of one heap entry for this payload type — the
+    /// memory-accounting unit (the backing allocation is
+    /// `capacity() * entry_bytes()` bytes).
+    #[must_use]
+    pub const fn entry_bytes() -> usize {
+        std::mem::size_of::<Entry<E>>()
+    }
+
+    /// Bytes of the heap's backing allocation.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.heap.capacity() * Self::entry_bytes()
+    }
+
     /// Reserves room for at least `additional` further events.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);

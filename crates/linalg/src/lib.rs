@@ -51,7 +51,9 @@ pub mod vec_ops;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
-pub use solver::{IterStats, SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER};
+pub use solver::{
+    IterStats, SolverObsSnapshot, SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER,
+};
 
 /// Default absolute tolerance used by the stochasticity checks.
 pub const STOCHASTIC_TOL: f64 = 1e-9;

@@ -169,6 +169,9 @@ pub struct TransientSolver {
     tol: f64,
     max_sweeps: usize,
     jacobi: bool,
+    /// Cumulative routing/iteration counters, shared across clones (like
+    /// the relaxation cache) so batched analyses aggregate naturally.
+    obs: Arc<SolverObs>,
 }
 
 impl TransientSolver {
@@ -237,6 +240,7 @@ impl TransientSolver {
             tol: options.tol,
             max_sweeps: options.max_sweeps,
             jacobi: options.jacobi,
+            obs: Arc::new(SolverObs::new()),
         })
     }
 
@@ -260,6 +264,7 @@ impl TransientSolver {
             tol: SolverOptions::default().tol,
             max_sweeps: SolverOptions::default().max_sweeps,
             jacobi: false,
+            obs: Arc::new(SolverObs::new()),
         })
     }
 
@@ -273,6 +278,23 @@ impl TransientSolver {
     #[must_use]
     pub fn is_iterative(&self) -> bool {
         matches!(self.repr, Repr::Iterative { .. })
+    }
+
+    /// A snapshot of the solver's cumulative routing and iteration
+    /// counters (shared across clones, so a batched analysis reads one
+    /// aggregate). Observation only — the counters never influence how
+    /// the solver routes or converges.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> SolverObsSnapshot {
+        SolverObsSnapshot {
+            dense_solves: self.obs.dense_solves.load(Ordering::Relaxed),
+            krylov_solves: self.obs.krylov_solves.load(Ordering::Relaxed),
+            sor_solves: self.obs.sor_solves.load(Ordering::Relaxed),
+            sor_fallbacks: self.obs.sor_fallbacks.load(Ordering::Relaxed),
+            gs_fallbacks: self.obs.gs_fallbacks.load(Ordering::Relaxed),
+            total_iterations: self.obs.total_iterations.load(Ordering::Relaxed),
+            worst_residual: f64::from_bits(self.obs.worst_residual.load(Ordering::Relaxed)),
+        }
     }
 
     /// Solves `(I − Q) x = b`.
@@ -338,6 +360,7 @@ impl TransientSolver {
                 } else {
                     lu.solve(b)?
                 };
+                self.obs.note_dense();
                 Ok((x, None))
             }
             Repr::Iterative {
@@ -351,14 +374,23 @@ impl TransientSolver {
                 // the learned relaxation factor too).
                 let m = if transposed { qt } else { q };
                 self.bicgstab(m, diag, b)
+                    .inspect(|_| self.obs.note_krylov())
                     .or_else(|e| {
                         if std::env::var_os("POLLUX_SOLVER_DEBUG").is_some() {
                             eprintln!("bicgstab fallback: {e}");
                         }
+                        self.obs.note_sor_fallback();
                         self.sor(m, diag, b, Some(omega_cache))
+                            .inspect(|_| self.obs.note_sor())
                     })
-                    .or_else(|_| self.sor(m, diag, b, None))
-                    .map(|(x, stats)| (x, Some(stats)))
+                    .or_else(|_| {
+                        self.obs.note_gs_fallback();
+                        self.sor(m, diag, b, None).inspect(|_| self.obs.note_sor())
+                    })
+                    .map(|(x, stats)| {
+                        self.obs.note_stats(stats.sweeps as u64, stats.residual);
+                        (x, Some(stats))
+                    })
             }
         }
     }
@@ -640,6 +672,91 @@ impl TransientSolver {
     }
 }
 
+/// Cumulative observation counters of a [`TransientSolver`]: which path
+/// produced each solution (LU routing vs Krylov vs SOR), how often the
+/// fallback ladder was descended, total iterations and the worst
+/// verified residual. Shared across clones via `Arc` (the
+/// [`OmegaCache`] pattern), updated with a handful of relaxed atomics
+/// per *solve* — never per iteration — so the cost is unconditionally
+/// negligible and needs no feature gate. Purely observational: counters
+/// never influence routing, tolerances or iteration counts.
+#[derive(Debug, Default)]
+struct SolverObs {
+    dense_solves: AtomicU64,
+    krylov_solves: AtomicU64,
+    sor_solves: AtomicU64,
+    sor_fallbacks: AtomicU64,
+    gs_fallbacks: AtomicU64,
+    total_iterations: AtomicU64,
+    /// Monotonic max, stored as f64 bits (non-negative residuals order
+    /// identically as bits).
+    worst_residual: AtomicU64,
+}
+
+impl SolverObs {
+    fn new() -> Self {
+        SolverObs::default()
+    }
+
+    fn note_dense(&self) {
+        self.dense_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_krylov(&self) {
+        self.krylov_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_sor(&self) {
+        self.sor_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_sor_fallback(&self) {
+        self.sor_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_gs_fallback(&self) {
+        self.gs_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_stats(&self, sweeps: u64, residual: f64) {
+        self.total_iterations.fetch_add(sweeps, Ordering::Relaxed);
+        // Residuals are non-negative, so their bit patterns order like
+        // the values and fetch_max needs no CAS loop.
+        self.worst_residual
+            .fetch_max(residual.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a solver's cumulative observation counters
+/// (see [`TransientSolver::obs_snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverObsSnapshot {
+    /// Solves answered by the dense LU path.
+    pub dense_solves: u64,
+    /// Solves answered by BiCGSTAB.
+    pub krylov_solves: u64,
+    /// Solves answered by (adaptive) SOR after a fallback.
+    pub sor_solves: u64,
+    /// Times BiCGSTAB failed and the cached-relaxation SOR ran.
+    pub sor_fallbacks: u64,
+    /// Times the cached SOR also failed and the from-scratch sweep
+    /// (starting at the Gauss–Seidel factor ω = 1) ran.
+    pub gs_fallbacks: u64,
+    /// Total iterations over all iterative solves (Krylov iterations
+    /// plus SOR sweeps).
+    pub total_iterations: u64,
+    /// Worst verified residual ∞-norm over all iterative solves.
+    pub worst_residual: f64,
+}
+
+impl SolverObsSnapshot {
+    /// Total solves this solver answered, over all paths.
+    #[must_use]
+    pub fn total_solves(&self) -> u64 {
+        self.dense_solves + self.krylov_solves + self.sor_solves
+    }
+}
+
 /// Shared store for the learned relaxation factor and its ceiling.
 #[derive(Debug)]
 struct OmegaCache {
@@ -737,6 +854,38 @@ mod tests {
             }
         }
         CsrMatrix::from_triplet_vec(n, n, triplets).unwrap()
+    }
+
+    #[test]
+    fn obs_counters_track_routing_without_changing_results() {
+        let q = ruin_block(50, 0.5);
+        let ones = vec![1.0; 50];
+        let dense = TransientSolver::new(&q, SolverOptions::force_dense()).unwrap();
+        let sparse = TransientSolver::new(&q, SolverOptions::force_sparse()).unwrap();
+        assert_eq!(dense.obs_snapshot(), SolverObsSnapshot::default());
+
+        let xd = dense.solve(&ones).unwrap();
+        let snap = dense.obs_snapshot();
+        assert_eq!(snap.dense_solves, 1);
+        assert_eq!(snap.total_solves(), 1);
+        assert_eq!(snap.total_iterations, 0);
+
+        let xs = sparse.solve(&ones).unwrap();
+        let _ = sparse.solve_transposed(&ones).unwrap();
+        let snap = sparse.obs_snapshot();
+        assert_eq!(snap.dense_solves, 0);
+        assert_eq!(snap.krylov_solves + snap.sor_solves, 2);
+        assert!(snap.total_iterations > 0);
+        assert!(snap.worst_residual >= 0.0 && snap.worst_residual < 1e-8);
+
+        // Clones share the counters (one aggregate per logical solver)…
+        let clone = sparse.clone();
+        let _ = clone.solve(&ones).unwrap();
+        assert_eq!(sparse.obs_snapshot().total_solves(), 3);
+        // …and observation never perturbs the numerics.
+        for (a, b) in xd.iter().zip(xs.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The [`Recorder`] trait instrumented loops are generic over, its no-op
+//! implementation [`NullRecorder`], and the real [`MetricsRecorder`].
+//!
+//! The zero-cost story has two independent layers:
+//!
+//! 1. **Monomorphization** — hot loops take `R: Recorder`; with
+//!    [`NullRecorder`] every call inlines to an empty body and the loop
+//!    compiles to the uninstrumented machine code. Public entry points
+//!    that do not ask for observation pass `NullRecorder`, so existing
+//!    callers pay nothing regardless of cargo features.
+//! 2. **The `metrics` cargo feature** — even [`MetricsRecorder`]'s
+//!    bodies are compiled out without the feature, so a metrics-off
+//!    build carries no recording code at all and accidental use of the
+//!    real recorder in a hot path cannot cost anything.
+//!
+//! In *both* configurations every implementation is inert: no RNG, no
+//! effect on control flow, consulted only after an event's effects are
+//! committed.
+
+use crate::metrics::Registry;
+use crate::trace::{DesEventKind, TraceRing};
+
+/// The instrumentation interface. Every method has an `#[inline]` no-op
+/// default body, so implementors override only what they record and
+/// [`NullRecorder`] is just `impl Recorder for NullRecorder {}`.
+#[allow(unused_variables)]
+pub trait Recorder {
+    /// Adds `delta` to the monotonic counter `key`.
+    #[inline]
+    fn add(&mut self, key: &'static str, delta: u64) {}
+
+    /// Records `value` into the log₂ histogram `key`.
+    #[inline]
+    fn observe(&mut self, key: &'static str, value: u64) {}
+
+    /// Raises the high-water gauge `key` to at least `value`.
+    #[inline]
+    fn high_water(&mut self, key: &'static str, value: u64) {}
+
+    /// Records a completed span of `seconds` under `key`.
+    #[inline]
+    fn span(&mut self, key: &'static str, seconds: f64) {}
+
+    /// Appends a DES trace record (time, cluster, event kind, post-event
+    /// x/y state) to the bounded ring buffer, if one is attached.
+    #[inline]
+    fn trace(&mut self, time: f64, cluster: u32, kind: DesEventKind, x: u32, y: u32) {}
+
+    /// `true` when this recorder actually records — lets call sites skip
+    /// *assembling* expensive inputs (never required for correctness).
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op recorder: a zero-sized type whose every call disappears at
+/// compile time. Loops monomorphized with it are byte-for-byte the
+/// uninstrumented loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// The real recorder: a [`Registry`] of named metrics plus an optional
+/// bounded [`TraceRing`]. Without the `metrics` cargo feature its
+/// recording bodies are compiled out and it behaves exactly like
+/// [`NullRecorder`] (the registry stays empty, `is_enabled()` is false).
+///
+/// One instance is owned per instrumented loop (per DES shard, per sweep
+/// worker); the spawning layer merges the registries afterwards in a
+/// fixed order via [`Registry::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    registry: Registry,
+    trace: Option<TraceRing>,
+}
+
+impl MetricsRecorder {
+    /// A recorder with an empty registry and no tracer.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRecorder {
+            registry: Registry::new(),
+            trace: None,
+        }
+    }
+
+    /// A recorder that additionally keeps the last `capacity` DES events
+    /// in a ring buffer (capacity 0 means no tracer).
+    #[must_use]
+    pub fn with_trace(capacity: usize) -> Self {
+        MetricsRecorder {
+            registry: Registry::new(),
+            trace: if capacity > 0 {
+                Some(TraceRing::new(capacity))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The metrics recorded so far.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event tracer, if one was attached.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the recorder, returning its parts for merging/export.
+    #[must_use]
+    pub fn into_parts(self) -> (Registry, Option<TraceRing>) {
+        (self.registry, self.trace)
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    #[inline]
+    fn add(&mut self, key: &'static str, delta: u64) {
+        #[cfg(feature = "metrics")]
+        self.registry.add(key, delta);
+        #[cfg(not(feature = "metrics"))]
+        let _ = (key, delta);
+    }
+
+    #[inline]
+    fn observe(&mut self, key: &'static str, value: u64) {
+        #[cfg(feature = "metrics")]
+        self.registry.observe(key, value);
+        #[cfg(not(feature = "metrics"))]
+        let _ = (key, value);
+    }
+
+    #[inline]
+    fn high_water(&mut self, key: &'static str, value: u64) {
+        #[cfg(feature = "metrics")]
+        self.registry.high_water(key, value);
+        #[cfg(not(feature = "metrics"))]
+        let _ = (key, value);
+    }
+
+    #[inline]
+    fn span(&mut self, key: &'static str, seconds: f64) {
+        #[cfg(feature = "metrics")]
+        self.registry.span(key, seconds);
+        #[cfg(not(feature = "metrics"))]
+        let _ = (key, seconds);
+    }
+
+    #[inline]
+    fn trace(&mut self, time: f64, cluster: u32, kind: DesEventKind, x: u32, y: u32) {
+        #[cfg(feature = "metrics")]
+        if let Some(ring) = &mut self.trace {
+            ring.push(time, cluster, kind, x, y);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (time, cluster, kind, x, y);
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        cfg!(feature = "metrics")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<R: Recorder>(rec: &mut R) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..10u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+            rec.add("iters", 1);
+            rec.observe("acc_low", acc & 0xff);
+            rec.high_water("acc_max", acc);
+            rec.trace(i as f64, i as u32, DesEventKind::Join, 1, 0);
+        }
+        rec.span("drive", 0.25);
+        acc
+    }
+
+    #[test]
+    fn null_and_metrics_recorders_do_not_change_results() {
+        let null = drive(&mut NullRecorder);
+        let mut rec = MetricsRecorder::with_trace(4);
+        let real = drive(&mut rec);
+        assert_eq!(null, real);
+    }
+
+    #[test]
+    fn metrics_recorder_population_matches_feature_flag() {
+        let mut rec = MetricsRecorder::with_trace(4);
+        drive(&mut rec);
+        if crate::METRICS_ENABLED {
+            assert!(rec.is_enabled());
+            assert_eq!(rec.registry().counter("iters"), Some(10));
+            assert_eq!(rec.registry().histogram("acc_low").unwrap().count(), 10);
+            assert!(rec.registry().high_water_mark("acc_max").unwrap() > 0);
+            assert_eq!(rec.registry().span_stats("drive").unwrap().count(), 1);
+            // Ring capacity 4 keeps only the last 4 of 10 events.
+            assert_eq!(rec.tracer().unwrap().len(), 4);
+            assert_eq!(rec.tracer().unwrap().total_pushed(), 10);
+        } else {
+            assert!(!rec.is_enabled());
+            assert!(rec.registry().is_empty());
+            assert_eq!(rec.tracer().unwrap().len(), 0);
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NullRecorder>(), 0);
+        assert!(!NullRecorder.is_enabled());
+    }
+}

@@ -16,6 +16,13 @@ pub struct SweepArgs {
     pub out_dir: Option<PathBuf>,
     /// Artefact format (default TSV).
     pub format: OutputFormat,
+    /// Directory for `<scenario>.metrics.json` instrumentation sidecars
+    /// (`--metrics-dir`); `None` means no sidecars. Keep this distinct
+    /// from `out_dir` when artefact directories are diffed for
+    /// determinism — sidecars carry wall times.
+    pub metrics_dir: Option<PathBuf>,
+    /// Per-cell progress/ETA on stderr (`--progress`).
+    pub progress: bool,
     /// Include beyond-paper scenarios (`--extended`).
     pub extended: bool,
     /// List scenarios and exit (`--list`).
@@ -31,6 +38,8 @@ impl Default for SweepArgs {
             seed: None,
             out_dir: None,
             format: OutputFormat::Tsv,
+            metrics_dir: None,
+            progress: false,
             extended: false,
             list: false,
             scenarios: Vec::new(),
@@ -44,6 +53,9 @@ pub const USAGE: &str = "options:
   --seed S             master seed for Monte-Carlo scenarios
   --out-dir DIR        write artefacts under DIR (default: print only / results)
   --format FMT         artefact format: tsv | json | both (default tsv)
+  --metrics-dir DIR    write <scenario>.metrics.json sidecars under DIR
+                       (needs a build with the `metrics` cargo feature)
+  --progress           per-cell progress/ETA on stderr
   --extended           include beyond-paper scenarios
   --list               list available scenarios and exit
   --help               this message
@@ -81,6 +93,11 @@ impl SweepArgs {
                     out.format = OutputFormat::parse(&v)
                         .ok_or_else(|| format!("bad format '{v}' (tsv | json | both)"))?;
                 }
+                "--metrics-dir" => {
+                    let v = it.next().ok_or("--metrics-dir needs a value")?;
+                    out.metrics_dir = Some(PathBuf::from(v));
+                }
+                "--progress" => out.progress = true,
                 "--extended" => out.extended = true,
                 "--list" => out.list = true,
                 "--help" | "-h" => return Err("help".into()),
@@ -100,7 +117,7 @@ impl SweepArgs {
         if let Some(seed) = self.seed {
             runner = runner.with_seed(seed);
         }
-        runner
+        runner.with_progress(self.progress)
     }
 }
 
@@ -123,6 +140,9 @@ mod tests {
             "out",
             "--format",
             "both",
+            "--metrics-dir",
+            "obs",
+            "--progress",
             "--extended",
             "fig3",
             "table1",
@@ -132,6 +152,11 @@ mod tests {
         assert_eq!(args.seed, Some(42));
         assert_eq!(args.out_dir.as_deref(), Some(std::path::Path::new("out")));
         assert_eq!(args.format, OutputFormat::Both);
+        assert_eq!(
+            args.metrics_dir.as_deref(),
+            Some(std::path::Path::new("obs"))
+        );
+        assert!(args.progress);
         assert!(args.extended);
         assert_eq!(args.scenarios, vec!["fig3", "table1"]);
     }
@@ -148,6 +173,7 @@ mod tests {
         assert!(parse(&["--threads", "zero"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--metrics-dir"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
     }

@@ -47,7 +47,7 @@ pub use error::SweepError;
 pub use grid::{ParamGrid, SweepCell, ToggleSpec};
 pub use kind::OutputKind;
 pub use report::SweepReport;
-pub use runner::{SweepRunner, DEFAULT_SEED};
+pub use runner::{SweepObs, SweepRunner, DEFAULT_SEED};
 pub use scenario::Scenario;
 pub use value::Value;
 pub use writers::{write_json, write_report, write_tsv, OutputFormat};

@@ -6,13 +6,30 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 
 use pollux_des::replication::replication_seed;
+use pollux_obs::{Registry, Stopwatch};
 
 use crate::{Scenario, SweepCell, SweepError, SweepReport, Value};
 
 /// The keyed rows one cell contributes to its scenario's report.
 type CellRows = Vec<Vec<Value>>;
-/// What a worker reports back: the owning scenario plus the cell's rows.
-type CellOutcome = (usize, Result<CellRows, SweepError>);
+/// What a worker reports back: the owning scenario, the cell's rows and
+/// the cell's wall time (0.0 unless the `metrics` feature is on).
+type CellOutcome = (usize, Result<CellRows, SweepError>, f64);
+
+/// Instrumentation sidecar of one scenario's sweep: per-cell wall-time
+/// spans and cell/row counters, merged in canonical cell order so the
+/// aggregate is independent of worker scheduling. Empty when the
+/// `metrics` cargo feature is off — observation compiles out and
+/// [`SweepRunner::run_all_observed`] stays byte-identical to
+/// [`SweepRunner::run_all`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepObs {
+    /// The scenario this sidecar describes.
+    pub scenario: String,
+    /// `sweep.cells` / `sweep.rows` counters plus the `sweep.cell_wall_s`
+    /// span over per-cell wall seconds.
+    pub registry: Registry,
+}
 
 /// Default master seed (only Monte-Carlo kinds consume it).
 pub const DEFAULT_SEED: u64 = 0xD51_2011; // DSN 2011
@@ -27,6 +44,7 @@ pub const DEFAULT_SEED: u64 = 0xD51_2011; // DSN 2011
 pub struct SweepRunner {
     threads: usize,
     master_seed: u64,
+    progress: bool,
 }
 
 impl Default for SweepRunner {
@@ -43,6 +61,7 @@ impl SweepRunner {
                 .map(|n| n.get())
                 .unwrap_or(4),
             master_seed: DEFAULT_SEED,
+            progress: false,
         }
     }
 
@@ -55,6 +74,13 @@ impl SweepRunner {
     /// Sets the master seed for Monte-Carlo kinds.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.master_seed = seed;
+        self
+    }
+
+    /// Enables a per-cell progress/ETA line on stderr. Progress goes to
+    /// stderr only — artefact bytes are unaffected.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -84,6 +110,22 @@ impl SweepRunner {
     ///
     /// Propagates grid expansion and cell evaluation failures.
     pub fn run_all(&self, scenarios: &[Scenario]) -> Result<Vec<SweepReport>, SweepError> {
+        Ok(self.run_all_observed(scenarios)?.0)
+    }
+
+    /// As [`SweepRunner::run_all`], additionally returning one
+    /// [`SweepObs`] instrumentation sidecar per scenario (empty unless
+    /// the `metrics` cargo feature is on). The reports are byte-identical
+    /// to the unobserved path: observation happens strictly after each
+    /// cell's rows are computed and draws no randomness.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run_all`].
+    pub fn run_all_observed(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Result<(Vec<SweepReport>, Vec<SweepObs>), SweepError> {
         struct Job<'s> {
             slot: usize,
             scenario_index: usize,
@@ -139,7 +181,9 @@ impl SweepRunner {
                     // count: a sweep with few, large DES cells still uses
                     // every core, and shard-invariance keeps the bytes
                     // independent of it.
+                    let watch = Stopwatch::start();
                     let rows = job.scenario.kind.evaluate(&job.cell, job.seed, threads);
+                    let cell_seconds = watch.elapsed_s();
                     let keyed = rows.map(|rows| {
                         rows.into_iter()
                             .map(|row| {
@@ -150,7 +194,7 @@ impl SweepRunner {
                             .collect::<Vec<_>>()
                     });
                     if result_tx
-                        .send((job.slot, (job.scenario_index, keyed)))
+                        .send((job.slot, (job.scenario_index, keyed, cell_seconds)))
                         .is_err()
                     {
                         break;
@@ -158,8 +202,20 @@ impl SweepRunner {
                 });
             }
             drop(result_tx);
+            let started = std::time::Instant::now();
+            let mut done = 0usize;
             for (slot, outcome) in result_rx {
                 outcomes[slot] = Some(outcome);
+                done += 1;
+                if self.progress {
+                    // stderr only: progress never touches artefact bytes.
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let eta = elapsed / done as f64 * (n_jobs - done) as f64;
+                    eprintln!(
+                        "sweep: {done}/{n_jobs} cells ({:.1}%) elapsed {elapsed:.1}s eta {eta:.1}s",
+                        100.0 * done as f64 / n_jobs as f64,
+                    );
+                }
             }
         });
 
@@ -171,9 +227,27 @@ impl SweepRunner {
                 rows: Vec::new(),
             })
             .collect();
+        let mut obs: Vec<SweepObs> = scenarios
+            .iter()
+            .map(|s| SweepObs {
+                scenario: s.name.clone(),
+                registry: Registry::new(),
+            })
+            .collect();
+        // Canonical slot order makes the span merge order — and thus the
+        // sidecar's aggregate moments — independent of which worker
+        // finished first.
         for outcome in outcomes {
-            let (scenario_index, rows) = outcome.expect("every job slot was filled by a worker");
-            reports[scenario_index].rows.extend(rows?);
+            let (scenario_index, rows, cell_seconds) =
+                outcome.expect("every job slot was filled by a worker");
+            let rows = rows?;
+            if pollux_obs::METRICS_ENABLED {
+                let registry = &mut obs[scenario_index].registry;
+                registry.add("sweep.cells", 1);
+                registry.add("sweep.rows", rows.len() as u64);
+                registry.span("sweep.cell_wall_s", cell_seconds);
+            }
+            reports[scenario_index].rows.extend(rows);
         }
         for (report, count) in reports.iter_mut().zip(cell_counts) {
             debug_assert!(
@@ -181,7 +255,7 @@ impl SweepRunner {
                 "every cell contributes at least one row"
             );
         }
-        Ok(reports)
+        Ok((reports, obs))
     }
 }
 
@@ -278,6 +352,30 @@ mod tests {
         let m1 = SweepRunner::new().with_seed(1).run(&mc).unwrap();
         let m2 = SweepRunner::new().with_seed(2).run(&mc).unwrap();
         assert_ne!(m1.f64(0, "sim_T_S"), m2.f64(0, "sim_T_S"));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_populates_iff_metrics() {
+        let scenario = tiny_scenario();
+        let runner = SweepRunner::new().with_threads(4);
+        let plain = runner.run_all(std::slice::from_ref(&scenario)).unwrap();
+        let (observed, obs) = runner
+            .run_all_observed(std::slice::from_ref(&scenario))
+            .unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].scenario, "tiny");
+        if pollux_obs::METRICS_ENABLED {
+            assert_eq!(obs[0].registry.counter("sweep.cells"), Some(4));
+            assert_eq!(
+                obs[0].registry.counter("sweep.rows"),
+                Some(observed[0].rows.len() as u64)
+            );
+            let span = obs[0].registry.span_stats("sweep.cell_wall_s").unwrap();
+            assert_eq!(span.count(), 4);
+        } else {
+            assert!(obs[0].registry.is_empty());
+        }
     }
 
     #[test]

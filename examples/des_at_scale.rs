@@ -14,10 +14,21 @@
 //!
 //! The shard count defaults to the machine's available parallelism;
 //! override it with `POLLUX_DES_SHARDS=N`.
+//!
+//! `POLLUX_DES_TRACE=path.jsonl` additionally exports the tail of the
+//! DES event trace (the last 65 536 events per shard, merged in time
+//! order) as JSON Lines — one `{"cluster":…,"kind":…,"time":…,"x":…,
+//! "y":…}` record per line. The trace only populates in builds with the
+//! `metrics` cargo feature; recording it never changes the report bytes
+//! (the run is re-executed through the observed entry point and checked
+//! against the plain one).
 
 use std::time::Instant;
 
-use pollux::des_overlay::{run_des_overlay, run_des_overlay_duel_with_stats, DesOverlayConfig};
+use pollux::des_overlay::{
+    run_des_overlay, run_des_overlay_duel_observed, run_des_overlay_duel_with_stats,
+    DesOverlayConfig,
+};
 use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
 use pollux_adversary::TargetedStrategy;
 use pollux_defense::NullDefense;
@@ -92,6 +103,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secs / sharded_secs,
             per_shard.join(", "),
         );
+
+        // Optional trace export for the first (16k) rung only — the tail
+        // of a 10⁶-node run is just as representative and much smaller.
+        if bits == 14 {
+            if let Ok(path) = std::env::var("POLLUX_DES_TRACE") {
+                let (traced, _, obs) = run_des_overlay_duel_observed(
+                    &params,
+                    &InitialCondition::Delta,
+                    &strategy,
+                    &NullDefense::new(),
+                    &config,
+                    2011,
+                    65_536,
+                );
+                assert_eq!(r, traced, "tracing must never change the bytes");
+                if pollux_obs::METRICS_ENABLED {
+                    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                    obs.write_trace_jsonl(&mut f)?;
+                    println!("  trace: wrote {} records to {path}\n", obs.trace.len());
+                } else {
+                    eprintln!("  trace: {path} skipped — rebuild with --features metrics\n");
+                }
+            }
+        }
     }
     Ok(())
 }
