@@ -1,0 +1,155 @@
+//! `fuzz` — the scenario fuzzer / differential oracle CLI.
+//!
+//! ```text
+//! fuzz [--seed N] [--iterations N] [--time-budget-ms N]
+//!      [--replay DIR] [--failure-dir DIR] [--summary PATH]
+//! ```
+//!
+//! Replays the regression corpus first (when `--replay` is given), then
+//! fuzzes `--iterations` fresh scenarios from `--seed`, shrinking every
+//! disagreement and writing the minimal configs to `--failure-dir`.
+//! The summary JSON (stdout, and `--summary` when given) contains no
+//! wall-clock values: same seed + same iteration count → byte-identical
+//! summaries, which CI verifies by diffing two runs. Exits non-zero on
+//! any disagreement (replayed or fresh).
+//!
+//! `--time-budget-ms` (default: the `POLLUX_FUZZ_BUDGET_MS` environment
+//! variable, else unlimited) stops the loop between scenarios once the
+//! budget is spent — the summary then reports fewer `scenarios_run` and
+//! `"budget_exhausted": true`, but is otherwise unchanged.
+
+use pollux_fuzz::{corpus, DiffRunner, FuzzConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: fuzz [--seed N] [--iterations N] [--time-budget-ms N] \
+                     [--replay DIR] [--failure-dir DIR] [--summary PATH]";
+
+struct Args {
+    seed: u64,
+    iterations: u64,
+    time_budget_ms: Option<u64>,
+    replay: Option<PathBuf>,
+    failure_dir: Option<PathBuf>,
+    summary: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2011,
+        iterations: 256,
+        time_budget_ms: std::env::var("POLLUX_FUZZ_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        replay: None,
+        failure_dir: None,
+        summary: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--iterations" => {
+                args.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--time-budget-ms" => {
+                args.time_budget_ms = Some(
+                    value("--time-budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--time-budget-ms: {e}"))?,
+                );
+            }
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--failure-dir" => args.failure_dir = Some(PathBuf::from(value("--failure-dir")?)),
+            "--summary" => args.summary = Some(PathBuf::from(value("--summary")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Replay the regression corpus through a healthy runner first: a
+    // corpus scenario that disagrees again is a regression.
+    let mut replay_failures = 0u64;
+    if let Some(dir) = &args.replay {
+        let entries = match corpus::load_corpus(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("corpus {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        let runner = DiffRunner::new();
+        for (name, scenario) in &entries {
+            match runner.run(scenario).failure() {
+                None => eprintln!("replay {name}: ok"),
+                Some(failure) => {
+                    replay_failures += 1;
+                    eprintln!(
+                        "replay {name}: REGRESSION on {}: {}",
+                        failure.name, failure.detail
+                    );
+                }
+            }
+        }
+        eprintln!(
+            "replayed {} corpus scenario(s), {replay_failures} regression(s)",
+            entries.len()
+        );
+    }
+
+    let report = pollux_fuzz::run_fuzz(&FuzzConfig {
+        seed: args.seed,
+        iterations: args.iterations,
+        time_budget: args.time_budget_ms.map(Duration::from_millis),
+    });
+
+    if let Some(dir) = &args.failure_dir {
+        for d in &report.disagreements {
+            let name = format!("shrunk_{}_{}", d.pair, d.scenario_id);
+            match corpus::write_failure(dir, &name, &d.shrunk) {
+                Ok(path) => eprintln!("wrote shrunk failure {}", path.display()),
+                Err(e) => eprintln!("failed to write shrunk failure {name}: {e}"),
+            }
+        }
+    }
+
+    let summary = report.summary_json();
+    print!("{summary}");
+    if let Some(path) = &args.summary {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, &summary) {
+            eprintln!("failed to write summary {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if replay_failures > 0 || !report.ok() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

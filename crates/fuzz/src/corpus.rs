@@ -1,0 +1,85 @@
+//! The regression corpus: shrunk failures on disk, replayed forever.
+//!
+//! Every disagreement the fuzzer ever finds is shrunk and committed as
+//! one JSON file under `tests/regressions/`; `tests/fuzz_regressions.rs`
+//! replays the whole directory through a healthy [`crate::DiffRunner`]
+//! on every `cargo test`, and the `fuzz` binary replays it (via
+//! `--replay`) before fuzzing. Files are loaded in name order so replay
+//! output is deterministic.
+
+use crate::scenario::FuzzScenario;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Loads every `*.json` scenario in `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// I/O errors are returned as-is; a file that fails to parse becomes an
+/// [`io::ErrorKind::InvalidData`] error naming the file, so a corrupt
+/// corpus fails loudly instead of silently shrinking coverage.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(String, FuzzScenario)>> {
+    let mut names: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    names.sort();
+    let mut corpus = Vec::with_capacity(names.len());
+    for path in names {
+        let text = fs::read_to_string(&path)?;
+        let scenario = FuzzScenario::from_json(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        corpus.push((name, scenario));
+    }
+    Ok(corpus)
+}
+
+/// Writes a shrunk failure as `<dir>/<name>.json` (creating `dir` if
+/// needed) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_failure(dir: &Path, name: &str, scenario: &FuzzScenario) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, scenario.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScenarioGen;
+
+    #[test]
+    fn corpus_round_trips_through_the_filesystem() {
+        let dir = std::env::temp_dir().join("pollux-fuzz-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut gen = ScenarioGen::new(99);
+        let a = gen.next_scenario();
+        let b = gen.next_scenario();
+        write_failure(&dir, "b_second", &b).expect("write");
+        write_failure(&dir, "a_first", &a).expect("write");
+        fs::write(dir.join("notes.txt"), "not json").expect("write");
+        let corpus = load_corpus(&dir).expect("load");
+        // Name-sorted, non-JSON files ignored.
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].0, "a_first.json");
+        assert_eq!(corpus[0].1, a);
+        assert_eq!(corpus[1].1, b);
+        // A corrupt file fails loudly.
+        fs::write(dir.join("zz_bad.json"), "{").expect("write");
+        assert!(load_corpus(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`AliasTable`] — O(1) sampling from arbitrary finite distributions
 //!   (Walker's method), used by the Monte-Carlo simulators.
 //! * [`exponential`] — exponential variates for the discrete-event engine.
+//! * [`tolerance`] — the shared agreement-tolerance constants every
+//!   differential check (unit suites, sweep validation kinds, the
+//!   `pollux-fuzz` oracle) pins itself to.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@ mod binomial;
 pub mod comb;
 pub mod exponential;
 mod hypergeometric;
+pub mod tolerance;
 
 pub use alias::AliasTable;
 pub use binomial::{wilson_interval, Binomial};

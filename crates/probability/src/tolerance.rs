@@ -1,0 +1,64 @@
+//! The agreement-tolerance constants shared by every differential check.
+//!
+//! Three independent evaluation paths (dense analytic, sparse analytic,
+//! whole-overlay DES) are continuously cross-examined — by the unit
+//! suites (`tests/sparse_equivalence.rs`, `tests/defense_duel.rs`,
+//! `tests/des_validation.rs`), by the sweep engine's validation kinds and
+//! by the `pollux-fuzz` differential oracle. They must all pin agreement
+//! to the **same** criteria, or a tolerance bumped in one place would
+//! silently weaken the others. This module is the single source of those
+//! numbers; nothing else in the workspace is allowed to hard-code them.
+
+/// Relative tolerance of deterministic analytic agreement: the dense and
+/// sparse pipelines evaluate the same chain through different linear
+/// algebra, so they agree to solver round-off — nine decimal digits
+/// relative — on every sweep-visible metric.
+pub const ANALYTIC_REL_TOL: f64 = 1e-9;
+
+/// The Wilson/CI z-quantile of statistical (analytic-vs-simulation)
+/// agreement criteria. Five sigmas keeps the per-comparison false-alarm
+/// probability below 6·10⁻⁷, so thousands of fuzzed comparisons stay
+/// deterministic-green in CI while a genuine model drift of a few
+/// interval widths is still caught.
+pub const AGREEMENT_SIGMAS: f64 = 5.0;
+
+/// Floor on confidence half-widths in CI-based criteria: a degenerate
+/// zero-variance sample (every cluster absorbed identically) must not
+/// collapse the acceptance band to a point and flag solver round-off as
+/// disagreement.
+pub const CI_HALF_WIDTH_FLOOR: f64 = 1e-6;
+
+/// `true` when `a` and `b` agree to [`ANALYTIC_REL_TOL`] relative (with
+/// an absolute floor of the same magnitude for near-zero values) — the
+/// dense-vs-sparse agreement predicate used by the equivalence suite and
+/// the fuzzer's analytic oracle pair.
+#[must_use]
+pub fn analytic_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= ANALYTIC_REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_is_relative_with_unit_floor() {
+        assert!(analytic_close(0.0, 0.0));
+        assert!(analytic_close(1.0, 1.0 + 0.9e-9));
+        assert!(!analytic_close(1.0, 1.0 + 1.1e-9));
+        // Relative at large magnitudes…
+        assert!(analytic_close(1e12, 1e12 * (1.0 + 0.9e-9)));
+        assert!(!analytic_close(1e12, 1e12 * (1.0 + 1.1e-9)));
+        // …absolute (unit-floored) near zero.
+        assert!(analytic_close(1e-15, -1e-15));
+    }
+
+    #[test]
+    fn constants_are_the_pinned_criteria() {
+        // These values are load-bearing across the test suites and the
+        // fuzzer; changing them is a contract change, not a tweak.
+        assert_eq!(ANALYTIC_REL_TOL, 1e-9);
+        assert_eq!(AGREEMENT_SIGMAS, 5.0);
+        assert_eq!(CI_HALF_WIDTH_FLOOR, 1e-6);
+    }
+}

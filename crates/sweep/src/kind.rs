@@ -8,6 +8,7 @@ use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpa
 use pollux_adversary::TargetedStrategy;
 use pollux_defense::{DefenseSpec, InducedChurn};
 use pollux_des::replication::replication_seed;
+use pollux_prob::tolerance::CI_HALF_WIDTH_FLOOR;
 use pollux_prob::wilson_interval;
 
 use crate::{SweepCell, SweepError, Value};
@@ -427,9 +428,13 @@ impl OutputKind {
                     1,
                 );
                 let ok_s = (report.safe_events.mean - e_ts).abs()
-                    <= sigmas * report.safe_events.ci_half_width.max(1e-6);
+                    <= sigmas * report.safe_events.ci_half_width.max(CI_HALF_WIDTH_FLOOR);
                 let ok_p = (report.polluted_events.mean - e_tp).abs()
-                    <= sigmas * report.polluted_events.ci_half_width.max(1e-6);
+                    <= sigmas
+                        * report
+                            .polluted_events
+                            .ci_half_width
+                            .max(CI_HALF_WIDTH_FLOOR);
                 let ok_a = (report.absorption.2 - split.polluted_merge).abs() < 0.01;
                 Ok(vec![vec![
                     e_ts.into(),
@@ -480,9 +485,9 @@ impl OutputKind {
                     let (pm_lo, pm_hi) =
                         wilson_interval(r.absorption_counts[2], r.absorbed, *sigmas);
                     let ok_s = (r.safe_events.mean - e_ts).abs()
-                        <= sigmas * r.safe_events.ci_half_width.max(1e-6);
+                        <= sigmas * r.safe_events.ci_half_width.max(CI_HALF_WIDTH_FLOOR);
                     let ok_p = (r.polluted_events.mean - e_tp).abs()
-                        <= sigmas * r.polluted_events.ci_half_width.max(1e-6);
+                        <= sigmas * r.polluted_events.ci_half_width.max(CI_HALF_WIDTH_FLOOR);
                     let ok_a = (pm_lo..=pm_hi).contains(&split.polluted_merge);
                     rows.push(vec![
                         (r.n_clusters as u64).into(),

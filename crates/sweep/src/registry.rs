@@ -7,6 +7,7 @@ use pollux::experiments::{
 };
 use pollux::{AdversaryToggles, InitialCondition};
 use pollux_defense::DefenseSpec;
+use pollux_prob::tolerance::AGREEMENT_SIGMAS;
 
 use crate::{OutputKind, ParamGrid, Scenario, SweepError, ToggleSpec};
 
@@ -306,7 +307,7 @@ pub fn extended() -> Vec<Scenario> {
                 sample_times: vec![
                     0.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 1500.0, 2000.0,
                 ],
-                sigmas: 5.0,
+                sigmas: AGREEMENT_SIGMAS,
             },
         ),
         Scenario::new(
@@ -347,7 +348,7 @@ pub fn extended() -> Vec<Scenario> {
                 // (no interrupted-cycle truncation bias), so the budget
                 // only sizes the cycle count behind the Wilson interval.
                 max_events_per_cluster: 1_500,
-                sigmas: 5.0,
+                sigmas: AGREEMENT_SIGMAS,
             },
         ),
         Scenario::new(

@@ -4,6 +4,7 @@ pub use pollux;
 pub use pollux_adversary as adversary;
 pub use pollux_defense as defense;
 pub use pollux_des as des;
+pub use pollux_fuzz as fuzz;
 pub use pollux_linalg as linalg;
 pub use pollux_markov as markov;
 pub use pollux_overlay as overlay;

@@ -15,6 +15,7 @@ use pollux::duel::{run_duel, DuelConfig};
 use pollux::{ClusterChain, InitialCondition, ModelParams};
 use pollux_adversary::TargetedStrategy;
 use pollux_defense::{DefenseSpec, InducedChurn, NullDefense};
+use pollux_prob::tolerance::AGREEMENT_SIGMAS;
 use pollux_sweep::{registry, OutputKind, ParamGrid, Scenario, SweepRunner};
 use proptest::prelude::*;
 
@@ -75,7 +76,7 @@ fn duel_sweep_artifacts_are_byte_identical_across_threads_and_reruns() {
             cluster_bits: 6,
             lambda: 1.0,
             max_events_per_cluster: 200,
-            sigmas: 5.0,
+            sigmas: AGREEMENT_SIGMAS,
         },
     );
     let one = SweepRunner::new().with_threads(1).run(&scenario).unwrap();
@@ -128,7 +129,7 @@ fn induced_churn_measurably_beats_the_null_defense() {
     // the analytic/DES estimates agree on both rows.
     let params = paper_params(0.25, 0.9);
     let strategy = TargetedStrategy::new(params.k(), params.nu()).unwrap();
-    let config = DuelConfig::new(8, 1.0, 500).with_sigmas(5.0);
+    let config = DuelConfig::new(8, 1.0, 500).with_sigmas(AGREEMENT_SIGMAS);
     let null = run_duel(
         &params,
         &InitialCondition::Delta,
@@ -201,7 +202,7 @@ proptest! {
         // Derive a deterministic seed from the sampled point so failures
         // reproduce exactly.
         let seed = mu.to_bits() ^ d.to_bits().rotate_left(17) ^ rate.to_bits().rotate_left(43);
-        let config = DuelConfig::new(7, 1.0, 400).with_sigmas(5.0);
+        let config = DuelConfig::new(7, 1.0, 400).with_sigmas(AGREEMENT_SIGMAS);
         let outcome = run_duel(
             &params,
             &InitialCondition::Delta,

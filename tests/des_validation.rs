@@ -12,8 +12,25 @@ use pollux::des_overlay::{run_des_overlay, run_des_overlay_duel, DesOverlayConfi
 use pollux::{InitialCondition, ModelParams};
 use pollux_adversary::TargetedStrategy;
 use pollux_defense::IncarnationRefresh;
-use pollux_sweep::{registry, SweepRunner};
+use pollux_prob::tolerance::AGREEMENT_SIGMAS;
+use pollux_sweep::{registry, OutputKind, SweepRunner};
 use proptest::prelude::*;
+
+/// The statistical agreement criteria of the steady-state/duel scenarios
+/// are pinned to the shared [`pollux_prob::tolerance`] quantile — the
+/// same constant the `pollux-fuzz` differential oracle uses — so the
+/// registry, this suite and the fuzzer cannot drift apart.
+#[test]
+fn steady_state_scenarios_pin_the_shared_agreement_quantile() {
+    for name in ["des_steady_state", "duel_matrix"] {
+        let scenario = registry::find(name).expect("registered");
+        let sigmas = match scenario.kind {
+            OutputKind::DesSteadyState { sigmas, .. } | OutputKind::Duel { sigmas, .. } => sigmas,
+            other => panic!("unexpected kind {other:?}"),
+        };
+        assert_eq!(sigmas, AGREEMENT_SIGMAS, "{name}");
+    }
+}
 
 #[test]
 fn registry_des_validate_is_byte_identical_across_threads_and_agrees() {

@@ -1,0 +1,46 @@
+//! Replays the committed fuzz-failure corpus forever.
+//!
+//! Every file under `tests/regressions/` is a shrunk scenario that once
+//! exposed a disagreement between two evaluation paths (under fault
+//! injection or for real). On a healthy build each must pass every
+//! applicable oracle pair — a disagreement here means a regression in
+//! one of the evaluation paths, reproducible from the JSON alone.
+
+use pollux_workspace::fuzz::{corpus, DiffRunner, PairStatus};
+use std::path::Path;
+
+#[test]
+fn corpus_scenarios_stay_green() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let entries = corpus::load_corpus(&dir).expect("corpus directory is readable");
+    assert!(
+        !entries.is_empty(),
+        "the corpus ships with at least the two fault-injection minima"
+    );
+    let runner = DiffRunner::new();
+    for (name, scenario) in &entries {
+        let verdict = runner.run(scenario);
+        for pair in &verdict.pairs {
+            assert_ne!(
+                pair.status,
+                PairStatus::Disagree,
+                "{name}: {} disagrees: {}",
+                pair.name,
+                pair.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_files_round_trip_byte_identically() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    for (name, scenario) in corpus::load_corpus(&dir).expect("corpus directory is readable") {
+        let on_disk = std::fs::read_to_string(dir.join(&name)).expect("corpus file is readable");
+        assert_eq!(
+            scenario.to_json(),
+            on_disk,
+            "{name}: re-encoding must reproduce the committed bytes"
+        );
+    }
+}

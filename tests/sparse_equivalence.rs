@@ -1,8 +1,12 @@
 //! Dense-LU vs sparse-solver equivalence: the two analytical pipelines
-//! must agree to ≤ 1e-9 on every sweep-visible metric across a random
-//! `(μ, d, Δ, k)` grid, plus direct dense/sparse agreement of the
-//! lower-level Markov analyses and CSR edge cases.
+//! must agree to [`pollux_prob::tolerance::ANALYTIC_REL_TOL`] on every
+//! sweep-visible metric across a random `(μ, d, Δ, k)` grid, plus direct
+//! dense/sparse agreement of the lower-level Markov analyses and CSR edge
+//! cases. The agreement predicate is the shared
+//! [`pollux_prob::tolerance::analytic_close`], so this suite and the
+//! `pollux-fuzz` differential oracle can never drift apart.
 
+use pollux_prob::tolerance::analytic_close as close;
 use proptest::prelude::*;
 
 use pollux::{AnalysisMode, ClusterAnalysis, InitialCondition, ModelParams};
@@ -28,10 +32,6 @@ fn params_strategy() -> impl Strategy<Value = ModelParams> {
                     .with_nu(nu)
             })
         })
-}
-
-fn close(a: f64, b: f64) -> bool {
-    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
 }
 
 proptest! {
