@@ -5,7 +5,7 @@
 //! sweep shows how little it matters for `k = 1` and how much for
 //! `k = C`).
 
-use pollux_bench::{banner, parse_cli_or_exit, run_and_emit};
+use pollux_bench::{banner, fail_run, parse_cli_or_exit, run_and_emit};
 
 fn main() {
     let args = parse_cli_or_exit(
@@ -27,7 +27,9 @@ fn main() {
     // Confirm nu is inert for k = 1: every k = 1 row of the nu sweep must
     // report the same E(T_P).
     if let Some(nu_sweep) = reports.iter().find(|r| r.scenario == "ablation_nu") {
-        let k_col = nu_sweep.column("k").expect("key column");
+        let Some(k_col) = nu_sweep.column("k") else {
+            fail_run("ablation_rules", "ablation_nu report lost its 'k' column");
+        };
         let tp: Vec<f64> = nu_sweep
             .rows
             .iter()

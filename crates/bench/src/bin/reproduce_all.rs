@@ -21,10 +21,7 @@ fn main() {
         "reproduce_all",
         "every paper artefact as one parallel sweep writing TSVs",
     );
-    if args.out_dir.is_none() {
-        args.out_dir = Some("results".into());
-    }
-    let out_dir = args.out_dir.clone().expect("defaulted above");
+    let out_dir = args.out_dir.get_or_insert_with(|| "results".into()).clone();
     banner(&format!(
         "Reproducing every table and figure into {}/",
         out_dir.display()

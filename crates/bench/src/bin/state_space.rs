@@ -5,7 +5,7 @@
 //! states") and the unreachability of the polluted-split states — the
 //! `state_space` scenario of `pollux-sweep`.
 
-use pollux_bench::{parse_cli_or_exit, report_banner, run_and_emit};
+use pollux_bench::{fail_run, parse_cli_or_exit, report_banner, run_and_emit};
 
 fn main() {
     let args = parse_cli_or_exit(
@@ -25,13 +25,19 @@ fn main() {
         if report.scenario != "state_space" {
             continue;
         }
-        let c_col = report.column("C").expect("key column");
-        let delta_col = report.column("Delta").expect("key column");
-        let paper_row = report
+        let (Some(c_col), Some(delta_col)) = (report.column("C"), report.column("Delta")) else {
+            fail_run("state_space", "report lost its 'C'/'Delta' key columns");
+        };
+        let Some(paper_row) = report
             .rows
             .iter()
             .position(|r| r[c_col].as_f64() == Some(7.0) && r[delta_col].as_f64() == Some(7.0))
-            .expect("the paper's (7, 7) point is on the grid");
+        else {
+            fail_run(
+                "state_space",
+                "the paper's (7, 7) point is missing from the grid",
+            );
+        };
         println!(
             "paper caption check: C=7, Delta=7 gives {} states (expected 288)",
             report.f64(paper_row, "n_states").unwrap_or(f64::NAN)

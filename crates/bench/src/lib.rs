@@ -113,16 +113,36 @@ pub fn report_banner(report: &SweepReport, default_name: &str, title: &str) {
     }
 }
 
+/// Terminates a binary with the run-failure exit code (1) after a
+/// structured `binary: message` line on stderr — the harness replacement
+/// for panicking when a report invariant does not hold. (Usage errors
+/// exit 2, clean runs 0; see `parse_cli_or_exit`.)
+pub fn fail_run(binary: &str, msg: &str) -> ! {
+    eprintln!("{binary}: {msg}");
+    exit(1);
+}
+
 /// Runs a binary's scenarios as one pooled sweep and emits artefacts to
 /// `--out-dir` when set. Under `--metrics-dir` each scenario also gets a
 /// `<name>.metrics.json` instrumentation sidecar (populated only by
 /// builds with the `metrics` cargo feature; sidecars carry wall times,
 /// which is why they live outside the determinism-diffed `--out-dir`).
-/// Exits the process with a message on failure.
+///
+/// The runner comes from [`SweepArgs::runner_from_env`], so the
+/// `POLLUX_MEM_BUDGET_BYTES` budget and `POLLUX_FAULT` injection plan
+/// apply; a malformed variable is a usage error (exit 2) like any bad
+/// flag, never a silently ignored one. Run failures exit 1.
 pub fn run_and_emit(args: &SweepArgs, defaults: &[&str]) -> Vec<SweepReport> {
+    let runner = match args.runner_from_env() {
+        Ok(runner) => runner,
+        Err(msg) => {
+            eprintln!("sweep configuration: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
     let run = || -> Result<Vec<SweepReport>, SweepError> {
         let scenarios = resolve_scenarios(args, defaults)?;
-        let (reports, obs) = args.runner().run_all_observed(&scenarios)?;
+        let (reports, obs) = runner.run_all_observed(&scenarios)?;
         if let Some(dir) = &args.out_dir {
             for report in &reports {
                 for path in pollux_sweep::write_report(report, dir, args.format)? {
@@ -140,7 +160,7 @@ pub fn run_and_emit(args: &SweepArgs, defaults: &[&str]) -> Vec<SweepReport> {
             std::fs::create_dir_all(dir)?;
             for sidecar in &obs {
                 let mut report = pollux_obs::ObsReport::new(&sidecar.scenario);
-                report.set_u64("threads", args.runner().threads() as u64);
+                report.set_u64("threads", runner.threads() as u64);
                 report.set_u64("seed", args.seed.unwrap_or(pollux_sweep::DEFAULT_SEED));
                 report.merge_registry(&sidecar.registry);
                 let path = dir.join(format!("{}.metrics.json", sidecar.scenario));

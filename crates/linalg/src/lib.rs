@@ -52,7 +52,8 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use solver::{
-    IterStats, SolverObsSnapshot, SolverOptions, TransientSolver, DEFAULT_SPARSE_CROSSOVER,
+    IterStats, KrylovBreakdown, SolverObsSnapshot, SolverOptions, TransientSolver,
+    DEFAULT_SPARSE_CROSSOVER,
 };
 
 /// Default absolute tolerance used by the stochasticity checks.

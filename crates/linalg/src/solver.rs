@@ -169,6 +169,10 @@ pub struct TransientSolver {
     tol: f64,
     max_sweeps: usize,
     jacobi: bool,
+    /// Fault-injection hook: when set, the iterative path skips BiCGSTAB
+    /// with a synthetic breakdown so the SOR fallback ladder (and its
+    /// reporting) can be exercised deterministically.
+    force_krylov_breakdown: bool,
     /// Cumulative routing/iteration counters, shared across clones (like
     /// the relaxation cache) so batched analyses aggregate naturally.
     obs: Arc<SolverObs>,
@@ -240,6 +244,7 @@ impl TransientSolver {
             tol: options.tol,
             max_sweeps: options.max_sweeps,
             jacobi: options.jacobi,
+            force_krylov_breakdown: false,
             obs: Arc::new(SolverObs::new()),
         })
     }
@@ -264,8 +269,20 @@ impl TransientSolver {
             tol: SolverOptions::default().tol,
             max_sweeps: SolverOptions::default().max_sweeps,
             jacobi: false,
+            force_krylov_breakdown: false,
             obs: Arc::new(SolverObs::new()),
         })
+    }
+
+    /// Replaces the BiCGSTAB attempt with a synthetic breakdown so the
+    /// fallback ladder runs end to end. Fault-injection harnesses and
+    /// tests use this to prove the SOR detour (and its machine-readable
+    /// reporting) actually fires; it is not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_forced_krylov_breakdown(mut self) -> Self {
+        self.force_krylov_breakdown = true;
+        self
     }
 
     /// Number of unknowns.
@@ -294,6 +311,12 @@ impl TransientSolver {
             gs_fallbacks: self.obs.gs_fallbacks.load(Ordering::Relaxed),
             total_iterations: self.obs.total_iterations.load(Ordering::Relaxed),
             worst_residual: f64::from_bits(self.obs.worst_residual.load(Ordering::Relaxed)),
+            krylov_failure_iterations: self.obs.krylov_failure_iterations.load(Ordering::Relaxed),
+            krylov_failure_worst_residual: f64::from_bits(
+                self.obs
+                    .krylov_failure_worst_residual
+                    .load(Ordering::Relaxed),
+            ),
         }
     }
 
@@ -373,24 +396,49 @@ impl TransientSolver {
                 // (the transposed system shares the spectrum, so it shares
                 // the learned relaxation factor too).
                 let m = if transposed { qt } else { q };
-                self.bicgstab(m, diag, b)
-                    .inspect(|_| self.obs.note_krylov())
-                    .or_else(|e| {
+                let krylov = if self.force_krylov_breakdown {
+                    Err(LinalgError::NoConvergence {
+                        sweeps: 0,
+                        residual: f64::INFINITY,
+                    })
+                } else {
+                    self.bicgstab(m, diag, b)
+                };
+                // When BiCGSTAB fails, keep *why* (not just that it did):
+                // the breakdown rides along into the returned stats so
+                // callers see the reason machine-readably instead of on a
+                // debug-only stderr line.
+                let mut breakdown = None;
+                let result = match krylov {
+                    Ok(out) => {
+                        self.obs.note_krylov();
+                        Ok(out)
+                    }
+                    Err(e) => {
+                        if let LinalgError::NoConvergence { sweeps, residual } = &e {
+                            breakdown = Some(KrylovBreakdown {
+                                sweeps: *sweeps,
+                                residual: *residual,
+                            });
+                            self.obs.note_krylov_failure(*sweeps as u64, *residual);
+                        }
                         if std::env::var_os("POLLUX_SOLVER_DEBUG").is_some() {
                             eprintln!("bicgstab fallback: {e}");
                         }
                         self.obs.note_sor_fallback();
                         self.sor(m, diag, b, Some(omega_cache))
                             .inspect(|_| self.obs.note_sor())
-                    })
-                    .or_else(|_| {
-                        self.obs.note_gs_fallback();
-                        self.sor(m, diag, b, None).inspect(|_| self.obs.note_sor())
-                    })
-                    .map(|(x, stats)| {
-                        self.obs.note_stats(stats.sweeps as u64, stats.residual);
-                        (x, Some(stats))
-                    })
+                            .or_else(|_| {
+                                self.obs.note_gs_fallback();
+                                self.sor(m, diag, b, None).inspect(|_| self.obs.note_sor())
+                            })
+                    }
+                };
+                result.map(|(x, mut stats)| {
+                    stats.krylov_failure = breakdown;
+                    self.obs.note_stats(stats.sweeps as u64, stats.residual);
+                    (x, Some(stats))
+                })
             }
         }
     }
@@ -562,6 +610,7 @@ impl TransientSolver {
                             sweeps: iter,
                             omega: f64::NAN,
                             residual,
+                            krylov_failure: None,
                         },
                     ));
                 }
@@ -642,6 +691,7 @@ impl TransientSolver {
                             sweeps,
                             omega,
                             residual,
+                            krylov_failure: None,
                         },
                     ));
                 }
@@ -691,6 +741,12 @@ struct SolverObs {
     /// Monotonic max, stored as f64 bits (non-negative residuals order
     /// identically as bits).
     worst_residual: AtomicU64,
+    /// Krylov iterations spent inside failed BiCGSTAB attempts (wasted
+    /// work the fallback ladder then redid).
+    krylov_failure_iterations: AtomicU64,
+    /// Worst residual a failed BiCGSTAB attempt gave up at (f64 bits,
+    /// monotonic max like `worst_residual`).
+    krylov_failure_worst_residual: AtomicU64,
 }
 
 impl SolverObs {
@@ -716,6 +772,15 @@ impl SolverObs {
 
     fn note_gs_fallback(&self) {
         self.gs_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_krylov_failure(&self, sweeps: u64, residual: f64) {
+        self.krylov_failure_iterations
+            .fetch_add(sweeps, Ordering::Relaxed);
+        // NaN (a breakdown can give up before any finite residual) maps
+        // to 0 under `max`, same as `note_stats`.
+        self.krylov_failure_worst_residual
+            .fetch_max(residual.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
     fn note_stats(&self, sweeps: u64, residual: f64) {
@@ -747,6 +812,14 @@ pub struct SolverObsSnapshot {
     pub total_iterations: u64,
     /// Worst verified residual ∞-norm over all iterative solves.
     pub worst_residual: f64,
+    /// Krylov iterations spent inside BiCGSTAB attempts that then failed
+    /// over to the stationary ladder — wasted work, kept separate from
+    /// [`SolverObsSnapshot::total_iterations`] (which only counts the
+    /// attempts that produced the solution).
+    pub krylov_failure_iterations: u64,
+    /// Worst residual a failed BiCGSTAB attempt gave up at (`0.0` when
+    /// no attempt ever failed).
+    pub krylov_failure_worst_residual: f64,
 }
 
 impl SolverObsSnapshot {
@@ -824,6 +897,20 @@ fn residual_inf(m: &CsrMatrix, diag: &[f64], x: &[f64], b: &[f64]) -> f64 {
     worst
 }
 
+/// Why a BiCGSTAB attempt gave up: the iterations it burned and the
+/// residual it was stuck at when the solver descended to the stationary
+/// fallback ladder. Carried on [`IterStats::krylov_failure`] so callers
+/// get the reason machine-readably rather than on a debug-only stderr
+/// line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrylovBreakdown {
+    /// Krylov iterations performed before abandoning the method.
+    pub sweeps: usize,
+    /// Residual ∞-norm at the point of giving up (may be non-finite —
+    /// a breakdown can diverge before measuring anything useful).
+    pub residual: f64,
+}
+
 /// Iteration statistics of a sparse solve (see
 /// [`TransientSolver::solve_with_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -835,6 +922,10 @@ pub struct IterStats {
     pub omega: f64,
     /// Verified residual ∞-norm of the returned solution.
     pub residual: f64,
+    /// `Some` when this solution came from the fallback ladder after a
+    /// BiCGSTAB breakdown, carrying why the Krylov attempt failed;
+    /// `None` when BiCGSTAB answered directly.
+    pub krylov_failure: Option<KrylovBreakdown>,
 }
 
 #[cfg(test)]
@@ -886,6 +977,43 @@ mod tests {
         for (a, b) in xd.iter().zip(xs.iter()) {
             assert!((a - b).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn forced_krylov_breakdown_descends_the_ladder_and_records_why() {
+        let q = ruin_block(60, 0.5);
+        let ones = vec![1.0; 60];
+        let honest = TransientSolver::new(&q, SolverOptions::force_sparse()).unwrap();
+        let broken = TransientSolver::new(&q, SolverOptions::force_sparse())
+            .unwrap()
+            .with_forced_krylov_breakdown();
+
+        let (xh, sh) = honest.solve_with_stats(&ones).unwrap();
+        let (xb, sb) = broken.solve_with_stats(&ones).unwrap();
+        // The ladder still lands the verified answer…
+        for (a, b) in xh.iter().zip(xb.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+
+        // …and the stats say why the detour happened.
+        let stats = sb.expect("iterative path reports stats");
+        let why = stats.krylov_failure.expect("breakdown recorded in stats");
+        assert_eq!(why.sweeps, 0);
+        assert!(why.residual.is_infinite());
+        assert!(!stats.omega.is_nan(), "solution came from SOR, not Krylov");
+        // A solve BiCGSTAB answered itself records no failure.
+        assert!(sh.expect("stats").krylov_failure.is_none());
+
+        let snap = broken.obs_snapshot();
+        assert_eq!(snap.krylov_solves, 0);
+        assert_eq!(snap.sor_solves, 1);
+        assert_eq!(snap.sor_fallbacks, 1);
+        assert_eq!(snap.gs_fallbacks, 0);
+        assert_eq!(snap.krylov_failure_iterations, 0);
+        assert!(snap.krylov_failure_worst_residual.is_infinite());
+        let honest_snap = honest.obs_snapshot();
+        assert_eq!(honest_snap.krylov_failure_iterations, 0);
+        assert_eq!(honest_snap.krylov_failure_worst_residual, 0.0);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Deterministic bounded retry.
+//!
+//! A unit of work in Pollux is a pure function of `(config, seed)`;
+//! the retry ladder therefore re-runs a failed unit *from the same
+//! seed*. The consequence is the central determinism guarantee of the
+//! failure model (test-enforced end to end): a retry can change
+//! **whether** output exists, never **what** it contains — a run that
+//! recovers from injected faults is byte-identical to a fault-free run.
+
+use crate::FailureKind;
+
+/// How many times a transiently failing unit is attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); `1` means no retry.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Two attempts: the original run plus one retry — enough to absorb
+    /// a transient fault without masking a deterministic failure for
+    /// long (a genuinely broken cell fails every attempt identically).
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// The no-retry policy (one attempt).
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+/// Runs `attempt(n)` for `n = 1, 2, …` until it succeeds, fails
+/// non-transiently, or the policy's attempt budget is spent. Returns the
+/// result together with the number of attempts made.
+///
+/// The attempt index is passed through so callers can degrade *how* the
+/// unit runs (fault plans key on it; the sweep runner sheds DES shards
+/// between memory-rejected attempts) — but the unit's seed, and thus its
+/// output bytes, must not depend on it.
+///
+/// # Errors
+///
+/// The last attempt's [`FailureKind`], with the attempt count.
+pub fn run_with_retry<T>(
+    policy: RetryPolicy,
+    mut attempt: impl FnMut(u32) -> Result<T, FailureKind>,
+) -> Result<(T, u32), (FailureKind, u32)> {
+    let mut n = 0;
+    loop {
+        n += 1;
+        match attempt(n) {
+            Ok(value) => return Ok((value, n)),
+            Err(kind) if kind.is_transient() && n < policy.max_attempts => continue,
+            Err(kind) => return Err((kind, n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_success_is_one_attempt() {
+        let r = run_with_retry(RetryPolicy::new(5), |_| Ok::<_, FailureKind>(7));
+        assert_eq!(r, Ok((7, 1)));
+    }
+
+    #[test]
+    fn transient_failures_retry_up_to_budget() {
+        let r = run_with_retry(RetryPolicy::new(3), |n| {
+            if n < 3 {
+                Err(FailureKind::Panic(format!("attempt {n}")))
+            } else {
+                Ok(n)
+            }
+        });
+        assert_eq!(r, Ok((3, 3)));
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_last_failure() {
+        let r: Result<(u32, u32), _> = run_with_retry(RetryPolicy::new(2), |n| {
+            Err(FailureKind::NoConvergence(format!("attempt {n}")))
+        });
+        assert_eq!(r, Err((FailureKind::NoConvergence("attempt 2".into()), 2)));
+    }
+
+    #[test]
+    fn fatal_failures_never_retry() {
+        let mut calls = 0;
+        let r: Result<(u32, u32), _> = run_with_retry(RetryPolicy::new(10), |_| {
+            calls += 1;
+            Err(FailureKind::Fatal("singular".into()))
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(r, Err((FailureKind::Fatal("singular".into()), 1)));
+    }
+
+    #[test]
+    fn policy_clamps_to_at_least_one_attempt() {
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 2);
+    }
+}

@@ -27,6 +27,18 @@ pub struct SweepArgs {
     pub extended: bool,
     /// List scenarios and exit (`--list`).
     pub list: bool,
+    /// Crash-safe mode (`--resume DIR`): journal completed cells to
+    /// `DIR/sweep.journal.jsonl`, replaying any existing journal first so
+    /// only missing cells are recomputed. Output is byte-identical to an
+    /// uninterrupted run.
+    pub resume: Option<PathBuf>,
+    /// Extra evaluation attempts after a transient cell failure
+    /// (`--retries N`; default 1). Retries re-run from the cell's
+    /// original seed, so they never change output bytes.
+    pub retries: Option<u32>,
+    /// Memory budget DES cells pre-flight against (`--mem-budget-bytes
+    /// B`; overrides the `POLLUX_MEM_BUDGET_BYTES` environment variable).
+    pub mem_budget_bytes: Option<u64>,
     /// Positional scenario names (empty = the binary's default set).
     pub scenarios: Vec<String>,
 }
@@ -42,6 +54,9 @@ impl Default for SweepArgs {
             progress: false,
             extended: false,
             list: false,
+            resume: None,
+            retries: None,
+            mem_budget_bytes: None,
             scenarios: Vec::new(),
         }
     }
@@ -58,6 +73,14 @@ pub const USAGE: &str = "options:
   --progress           per-cell progress/ETA on stderr
   --extended           include beyond-paper scenarios
   --list               list available scenarios and exit
+  --resume DIR         crash-safe mode: journal completed cells under DIR
+                       and resume from an existing journal (output is
+                       byte-identical to an uninterrupted run)
+  --retries N          extra attempts after a transient cell failure
+                       (default 1; same seed, so bytes never change)
+  --mem-budget-bytes B refuse/degrade DES cells whose predicted footprint
+                       exceeds B bytes (default: POLLUX_MEM_BUDGET_BYTES,
+                       else unlimited)
   --help               this message
   [NAME…]              scenario names to run (default: the binary's set)";
 
@@ -100,6 +123,19 @@ impl SweepArgs {
                 "--progress" => out.progress = true,
                 "--extended" => out.extended = true,
                 "--list" => out.list = true,
+                "--resume" => {
+                    let v = it.next().ok_or("--resume needs a directory")?;
+                    out.resume = Some(PathBuf::from(v));
+                }
+                "--retries" => {
+                    let v = it.next().ok_or("--retries needs a value")?;
+                    out.retries = Some(v.parse().map_err(|_| format!("bad retry count '{v}'"))?);
+                }
+                "--mem-budget-bytes" => {
+                    let v = it.next().ok_or("--mem-budget-bytes needs a value")?;
+                    out.mem_budget_bytes =
+                        Some(v.parse().map_err(|_| format!("bad byte budget '{v}'"))?);
+                }
                 "--help" | "-h" => return Err("help".into()),
                 name if !name.starts_with('-') => out.scenarios.push(name.to_string()),
                 unknown => return Err(format!("unknown flag '{unknown}'")),
@@ -117,7 +153,38 @@ impl SweepArgs {
         if let Some(seed) = self.seed {
             runner = runner.with_seed(seed);
         }
+        if let Some(dir) = &self.resume {
+            runner = runner.with_journal_dir(dir);
+        }
+        if let Some(retries) = self.retries {
+            runner = runner.with_retry(pollux_resilience::RetryPolicy::new(retries + 1));
+        }
+        if let Some(bytes) = self.mem_budget_bytes {
+            runner = runner.with_memory_budget(pollux_resilience::MemoryBudget::bytes(bytes));
+        }
         runner.with_progress(self.progress)
+    }
+
+    /// As [`SweepArgs::runner`], additionally applying the resilience
+    /// environment: `POLLUX_MEM_BUDGET_BYTES` (when `--mem-budget-bytes`
+    /// was not given) and the `POLLUX_FAULT` injection plan. The harness
+    /// binaries use this so CI can inject faults without a CLI surface.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when either variable is set but
+    /// malformed — a typo'd budget or fault plan must not silently
+    /// become "no budget" / "no faults".
+    pub fn runner_from_env(&self) -> Result<crate::SweepRunner, String> {
+        let mut runner = self.runner();
+        if self.mem_budget_bytes.is_none() {
+            runner = runner.with_memory_budget(pollux_resilience::MemoryBudget::from_env()?);
+        }
+        let plan = pollux_resilience::FaultPlan::from_env()?;
+        if !plan.is_empty() {
+            runner = runner.with_fault_plan(plan);
+        }
+        Ok(runner)
     }
 }
 
@@ -182,5 +249,24 @@ mod tests {
     fn runner_reflects_flags() {
         let runner = parse(&["--threads", "3"]).unwrap().runner();
         assert_eq!(runner.threads(), 3);
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_reject_garbage() {
+        let args = parse(&[
+            "--resume",
+            "ckpt",
+            "--retries",
+            "3",
+            "--mem-budget-bytes",
+            "1048576",
+        ])
+        .unwrap();
+        assert_eq!(args.resume.as_deref(), Some(std::path::Path::new("ckpt")));
+        assert_eq!(args.retries, Some(3));
+        assert_eq!(args.mem_budget_bytes, Some(1_048_576));
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--retries", "many"]).is_err());
+        assert!(parse(&["--mem-budget-bytes", "-5"]).is_err());
     }
 }

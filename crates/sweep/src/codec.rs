@@ -1,0 +1,197 @@
+//! Exact row codec for the completion journal.
+//!
+//! A journaled cell's payload must round-trip its rows *bit-exactly*:
+//! a resumed sweep re-emits journaled rows through the same TSV/JSON
+//! writers as a live run, so any lossy step here would break the
+//! byte-identity contract between interrupted and uninterrupted runs.
+//! TSV/JSON themselves are unsuitable as the storage format (shortest
+//! round-trip float printing is exact for finite values but collapses
+//! NaN payloads, and JSON nulls non-finite values outright), so the
+//! journal stores rows in a typed line format of its own:
+//!
+//! * one row per line, fields separated by `\t`;
+//! * each field is a type tag + body: `u<decimal>` for [`Value::U64`],
+//!   `f<16 hex digits>` (the IEEE-754 bit pattern, so every NaN, ±0.0
+//!   and subnormal survives) for [`Value::F64`], `b0`/`b1` for
+//!   [`Value::Bool`], and `s<escaped>` for [`Value::Str`] with `%`,
+//!   tab and newline percent-escaped.
+//!
+//! Decoding rejects anything it does not recognise — a corrupt payload
+//! that slipped past the journal's hash check must fail loudly, not
+//! produce plausible rows.
+
+use crate::Value;
+
+/// Encodes one cell's keyed rows as the journal payload string.
+#[must_use]
+pub fn encode_rows(rows: &[Vec<Value>]) -> String {
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        for (j, value) in row.iter().enumerate() {
+            if j > 0 {
+                out.push('\t');
+            }
+            match value {
+                Value::U64(v) => {
+                    out.push('u');
+                    out.push_str(&v.to_string());
+                }
+                Value::F64(v) => {
+                    out.push('f');
+                    out.push_str(&format!("{:016x}", v.to_bits()));
+                }
+                Value::Bool(v) => out.push_str(if *v { "b1" } else { "b0" }),
+                Value::Str(v) => {
+                    out.push('s');
+                    for c in v.chars() {
+                        match c {
+                            '%' => out.push_str("%25"),
+                            '\t' => out.push_str("%09"),
+                            '\n' => out.push_str("%0a"),
+                            c => out.push(c),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a journal payload back into rows, bit-exactly.
+///
+/// # Errors
+///
+/// A human-readable message on any malformed field — decoding never
+/// guesses.
+pub fn decode_rows(payload: &str) -> Result<Vec<Vec<Value>>, String> {
+    if payload.is_empty() {
+        return Ok(Vec::new());
+    }
+    payload
+        .split('\n')
+        .enumerate()
+        .map(|(i, line)| {
+            line.split('\t')
+                .map(|field| decode_field(field).map_err(|e| format!("row {i}: {e}")))
+                .collect()
+        })
+        .collect()
+}
+
+fn decode_field(field: &str) -> Result<Value, String> {
+    let body = field.get(1..).ok_or("empty field")?;
+    match field.as_bytes()[0] {
+        b'u' => body
+            .parse::<u64>()
+            .map(Value::U64)
+            .map_err(|e| format!("bad u64 '{body}': {e}")),
+        b'f' => {
+            if body.len() != 16 {
+                return Err(format!("f64 bit pattern '{body}' is not 16 hex digits"));
+            }
+            u64::from_str_radix(body, 16)
+                .map(|bits| Value::F64(f64::from_bits(bits)))
+                .map_err(|e| format!("bad f64 bit pattern '{body}': {e}"))
+        }
+        b'b' => match body {
+            "0" => Ok(Value::Bool(false)),
+            "1" => Ok(Value::Bool(true)),
+            other => Err(format!("bad bool '{other}'")),
+        },
+        b's' => {
+            let mut out = String::with_capacity(body.len());
+            let mut chars = body.chars();
+            while let Some(c) = chars.next() {
+                if c == '%' {
+                    let code: String = (0..2).filter_map(|_| chars.next()).collect();
+                    match code.as_str() {
+                        "25" => out.push('%'),
+                        "09" => out.push('\t'),
+                        "0a" => out.push('\n'),
+                        other => return Err(format!("bad escape '%{other}'")),
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        tag => Err(format!("unknown field tag '{}'", tag as char)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rows: Vec<Vec<Value>>) {
+        let encoded = encode_rows(&rows);
+        let decoded = decode_rows(&encoded).unwrap();
+        assert_eq!(rows.len(), decoded.len());
+        for (a, b) in rows.iter().flatten().zip(decoded.iter().flatten()) {
+            match (a, b) {
+                // Bit-exact, not PartialEq: NaN != NaN but must survive.
+                (Value::F64(x), Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn typical_keyed_rows_round_trip() {
+        round_trip(vec![
+            vec![
+                Value::U64(7),
+                Value::F64(0.1),
+                Value::Bool(true),
+                Value::Str("targeted".into()),
+            ],
+            vec![
+                Value::U64(u64::MAX),
+                Value::F64(-0.0),
+                Value::Bool(false),
+                Value::Str(String::new()),
+            ],
+        ]);
+    }
+
+    #[test]
+    fn hostile_floats_survive_bit_exactly() {
+        round_trip(vec![vec![
+            Value::F64(f64::NAN),
+            Value::F64(f64::from_bits(0x7ff8_0000_dead_beef)), // payloaded NaN
+            Value::F64(f64::INFINITY),
+            Value::F64(f64::NEG_INFINITY),
+            Value::F64(f64::MIN_POSITIVE / 8.0), // subnormal
+            Value::F64(0.1 + 0.2),
+        ]]);
+    }
+
+    #[test]
+    fn hostile_strings_survive() {
+        round_trip(vec![vec![
+            Value::Str("tabs\tand\nnewlines".into()),
+            Value::Str("percent % signs %09 literal".into()),
+        ]]);
+    }
+
+    #[test]
+    fn empty_payload_is_zero_rows() {
+        assert_eq!(encode_rows(&[]), "");
+        assert_eq!(decode_rows("").unwrap(), Vec::<Vec<Value>>::new());
+    }
+
+    #[test]
+    fn corruption_fails_loudly() {
+        assert!(decode_rows("uNaN").is_err());
+        assert!(decode_rows("f123").is_err());
+        assert!(decode_rows("b2").is_err());
+        assert!(decode_rows("s%zz").is_err());
+        assert!(decode_rows("x7").is_err());
+        assert!(decode_rows("u1\t").is_err());
+    }
+}

@@ -3,6 +3,7 @@ use std::fmt;
 
 use pollux::ParamsError;
 use pollux_markov::MarkovError;
+use pollux_resilience::{CellFailure, JournalError};
 
 /// Errors produced while expanding or executing a sweep.
 #[derive(Debug)]
@@ -20,6 +21,15 @@ pub enum SweepError {
     Markov(MarkovError),
     /// Writing an artefact failed.
     Io(std::io::Error),
+    /// One cell failed after the retry ladder was exhausted (panic,
+    /// solver non-convergence, memory-budget rejection). The structured
+    /// record names the originating cell; every *other* cell still
+    /// completed and — when journaling is on — was committed, so a
+    /// resumed run only recomputes the failing cell.
+    Cell(CellFailure),
+    /// The completion journal could not be read, written, or trusted
+    /// (corruption fails loudly naming the file and line).
+    Journal(JournalError),
 }
 
 impl fmt::Display for SweepError {
@@ -36,6 +46,8 @@ impl fmt::Display for SweepError {
             SweepError::Params(e) => write!(f, "model parameters: {e}"),
             SweepError::Markov(e) => write!(f, "analysis: {e}"),
             SweepError::Io(e) => write!(f, "io: {e}"),
+            SweepError::Cell(e) => write!(f, "{e}"),
+            SweepError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -46,8 +58,22 @@ impl Error for SweepError {
             SweepError::Params(e) => Some(e),
             SweepError::Markov(e) => Some(e),
             SweepError::Io(e) => Some(e),
+            SweepError::Cell(e) => Some(e),
+            SweepError::Journal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CellFailure> for SweepError {
+    fn from(e: CellFailure) -> Self {
+        SweepError::Cell(e)
+    }
+}
+
+impl From<JournalError> for SweepError {
+    fn from(e: JournalError) -> Self {
+        SweepError::Journal(e)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The measurement taken at each grid cell: one [`OutputKind`] per
 //! scenario, mapping a cell (plus its deterministic seed) to typed rows.
 
-use pollux::des_overlay::{run_des_overlay, DesOverlayConfig};
+use pollux::des_overlay::{des_memory_audit, run_des_overlay, DesOverlayConfig};
 use pollux::duel::{renewal_wilson, run_duel_with_baseline, DuelConfig};
 use pollux::simulation;
 use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpace, OverlayModel};
@@ -733,6 +733,64 @@ impl OutputKind {
                 Ok(rows)
             }
         }
+    }
+
+    /// Predicted peak memory footprint of evaluating one cell with the
+    /// given DES shard count, or `None` when the kind has no usable
+    /// prediction (the analytical kinds' footprint depends on pipeline
+    /// selection, not on pre-declarable tables).
+    ///
+    /// DES kinds sum the table audit ([`des_memory_audit`] — the same
+    /// accounting `pollux-obs` exposes) of the *largest* sub-run the cell
+    /// will launch (sub-runs are sequential, so the peak is the max, not
+    /// the sum) plus a per-shard working-set allowance for each worker's
+    /// scratch (RNG state, staged accumulators, stack). The allowance is
+    /// what makes shard shedding a real degradation lever: the audited
+    /// tables are shard-invariant by design, so shards only add scratch —
+    /// and since DES output bytes are shard-invariant too, shedding
+    /// changes the memory plan without touching a single artefact byte.
+    #[must_use]
+    pub fn predicted_memory_bytes(&self, cell: &SweepCell, shards: usize) -> Option<u64> {
+        /// Working-set allowance per DES shard worker (scratch buffers,
+        /// RNG state, thread stack) on top of the audited shared tables.
+        const PER_SHARD_OVERHEAD_BYTES: u64 = 1 << 20;
+        let largest_audit = |configs: &mut dyn Iterator<Item = DesOverlayConfig>| {
+            configs
+                .map(|c| des_memory_audit(&cell.params, &c).total_bytes())
+                .max()
+                .unwrap_or(0)
+        };
+        let tables = match self {
+            OutputKind::DesValidation {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                ..
+            } => largest_audit(&mut cluster_bits.iter().map(|&bits| {
+                DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits)
+                    .with_shards(shards)
+            })),
+            OutputKind::DesSteadyState {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                ..
+            } => largest_audit(&mut cluster_bits.iter().map(|&bits| {
+                DesOverlayConfig::new(bits, *lambda, max_events_per_cluster << bits)
+                    .with_shards(shards)
+            })),
+            OutputKind::Duel {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                ..
+            } => largest_audit(&mut std::iter::once(
+                DesOverlayConfig::new(*cluster_bits, *lambda, *max_events_per_cluster)
+                    .with_shards(shards),
+            )),
+            _ => return None,
+        };
+        Some(tables + shards as u64 * PER_SHARD_OVERHEAD_BYTES)
     }
 
     /// `true` when the kind consumes randomness (its artefacts depend on

@@ -32,6 +32,7 @@
 //! ```
 
 mod cli;
+pub mod codec;
 mod error;
 mod grid;
 mod kind;
@@ -47,7 +48,7 @@ pub use error::SweepError;
 pub use grid::{ParamGrid, SweepCell, ToggleSpec};
 pub use kind::OutputKind;
 pub use report::SweepReport;
-pub use runner::{SweepObs, SweepRunner, DEFAULT_SEED};
+pub use runner::{SweepObs, SweepRunner, DEFAULT_SEED, JOURNAL_FILE};
 pub use scenario::Scenario;
 pub use value::Value;
 pub use writers::{write_json, write_report, write_tsv, OutputFormat};

@@ -1,20 +1,42 @@
 //! The worker pool: cells fan out over OS threads through a channel,
 //! results re-assemble in canonical order, so a sweep's artefacts are
 //! byte-identical whether it runs on 1 thread or 64.
+//!
+//! The pool is crash-safe (`pollux-resilience`): each cell evaluates
+//! under `catch_unwind` with bounded deterministic retry, a panicking
+//! cell surfaces as a structured [`CellFailure`] naming the cell while
+//! every other cell completes, DES cells pre-flight their predicted
+//! footprint against an optional memory budget (shedding shards — an
+//! output-invariant degradation — before refusing), and an optional
+//! append-only journal commits each completed cell so an interrupted
+//! sweep resumes byte-identically, recomputing only missing cells.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use pollux_des::replication::replication_seed;
+use pollux_linalg::LinalgError;
+use pollux_markov::MarkovError;
 use pollux_obs::{Registry, Stopwatch};
+use pollux_resilience::{
+    catch_panic, fault::SIMULATED_KILL_EXIT_CODE, fnv1a64, run_with_retry, CellFailure,
+    FailureKind, FaultPlan, Journal, JournalEntry, JournalError, JournalHeader, MemoryBudget,
+    RetryPolicy,
+};
 
-use crate::{Scenario, SweepCell, SweepError, SweepReport, Value};
+use crate::codec::{decode_rows, encode_rows};
+use crate::{OutputKind, Scenario, SweepCell, SweepError, SweepReport, Value};
 
 /// The keyed rows one cell contributes to its scenario's report.
 type CellRows = Vec<Vec<Value>>;
 /// What a worker reports back: the owning scenario, the cell's rows and
 /// the cell's wall time (0.0 unless the `metrics` feature is on).
 type CellOutcome = (usize, Result<CellRows, SweepError>, f64);
+
+/// File name of the completion journal inside a journal directory.
+pub const JOURNAL_FILE: &str = "sweep.journal.jsonl";
 
 /// Instrumentation sidecar of one scenario's sweep: per-cell wall-time
 /// spans and cell/row counters, merged in canonical cell order so the
@@ -39,12 +61,18 @@ pub const DEFAULT_SEED: u64 = 0xD51_2011; // DSN 2011
 /// Parallelism is over grid cells: each cell gets a seed derived from
 /// `(master_seed, cell index)` via SplitMix64 and is evaluated
 /// independently; rows are then stitched together in cell order. Thread
-/// count therefore affects wall-clock time only, never output bytes.
+/// count therefore affects wall-clock time only, never output bytes —
+/// and so do retries, shard shedding and checkpoint/resume, all of which
+/// re-derive the same per-cell seeds.
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
     master_seed: u64,
     progress: bool,
+    retry: RetryPolicy,
+    fault_plan: FaultPlan,
+    memory_budget: MemoryBudget,
+    journal_dir: Option<PathBuf>,
 }
 
 impl Default for SweepRunner {
@@ -62,6 +90,10 @@ impl SweepRunner {
                 .unwrap_or(4),
             master_seed: DEFAULT_SEED,
             progress: false,
+            retry: RetryPolicy::default(),
+            fault_plan: FaultPlan::none(),
+            memory_budget: MemoryBudget::unlimited(),
+            journal_dir: None,
         }
     }
 
@@ -81,6 +113,43 @@ impl SweepRunner {
     /// stderr only — artefact bytes are unaffected.
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Sets the bounded-retry policy for transient cell failures
+    /// (default: two attempts). Retries re-run from the cell's original
+    /// seed, so they can change whether output exists, never its bytes.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a fault-injection plan (tests and the CI harness; the
+    /// default plan injects nothing). Panic injections key on the global
+    /// cell slot — the cell's position in the pooled job list across all
+    /// scenarios of the call — and the 1-based attempt number.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the memory budget that DES cells pre-flight their predicted
+    /// footprint against (default: unlimited). Over-budget cells first
+    /// shed DES shards (output-invariant), then fail with a structured
+    /// [`FailureKind::MemoryBudget`].
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Enables the crash-safe completion journal in `dir`
+    /// (`dir/sweep.journal.jsonl`). If the journal already exists the
+    /// run *resumes*: committed cells are replayed from the journal
+    /// (after verifying the master seed, per-cell seeds, schema hashes
+    /// and payload hashes) and only missing cells are recomputed — the
+    /// assembled artefacts are byte-identical to an uninterrupted run.
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
         self
     }
 
@@ -154,8 +223,104 @@ impl SweepRunner {
             }
         }
 
+        let n_slots = jobs.len();
+        let mut outcomes: Vec<Option<CellOutcome>> = (0..n_slots).map(|_| None).collect();
+        // (scenario name, scenario index, cell index, seed) per slot, for
+        // journaling completions and naming cells whose worker died.
+        let slot_meta: Vec<(String, usize, usize, u64)> = jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.scenario.name.clone(),
+                    j.scenario_index,
+                    j.cell.index,
+                    j.seed,
+                )
+            })
+            .collect();
+
+        // Checkpoint/resume: replay an existing journal (prefilling
+        // outcomes for committed cells) and open it for appending.
+        let mut journal = match &self.journal_dir {
+            None => None,
+            Some(dir) => {
+                let path = dir.join(JOURNAL_FILE);
+                let columns_hash: Vec<u64> = scenarios
+                    .iter()
+                    .map(|s| fnv1a64(s.columns().join("\t").as_bytes()))
+                    .collect();
+                let by_key: HashMap<(&str, usize), usize> = slot_meta
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, (name, _, cell_index, _))| ((name.as_str(), *cell_index), slot))
+                    .collect();
+                if path.exists() {
+                    let replay = Journal::replay(&path)?;
+                    if replay.header.master_seed != self.master_seed {
+                        return Err(SweepError::Journal(JournalError::Header {
+                            path,
+                            reason: format!(
+                                "journal was written with master seed {:#x}, this run uses {:#x} \
+                                 — refusing to mix sample paths",
+                                replay.header.master_seed, self.master_seed
+                            ),
+                        }));
+                    }
+                    for (i, entry) in replay.entries.iter().enumerate() {
+                        // Header is line 1; entry i is line i + 2.
+                        let line = i + 2;
+                        // Entries for scenarios outside this run (a wider
+                        // earlier invocation) are stale, not corrupt.
+                        let Some(&slot) =
+                            by_key.get(&(entry.scenario.as_str(), entry.cell_index as usize))
+                        else {
+                            continue;
+                        };
+                        let (_, scenario_index, _, seed) = slot_meta[slot];
+                        if entry.seed != seed {
+                            return Err(SweepError::Journal(JournalError::Header {
+                                path,
+                                reason: format!(
+                                    "cell {} of '{}' was journaled with seed {:#x} but this run \
+                                     derives {:#x} — different run configuration",
+                                    entry.cell_index, entry.scenario, entry.seed, seed
+                                ),
+                            }));
+                        }
+                        if entry.columns_hash != columns_hash[scenario_index] {
+                            return Err(SweepError::Journal(JournalError::Header {
+                                path,
+                                reason: format!(
+                                    "scenario '{}' changed its output schema since the journal \
+                                     was written — delete the journal to restart",
+                                    entry.scenario
+                                ),
+                            }));
+                        }
+                        let rows = decode_rows(&entry.payload).map_err(|reason| {
+                            SweepError::Journal(JournalError::Corrupt {
+                                path: path.clone(),
+                                line,
+                                reason,
+                            })
+                        })?;
+                        outcomes[slot] = Some((scenario_index, Ok(rows), 0.0));
+                    }
+                    Some((Journal::open_append(&path)?, columns_hash))
+                } else {
+                    let label: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+                    let header = JournalHeader::new(self.master_seed, &label.join(","));
+                    Some((Journal::create(&path, &header)?, columns_hash))
+                }
+            }
+        };
+
+        // Only cells the journal did not already commit are enqueued.
+        let jobs: Vec<Job<'_>> = jobs
+            .into_iter()
+            .filter(|j| outcomes[j.slot].is_none())
+            .collect();
         let n_jobs = jobs.len();
-        let mut outcomes: Vec<Option<CellOutcome>> = (0..n_jobs).map(|_| None).collect();
 
         let (job_tx, job_rx) = mpsc::channel::<Job<'_>>();
         let (result_tx, result_rx) = mpsc::channel();
@@ -166,23 +331,42 @@ impl SweepRunner {
         let job_rx = Mutex::new(job_rx);
 
         let threads = self.threads;
+        let retry = self.retry;
+        let fault_plan = &self.fault_plan;
+        let memory_budget = self.memory_budget;
+        let mut journaled = 0u64;
         std::thread::scope(|scope| {
             for _ in 0..threads.min(n_jobs.max(1)) {
                 let job_rx = &job_rx;
                 let result_tx = result_tx.clone();
                 scope.spawn(move || loop {
                     // Holding the lock only while popping keeps workers
-                    // independent during evaluation.
-                    let job = match job_rx.lock().expect("queue lock").try_recv() {
+                    // independent during evaluation; recovering from
+                    // poison keeps one panicking worker (there should be
+                    // none — cells evaluate under catch_unwind — but a
+                    // worker can still die between cells) from cascading
+                    // into every other worker. The queue itself is
+                    // always in a consistent state: the critical section
+                    // is a single try_recv.
+                    let job = match job_rx
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .try_recv()
+                    {
                         Ok(job) => job,
                         Err(_) => break,
                     };
-                    // The runner's thread count doubles as the DES shard
-                    // count: a sweep with few, large DES cells still uses
-                    // every core, and shard-invariance keeps the bytes
-                    // independent of it.
                     let watch = Stopwatch::start();
-                    let rows = job.scenario.kind.evaluate(&job.cell, job.seed, threads);
+                    let rows = evaluate_resilient(
+                        job.scenario,
+                        &job.cell,
+                        job.seed,
+                        job.slot,
+                        threads,
+                        retry,
+                        fault_plan,
+                        &memory_budget,
+                    );
                     let cell_seconds = watch.elapsed_s();
                     let keyed = rows.map(|rows| {
                         rows.into_iter()
@@ -205,6 +389,34 @@ impl SweepRunner {
             let started = std::time::Instant::now();
             let mut done = 0usize;
             for (slot, outcome) in result_rx {
+                // Commit successful cells to the journal before counting
+                // them done: once the append returns, the cell survives
+                // even SIGKILL.
+                if let Some((journal, columns_hash)) = journal.as_mut() {
+                    if let (scenario_index, Ok(rows), _) = &outcome {
+                        let (name, _, cell_index, seed) = &slot_meta[slot];
+                        let entry = JournalEntry::new(
+                            name,
+                            *cell_index as u64,
+                            *seed,
+                            columns_hash[*scenario_index],
+                            encode_rows(rows),
+                        );
+                        if let Err(e) = journal.append(&entry) {
+                            // Journaling is an aid, not a gate: warn and
+                            // keep computing (the run itself is intact).
+                            eprintln!("sweep: journal append failed: {e}");
+                        } else {
+                            journaled += 1;
+                            if self.fault_plan.exit_after() == Some(journaled) {
+                                // Fault injection: simulate SIGKILL
+                                // between cells. Committed work stays on
+                                // disk; everything in flight is lost.
+                                std::process::exit(SIMULATED_KILL_EXIT_CODE);
+                            }
+                        }
+                    }
+                }
                 outcomes[slot] = Some(outcome);
                 done += 1;
                 if self.progress {
@@ -236,10 +448,30 @@ impl SweepRunner {
             .collect();
         // Canonical slot order makes the span merge order — and thus the
         // sidecar's aggregate moments — independent of which worker
-        // finished first.
-        for outcome in outcomes {
-            let (scenario_index, rows, cell_seconds) =
-                outcome.expect("every job slot was filled by a worker");
+        // finished first. It also decides which failure surfaces when
+        // several cells failed: the first in canonical order.
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            // A missing slot means the worker died between dequeuing the
+            // job and sending its result (evaluation itself is
+            // panic-guarded, so this is a harness defect, not a model
+            // one) — surface it as a structured failure naming the cell
+            // rather than a second-hand panic.
+            let (scenario_index, rows, cell_seconds) = outcome.unwrap_or_else(|| {
+                let (name, scenario_index, cell_index, seed) = slot_meta[slot].clone();
+                (
+                    scenario_index,
+                    Err(SweepError::Cell(CellFailure {
+                        scenario: name,
+                        cell_index,
+                        seed,
+                        attempts: 0,
+                        kind: FailureKind::Panic(
+                            "worker thread died without reporting a result".into(),
+                        ),
+                    })),
+                    0.0,
+                )
+            });
             let rows = rows?;
             if pollux_obs::METRICS_ENABLED {
                 let registry = &mut obs[scenario_index].registry;
@@ -259,14 +491,109 @@ impl SweepRunner {
     }
 }
 
-/// Stable FNV-1a hash of a scenario name (part of the seed derivation).
-fn hash_name(name: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// One cell's full resilient evaluation: memory pre-flight (with shard
+/// shedding), fault injection, panic isolation, classification, bounded
+/// retry from the *same seed*, and structured failure assembly.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_resilient(
+    scenario: &Scenario,
+    cell: &SweepCell,
+    seed: u64,
+    slot: usize,
+    threads: usize,
+    retry: RetryPolicy,
+    fault_plan: &FaultPlan,
+    memory_budget: &MemoryBudget,
+) -> Result<Vec<Vec<Value>>, SweepError> {
+    // Fatal evaluation errors keep their original SweepError (so callers
+    // matching on InvalidScenario / Params / Markov still see them);
+    // transient kinds that exhaust the ladder become CellFailure.
+    let mut original: Option<SweepError> = None;
+    let outcome = run_with_retry(retry, |attempt| {
+        let shards = plan_shards(&scenario.kind, cell, threads, memory_budget)?;
+        let evaluated = catch_panic(|| {
+            if fault_plan.should_panic(slot, attempt) {
+                panic!("injected fault: panic-cell={slot}@{attempt}");
+            }
+            // The runner's thread count doubles as the DES shard count
+            // (a sweep with few, large DES cells still uses every core)
+            // unless the memory pre-flight shed shards; shard-invariance
+            // keeps the bytes independent of it either way.
+            scenario.kind.evaluate(cell, seed, shards)
+        })?;
+        evaluated.map_err(|e| {
+            let kind = classify(&e);
+            if matches!(kind, FailureKind::Fatal(_)) {
+                original = Some(e);
+            }
+            kind
+        })
+    });
+    match outcome {
+        Ok((rows, _attempts)) => Ok(rows),
+        Err((kind, attempts)) => {
+            if matches!(kind, FailureKind::Fatal(_)) {
+                if let Some(e) = original {
+                    return Err(e);
+                }
+            }
+            Err(SweepError::Cell(CellFailure {
+                scenario: scenario.name.clone(),
+                cell_index: cell.index,
+                seed,
+                attempts,
+                kind,
+            }))
+        }
     }
-    h
+}
+
+/// Memory pre-flight: picks the largest shard count whose predicted
+/// footprint fits the budget, walking down a halving ladder from the
+/// requested count (shedding shards never changes DES output bytes).
+/// Kinds without a footprint prediction run at the requested count.
+fn plan_shards(
+    kind: &OutputKind,
+    cell: &SweepCell,
+    threads: usize,
+    budget: &MemoryBudget,
+) -> Result<usize, FailureKind> {
+    if kind.predicted_memory_bytes(cell, threads).is_none() || budget.limit_bytes().is_none() {
+        return Ok(threads);
+    }
+    let mut ladder = Vec::new();
+    let mut shards = threads.max(1);
+    loop {
+        let predicted = kind
+            .predicted_memory_bytes(cell, shards)
+            .expect("prediction exists for this kind");
+        ladder.push((shards, predicted));
+        if shards == 1 {
+            break;
+        }
+        shards /= 2;
+    }
+    budget.admit_degrading(ladder)
+}
+
+/// Maps an evaluation error to the retry taxonomy: solver
+/// non-convergence is transient (a retry may run a degraded but
+/// converging configuration); everything else fails the same way every
+/// time on the same `(config, seed)` and is fatal.
+fn classify(e: &SweepError) -> FailureKind {
+    match e {
+        SweepError::Markov(MarkovError::Linalg(LinalgError::NoConvergence { .. })) => {
+            FailureKind::NoConvergence(e.to_string())
+        }
+        other => FailureKind::Fatal(other.to_string()),
+    }
+}
+
+/// Stable FNV-1a hash of a scenario name (part of the seed derivation;
+/// delegates to the workspace-standard [`fnv1a64`], which implements the
+/// identical polynomial, so historical seeds are unchanged).
+fn hash_name(name: &str) -> u64 {
+    fnv1a64(name.as_bytes())
 }
 
 #[cfg(test)]
@@ -281,6 +608,26 @@ mod tests {
             ParamGrid::paper().mu(vec![0.0, 0.2]).d(vec![0.3, 0.9]),
             OutputKind::Sojourns,
         )
+    }
+
+    fn des_scenario() -> Scenario {
+        Scenario::new(
+            "des",
+            "small DES",
+            ParamGrid::paper().mu(vec![0.2]).d(vec![0.9]),
+            OutputKind::DesValidation {
+                cluster_bits: vec![4],
+                lambda: 1.0,
+                max_events_per_cluster: 100,
+                sigmas: 4.0,
+            },
+        )
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pollux-runner-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -387,5 +734,136 @@ mod tests {
             OutputKind::Sojourns,
         );
         assert!(SweepRunner::new().run(&bad).is_err());
+    }
+
+    #[test]
+    fn injected_panics_recover_via_retry_byte_identically() {
+        let scenario = tiny_scenario();
+        let clean = SweepRunner::new().with_threads(2).run(&scenario).unwrap();
+        // Panic cells 0 and 3 on their first attempt: the default
+        // two-attempt policy recovers both from the same seed.
+        let plan = FaultPlan::parse("panic-cell=0@1,panic-cell=3@1").unwrap();
+        let faulted = SweepRunner::new()
+            .with_threads(2)
+            .with_fault_plan(plan)
+            .run(&scenario)
+            .unwrap();
+        assert_eq!(clean.to_tsv(), faulted.to_tsv());
+    }
+
+    #[test]
+    fn persistent_panic_names_the_failing_cell_and_others_complete() {
+        let scenario = tiny_scenario();
+        // Cell 2 panics on both attempts — past the retry budget.
+        let plan = FaultPlan::parse("panic-cell=2@1,panic-cell=2@2").unwrap();
+        let err = SweepRunner::new()
+            .with_threads(2)
+            .with_fault_plan(plan)
+            .run(&scenario)
+            .unwrap_err();
+        match err {
+            SweepError::Cell(failure) => {
+                assert_eq!(failure.scenario, "tiny");
+                assert_eq!(failure.cell_index, 2);
+                assert_eq!(failure.attempts, 2);
+                assert!(matches!(failure.kind, FailureKind::Panic(_)));
+                assert!(failure.to_string().contains("injected fault"));
+            }
+            other => panic!("expected Cell failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn journal_resume_is_byte_identical_and_skips_completed_cells() {
+        let dir = temp_dir("resume");
+        let scenario = tiny_scenario();
+        let clean = SweepRunner::new().with_threads(1).run(&scenario).unwrap();
+
+        // Full journaled run…
+        let full = SweepRunner::new()
+            .with_threads(1)
+            .with_journal_dir(&dir)
+            .run(&scenario)
+            .unwrap();
+        assert_eq!(clean.to_tsv(), full.to_tsv());
+        let journal_path = dir.join(JOURNAL_FILE);
+        assert!(journal_path.exists());
+
+        // …then simulate a crash after two committed cells by chopping
+        // the journal, and resume.
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let keep: Vec<&str> = text.lines().take(3).collect(); // header + 2 cells
+        std::fs::write(&journal_path, keep.join("\n") + "\n").unwrap();
+        // Panic the journaled cells unconditionally: if resume tried to
+        // recompute them, the run would fail — completing proves the
+        // journal supplied them.
+        let plan = FaultPlan::parse("panic-cell=0@1,panic-cell=0@2,panic-cell=1@1,panic-cell=1@2")
+            .unwrap();
+        let resumed = SweepRunner::new()
+            .with_threads(1)
+            .with_journal_dir(&dir)
+            .with_fault_plan(plan)
+            .run(&scenario)
+            .unwrap();
+        assert_eq!(clean.to_tsv(), resumed.to_tsv());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_under_a_different_master_seed_is_refused() {
+        let dir = temp_dir("seed-mismatch");
+        let scenario = tiny_scenario();
+        SweepRunner::new()
+            .with_seed(1)
+            .with_journal_dir(&dir)
+            .run(&scenario)
+            .unwrap();
+        let err = SweepRunner::new()
+            .with_seed(2)
+            .with_journal_dir(&dir)
+            .run(&scenario)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Journal(_)), "{err}");
+        assert!(err.to_string().contains("master seed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_budget_sheds_shards_without_changing_bytes() {
+        let scenario = des_scenario();
+        let unlimited = SweepRunner::new().with_threads(4).run(&scenario).unwrap();
+        // The 2^4-cluster DES tables are tiny (~10 KiB); 2 MiB admits
+        // the tables plus one shard's working set, forcing the ladder
+        // down from 4 shards — and shard count never changes bytes.
+        let shed = SweepRunner::new()
+            .with_threads(4)
+            .with_memory_budget(MemoryBudget::bytes(2 << 20))
+            .run(&scenario)
+            .unwrap();
+        assert_eq!(unlimited.to_tsv(), shed.to_tsv());
+    }
+
+    #[test]
+    fn exhausted_memory_budget_is_a_structured_refusal() {
+        let scenario = des_scenario();
+        let err = SweepRunner::new()
+            .with_threads(2)
+            .with_memory_budget(MemoryBudget::bytes(1))
+            .run(&scenario)
+            .unwrap_err();
+        match err {
+            SweepError::Cell(failure) => {
+                assert_eq!(failure.scenario, "des");
+                assert!(matches!(failure.kind, FailureKind::MemoryBudget { .. }));
+                let msg = failure.to_string();
+                assert!(msg.contains("memory budget"), "{msg}");
+            }
+            other => panic!("expected Cell failure, got {other}"),
+        }
+        // Analytical kinds have no prediction and are never refused.
+        assert!(SweepRunner::new()
+            .with_memory_budget(MemoryBudget::bytes(1))
+            .run(&tiny_scenario())
+            .is_ok());
     }
 }

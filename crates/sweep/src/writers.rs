@@ -1,8 +1,13 @@
 //! Artefact writers: one TSV/JSON file per report under an output
-//! directory (the shared sink every harness binary uses).
+//! directory (the shared sink every harness binary uses). Files land via
+//! tmp-and-rename ([`pollux_resilience::atomic_write`]), so a crash or
+//! injected kill mid-write can never leave a torn artefact behind — a
+//! later `--resume` run sees either the complete previous file or none.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use pollux_resilience::atomic_write;
 
 use crate::{SweepError, SweepReport};
 
@@ -37,7 +42,7 @@ impl OutputFormat {
 pub fn write_tsv(report: &SweepReport, dir: &Path) -> Result<PathBuf, SweepError> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.tsv", report.scenario));
-    fs::write(&path, report.to_tsv())?;
+    atomic_write(&path, report.to_tsv().as_bytes())?;
     Ok(path)
 }
 
@@ -49,7 +54,7 @@ pub fn write_tsv(report: &SweepReport, dir: &Path) -> Result<PathBuf, SweepError
 pub fn write_json(report: &SweepReport, dir: &Path) -> Result<PathBuf, SweepError> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", report.scenario));
-    fs::write(&path, report.to_json())?;
+    atomic_write(&path, report.to_json().as_bytes())?;
     Ok(path)
 }
 

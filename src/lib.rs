@@ -9,4 +9,5 @@ pub use pollux_linalg as linalg;
 pub use pollux_markov as markov;
 pub use pollux_overlay as overlay;
 pub use pollux_prob as prob;
+pub use pollux_resilience as resilience;
 pub use pollux_sweep as sweep;
