@@ -1,5 +1,5 @@
-//! Adversary-vs-defense duels: the `duel_matrix`, `defense_frontier` and
-//! `des_steady_state` scenarios of `pollux-sweep`.
+//! Adversary-vs-defense duels: the `duel_matrix` and `des_steady_state`
+//! scenarios of `pollux-sweep`.
 //!
 //! `duel_matrix` evaluates every defense (`none`, `induced-churn`,
 //! `incarnation-refresh`, `adaptive-cluster-size`) against a panel of
@@ -7,14 +7,14 @@
 //! defense-folded chain through the sparse pipeline) **and** empirically
 //! (regeneration-mode whole-overlay DES), with a renewal-adjusted Wilson
 //! interval tying the two estimates together per row.
-//! `defense_frontier` scans for the minimum induced-churn rate keeping
-//! steady-state pollution below 1%, and `des_steady_state` validates the
-//! measurement substrate (regeneration-mode event fractions vs the
-//! renewal–reward closed form). The process exits non-zero when any
-//! agreement verdict fails.
+//! `des_steady_state` validates the measurement substrate
+//! (regeneration-mode event fractions vs the renewal–reward closed
+//! form). The process exits non-zero when any agreement verdict fails.
+//! The `defense_frontier` tuning scenario moved to the `mean_field`
+//! binary, which owns the fluid-limit evaluation path it now runs on.
 //!
 //! ```text
-//! duel                         # all three scenarios
+//! duel                         # both scenarios
 //! duel duel_matrix             # the duel matrix only
 //! ```
 
@@ -26,14 +26,10 @@ fn main() {
         "adversary-vs-defense duels: countermeasures vs the targeted attack, analytic and DES",
     );
     banner("Duels — pluggable countermeasures vs the targeted adversary");
-    let reports = run_and_emit(
-        &args,
-        &["des_steady_state", "duel_matrix", "defense_frontier"],
-    );
+    let reports = run_and_emit(&args, &["des_steady_state", "duel_matrix"]);
     let mut all_ok = true;
     for report in &reports {
         println!("{}", report.render_text());
-        // defense_frontier has no `ok` column; all_ok() is true there.
         all_ok &= report.all_ok();
     }
     println!(

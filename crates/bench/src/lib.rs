@@ -18,7 +18,8 @@
 //! | `ablation_k`       | `ablation_k`       | k-sweep behind the "protocol₁ wins" lesson       |
 //! | `ablation_rules`   | `ablation_rules`, `ablation_nu` | Rule-1/Rule-2/bias toggles, ν sweep |
 //! | `pollution_risk`   | `risk_decomposition` | beyond-paper pollution decomposition           |
-//! | `duel`             | `des_steady_state`, `duel_matrix`, `defense_frontier` | adversary-vs-defense duels (beyond-paper countermeasures) |
+//! | `duel`             | `des_steady_state`, `duel_matrix` | adversary-vs-defense duels (beyond-paper countermeasures) |
+//! | `mean_field`       | `meanfield_validate`, `meanfield_equilibrium`, `defense_frontier` | fluid-limit cross-validation, equilibrium/stability map, mean-field-guided defense tuning |
 //! | `reproduce_all`    | every paper artefact | one parallel run writing all TSVs              |
 //!
 //! Every binary accepts the common sweep flags (`--threads N`,

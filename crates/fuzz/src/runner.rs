@@ -1,7 +1,7 @@
 //! The differential runner: one scenario through every applicable
 //! oracle pair.
 //!
-//! Five pairs cross-examine the independent evaluation paths:
+//! Seven pairs cross-examine the independent evaluation paths:
 //!
 //! 1. **`dense_vs_sparse`** — the forced-dense and forced-sparse
 //!    analytic pipelines on the defense-folded chain must agree to
@@ -15,13 +15,23 @@
 //!    CI + Wilson absorption criterion of the `des_validate` scenario
 //!    (plain mode). Targeted-adversary scenarios only — the Markov
 //!    chain models the paper's adversary, not the baselines.
-//! 3. **`shard_identity`** — the same DES run at 1 and at `shards`
+//! 3. **`meanfield_vs_exact`** — the fluid-limit stationary fractions
+//!    ([`pollux_meanfield::FluidModel::open_equilibrium`]) on the
+//!    defense-folded chain against the exact renewal fractions
+//!    ([`ClusterAnalysis::steady_state_fractions`]); the two coincide
+//!    by the renewal identity, so disagreement above
+//!    `analytic_close` is a real defect in one of the paths.
+//! 4. **`meanfield_vs_des`** — the fluid-limit stationary polluted
+//!    fraction inside the regeneration-mode DES's [`renewal_wilson`]
+//!    interval widened by the O(1/M) finite-size band. Targeted +
+//!    regeneration scenarios with enough completed cycles only.
+//! 5. **`shard_identity`** — the same DES run at 1 and at `shards`
 //!    worker shards must produce byte-identical reports.
-//! 4. **`recorder_inertness`** — the observed entry point
+//! 6. **`recorder_inertness`** — the observed entry point
 //!    ([`run_des_overlay_duel_observed`]) must return a report
 //!    byte-identical to the unobserved one, with or without the
 //!    `metrics` cargo feature.
-//! 5. **`sweep_threads`** — a single-cell sweep of the scenario's
+//! 7. **`sweep_threads`** — a single-cell sweep of the scenario's
 //!    [`OutputKind`](pollux_sweep::OutputKind) choice must emit
 //!    byte-identical TSV/JSON artefacts at 1 and 2 runner threads.
 //!
@@ -37,15 +47,18 @@ use pollux::{AnalysisMode, ClusterAnalysis, ClusterChain};
 use pollux_defense::Defense;
 use pollux_linalg::SolverOptions;
 use pollux_markov::{SojournAnalysis, SojournPartition, SparseDtmc};
+use pollux_meanfield::FluidModel;
 use pollux_prob::tolerance::{analytic_close, AGREEMENT_SIGMAS, CI_HALF_WIDTH_FLOOR};
 use pollux_prob::wilson_interval;
 use pollux_sweep::SweepRunner;
 
 /// The oracle pair names, in execution order. Summaries and shrink
 /// predicates key on these.
-pub const PAIR_NAMES: [&str; 5] = [
+pub const PAIR_NAMES: [&str; 7] = [
     "dense_vs_sparse",
     "analytic_vs_des",
+    "meanfield_vs_exact",
+    "meanfield_vs_des",
     "shard_identity",
     "recorder_inertness",
     "sweep_threads",
@@ -165,6 +178,8 @@ impl DiffRunner {
         let pairs = vec![
             self.pair_dense_vs_sparse(scenario),
             self.pair_analytic_vs_des(scenario, base.as_ref()),
+            self.pair_meanfield_vs_exact(scenario),
+            self.pair_meanfield_vs_des(scenario, base.as_ref()),
             self.pair_shard_identity(scenario, base.as_ref()),
             self.pair_recorder_inertness(scenario, base.as_ref()),
             self.pair_sweep_threads(scenario),
@@ -184,6 +199,11 @@ impl DiffRunner {
             "analytic_vs_des" => {
                 let base = self.base_report(scenario);
                 self.pair_analytic_vs_des(scenario, base.as_ref())
+            }
+            "meanfield_vs_exact" => self.pair_meanfield_vs_exact(scenario),
+            "meanfield_vs_des" => {
+                let base = self.base_report(scenario);
+                self.pair_meanfield_vs_des(scenario, base.as_ref())
             }
             "shard_identity" => {
                 let base = self.base_report(scenario);
@@ -547,6 +567,129 @@ impl DiffRunner {
                 format!(
                     "sojourns + absorption agree over {} absorbed clusters",
                     report.absorbed
+                ),
+            )
+        }
+    }
+
+    fn pair_meanfield_vs_exact(&self, s: &FuzzScenario) -> PairOutcome {
+        const NAME: &str = "meanfield_vs_exact";
+        let defense = match s.defense.build() {
+            Ok(d) => d,
+            Err(e) => return PairOutcome::skip(NAME, format!("defense spec: {e}")),
+        };
+        let states = s.state_count();
+        if states > DENSE_STATE_CAP {
+            // Both paths are sparse-capable, but the fuzz loop budgets
+            // one draw at well under a second; big spaces are covered
+            // by the dedicated sweep scenarios instead.
+            return PairOutcome::skip(
+                NAME,
+                format!("{states} states above the fuzz cap ({DENSE_STATE_CAP})"),
+            );
+        }
+        let model = match FluidModel::build_with_defense(&s.params(), defense.as_ref(), &s.initial)
+        {
+            Ok(m) => m,
+            Err(e) => return PairOutcome::skip(NAME, format!("fluid build: {e}")),
+        };
+        let eq = match model.open_equilibrium() {
+            Ok(eq) => eq,
+            Err(e) => return PairOutcome::skip(NAME, format!("fluid equilibrium: {e}")),
+        };
+        let chain = ClusterChain::build_with_defense(&s.params(), defense.as_ref());
+        let analysis = match ClusterAnalysis::from_chain(chain, s.initial.clone()) {
+            Ok(a) => a,
+            Err(e) => return PairOutcome::skip(NAME, format!("analytic pipeline: {e}")),
+        };
+        let (exact_safe, exact_polluted) = match analysis.steady_state_fractions() {
+            Ok(f) => f,
+            Err(e) => return PairOutcome::skip(NAME, format!("steady state: {e}")),
+        };
+        // The two paths share the renewal identity; disagreement beyond
+        // solver tolerance is a real defect, never noise.
+        for (name, mf, exact) in [
+            ("steady_S", eq.safe_fraction, exact_safe),
+            ("steady_P", eq.polluted_fraction, exact_polluted),
+        ] {
+            if !analytic_close(mf, exact) {
+                return PairOutcome::disagree(
+                    NAME,
+                    format!("{name}: mean-field = {mf:?} vs exact = {exact:?}"),
+                );
+            }
+        }
+        PairOutcome::agree(
+            NAME,
+            format!("stationary fractions agree at {states} states"),
+        )
+    }
+
+    fn pair_meanfield_vs_des(
+        &self,
+        s: &FuzzScenario,
+        base: Option<&DesOverlayReport>,
+    ) -> PairOutcome {
+        const NAME: &str = "meanfield_vs_des";
+        if s.strategy != StrategyChoice::Targeted {
+            return PairOutcome::skip(NAME, "the fluid limit models the targeted adversary only");
+        }
+        if !s.regenerate {
+            return PairOutcome::skip(NAME, "stationary comparison needs regeneration mode");
+        }
+        let Some(report) = base else {
+            return PairOutcome::skip(NAME, "defense spec failed to build");
+        };
+        if report.measured_cycles < MIN_CYCLES {
+            return PairOutcome::skip(
+                NAME,
+                format!(
+                    "{} completed cycles below the informative minimum {MIN_CYCLES}",
+                    report.measured_cycles
+                ),
+            );
+        }
+        let defense = match s.defense.build() {
+            Ok(d) => d,
+            Err(e) => return PairOutcome::skip(NAME, format!("defense spec: {e}")),
+        };
+        let model = match FluidModel::build_with_defense(&s.params(), defense.as_ref(), &s.initial)
+        {
+            Ok(m) => m,
+            Err(e) => return PairOutcome::skip(NAME, format!("fluid build: {e}")),
+        };
+        let eq = match model.open_equilibrium() {
+            Ok(eq) => eq,
+            Err(e) => return PairOutcome::skip(NAME, format!("fluid equilibrium: {e}")),
+        };
+        let (lo, hi) = renewal_wilson(
+            report.polluted_event_total,
+            report.events - report.warmup_events,
+            report.measured_cycles,
+            AGREEMENT_SIGMAS,
+        );
+        // The fluid prediction is exact only at M = ∞; the finite DES
+        // overlay sits within O(1/M) of it, so the Wilson band gets one
+        // finite-size term on top of the usual rounding epsilon.
+        const WILSON_EPS: f64 = 1e-12;
+        let band = 1.0 / (1u64 << s.cluster_bits) as f64 + WILSON_EPS;
+        let want = eq.polluted_fraction;
+        if want >= lo - band && want <= hi + band {
+            PairOutcome::agree(
+                NAME,
+                format!(
+                    "fluid polluted {want:.6} in [{lo:.6}, {hi:.6}] ± {band:.6} \
+                     over {} cycles",
+                    report.measured_cycles
+                ),
+            )
+        } else {
+            PairOutcome::disagree(
+                NAME,
+                format!(
+                    "fluid polluted {want:?} outside [{lo:?}, {hi:?}] widened by \
+                     {band:?} ({} cycles)",
+                    report.measured_cycles
                 ),
             )
         }

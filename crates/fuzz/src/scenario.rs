@@ -129,15 +129,19 @@ pub enum SweepKindChoice {
     DesSteadyState,
     /// [`OutputKind::Duel`].
     Duel,
-    /// [`OutputKind::DefenseFrontier`].
-    DefenseFrontier,
+    /// [`OutputKind::ControlTuning`].
+    ControlTuning,
+    /// [`OutputKind::MeanFieldValidation`].
+    MeanFieldValidation,
+    /// [`OutputKind::MeanFieldEquilibrium`].
+    MeanFieldEquilibrium,
     /// [`OutputKind::OverlayMcValidation`].
     OverlayMcValidation,
 }
 
 impl SweepKindChoice {
     /// Every variant, in generator draw order.
-    pub const ALL: [SweepKindChoice; 14] = [
+    pub const ALL: [SweepKindChoice; 16] = [
         SweepKindChoice::Sojourns,
         SweepKindChoice::SojournsWithAbsorption,
         SweepKindChoice::SuccessiveSojourns,
@@ -150,7 +154,9 @@ impl SweepKindChoice {
         SweepKindChoice::DesValidation,
         SweepKindChoice::DesSteadyState,
         SweepKindChoice::Duel,
-        SweepKindChoice::DefenseFrontier,
+        SweepKindChoice::ControlTuning,
+        SweepKindChoice::MeanFieldValidation,
+        SweepKindChoice::MeanFieldEquilibrium,
         SweepKindChoice::OverlayMcValidation,
     ];
 
@@ -169,7 +175,9 @@ impl SweepKindChoice {
             SweepKindChoice::DesValidation => "des_validation",
             SweepKindChoice::DesSteadyState => "des_steady_state",
             SweepKindChoice::Duel => "duel",
-            SweepKindChoice::DefenseFrontier => "defense_frontier",
+            SweepKindChoice::ControlTuning => "control_tuning",
+            SweepKindChoice::MeanFieldValidation => "meanfield_validation",
+            SweepKindChoice::MeanFieldEquilibrium => "meanfield_equilibrium",
             SweepKindChoice::OverlayMcValidation => "overlay_mc_validation",
         }
     }
@@ -298,9 +306,18 @@ impl FuzzScenario {
             rule2: self.rule2,
             bias: self.bias,
         };
+        // Budget pinning, like the fixed DES cluster_bits below: the
+        // dense Jacobian-eigenvalue classification behind
+        // `MeanFieldEquilibrium` is O(n³) in the state count, so that
+        // kind clamps the spare axis to keep one fuzz draw bounded.
+        let delta = if self.kind == SweepKindChoice::MeanFieldEquilibrium {
+            self.delta.min(5)
+        } else {
+            self.delta
+        };
         let grid = ParamGrid::paper()
             .core_size(vec![self.c])
-            .max_spare(vec![self.delta])
+            .max_spare(vec![delta])
             .k(vec![self.k])
             .mu(vec![self.mu])
             .d(vec![self.d])
@@ -343,9 +360,23 @@ impl FuzzScenario {
                 max_events_per_cluster: 150,
                 sigmas: AGREEMENT_SIGMAS,
             },
-            SweepKindChoice::DefenseFrontier => OutputKind::DefenseFrontier {
-                rates: vec![0.05, 0.1, 0.2],
+            SweepKindChoice::ControlTuning => OutputKind::ControlTuning {
                 threshold: 0.05,
+                max_rate: 0.5,
+                // A loose tolerance keeps the probe at a handful of
+                // fluid solves; the pair checks byte-identity, not
+                // frontier precision.
+                rate_tol: 0.05,
+            },
+            SweepKindChoice::MeanFieldValidation => OutputKind::MeanFieldValidation {
+                cluster_bits: 2,
+                lambda: self.lambda,
+                max_events_per_cluster: 200,
+                sigmas: AGREEMENT_SIGMAS,
+                tol: 1e-7,
+            },
+            SweepKindChoice::MeanFieldEquilibrium => OutputKind::MeanFieldEquilibrium {
+                amplifications: vec![0.0, 1.0],
             },
             SweepKindChoice::OverlayMcValidation => OutputKind::OverlayMcValidation {
                 n_clusters: 8,

@@ -1,0 +1,457 @@
+//! Dense eigenvalue computation for stability classification.
+//!
+//! The workspace's linalg crate stops at LU and iterative linear
+//! solves, so the mean-field layer brings its own spectral kernel:
+//! a real Householder reduction to upper-Hessenberg form followed by a
+//! complexified explicitly-shifted QR iteration (Wilkinson shift,
+//! Givens rotations, aggressive 1×1/2×2 deflation). Eigenvalues only —
+//! stability classification never needs eigenvectors — which keeps the
+//! kernel compact and allocation-light.
+//!
+//! Deterministic by construction: no randomness, fixed exceptional-
+//! shift schedule, and a hard sweep budget that converts the (in
+//! practice unobserved) stagnation case into a typed error instead of
+//! a hang.
+
+use crate::error::MeanFieldError;
+use pollux_linalg::Matrix;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number; the minimal arithmetic the QR kernel needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds `re + i·im`.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Modulus `|z|`, overflow-safe.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplication by a real scalar.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Principal square root.
+    #[must_use]
+    pub fn sqrt(self) -> Complex {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex::ZERO;
+        }
+        let r = self.abs();
+        let re = ((r + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((r - self.re) * 0.5).max(0.0).sqrt();
+        let im = if self.im < 0.0 { -im_mag } else { im_mag };
+        Complex::new(re, im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// QR sweeps allowed per matrix dimension before giving up.
+const SWEEP_BUDGET_PER_DIM: usize = 100;
+/// Exceptional-shift cadence: every this-many stagnant sweeps.
+const EXCEPTIONAL_EVERY: usize = 16;
+
+/// All eigenvalues of a real square matrix, in deflation order.
+///
+/// # Errors
+///
+/// * [`MeanFieldError::InvalidConfig`] for a non-square input.
+/// * [`MeanFieldError::NonConvergence`] if the QR sweeps stagnate
+///   (sweep budget `100·n`).
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, MeanFieldError> {
+    if !a.is_square() {
+        return Err(MeanFieldError::InvalidConfig(format!(
+            "eigenvalues need a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![Complex::new(a[(0, 0)], 0.0)]);
+    }
+
+    let hess = hessenberg(a);
+    let mut h: Vec<Complex> = hess.into_iter().map(|x| Complex::new(x, 0.0)).collect();
+    qr_eigenvalues(&mut h, n)
+}
+
+/// Reduces `a` to upper-Hessenberg form by Householder similarity
+/// transforms; returns the flat row-major result.
+fn hessenberg(a: &Matrix) -> Vec<f64> {
+    let n = a.rows();
+    let mut m = vec![0.0; n * n];
+    for i in 0..n {
+        for (j, slot) in m[i * n..(i + 1) * n].iter_mut().enumerate() {
+            *slot = a[(i, j)];
+        }
+    }
+    let mut v = vec![0.0; n];
+    for k in 0..n.saturating_sub(2) {
+        let mut norm = 0.0f64;
+        for i in k + 1..n {
+            norm = norm.hypot(m[i * n + k]);
+        }
+        if norm == 0.0 {
+            continue;
+        }
+        // Reflect column k below the subdiagonal onto ±norm·e₁; the
+        // sign choice avoids cancellation in v[k+1].
+        let alpha = if m[(k + 1) * n + k] >= 0.0 {
+            -norm
+        } else {
+            norm
+        };
+        let mut vnorm2 = 0.0;
+        for i in k + 1..n {
+            v[i] = m[i * n + k];
+        }
+        v[k + 1] -= alpha;
+        for &vi in &v[k + 1..n] {
+            vnorm2 += vi * vi;
+        }
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // Left: A ← (I − 2vvᵀ/‖v‖²) A.
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k + 1..n {
+                dot += v[i] * m[i * n + j];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in k + 1..n {
+                m[i * n + j] -= f * v[i];
+            }
+        }
+        // Right: A ← A (I − 2vvᵀ/‖v‖²).
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in k + 1..n {
+                dot += m[i * n + j] * v[j];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for j in k + 1..n {
+                m[i * n + j] -= f * v[j];
+            }
+        }
+        // The transform zeroes the column below the subdiagonal
+        // analytically; write the exact values over the rounding dust.
+        m[(k + 1) * n + k] = alpha;
+        for i in k + 2..n {
+            m[i * n + k] = 0.0;
+        }
+    }
+    m
+}
+
+/// Shifted QR on a complex Hessenberg matrix (flat row-major `h`).
+fn qr_eigenvalues(h: &mut [Complex], n: usize) -> Result<Vec<Complex>, MeanFieldError> {
+    let eps = f64::EPSILON;
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n;
+    let mut since_deflation = 0usize;
+    let mut total = 0usize;
+    let budget = SWEEP_BUDGET_PER_DIM * n;
+    let mut rots: Vec<(f64, Complex)> = Vec::with_capacity(n);
+
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push(h[0]);
+            break;
+        }
+        // Deflation scan: first negligible subdiagonal from the bottom
+        // splits off the trailing block lo..hi.
+        let mut lo = 0;
+        for i in (1..hi).rev() {
+            let off = h[i * n + i - 1].abs();
+            let scale = h[(i - 1) * n + i - 1].abs() + h[i * n + i].abs();
+            let thresh = eps * if scale > 0.0 { scale } else { 1.0 };
+            if off <= thresh {
+                h[i * n + i - 1] = Complex::ZERO;
+                lo = i;
+                break;
+            }
+        }
+        if lo == hi - 1 {
+            eigs.push(h[(hi - 1) * n + hi - 1]);
+            hi -= 1;
+            since_deflation = 0;
+            continue;
+        }
+        if lo + 2 == hi {
+            let (l1, l2) = eig2(
+                h[lo * n + lo],
+                h[lo * n + lo + 1],
+                h[(lo + 1) * n + lo],
+                h[(lo + 1) * n + lo + 1],
+            );
+            eigs.push(l1);
+            eigs.push(l2);
+            hi -= 2;
+            since_deflation = 0;
+            continue;
+        }
+
+        total += 1;
+        since_deflation += 1;
+        if total > budget {
+            return Err(MeanFieldError::NonConvergence {
+                what: "eigenvalue QR iteration",
+                iterations: total as u64,
+                residual: h[(hi - 1) * n + hi - 2].abs(),
+            });
+        }
+
+        let sigma = if since_deflation.is_multiple_of(EXCEPTIONAL_EVERY) {
+            // Exceptional shift: nudge off a symmetric stagnation orbit.
+            let d = h[(hi - 1) * n + hi - 1];
+            Complex::new(d.re + 0.75 * h[(hi - 1) * n + hi - 2].abs(), d.im)
+        } else {
+            wilkinson_shift(h, n, hi)
+        };
+
+        for d in lo..hi {
+            h[d * n + d] = h[d * n + d] - sigma;
+        }
+        // QR via Givens: zero the subdiagonal top-down...
+        rots.clear();
+        for i in lo..hi - 1 {
+            let (c, s) = givens(h[i * n + i], h[(i + 1) * n + i]);
+            for j in i..hi {
+                let x = h[i * n + j];
+                let y = h[(i + 1) * n + j];
+                h[i * n + j] = x.scale(c) + s * y;
+                h[(i + 1) * n + j] = y.scale(c) - s.conj() * x;
+            }
+            h[(i + 1) * n + i] = Complex::ZERO;
+            rots.push((c, s));
+        }
+        // ...then RQ: post-multiply by the adjoint rotations in order.
+        for (idx, &(c, s)) in rots.iter().enumerate() {
+            let i = lo + idx;
+            for r in lo..(i + 2).min(hi) {
+                let x = h[r * n + i];
+                let y = h[r * n + i + 1];
+                h[r * n + i] = x.scale(c) + s.conj() * y;
+                h[r * n + i + 1] = y.scale(c) - s * x;
+            }
+        }
+        for d in lo..hi {
+            h[d * n + d] = h[d * n + d] + sigma;
+        }
+    }
+    Ok(eigs)
+}
+
+/// Unitary Givens pair `(c, s)` (c real) with
+/// `[[c, s], [−s̄, c]]·[a; b] = [r; 0]`.
+fn givens(a: Complex, b: Complex) -> (f64, Complex) {
+    let bn = b.abs();
+    if bn == 0.0 {
+        return (1.0, Complex::ZERO);
+    }
+    let an = a.abs();
+    let r = an.hypot(bn);
+    if an == 0.0 {
+        return (0.0, b.conj().scale(1.0 / bn));
+    }
+    let c = an / r;
+    let s = (a.scale(1.0 / an) * b.conj()).scale(1.0 / r);
+    (c, s)
+}
+
+/// Both eigenvalues of `[[a, b], [c, d]]`.
+fn eig2(a: Complex, b: Complex, c: Complex, d: Complex) -> (Complex, Complex) {
+    let half_tr = (a + d).scale(0.5);
+    let half_diff = (a - d).scale(0.5);
+    let disc = (half_diff * half_diff + b * c).sqrt();
+    (half_tr + disc, half_tr - disc)
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2×2 block closest
+/// to the bottom-right entry.
+fn wilkinson_shift(h: &[Complex], n: usize, hi: usize) -> Complex {
+    let d = h[(hi - 1) * n + hi - 1];
+    let (l1, l2) = eig2(
+        h[(hi - 2) * n + hi - 2],
+        h[(hi - 2) * n + hi - 1],
+        h[(hi - 1) * n + hi - 2],
+        d,
+    );
+    if (l1 - d).abs() <= (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut eigs: Vec<Complex>) -> Vec<Complex> {
+        eigs.sort_by(|a, b| {
+            (a.re, a.im)
+                .partial_cmp(&(b.re, b.im))
+                .expect("finite eigenvalues")
+        });
+        eigs
+    }
+
+    fn assert_spectrum(a: &Matrix, expect: &[(f64, f64)], tol: f64) {
+        let got = sorted(eigenvalues(a).unwrap());
+        assert_eq!(got.len(), expect.len());
+        let mut want: Vec<(f64, f64)> = expect.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g.re - w.0).abs() < tol && (g.im - w.1).abs() < tol,
+                "eigenvalue {g:?} vs expected {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangular_spectrum_is_the_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0, -2.0][..], &[0.0, -1.5, 4.0], &[0.0, 0.0, 0.25]])
+            .unwrap();
+        assert_spectrum(&a, &[(3.0, 0.0), (-1.5, 0.0), (0.25, 0.0)], 1e-12);
+    }
+
+    #[test]
+    fn rotation_matrix_has_imaginary_pair() {
+        let a = Matrix::from_rows(&[&[0.0, -1.0][..], &[1.0, 0.0]]).unwrap();
+        assert_spectrum(&a, &[(0.0, 1.0), (0.0, -1.0)], 1e-12);
+    }
+
+    #[test]
+    fn companion_matrix_recovers_polynomial_roots() {
+        // (λ−1)(λ−2)(λ−3)(λ+0.5) = λ⁴ − 5.5λ³ + 8λ² − 0.5λ − 3.
+        let a = Matrix::from_rows(&[
+            &[5.5, -8.0, 0.5, 3.0][..],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        assert_spectrum(&a, &[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (-0.5, 0.0)], 1e-9);
+    }
+
+    #[test]
+    fn stochastic_matrix_has_unit_eigenvalue_and_trace_identity() {
+        let a =
+            Matrix::from_rows(&[&[0.9, 0.1, 0.0][..], &[0.2, 0.5, 0.3], &[0.1, 0.4, 0.5]]).unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        let unit = eigs
+            .iter()
+            .map(|e| (e.re - 1.0).hypot(e.im))
+            .fold(f64::INFINITY, f64::min);
+        assert!(unit < 1e-10, "no unit eigenvalue: {eigs:?}");
+        let trace_re: f64 = eigs.iter().map(|e| e.re).sum();
+        let trace_im: f64 = eigs.iter().map(|e| e.im).sum();
+        assert!((trace_re - 1.9).abs() < 1e-10);
+        assert!(trace_im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn moderate_dense_matrix_satisfies_trace_and_conjugacy() {
+        // Deterministic pseudo-random entries via an LCG; n = 24 keeps
+        // this fast in debug builds while still exercising deflation.
+        let n = 24;
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), n);
+        let sum_re: f64 = eigs.iter().map(|e| e.re).sum();
+        let sum_im: f64 = eigs.iter().map(|e| e.im).sum();
+        assert!((sum_re - trace).abs() < 1e-8, "trace {trace} vs {sum_re}");
+        assert!(sum_im.abs() < 1e-8);
+        // Real matrix: complex eigenvalues come in conjugate pairs.
+        let mut ims: Vec<f64> = eigs
+            .iter()
+            .map(|e| e.im)
+            .filter(|i| i.abs() > 1e-9)
+            .collect();
+        ims.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(ims.len() % 2, 0);
+        for k in 0..ims.len() / 2 {
+            assert!(
+                (ims[k] + ims[ims.len() - 1 - k]).abs() < 1e-7,
+                "unpaired imaginary parts"
+            );
+        }
+    }
+
+    #[test]
+    fn non_square_input_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            eigenvalues(&a),
+            Err(MeanFieldError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type of the mean-field layer.
+
+use pollux_linalg::LinalgError;
+use pollux_markov::MarkovError;
+use std::fmt;
+
+/// Everything that can go wrong while building or solving a fluid model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeanFieldError {
+    /// A linear-algebra kernel failed (singular Jacobian, solver
+    /// breakdown, dimension mismatch).
+    Linalg(LinalgError),
+    /// A chain-level operation failed (invalid initial distribution,
+    /// malformed transition matrix).
+    Markov(MarkovError),
+    /// An iterative method (power iteration, damped Newton, adaptive
+    /// integration) exhausted its budget before reaching tolerance.
+    NonConvergence {
+        /// Which method gave up.
+        what: &'static str,
+        /// Iterations / steps spent before giving up.
+        iterations: u64,
+        /// The residual (or error estimate) it stalled at.
+        residual: f64,
+    },
+    /// A configuration value outside its documented domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MeanFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeanFieldError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            MeanFieldError::Markov(e) => write!(f, "markov chain: {e}"),
+            MeanFieldError::NonConvergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} did not converge within {iterations} iterations (residual {residual:e})"
+            ),
+            MeanFieldError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeanFieldError {}
+
+impl From<LinalgError> for MeanFieldError {
+    fn from(e: LinalgError) -> Self {
+        MeanFieldError::Linalg(e)
+    }
+}
+
+impl From<MarkovError> for MeanFieldError {
+    fn from(e: MarkovError) -> Self {
+        MeanFieldError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeanFieldError::NonConvergence {
+            what: "power iteration",
+            iterations: 10,
+            residual: 1e-3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("power iteration") && msg.contains("10"));
+        assert!(MeanFieldError::InvalidConfig("rate".into())
+            .to_string()
+            .contains("rate"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `SolverObs`-style counters for the mean-field layer.
+//!
+//! Same contract as the rest of the workspace's instrumentation
+//! (`pollux-obs`): recording is a constant no-op unless the `metrics`
+//! cargo feature is enabled, counters never influence control flow, and
+//! reading them back never perturbs results — so observed runs stay
+//! byte-identical to unobserved ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter slots of [`MeanFieldObs`], indexed by the constants below.
+const SLOTS: usize = 9;
+
+const EQUILIBRIUM_SOLVES: usize = 0;
+const POWER_ITERATIONS: usize = 1;
+const NEWTON_ITERATIONS: usize = 2;
+const NEWTON_SOLVES: usize = 3;
+const ODE_STEPS: usize = 4;
+const ODE_REJECTED_STEPS: usize = 5;
+const RHS_EVALS: usize = 6;
+const EIG_SOLVES: usize = 7;
+const TUNING_EVALS: usize = 8;
+
+/// Monotonic counters over every mean-field solve issued through one
+/// [`FluidModel`](crate::FluidModel) (clones share the instrument).
+#[derive(Debug, Default)]
+pub struct MeanFieldObs {
+    counts: [AtomicU64; SLOTS],
+}
+
+impl MeanFieldObs {
+    /// A fresh instrument with all counters at zero.
+    pub fn new() -> Self {
+        MeanFieldObs::default()
+    }
+
+    #[inline]
+    fn add(&self, slot: usize, n: u64) {
+        if !pollux_obs::METRICS_ENABLED {
+            return;
+        }
+        self.counts[slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn equilibrium_solve(&self) {
+        self.add(EQUILIBRIUM_SOLVES, 1);
+    }
+
+    pub(crate) fn power_iterations(&self, n: u64) {
+        self.add(POWER_ITERATIONS, n);
+    }
+
+    pub(crate) fn newton_iteration(&self) {
+        self.add(NEWTON_ITERATIONS, 1);
+    }
+
+    pub(crate) fn newton_solve(&self) {
+        self.add(NEWTON_SOLVES, 1);
+    }
+
+    pub(crate) fn ode_steps(&self, accepted: u64, rejected: u64) {
+        self.add(ODE_STEPS, accepted);
+        self.add(ODE_REJECTED_STEPS, rejected);
+    }
+
+    pub(crate) fn rhs_evals(&self, n: u64) {
+        self.add(RHS_EVALS, n);
+    }
+
+    pub(crate) fn eig_solve(&self) {
+        self.add(EIG_SOLVES, 1);
+    }
+
+    pub(crate) fn tuning_eval(&self) {
+        self.add(TUNING_EVALS, 1);
+    }
+
+    /// A point-in-time copy of every counter (all zero unless the
+    /// `metrics` cargo feature is on).
+    pub fn snapshot(&self) -> MeanFieldObsSnapshot {
+        let read = |slot: usize| self.counts[slot].load(Ordering::Relaxed);
+        MeanFieldObsSnapshot {
+            equilibrium_solves: read(EQUILIBRIUM_SOLVES),
+            power_iterations: read(POWER_ITERATIONS),
+            newton_iterations: read(NEWTON_ITERATIONS),
+            newton_solves: read(NEWTON_SOLVES),
+            ode_steps: read(ODE_STEPS),
+            ode_rejected_steps: read(ODE_REJECTED_STEPS),
+            rhs_evals: read(RHS_EVALS),
+            eig_solves: read(EIG_SOLVES),
+            tuning_evals: read(TUNING_EVALS),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`MeanFieldObs`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeanFieldObsSnapshot {
+    /// Equilibrium solves completed (any method).
+    pub equilibrium_solves: u64,
+    /// Total power-method iterations (stationary + spectral-gap).
+    pub power_iterations: u64,
+    /// Damped-Newton iterations across all equilibrium refinements.
+    pub newton_iterations: u64,
+    /// Dense LU solves issued by the Newton corrector.
+    pub newton_solves: u64,
+    /// Accepted ODE steps (fixed-step counts every step).
+    pub ode_steps: u64,
+    /// Steps the adaptive controller rejected and re-tried.
+    pub ode_rejected_steps: u64,
+    /// Right-hand-side evaluations across all integrations.
+    pub rhs_evals: u64,
+    /// Dense eigenvalue decompositions (stability classification).
+    pub eig_solves: u64,
+    /// Fluid evaluations spent inside defense-tuning bisection.
+    pub tuning_evals: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_only_with_the_feature() {
+        let obs = MeanFieldObs::new();
+        obs.equilibrium_solve();
+        obs.power_iterations(7);
+        obs.ode_steps(3, 1);
+        let snap = obs.snapshot();
+        if pollux_obs::METRICS_ENABLED {
+            assert_eq!(snap.equilibrium_solves, 1);
+            assert_eq!(snap.power_iterations, 7);
+            assert_eq!(snap.ode_steps, 3);
+            assert_eq!(snap.ode_rejected_steps, 1);
+        } else {
+            assert_eq!(snap, MeanFieldObsSnapshot::default());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Planet-scale what-if scenarios answered from the fluid limit.
+//!
+//! The exact chain tops out near Δ≈156 and the sharded DES near 10⁷
+//! nodes; above that, the fluid limit is the only evaluation path —
+//! and the natural one, since its O(1/M) finite-size error *shrinks*
+//! with system scale. One what-if cell (10⁸–10⁹ nodes) costs a sparse
+//! renewal solve plus a fixed number of power-iteration steps: well
+//! under a millisecond, which `BENCH_meanfield.json` records.
+
+use crate::error::MeanFieldError;
+use crate::fluid::FluidModel;
+use pollux::{InitialCondition, ModelParams};
+use pollux_defense::{Defense, NullDefense};
+use pollux_linalg::SolverOptions;
+
+/// Fixed power-iteration budget for the spectral-gap estimate: with
+/// the Aitken-accelerated tail this lands within a few percent of the
+/// exact abscissa on paper-scale chains, while keeping the per-cell
+/// cost inside the sub-millisecond budget and deterministic.
+const GAP_ITERATIONS: u32 = 96;
+
+/// Answer to one planet-scale what-if cell.
+#[derive(Debug, Clone)]
+pub struct WhatIfAnswer {
+    /// Fluid cluster count `M = nodes / E[cluster size]`.
+    pub n_clusters: f64,
+    /// Expected stationary cluster size `Σ π_i (C + s_i)`.
+    pub mean_cluster_size: f64,
+    /// Stationary fraction of clusters in transient-safe states.
+    pub safe_fraction: f64,
+    /// Stationary fraction of clusters in transient-polluted states.
+    pub polluted_fraction: f64,
+    /// Stationary fraction of *nodes* residing in polluted clusters
+    /// (size-weighted, which is what an end user samples).
+    pub polluted_node_fraction: f64,
+    /// `polluted_node_fraction · nodes`.
+    pub expected_polluted_nodes: f64,
+    /// Lower bound on the linearized decay rate at the equilibrium
+    /// (per time unit; see `FluidModel::relaxation_gap`).
+    pub spectral_gap: f64,
+    /// Time for perturbations to decay by 100× at that gap.
+    pub settling_time: f64,
+    /// The documented O(1/M) finite-size band: `1 / n_clusters`.
+    /// Finite-system fractions are expected within ~this of the fluid
+    /// prediction (cross-validated by the DES pair at small M).
+    pub finite_size_band: f64,
+}
+
+/// Answers a planet-scale what-if with no defense deployed.
+///
+/// # Errors
+///
+/// As [`planet_scale_what_if_with_defense`].
+pub fn planet_scale_what_if(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    nodes: f64,
+    events_per_cluster: f64,
+) -> Result<WhatIfAnswer, MeanFieldError> {
+    planet_scale_what_if_with_defense(
+        params,
+        &NullDefense::new(),
+        initial,
+        nodes,
+        events_per_cluster,
+    )
+}
+
+/// Answers "N nodes, this parameterization, this defense: how much of
+/// the system is polluted at equilibrium, and how fast does it settle?"
+///
+/// Routing: the renewal solve is forced onto the sparse iterative path
+/// (the dense LU would dominate the sub-millisecond budget) and the
+/// stability check uses the capped power-iteration estimate rather
+/// than a dense spectrum.
+///
+/// # Errors
+///
+/// * [`MeanFieldError::InvalidConfig`] when `nodes` is not enough for
+///   one core (`< C`), or `events_per_cluster` is not positive.
+/// * Propagated solver failures.
+pub fn planet_scale_what_if_with_defense<D: Defense + ?Sized>(
+    params: &ModelParams,
+    defense: &D,
+    initial: &InitialCondition,
+    nodes: f64,
+    events_per_cluster: f64,
+) -> Result<WhatIfAnswer, MeanFieldError> {
+    let core = params.core_size() as f64;
+    if !nodes.is_finite() || nodes < core {
+        return Err(MeanFieldError::InvalidConfig(format!(
+            "node count {nodes} cannot host a single {core}-node core"
+        )));
+    }
+
+    let model = FluidModel::build_with_defense(params, defense, initial)?
+        .with_rate(events_per_cluster)?
+        .with_solver_options(SolverOptions::force_sparse().with_jacobi(true));
+    let eq = model.open_equilibrium()?;
+
+    let space = model.space();
+    let mut mean_cluster_size = 0.0;
+    let mut polluted_node_mass = 0.0;
+    for (i, state) in space.iter() {
+        let size = core + state.s as f64;
+        mean_cluster_size += eq.pi[i] * size;
+        if state.classify(params).is_polluted() {
+            polluted_node_mass += eq.pi[i] * size;
+        }
+    }
+    let polluted_node_fraction = polluted_node_mass / mean_cluster_size;
+    let n_clusters = nodes / mean_cluster_size;
+
+    let spectral_gap = model.relaxation_gap(&eq, GAP_ITERATIONS);
+    let settling_time = if spectral_gap > 0.0 {
+        100f64.ln() / spectral_gap
+    } else {
+        f64::INFINITY
+    };
+
+    Ok(WhatIfAnswer {
+        n_clusters,
+        mean_cluster_size,
+        safe_fraction: eq.safe_fraction,
+        polluted_fraction: eq.polluted_fraction,
+        polluted_node_fraction,
+        expected_polluted_nodes: polluted_node_fraction * nodes,
+        spectral_gap,
+        settling_time,
+        finite_size_band: 1.0 / n_clusters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_defense::InducedChurn;
+
+    fn params() -> ModelParams {
+        ModelParams::paper_defaults().with_mu(0.2).with_d(0.9)
+    }
+
+    #[test]
+    fn a_billion_node_cell_is_internally_consistent() {
+        let nodes = 1e9;
+        let ans = planet_scale_what_if(&params(), &InitialCondition::Delta, nodes, 1.0).unwrap();
+        assert!(ans.mean_cluster_size >= params().core_size() as f64);
+        assert!(ans.mean_cluster_size <= (params().core_size() + params().max_spare()) as f64);
+        assert!((ans.n_clusters * ans.mean_cluster_size - nodes).abs() < 1.0);
+        assert!(ans.polluted_node_fraction >= 0.0 && ans.polluted_node_fraction <= 1.0);
+        assert!((ans.expected_polluted_nodes - ans.polluted_node_fraction * nodes).abs() < 1e-3);
+        assert!(ans.spectral_gap > 0.0);
+        assert!(ans.settling_time.is_finite());
+        assert!(ans.finite_size_band > 0.0 && ans.finite_size_band < 1e-7);
+    }
+
+    #[test]
+    fn defense_reduces_the_polluted_node_count() {
+        let nodes = 1e8;
+        let open = planet_scale_what_if(&params(), &InitialCondition::Delta, nodes, 1.0).unwrap();
+        let defended = planet_scale_what_if_with_defense(
+            &params(),
+            &InducedChurn::new(0.2).unwrap(),
+            &InitialCondition::Delta,
+            nodes,
+            1.0,
+        )
+        .unwrap();
+        assert!(
+            defended.expected_polluted_nodes < open.expected_polluted_nodes,
+            "defense did not help: {} vs {}",
+            defended.expected_polluted_nodes,
+            open.expected_polluted_nodes
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(planet_scale_what_if(&params(), &InitialCondition::Delta, 1.0, 1.0).is_err());
+        assert!(planet_scale_what_if(&params(), &InitialCondition::Delta, 1e9, 0.0).is_err());
+    }
+}

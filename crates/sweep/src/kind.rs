@@ -6,12 +6,31 @@ use pollux::duel::{renewal_wilson, run_duel_with_baseline, DuelConfig};
 use pollux::simulation;
 use pollux::{polluted_split_unreachable, ClusterAnalysis, ClusterChain, ModelSpace, OverlayModel};
 use pollux_adversary::TargetedStrategy;
-use pollux_defense::{DefenseSpec, InducedChurn};
+use pollux_defense::DefenseSpec;
 use pollux_des::replication::replication_seed;
+use pollux_meanfield::{
+    tune_induced_churn, AdaptiveOptions, Coupling, FluidModel, Stability, TuningConfig,
+};
 use pollux_prob::tolerance::CI_HALF_WIDTH_FLOOR;
 use pollux_prob::wilson_interval;
 
 use crate::{SweepCell, SweepError, Value};
+
+/// Integration horizon (time units at unit event rate) per chunk of the
+/// adaptive mean-field trajectory. The trajectory is extended chunk by
+/// chunk until it settles onto the stationary solve, so slow-mixing
+/// cells (spectral gap ~10⁻³ on the d = 0.95 edge of the paper grid)
+/// get the time they need without over-integrating the fast ones.
+const MEAN_FIELD_ODE_HORIZON: f64 = 400.0;
+/// Upper bound on settle chunks (total horizon 8 × 400 = 3200 time
+/// units: two decades past the slowest paper-grid relaxation time).
+const MEAN_FIELD_ODE_MAX_CHUNKS: u32 = 8;
+/// Agreement demanded between the settled ODE state and the stationary
+/// solve (looser than solver tolerance: the trajectory stops at a
+/// finite horizon).
+const MEAN_FIELD_ODE_SETTLE_TOL: f64 = 1e-6;
+/// Power-iteration budget for the per-equilibrium relaxation-gap bound.
+const MEAN_FIELD_GAP_ITERATIONS: u32 = 192;
 
 /// What a scenario computes per cell.
 ///
@@ -128,15 +147,54 @@ pub enum OutputKind {
         /// Wilson z-quantile of the agreement interval.
         sigmas: f64,
     },
-    /// The defense frontier: the minimum [`InducedChurn`] rate keeping
-    /// the analytical steady-state polluted fraction at or below a
-    /// threshold, scanned over an ascending rate grid. Purely analytical
+    /// Cross-validation of the mean-field (fluid-limit) evaluation path
+    /// ([`pollux_meanfield::FluidModel`]): the fluid stationary
+    /// fractions vs the exact renewal fractions
+    /// ([`pollux::ClusterAnalysis::steady_state_fractions`]), vs the
+    /// settled adaptive-ODE trajectory, and vs a regeneration-mode DES
+    /// run whose renewal-adjusted Wilson interval is widened by the
+    /// documented O(1/M) finite-size band.
+    MeanFieldValidation {
+        /// `2^bits` clusters in the DES run.
+        cluster_bits: u32,
+        /// Per-cluster churn rate of the DES.
+        lambda: f64,
+        /// Event budget per cluster (half is spent as warm-up).
+        max_events_per_cluster: u64,
+        /// Wilson z-quantile of the DES agreement interval.
+        sigmas: f64,
+        /// Absolute tolerance on the fluid-vs-exact stationary
+        /// fractions (the two coincide by the renewal identity, so this
+        /// is solver slack, not an approximation bound).
+        tol: f64,
+    },
+    /// Coupled mean-field equilibria under the targeted-adversary
+    /// routing-bias feedback: one row per (amplification, equilibrium
+    /// branch) with the Jacobian-eigenvalue stability classification
+    /// and the power-iteration relaxation-gap bound. Deterministic
     /// (byte-identical across thread counts by construction).
-    DefenseFrontier {
-        /// Ascending induced-churn rates to scan.
-        rates: Vec<f64>,
+    MeanFieldEquilibrium {
+        /// Routing-bias amplification factors to scan (`0` recovers the
+        /// open model and its unique equilibrium).
+        amplifications: Vec<f64>,
+    },
+    /// Mean-field-guided defense tuning: the minimal
+    /// [`InducedChurn`](pollux_defense::InducedChurn)
+    /// rate whose stationary polluted fraction meets a threshold, found
+    /// by bisection on the fluid equilibrium and verified against the
+    /// exact chain at the answer. Replaces the old `DefenseFrontier`
+    /// grid scan with ~log₂(range/tol) sparse solves plus a single
+    /// exact-chain battery. Purely analytical (byte-identical across
+    /// thread counts by construction).
+    ControlTuning {
         /// Target ceiling on the steady-state polluted fraction.
         threshold: f64,
+        /// Upper end of the searched rate range (must stay below 1,
+        /// the [`InducedChurn`](pollux_defense::InducedChurn) domain
+        /// bound).
+        max_rate: f64,
+        /// Bracket width at which bisection stops.
+        rate_tol: f64,
     },
     /// Theorem 2 vs the `n`-cluster competing Monte-Carlo simulation.
     OverlayMcValidation {
@@ -267,13 +325,39 @@ impl OutputKind {
                 "cycles".into(),
                 "ok".into(),
             ],
-            OutputKind::DefenseFrontier { .. } => vec![
+            OutputKind::MeanFieldValidation { .. } => vec![
+                "n_clusters".into(),
+                "mf_safe".into(),
+                "mf_polluted".into(),
+                "exact_safe".into(),
+                "exact_polluted".into(),
+                "ode_polluted".into(),
+                "des_polluted".into(),
+                "des_lo".into(),
+                "des_hi".into(),
+                "band".into(),
+                "cycles".into(),
+                "ok".into(),
+            ],
+            OutputKind::MeanFieldEquilibrium { .. } => vec![
+                "amplification".into(),
+                "branch".into(),
+                "mu_eff".into(),
+                "safe".into(),
+                "polluted".into(),
+                "abscissa".into(),
+                "stable".into(),
+                "gap".into(),
+            ],
+            OutputKind::ControlTuning { .. } => vec![
                 "baseline_polluted".into(),
                 "threshold".into(),
                 "found".into(),
                 "frontier_rate".into(),
                 "polluted_at_frontier".into(),
-                "rates_scanned".into(),
+                "evaluations".into(),
+                "verified_polluted".into(),
+                "verified_ok".into(),
             ],
             OutputKind::OverlayMcValidation { .. } => vec![
                 "n".into(),
@@ -640,42 +724,150 @@ impl OutputKind {
                 }
                 Ok(rows)
             }
-            OutputKind::DefenseFrontier { rates, threshold } => {
-                if rates.is_empty() || rates.windows(2).any(|w| w[0] >= w[1]) {
-                    return Err(SweepError::InvalidScenario(
-                        "frontier rates must be non-empty and strictly increasing".into(),
-                    ));
+            OutputKind::MeanFieldValidation {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                sigmas,
+                tol,
+            } => {
+                if !(*tol > 0.0 && tol.is_finite()) {
+                    return Err(SweepError::InvalidScenario(format!(
+                        "mean-field tolerance must be positive, got {tol}"
+                    )));
                 }
-                let baseline = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
-                let (_, baseline_polluted) = baseline.steady_state_fractions()?;
-                let mut frontier: Option<(f64, f64)> = None;
-                let mut scanned = 0u64;
-                for &rate in rates {
-                    scanned += 1;
-                    let polluted = if rate == 0.0 {
-                        baseline_polluted
-                    } else {
-                        let defense = InducedChurn::new(rate)
-                            .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
-                        let chain = ClusterChain::build_with_defense(&cell.params, &defense);
-                        let a = ClusterAnalysis::from_chain(chain, cell.initial.clone())?;
-                        a.steady_state_fractions()?.1
-                    };
-                    if polluted <= *threshold {
-                        frontier = Some((rate, polluted));
+                let model = FluidModel::build(&cell.params, &cell.initial)
+                    .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                let eq = model
+                    .open_equilibrium()
+                    .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                let a = ClusterAnalysis::new(&cell.params, cell.initial.clone())?;
+                let (exact_safe, exact_polluted) = a.steady_state_fractions()?;
+                // The ODE trajectory from the regeneration distribution
+                // must settle onto the same equilibrium (a genuinely
+                // independent check of the stationary solve).
+                let mut y = model.alpha().to_vec();
+                let mut ode_polluted = f64::NAN;
+                for _ in 0..MEAN_FIELD_ODE_MAX_CHUNKS {
+                    let run = model
+                        .integrate_adaptive(&y, MEAN_FIELD_ODE_HORIZON, &AdaptiveOptions::default())
+                        .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                    y = run.y;
+                    let (_, p) = model.fractions(&y);
+                    ode_polluted = p;
+                    if (p - eq.polluted_fraction).abs() <= MEAN_FIELD_ODE_SETTLE_TOL {
                         break;
                     }
                 }
-                let found = frontier.is_some();
-                // −1 marks "no rate in the grid reaches the threshold".
-                let (rate, at) = frontier.unwrap_or((-1.0, -1.0));
+                let strategy = TargetedStrategy::new(cell.params.k(), cell.params.nu())
+                    .ok_or_else(|| {
+                        SweepError::InvalidScenario(format!(
+                            "no targeted strategy for k = {}, nu = {}",
+                            cell.params.k(),
+                            cell.params.nu()
+                        ))
+                    })?;
+                let config = DesOverlayConfig::new(
+                    *cluster_bits,
+                    *lambda,
+                    max_events_per_cluster << cluster_bits,
+                )
+                .with_regeneration()
+                .with_warmup_events(max_events_per_cluster / 2)
+                .with_shards(shards);
+                let r = run_des_overlay(&cell.params, &cell.initial, &strategy, &config, seed);
+                let (_, des_polluted) = r.steady_state_fractions();
+                let (lo, hi) = renewal_wilson(
+                    r.polluted_event_total,
+                    r.events - r.warmup_events,
+                    r.measured_cycles,
+                    *sigmas,
+                );
+                // The fluid prediction is exact only at M = ∞; a finite
+                // DES overlay sits within O(1/M) of it, so the Wilson
+                // band is widened by one finite-size term.
+                let band = 1.0 / (1u64 << cluster_bits) as f64;
+                let ok = (eq.safe_fraction - exact_safe).abs() <= *tol
+                    && (eq.polluted_fraction - exact_polluted).abs() <= *tol
+                    && (ode_polluted - eq.polluted_fraction).abs() <= MEAN_FIELD_ODE_SETTLE_TOL
+                    && ((lo - band)..=(hi + band)).contains(&eq.polluted_fraction);
                 Ok(vec![vec![
-                    baseline_polluted.into(),
-                    (*threshold).into(),
-                    found.into(),
-                    rate.into(),
-                    at.into(),
-                    scanned.into(),
+                    (1u64 << cluster_bits).into(),
+                    eq.safe_fraction.into(),
+                    eq.polluted_fraction.into(),
+                    exact_safe.into(),
+                    exact_polluted.into(),
+                    ode_polluted.into(),
+                    des_polluted.into(),
+                    lo.into(),
+                    hi.into(),
+                    band.into(),
+                    r.measured_cycles.into(),
+                    ok.into(),
+                ]])
+            }
+            OutputKind::MeanFieldEquilibrium { amplifications } => {
+                if amplifications.is_empty()
+                    || amplifications.iter().any(|a| !a.is_finite() || *a < 0.0)
+                {
+                    return Err(SweepError::InvalidScenario(
+                        "amplifications must be non-empty and non-negative".into(),
+                    ));
+                }
+                let mut rows = Vec::new();
+                for &amplification in amplifications {
+                    let model = FluidModel::build(&cell.params, &cell.initial)
+                        .and_then(|m| {
+                            m.with_coupling(if amplification == 0.0 {
+                                Coupling::Open
+                            } else {
+                                Coupling::RoutingBias { amplification }
+                            })
+                        })
+                        .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                    let equilibria = model
+                        .equilibria()
+                        .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                    for (branch, eq) in equilibria.iter().enumerate() {
+                        let report = model
+                            .classify_equilibrium(eq)
+                            .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                        let gap = model.relaxation_gap(eq, MEAN_FIELD_GAP_ITERATIONS);
+                        rows.push(vec![
+                            amplification.into(),
+                            (branch as u64).into(),
+                            eq.mu_eff.into(),
+                            eq.safe_fraction.into(),
+                            eq.polluted_fraction.into(),
+                            report.abscissa.into(),
+                            matches!(report.classification, Stability::Stable).into(),
+                            gap.into(),
+                        ]);
+                    }
+                }
+                Ok(rows)
+            }
+            OutputKind::ControlTuning {
+                threshold,
+                max_rate,
+                rate_tol,
+            } => {
+                let cfg = TuningConfig {
+                    threshold: *threshold,
+                    max_rate: *max_rate,
+                    rate_tol: *rate_tol,
+                };
+                let out = tune_induced_churn(&cell.params, &cell.initial, &cfg)
+                    .map_err(|e| SweepError::InvalidScenario(e.to_string()))?;
+                Ok(vec![vec![
+                    out.baseline_polluted.into(),
+                    out.threshold.into(),
+                    out.found.into(),
+                    out.rate.into(),
+                    out.polluted_at_rate.into(),
+                    out.evaluations.into(),
+                    out.verified_polluted.into(),
+                    out.verified_ok.into(),
                 ]])
             }
             OutputKind::OverlayMcValidation {
@@ -788,6 +980,19 @@ impl OutputKind {
                 DesOverlayConfig::new(*cluster_bits, *lambda, *max_events_per_cluster)
                     .with_shards(shards),
             )),
+            OutputKind::MeanFieldValidation {
+                cluster_bits,
+                lambda,
+                max_events_per_cluster,
+                ..
+            } => largest_audit(&mut std::iter::once(
+                DesOverlayConfig::new(
+                    *cluster_bits,
+                    *lambda,
+                    max_events_per_cluster << cluster_bits,
+                )
+                .with_shards(shards),
+            )),
             _ => return None,
         };
         Some(tables + shards as u64 * PER_SHARD_OVERHEAD_BYTES)
@@ -803,6 +1008,7 @@ impl OutputKind {
                 | OutputKind::DesValidation { .. }
                 | OutputKind::DesSteadyState { .. }
                 | OutputKind::Duel { .. }
+                | OutputKind::MeanFieldValidation { .. }
         )
     }
 }
@@ -892,9 +1098,20 @@ mod tests {
                 max_events_per_cluster: 60,
                 sigmas: 5.0,
             },
-            OutputKind::DefenseFrontier {
-                rates: vec![0.0, 0.2],
+            OutputKind::MeanFieldValidation {
+                cluster_bits: 4,
+                lambda: 1.0,
+                max_events_per_cluster: 100,
+                sigmas: 5.0,
+                tol: 1e-7,
+            },
+            OutputKind::MeanFieldEquilibrium {
+                amplifications: vec![0.0],
+            },
+            OutputKind::ControlTuning {
                 threshold: 0.05,
+                max_rate: 0.5,
+                rate_tol: 0.05,
             },
         ];
         for kind in kinds {
@@ -1043,16 +1260,17 @@ mod tests {
     }
 
     #[test]
-    fn defense_frontier_finds_the_minimum_rate() {
+    fn control_tuning_bisects_to_a_verified_frontier() {
         let cell = ParamGrid::paper()
             .mu(vec![0.25])
             .d(vec![0.9])
             .cells()
             .unwrap()
             .remove(0);
-        let kind = OutputKind::DefenseFrontier {
-            rates: vec![0.0, 0.05, 0.1, 0.2, 0.4],
+        let kind = OutputKind::ControlTuning {
             threshold: 0.01,
+            max_rate: 0.5,
+            rate_tol: 0.01,
         };
         let rows = kind.evaluate(&cell, 0, 1).unwrap();
         let cols = kind.columns();
@@ -1061,24 +1279,89 @@ mod tests {
         let rate = rows[0][at("frontier_rate")].as_f64().unwrap();
         assert!(rate > 0.0, "undefended pollution exceeds the threshold");
         assert!(rows[0][at("polluted_at_frontier")].as_f64().unwrap() <= 0.01);
+        // The exact chain re-checked the fluid answer at the frontier.
+        assert_eq!(rows[0][at("verified_ok")].as_bool(), Some(true));
+        // Bisection beats any useful grid: baseline + bracket +
+        // ~log2(0.5/0.01) probes, where the old grid scan spent one full
+        // exact battery per grid point.
+        assert!(rows[0][at("evaluations")].as_f64().unwrap() <= 12.0);
         assert!(!kind.is_monte_carlo());
         assert_eq!(
             rows,
             kind.evaluate(&cell, 77, 1).unwrap(),
             "analytic: seed-free"
         );
-        // An unreachable threshold reports found = false with sentinels.
-        let none = OutputKind::DefenseFrontier {
-            rates: vec![0.0, 0.01],
+        // An unreachable threshold reports found = false at max_rate.
+        let none = OutputKind::ControlTuning {
             threshold: 1e-9,
+            max_rate: 0.01,
+            rate_tol: 0.005,
         };
         let rows = none.evaluate(&cell, 0, 1).unwrap();
         assert_eq!(rows[0][at("found")].as_bool(), Some(false));
-        assert_eq!(rows[0][at("frontier_rate")].as_f64(), Some(-1.0));
-        // Unsorted grids are rejected.
-        let bad = OutputKind::DefenseFrontier {
-            rates: vec![0.2, 0.1],
+        assert_eq!(rows[0][at("frontier_rate")].as_f64(), Some(0.01));
+        // Malformed configurations are rejected.
+        let bad = OutputKind::ControlTuning {
             threshold: 0.05,
+            max_rate: 1.5,
+            rate_tol: 0.01,
+        };
+        assert!(matches!(
+            bad.evaluate(&cell, 0, 1),
+            Err(SweepError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn mean_field_validation_agrees_on_every_path() {
+        let cell = paper_cell(); // mu = 0.2, d = 0.9
+        let kind = OutputKind::MeanFieldValidation {
+            cluster_bits: 7,
+            lambda: 1.0,
+            max_events_per_cluster: 400,
+            sigmas: 5.0,
+            tol: 1e-7,
+        };
+        let rows = kind.evaluate(&cell, 11, 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        let cols = kind.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        assert_eq!(rows[0][at("n_clusters")].as_f64(), Some(128.0));
+        // Fluid and exact fractions coincide by the renewal identity.
+        let mf = rows[0][at("mf_polluted")].as_f64().unwrap();
+        let exact = rows[0][at("exact_polluted")].as_f64().unwrap();
+        assert!((mf - exact).abs() <= 1e-7, "fluid {mf} vs exact {exact}");
+        assert_eq!(rows[0][at("ok")].as_bool(), Some(true), "rows: {rows:?}");
+        assert!(kind.is_monte_carlo());
+        // Seed-deterministic like every Monte-Carlo kind.
+        assert_eq!(rows, kind.evaluate(&cell, 11, 1).unwrap());
+        // A DES shard prediction exists for the memory planner.
+        assert!(kind.predicted_memory_bytes(&cell, 2).is_some());
+    }
+
+    #[test]
+    fn mean_field_equilibrium_scans_amplifications() {
+        let cell = paper_cell();
+        let kind = OutputKind::MeanFieldEquilibrium {
+            amplifications: vec![0.0, 1.5],
+        };
+        let rows = kind.evaluate(&cell, 0, 1).unwrap();
+        assert!(rows.len() >= 2, "one row per amplification at least");
+        let cols = kind.columns();
+        let at = |name: &str| cols.iter().position(|c| c == name).unwrap();
+        // The open row reproduces the exact stationary fractions and the
+        // coupled rows raise (never lower) the effective pollution rate.
+        assert_eq!(rows[0][at("amplification")].as_f64(), Some(0.0));
+        assert_eq!(rows[0][at("mu_eff")].as_f64(), Some(0.2));
+        for row in &rows {
+            assert!(row[at("mu_eff")].as_f64().unwrap() >= 0.2);
+            assert!(row[at("gap")].as_f64().unwrap() >= 0.0);
+            assert_eq!(row[at("stable")].as_bool(), Some(true));
+        }
+        assert!(!kind.is_monte_carlo());
+        // Malformed amplification lists are rejected.
+        let bad = OutputKind::MeanFieldEquilibrium {
+            amplifications: vec![-1.0],
         };
         assert!(matches!(
             bad.evaluate(&cell, 0, 1),

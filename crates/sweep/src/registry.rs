@@ -353,15 +353,41 @@ pub fn extended() -> Vec<Scenario> {
         ),
         Scenario::new(
             "defense_frontier",
-            "Minimum induced-churn rate keeping steady-state pollution below 1% across the (mu, d) plane (analytic)",
+            "Minimum induced-churn rate keeping steady-state pollution below 1% across the (mu, d) plane (mean-field bisection verified against the exact chain)",
             ParamGrid::paper()
                 .mu(vec![0.2, 0.25, 0.3])
                 .d(vec![0.85, 0.9, 0.95]),
-            OutputKind::DefenseFrontier {
-                rates: vec![
-                    0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.25, 0.35, 0.5,
-                ],
+            OutputKind::ControlTuning {
                 threshold: 0.01,
+                max_rate: 0.5,
+                // Matches the finest step of the retired grid scan while
+                // spending ~log2(0.5/0.01) fluid solves per cell instead
+                // of one exact battery per grid point.
+                rate_tol: 0.01,
+            },
+        ),
+        Scenario::new(
+            "meanfield_validate",
+            "Fluid-limit stationary fractions vs the exact chain, the settled ODE trajectory, and a regeneration-mode DES with the O(1/M) band",
+            ParamGrid::paper()
+                .mu(vec![0.2, 0.25, 0.3])
+                .d(vec![0.85, 0.9, 0.95]),
+            OutputKind::MeanFieldValidation {
+                cluster_bits: 10,
+                lambda: 1.0,
+                max_events_per_cluster: 2_000,
+                sigmas: AGREEMENT_SIGMAS,
+                tol: 1e-7,
+            },
+        ),
+        Scenario::new(
+            "meanfield_equilibrium",
+            "Coupled mean-field equilibria and Jacobian-eigenvalue stability across routing-bias amplifications and the (mu, d) plane",
+            ParamGrid::paper()
+                .mu(vec![0.15, 0.2, 0.25, 0.3])
+                .d(vec![0.85, 0.9, 0.95]),
+            OutputKind::MeanFieldEquilibrium {
+                amplifications: vec![0.0, 0.5, 1.0, 2.0, 4.0],
             },
         ),
     ]

@@ -1,0 +1,134 @@
+//! Property-based validation of the mean-field (fluid-limit) layer
+//! against the exact chain, over random `(C, Δ, μ, d, k, ν)` — the
+//! repo-level counterpart of the unit tests inside `crates/meanfield`.
+//!
+//! The open-model fluid equilibrium and the exact renewal fractions
+//! are two derivations of the same stationary object (the renewal
+//! identity), so they must agree to solver tolerance for *every*
+//! parameterization, not just the paper's grid. The adaptive ODE
+//! trajectory must flow toward that equilibrium, and the defended
+//! model must preserve both properties.
+
+use proptest::prelude::*;
+
+use pollux::{ClusterAnalysis, ClusterChain, InitialCondition, ModelParams};
+use pollux_defense::InducedChurn;
+use pollux_meanfield::{AdaptiveOptions, FluidModel};
+
+/// Valid parameter sets, small enough that the debug-mode chain build
+/// and renewal solve stay fast across the proptest case count.
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (
+        2usize..=8,
+        2usize..=6,
+        0.0f64..0.9,
+        0.0f64..0.99,
+        0.01f64..0.9,
+    )
+        .prop_flat_map(|(c, delta, mu, d, nu)| {
+            (1usize..=c).prop_map(move |k| {
+                ModelParams::new(c, delta, k)
+                    .expect("generated sizes are valid")
+                    .with_mu(mu)
+                    .with_d(d)
+                    .with_nu(nu)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fluid stationary fractions coincide with the exact chain's
+    /// renewal fractions (the tentpole identity the sweep and fuzz
+    /// layers also enforce, here over the whole parameter space).
+    #[test]
+    fn fluid_equilibrium_matches_exact_renewal_fractions(params in params_strategy()) {
+        let model = FluidModel::build(&params, &InitialCondition::Delta)
+            .expect("fluid model builds");
+        let eq = model.open_equilibrium().expect("equilibrium solves");
+        let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)
+            .expect("exact analysis builds");
+        let (safe, polluted) = analysis
+            .steady_state_fractions()
+            .expect("exact fractions solve");
+        prop_assert!(
+            (eq.safe_fraction - safe).abs() <= 1e-8,
+            "safe: fluid {} vs exact {safe}",
+            eq.safe_fraction
+        );
+        prop_assert!(
+            (eq.polluted_fraction - polluted).abs() <= 1e-8,
+            "polluted: fluid {} vs exact {polluted}",
+            eq.polluted_fraction
+        );
+        // The stationary profile is a distribution and a fixed point.
+        let mass: f64 = eq.pi.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+        prop_assert!(eq.residual < 1e-9, "residual {}", eq.residual);
+    }
+
+    /// The adaptive trajectory from the regeneration profile moves
+    /// toward the equilibrium: the distance to it never grows over a
+    /// horizon, and mass is conserved along the way.
+    #[test]
+    fn ode_trajectory_contracts_toward_the_equilibrium(params in params_strategy()) {
+        let model = FluidModel::build(&params, &InitialCondition::Delta)
+            .expect("fluid model builds");
+        let eq = model.open_equilibrium().expect("equilibrium solves");
+        let dist = |y: &[f64]| -> f64 {
+            y.iter()
+                .zip(&eq.pi)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let d0 = dist(model.alpha());
+        let run = model
+            .integrate_adaptive(model.alpha(), 50.0, &AdaptiveOptions::default())
+            .expect("trajectory integrates");
+        let mass: f64 = run.y.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-8, "mass leak: {mass}");
+        prop_assert!(
+            dist(&run.y) <= d0 + 1e-9,
+            "trajectory moved away from equilibrium: {} -> {}",
+            d0,
+            dist(&run.y)
+        );
+    }
+
+    /// Defense folding commutes with the fluid limit: the defended
+    /// fluid equilibrium equals the defended exact chain's fractions,
+    /// and induced churn never increases stationary pollution.
+    #[test]
+    fn defended_equilibrium_matches_defended_chain(
+        params in params_strategy(),
+        rate in 0.05f64..0.5,
+    ) {
+        let defense = InducedChurn::new(rate).expect("rate is in domain");
+        let model = FluidModel::build_with_defense(&params, &defense, &InitialCondition::Delta)
+            .expect("defended fluid model builds");
+        let eq = model.open_equilibrium().expect("defended equilibrium solves");
+        let chain = ClusterChain::build_with_defense(&params, &defense);
+        let analysis = ClusterAnalysis::from_chain(chain, InitialCondition::Delta)
+            .expect("defended exact analysis builds");
+        let (_, polluted) = analysis
+            .steady_state_fractions()
+            .expect("defended exact fractions solve");
+        prop_assert!(
+            (eq.polluted_fraction - polluted).abs() <= 1e-8,
+            "defended polluted: fluid {} vs exact {polluted}",
+            eq.polluted_fraction
+        );
+
+        let open = FluidModel::build(&params, &InitialCondition::Delta)
+            .expect("open fluid model builds")
+            .open_equilibrium()
+            .expect("open equilibrium solves");
+        prop_assert!(
+            eq.polluted_fraction <= open.polluted_fraction + 1e-9,
+            "induced churn increased pollution: {} -> {}",
+            open.polluted_fraction,
+            eq.polluted_fraction
+        );
+    }
+}
