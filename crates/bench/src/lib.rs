@@ -30,6 +30,8 @@ use std::process::exit;
 
 use pollux_sweep::{registry, SweepArgs, SweepError, SweepReport, USAGE};
 
+pub mod des_ladder;
+
 /// Formats a probability/expectation for table output: fixed point for
 /// ordinary magnitudes, scientific for the explosive Table-I corners.
 pub fn fmt_value(v: f64) -> String {

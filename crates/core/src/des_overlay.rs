@@ -11,17 +11,17 @@
 //!   ([`pollux_des::churn::EventMix`]); the superposition of `n`
 //!   equal-rate streams delivers events to uniformly random clusters,
 //!   exactly the competing-chains semantics of Section VIII;
-//! * nodes are concrete: an index-based arena tracks one malicious flag
-//!   per node, and each cluster's core/spare membership lists hold arena
-//!   indices. Joins draw fresh 256-bit [`pollux_overlay::NodeId`]s
+//! * nodes are concrete: each cluster's core/spare membership slots
+//!   carry one malicious flag per node, packed into u64 bitsets (one
+//!   *bit* per membership — the only node attribute the dynamics ever
+//!   read back). Joins draw fresh 256-bit [`pollux_overlay::NodeId`]s
 //!   inside the cluster's prefix region ([`pollux_overlay::Label`]) and
 //!   validate the prefix routing invariant (the identifiers are
-//!   *write-only* for the dynamics, so the arena does not retain them —
-//!   see the `NodeArena` docs), departures free slots back to the arena, and
-//!   the `protocol_k` maintenance procedure moves real nodes between
-//!   the core and spare sets (the hypergeometric kernel `τ(x, a, b)` of
-//!   the analytical chain emerges from the uniform draws rather than
-//!   being sampled directly);
+//!   *write-only* for the dynamics, so nothing retains them),
+//!   departures clear slots, and the `protocol_k` maintenance procedure
+//!   moves real nodes between the core and spare sets (the
+//!   hypergeometric kernel `τ(x, a, b)` of the analytical chain emerges
+//!   from the uniform draws rather than being sampled directly);
 //! * the adversary is pluggable: any [`pollux_adversary::Strategy`]
 //!   drives Rule 1, Rule 2 and the maintenance bias, gated by the
 //!   [`crate::AdversaryToggles`] carried in [`ModelParams`];
@@ -65,15 +65,24 @@
 //! [`DesOverlayConfig::shards`] partitions the clusters into contiguous
 //! ranges, one per worker shard (`std::thread::scope`, as in the
 //! `pollux-sweep` pool). Each shard runs its own event loop over its
-//! cluster subset with a **local** future-event list (an index-based
-//! 4-ary heap, [`pollux_des::EventQueue`], holding one pending arrival
-//! per cluster), then reports per-cluster statistics that the caller
-//! merges **in cluster order** — integer tallies by summation, sojourn
-//! and lifetime moments by ordered Welford merges, occupancy-grid counts
-//! by summation. Because the merge order is cluster order regardless of
-//! the partition, `shards = 1` and `shards = 64` produce byte-identical
-//! [`DesOverlayReport`]s (test-enforced, like the sweep pool's
-//! thread-count invariance).
+//! cluster subset with a **local** future-event list holding one pending
+//! arrival per cluster — either the index-based 4-ary heap
+//! ([`pollux_des::EventQueue`]) or the O(1)-amortized calendar queue
+//! ([`pollux_des::CalendarQueue`]), selected per run by
+//! [`DesOverlayConfig::queue`]; both implement the same strict
+//! `(time, seq)` dispatch contract, so the backends are byte-identical
+//! (test- and CI-enforced). The shard then reports per-cluster
+//! statistics that the caller merges **in cluster order** — integer
+//! tallies by summation, sojourn and lifetime moments by ordered Welford
+//! merges, occupancy-grid counts by summation. Because the merge order
+//! is cluster order regardless of the partition, `shards = 1` and
+//! `shards = 64` produce byte-identical [`DesOverlayReport`]s
+//! (test-enforced, like the sweep pool's thread-count invariance).
+//! [`DesOverlayConfig::with_work_stealing`] swaps the static one-range-
+//! per-worker plan for a finer blocked partition that workers claim off
+//! a shared cursor in a seed-derived order — rebalancing wall-clock
+//! without touching report bytes, since block outcomes still merge in
+//! cluster order.
 //!
 //! The event budget is likewise defined shard-invariantly:
 //! [`DesOverlayConfig::max_events`] is distributed over the clusters as
@@ -88,14 +97,17 @@
 //!
 //! The hot event loop is allocation-free: each shard's future-event list
 //! is pre-sized to one pending arrival per cluster and popped/refilled
-//! with the fused [`pollux_des::EventQueue::replace_earliest`] (one
-//! sift per event instead of two), the event payload is a bare `u32`
-//! cluster index (no boxing), per-cluster hot state (membership counters,
-//! RNG, a small buffer of batched exponential gaps drawn through
-//! [`pollux_prob::exponential::fill`]) lives in one cache-line-sized
-//! record, membership updates touch flat pre-allocated tables, and the
-//! maintenance draw uses two reusable scratch buffers. A 10⁶-node
-//! overlay processes 10⁶ events in well under a second per shard.
+//! with the fused `replace_earliest` (one queue operation per event on
+//! either backend), the event payload is a bare `u32` cluster index (no
+//! boxing), per-cluster hot state lives in structure-of-arrays columns
+//! grouped by access phase — one 64-byte *draw line* per cluster (the
+//! RNG state plus the batch of exponential gaps drawn through
+//! [`pollux_prob::exponential::fill`]) and one 64-byte *bookkeeping
+//! line* (six-byte counter pack, cycle tallies, budget, warm-up, sample
+//! cursor), so an event's whole footprint is a handful of prefetchable
+//! lines — membership flags are packed bitsets, and the maintenance
+//! draw uses two reusable scratch buffers. A 10⁶-node overlay processes 10⁶ events in well
+//! under a second per shard.
 //!
 //! Per-cluster sojourn counts (`T_S`, `T_P` in events) and the absorption
 //! split are accumulated with Welford statistics, so one run yields `n`
@@ -139,7 +151,7 @@ use pollux_defense::{effective_join_admission, effective_survival, Defense, Null
 use pollux_des::churn::{ChurnKind, EventMix};
 use pollux_des::replication::replication_seed;
 use pollux_des::stats::{Summary, Welford};
-use pollux_des::{EventQueue, SimTime};
+use pollux_des::{CalendarQueue, EventQueue, FutureEventList, SimTime};
 use pollux_obs::mem::MemoryAudit;
 use pollux_obs::{
     DesEventKind, MetricsRecorder, NullRecorder, Recorder, Registry, TraceRecord, TraceRing,
@@ -153,6 +165,8 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 use crate::{
     AdversaryToggles, ClusterState, InitialCondition, ModelParams, ModelSpace, StateClass,
 };
+
+pub use pollux_des::QueueBackend;
 
 /// Configuration of a whole-overlay discrete-event run.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,6 +207,27 @@ pub struct DesOverlayConfig {
     /// ranges, one OS thread each when > 1). Affects wall-clock time
     /// only, never output bytes; clamped to the cluster count.
     pub shards: usize,
+    /// Which future-event list the shards run on. Both backends obey the
+    /// same dispatch contract, so this choice — like the shard count —
+    /// affects wall-clock time only, never output bytes (test-enforced).
+    /// [`QueueBackend::Auto`] resolves via the `POLLUX_DES_QUEUE`
+    /// environment variable (CI's zero-plumbing diff lever), defaulting
+    /// to the heap.
+    pub queue: QueueBackend,
+    /// When `true` (and `shards > 1`), workers claim whole contiguous
+    /// *cluster blocks* from a shared queue instead of owning one fixed
+    /// range each, so a worker whose clusters absorb early steals the
+    /// remaining blocks of a slow one. Clusters never migrate mid-block:
+    /// stealing moves work only at block (epoch) boundaries, the claim
+    /// schedule is seed-derived, and outcomes are merged in block =
+    /// cluster order — byte identity at any shard count is preserved by
+    /// construction.
+    pub steal: bool,
+    /// Deterministic skew of the stolen block sizes (0 = even blocks).
+    /// Larger values make the block lengths progressively uneven, which
+    /// stresses the stealing scheduler (and the fuzz oracle's shard-
+    /// identity pair) without affecting output bytes.
+    pub steal_skew: u32,
 }
 
 impl DesOverlayConfig {
@@ -207,6 +242,9 @@ impl DesOverlayConfig {
             sample_times: Vec::new(),
             warmup_events: 0,
             shards: 1,
+            queue: QueueBackend::Auto,
+            steal: false,
+            steal_skew: 0,
         }
     }
 
@@ -241,6 +279,21 @@ impl DesOverlayConfig {
     /// contiguous cluster ranges; byte-identical output at any value.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Selects the future-event-list backend (byte-identical output
+    /// either way; see [`DesOverlayConfig::queue`]).
+    pub fn with_queue_backend(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Switches deterministic work-stealing on with the given block-size
+    /// skew (0 = even blocks; see [`DesOverlayConfig::steal`]).
+    pub fn with_work_stealing(mut self, steal_skew: u32) -> Self {
+        self.steal = true;
+        self.steal_skew = steal_skew;
         self
     }
 }
@@ -361,6 +414,7 @@ impl DesShardStats {
 
 /// Where an absorbed cluster ended up (compact per-cluster status).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 enum ClusterStatus {
     Transient,
     SafeMerge,
@@ -373,88 +427,114 @@ enum ClusterStatus {
 /// [`exponential::fill`] refill covers this many arrivals.
 const GAP_BATCH: usize = 4;
 
-/// Everything the event loop touches per event for one cluster, packed
-/// into a single record so an event costs one or two cache lines of
-/// cluster state instead of a load from each of eight scattered arrays:
-/// the cluster's private RNG, its buffered arrival gaps, the membership
-/// counters and the per-cycle tallies. The 128-byte alignment pins each
-/// record to exactly two cache lines (a straddling ~104-byte record
-/// would touch three).
-#[repr(align(128))]
-struct ClusterHot {
-    /// The cluster's private counter-seeded stream.
-    rng: StdRng,
-    /// Buffered exponential inter-arrival gaps (consumed front to back).
-    gaps: [f64; GAP_BATCH],
-    /// Birth time of the current cycle (0 for the initial population).
-    birth: f64,
-    /// Remaining event budget.
-    budget: u64,
-    /// Remaining warm-up events (excluded from steady-state tallies).
-    warmup: u64,
-    /// Events observed in transient safe states this cycle.
-    safe_ev: u32,
-    /// Events observed in transient polluted states this cycle.
-    poll_ev: u32,
-    /// Next unrecorded index of the occupancy sample grid.
-    next_sample: u32,
-    /// Next unconsumed slot of `gaps` (`GAP_BATCH` forces a refill).
-    gap_idx: u8,
+/// The per-cluster membership counters and loop-control bytes — the
+/// fields *every* event reads — packed into six bytes so ten clusters'
+/// worth fit one cache line. One column of the SoA hot-record split: the
+/// old 128-byte-aligned AoS record forced every event to pull two cache
+/// lines of cluster state even when it only needed the counters; the
+/// split lets each phase of the dispatch loop stream just the column it
+/// touches (counters here, RNG + gap buffers only on draws, cycle
+/// tallies only on class accounting and absorption).
+#[derive(Debug, Clone, Copy)]
+struct HotCounters {
     /// Spare-set size `s`.
     s: u8,
-    /// Malicious core count `x` (cached; ground truth is the arena).
+    /// Malicious core count `x` (cached; ground truth is the flag bits).
     x: u8,
     /// Malicious spare count `y`.
     y: u8,
     /// Largest `s` the cluster ever held (peak-residency accounting).
     peak_s: u8,
+    /// Next unconsumed gap-buffer slot (`GAP_BATCH` forces a refill).
+    gap_idx: u8,
     status: ClusterStatus,
 }
 
-/// The node arena: flat per-node attributes plus a free list, indexed by
-/// `u32` handles so membership tables stay dense. The hot/cold SoA split
-/// is taken to its conclusion: the event loop reads the one-byte
-/// `malicious` flags constantly, while the 256-bit identifiers turned
-/// out to be **write-only** state — drawn inside the cluster's prefix
-/// region and validated against its label, but never read back by the
-/// dynamics (only the flag decides anything). Materializing them cost a
-/// cold 32-byte store (one cache-line miss) per join, so the arena no
-/// longer retains them; `ShardSim::draw_id` still draws and
-/// prefix-checks every identifier, keeping the stream and the modeled
-/// behavior unchanged.
-struct NodeArena {
-    /// Hot: one byte per node, scanned by every maintenance recount.
-    malicious: Vec<bool>,
-    free: Vec<u32>,
-    live: u64,
-}
-
-impl NodeArena {
-    fn with_capacity(capacity: usize) -> Self {
-        NodeArena {
-            malicious: vec![false; capacity],
-            free: (0..capacity as u32).rev().collect(),
-            live: 0,
+impl Default for HotCounters {
+    fn default() -> Self {
+        HotCounters {
+            s: 0,
+            x: 0,
+            y: 0,
+            peak_s: 0,
+            // An empty gap buffer: the first draw forces a refill.
+            gap_idx: GAP_BATCH as u8,
+            status: ClusterStatus::Transient,
         }
     }
+}
 
-    /// Claims a slot for a fresh node. The arena is sized for the worst
-    /// case (`(C + Δ)` nodes per cluster of the shard), so exhaustion is
-    /// a logic error.
-    fn alloc(&mut self, malicious: bool) -> u32 {
-        let slot = self
-            .free
-            .pop()
-            .expect("node arena sized for Smax per cluster");
-        self.malicious[slot as usize] = malicious;
-        self.live += 1;
-        slot
-    }
+/// Per-cycle tallies: touched once per event (one class increment) and
+/// read out at absorption. 16 bytes.
+#[derive(Debug, Clone, Copy, Default)]
+struct CycleTallies {
+    /// Birth time of the current cycle (0 for the initial population).
+    birth: f64,
+    /// Events observed in transient safe states this cycle.
+    safe_ev: u32,
+    /// Events observed in transient polluted states this cycle.
+    poll_ev: u32,
+}
 
-    fn release(&mut self, slot: u32) {
-        self.free.push(slot);
-        self.live -= 1;
+/// Per-cluster draw state: the private counter-seeded stream and its
+/// batch of pre-drawn exponential gaps. Exactly one cache line (32 + 32
+/// bytes, 64-aligned), so the draw side of an event costs one line fill
+/// — and one prefetch hint covers it.
+#[derive(Debug)]
+#[repr(align(64))]
+struct DrawState {
+    /// The cluster's private counter-seeded stream.
+    rng: StdRng,
+    /// Buffered exponential inter-arrival gaps (front to back).
+    gaps: [f64; GAP_BATCH],
+}
+
+/// Per-cluster accounting, one 64-aligned line per cluster: the
+/// membership counters, cycle tallies, event budget, warm-up window and
+/// occupancy cursor that a single event's bookkeeping touches. These
+/// started as five separate SoA columns; profiling the 2²⁰-cluster
+/// ladder rung (where the working set is ~10× L3) showed the dispatch
+/// loop stalling on ~6 random line fills per event — one per column —
+/// so the always-touched-together bookkeeping now shares one line and
+/// one prefetch hint, while the phase-specific columns (draw state,
+/// flag bitsets, Welford accumulators) stay split.
+#[derive(Debug, Clone, Default)]
+#[repr(align(64))]
+struct ClusterAcct {
+    /// Per-cycle class tallies.
+    cycle: CycleTallies,
+    /// Remaining event budget.
+    budget: u64,
+    /// Remaining warm-up events.
+    warmup: u64,
+    /// Membership counters + loop-control bytes.
+    ctr: HotCounters,
+    /// Next unrecorded occupancy-grid index.
+    next_sample: u32,
+}
+
+/// Reads bit `i` of a packed-u64 bitset.
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+/// Writes bit `i` of a packed-u64 bitset.
+#[inline]
+fn bit_set(words: &mut [u64], i: usize, v: bool) {
+    let mask = 1u64 << (i & 63);
+    let w = &mut words[i >> 6];
+    if v {
+        *w |= mask;
+    } else {
+        *w &= !mask;
     }
+}
+
+/// Number of `u64` words a bitset of `bits` bits needs.
+#[inline]
+fn bitset_words(bits: usize) -> usize {
+    bits.div_ceil(64)
 }
 
 /// What one shard hands back for merging: integer tallies plus
@@ -489,8 +569,23 @@ struct ShardOutcome {
 /// structure-of-arrays, with a local future-event list. Generic over a
 /// [`Recorder`] so the observed and unobserved hot loops are separate
 /// monomorphizations: with [`NullRecorder`] every recording call inlines
-/// to nothing and the loop is the uninstrumented machine code.
-struct ShardSim<'a, S: Strategy, D: Defense + ?Sized, R: Recorder> {
+/// to nothing and the loop is the uninstrumented machine code — and over
+/// a [`FutureEventList`] so each queue backend gets its own fully inlined
+/// hot loop.
+///
+/// Per-cluster state is split into SoA columns by access pattern (see
+/// [`HotCounters`]), and node state is two packed-u64 **malicious-flag
+/// bitsets**: a node's only attribute the dynamics ever read is its
+/// flag (identifiers are drawn, prefix-checked and discarded — see
+/// [`ShardSim::draw_id`]), so the old handle arena + membership tables
+/// (9 bytes/node) collapse into one bit per core/spare *slot*
+/// (~0.125 bytes/node). Set membership is positional: core slot `r` of
+/// local cluster `l` is bit `l·C + r` of `core_mal`, spare slot `j` is
+/// bit `l·Δ + j` of `spare_mal`, and only slots below the cached sizes
+/// are alive. Every uniform draw over members/slots is unchanged, so
+/// per-cluster RNG streams — and therefore all reports — are
+/// bit-identical to the arena engine's.
+struct ShardSim<'a, S: Strategy, D: Defense + ?Sized, R: Recorder, Q: FutureEventList<u32>> {
     params: &'a ModelParams,
     strategy: &'a S,
     defense: &'a D,
@@ -505,20 +600,26 @@ struct ShardSim<'a, S: Strategy, D: Defense + ?Sized, R: Recorder> {
     table: &'a AliasTable,
     states: &'a [ClusterState],
     sample_times: &'a [f64],
-    /// Per-cluster hot records, local index.
-    hot: Vec<ClusterHot>,
-    /// Flat core membership: `core[l * C .. (l + 1) * C]`.
-    core: Vec<u32>,
-    /// Flat spare membership: `spare[l * Δ ..][..s[l]]`.
-    spare: Vec<u32>,
+    /// SoA columns, local cluster index, grouped by access phase: the
+    /// draw line (RNG + gap batch)…
+    draw: Vec<DrawState>,
+    /// …and the bookkeeping line (counters, cycle tallies, budget,
+    /// warm-up, occupancy cursor).
+    acct: Vec<ClusterAcct>,
+    /// Malicious flags of the core slots: bit `l * C + r`.
+    core_mal: Vec<u64>,
+    /// Malicious flags of the spare slots: bit `l * Δ + j` (alive below
+    /// `ctr[l].s` only).
+    spare_mal: Vec<u64>,
     /// Prefix label of each cluster (depth `cluster_bits`). Read only by
     /// the prefix-routing debug assertions, so release builds skip the
     /// per-cluster allocations entirely.
     #[cfg(debug_assertions)]
     labels: Vec<Label>,
-    nodes: NodeArena,
-    queue: EventQueue<u32>,
-    /// Reusable maintenance scratch: candidate pool of node handles.
+    queue: Q,
+    /// Reusable maintenance scratch: demotion slot indices, then the
+    /// candidate pool as 0/1 malicious flags (pool members carry no
+    /// other identity).
     pool: Vec<u32>,
     /// Reusable maintenance scratch: core slots awaiting promotion.
     empty_slots: Vec<usize>,
@@ -542,7 +643,9 @@ struct ShardSim<'a, S: Strategy, D: Defense + ?Sized, R: Recorder> {
     rec: R,
 }
 
-impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
+impl<S: Strategy, D: Defense + ?Sized, R: Recorder, Q: FutureEventList<u32>>
+    ShardSim<'_, S, D, R, Q>
+{
     fn c_size(&self) -> usize {
         self.params.core_size()
     }
@@ -554,13 +657,14 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
     /// The next buffered inter-arrival gap of cluster `l`, refilling the
     /// batch from the cluster's stream when it runs dry.
     fn next_gap(&mut self, l: usize) -> f64 {
-        let h = &mut self.hot[l];
-        if h.gap_idx as usize == GAP_BATCH {
-            exponential::fill(&mut h.rng, self.lambda, &mut h.gaps);
-            h.gap_idx = 0;
+        let mut gi = self.acct[l].ctr.gap_idx as usize;
+        if gi == GAP_BATCH {
+            let d = &mut self.draw[l];
+            exponential::fill(&mut d.rng, self.lambda, &mut d.gaps);
+            gi = 0;
         }
-        let g = h.gaps[h.gap_idx as usize];
-        h.gap_idx += 1;
+        let g = self.draw[l].gaps[gi];
+        self.acct[l].ctr.gap_idx = gi as u8 + 1;
         g
     }
 
@@ -573,7 +677,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
     /// one masked word operation (`cluster_bits ≤ 24`), not bit by bit.
     fn draw_id(&mut self, l: usize) -> NodeId {
         let mut bytes = [0u8; 32];
-        self.hot[l].rng.fill(&mut bytes);
+        self.draw[l].rng.fill(&mut bytes);
         if self.cluster_bits > 0 {
             let c = (self.lo + l) as u32;
             let shift = 32 - self.cluster_bits;
@@ -593,42 +697,43 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         if d_eff <= 0.0 {
             return false;
         }
-        self.hot[l]
+        self.draw[l]
             .rng
             .random_bool(d_eff.powi(count as i32).clamp(0.0, 1.0))
     }
 
     /// Removes spare slot `j` of cluster `l` (swap-remove; slot selection
     /// is uniform, so the arrangement never biases the dynamics) and
-    /// returns the node handle.
-    fn take_spare(&mut self, l: usize, j: usize) -> u32 {
+    /// returns the departing member's malicious flag.
+    fn take_spare(&mut self, l: usize, j: usize) -> bool {
         let base = l * self.delta();
-        let s = self.hot[l].s as usize;
+        let s = self.acct[l].ctr.s as usize;
         debug_assert!(j < s);
-        let node = self.spare[base + j];
-        self.spare[base + j] = self.spare[base + s - 1];
-        node
+        let mal = bit_get(&self.spare_mal, base + j);
+        let last = bit_get(&self.spare_mal, base + s - 1);
+        bit_set(&mut self.spare_mal, base + j, last);
+        mal
     }
 
     /// Picks a uniformly random malicious (or, with `malicious == false`,
     /// honest) spare of cluster `l`; returns its slot index.
     fn pick_spare_by_kind(&mut self, l: usize, malicious: bool) -> usize {
         let base = l * self.delta();
-        let s = self.hot[l].s as usize;
-        let y = self.hot[l].y as usize;
+        let s = self.acct[l].ctr.s as usize;
+        let y = self.acct[l].ctr.y as usize;
         let want = if malicious { y } else { s - y };
         debug_assert!(want > 0);
-        let target = self.hot[l].rng.random_range(0..want);
+        let target = self.draw[l].rng.random_range(0..want);
         let mut seen = 0usize;
         for j in 0..s {
-            if self.nodes.malicious[self.spare[base + j] as usize] == malicious {
+            if bit_get(&self.spare_mal, base + j) == malicious {
                 if seen == target {
                     return j;
                 }
                 seen += 1;
             }
         }
-        unreachable!("cached y count matches arena flags");
+        unreachable!("cached y count matches the flag bits");
     }
 
     /// The `protocol_k` maintenance procedure after the core member in
@@ -644,7 +749,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         let c_size = self.c_size();
         let delta = self.delta();
         let k = self.params.k();
-        let s = self.hot[l].s as usize;
+        let s = self.acct[l].ctr.s as usize;
         debug_assert!(s >= 1);
 
         self.pool.clear();
@@ -662,67 +767,62 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                 }
             }
             for i in 0..k - 1 {
-                let j = self.hot[l].rng.random_range(i..self.pool.len());
+                let j = self.draw[l].rng.random_range(i..self.pool.len());
                 self.pool.swap(i, j);
             }
             for i in 0..k - 1 {
                 self.empty_slots.push(self.pool[i] as usize);
             }
             self.pool.truncate(k - 1);
-            // Replace the demoted slots with their node handles, counting
+            // Replace the demoted slots with their members' malicious
+            // flags (the only identity a pool member carries), counting
             // the malicious ones on the way through.
             for entry in self.pool.iter_mut() {
-                let node = self.core[l * c_size + *entry as usize];
-                mal_demoted += usize::from(self.nodes.malicious[node as usize]);
-                *entry = node;
+                let mal = bit_get(&self.core_mal, l * c_size + *entry as usize);
+                mal_demoted += usize::from(mal);
+                *entry = u32::from(mal);
             }
         }
 
         // The candidate pool: every spare plus the demoted members.
         let base = l * delta;
         for j in 0..s {
-            self.pool.push(self.spare[base + j]);
+            self.pool
+                .push(u32::from(bit_get(&self.spare_mal, base + j)));
         }
         debug_assert_eq!(self.pool.len(), s + k - 1);
 
         // Promote k uniformly chosen candidates into the vacant slots.
         for i in 0..k {
-            let j = self.hot[l].rng.random_range(i..self.pool.len());
+            let j = self.draw[l].rng.random_range(i..self.pool.len());
             self.pool.swap(i, j);
         }
         let mut mal_promoted = 0usize;
         for (i, &slot) in self.empty_slots.iter().enumerate() {
-            let node = self.pool[i];
-            mal_promoted += usize::from(self.nodes.malicious[node as usize]);
-            self.core[l * c_size + slot] = node;
+            let mal = self.pool[i] == 1;
+            mal_promoted += usize::from(mal);
+            bit_set(&mut self.core_mal, l * c_size + slot, mal);
         }
         // The rest of the pool is the new spare set (s − 1 members).
-        for (j, &node) in self.pool[k..].iter().enumerate() {
-            self.spare[base + j] = node;
+        for (j, &flag) in self.pool[k..].iter().enumerate() {
+            bit_set(&mut self.spare_mal, base + j, flag == 1);
         }
 
         // Incremental count update: the pool held every spare (y
         // malicious) plus the demoted (mal_demoted), of which
         // mal_promoted moved into the core.
-        let h = &mut self.hot[l];
-        let x_new = h.x as usize - mal_demoted + mal_promoted;
-        let y_new = h.y as usize + mal_demoted - mal_promoted;
-        h.x = x_new as u8;
-        h.y = y_new as u8;
+        let ctr = &mut self.acct[l].ctr;
+        let x_new = ctr.x as usize - mal_demoted + mal_promoted;
+        let y_new = ctr.y as usize + mal_demoted - mal_promoted;
+        ctr.x = x_new as u8;
+        ctr.y = y_new as u8;
         debug_assert_eq!(
             x_new,
-            self.core[l * c_size..(l + 1) * c_size]
-                .iter()
-                .filter(|&&n| self.nodes.malicious[n as usize])
+            (0..c_size)
+                .filter(|&r| bit_get(&self.core_mal, l * c_size + r))
                 .count()
         );
-        debug_assert_eq!(
-            y_new,
-            self.pool[k..]
-                .iter()
-                .filter(|&&n| self.nodes.malicious[n as usize])
-                .count()
-        );
+        debug_assert_eq!(y_new, self.pool[k..].iter().filter(|&&f| f == 1).count());
     }
 
     /// Plays one churn event on (transient) cluster `l`, mirroring the
@@ -739,31 +839,31 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         let quorum = self.params.quorum();
         let mu = self.params.mu();
         let toggles = *self.params.toggles();
-        let s = self.hot[l].s as usize;
-        let x = self.hot[l].x as usize;
-        let y = self.hot[l].y as usize;
+        let s = self.acct[l].ctr.s as usize;
+        let x = self.acct[l].ctr.x as usize;
+        let y = self.acct[l].ctr.y as usize;
         let polluted = x > quorum;
 
         let view =
             ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
         // Induced churn preempts the event with a forced eviction.
         let eta = self.defense.induced_churn(&view);
-        if eta > 0.0 && self.hot[l].rng.random_bool(eta.clamp(0.0, 1.0)) {
+        if eta > 0.0 && self.draw[l].rng.random_bool(eta.clamp(0.0, 1.0)) {
             self.induced_eviction(l, polluted, toggles);
             return DesEventKind::InducedEviction;
         }
         let d_eff = effective_survival(self.defense, &view, self.params.d());
 
         let mix = self.mix;
-        match mix.sample(&mut self.hot[l].rng) {
+        match mix.sample(&mut self.draw[l].rng) {
             ChurnKind::Join => {
                 // Join-rate shaping (plus the cluster-size taper): the
                 // defense may drop the join before the cluster sees it.
                 let g = effective_join_admission(self.defense, &view);
-                if g < 1.0 && !self.hot[l].rng.random_bool(g.clamp(0.0, 1.0)) {
+                if g < 1.0 && !self.draw[l].rng.random_bool(g.clamp(0.0, 1.0)) {
                     return DesEventKind::JoinRejected;
                 }
-                let malicious = mu > 0.0 && self.hot[l].rng.random_bool(mu);
+                let malicious = mu > 0.0 && self.draw[l].rng.random_bool(mu);
                 let accept = if polluted && toggles.rule2 {
                     self.strategy.join_decision(&view, malicious) == JoinDecision::Accept
                 } else {
@@ -774,13 +874,12 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                     #[cfg(debug_assertions)]
                     debug_assert!(self.labels[l].is_prefix_of(&id));
                     let _ = id; // drawn and checked, deliberately not stored
-                    let node = self.nodes.alloc(malicious);
-                    self.spare[l * delta + s] = node;
-                    let h = &mut self.hot[l];
-                    h.s += 1;
-                    h.peak_s = h.peak_s.max(h.s);
+                    bit_set(&mut self.spare_mal, l * delta + s, malicious);
+                    let ctr = &mut self.acct[l].ctr;
+                    ctr.s += 1;
+                    ctr.peak_s = ctr.peak_s.max(ctr.s);
                     if malicious {
-                        h.y += 1;
+                        ctr.y += 1;
                     }
                     DesEventKind::Join
                 } else {
@@ -789,25 +888,22 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             }
             ChurnKind::Leave => {
                 // One uniformly selected member of the C + s present.
-                let r = self.hot[l].rng.random_range(0..c_size + s);
+                let r = self.draw[l].rng.random_range(0..c_size + s);
                 if r >= c_size {
                     // A spare was selected (slot r − C is uniform).
                     let j = r - c_size;
-                    let node = self.spare[l * delta + j];
-                    let malicious = self.nodes.malicious[node as usize];
+                    let malicious = bit_get(&self.spare_mal, l * delta + j);
                     if !malicious {
-                        let node = self.take_spare(l, j);
-                        self.nodes.release(node);
-                        self.hot[l].s -= 1;
+                        let _ = self.take_spare(l, j);
+                        self.acct[l].ctr.s -= 1;
                         DesEventKind::Leave
                     } else if !self.survives(l, d_eff, y) {
                         // Property 1 (or the defense's incarnation
                         // refresh) forces the expired identifier out.
-                        let node = self.take_spare(l, j);
-                        self.nodes.release(node);
-                        let h = &mut self.hot[l];
-                        h.s -= 1;
-                        h.y -= 1;
+                        let _ = self.take_spare(l, j);
+                        let ctr = &mut self.acct[l].ctr;
+                        ctr.s -= 1;
+                        ctr.y -= 1;
                         DesEventKind::Leave
                     } else {
                         // A valid malicious spare refuses to leave.
@@ -833,51 +929,48 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         let c_size = self.c_size();
         let delta = self.delta();
         let quorum = self.params.quorum();
-        let s = self.hot[l].s as usize;
-        let x = self.hot[l].x as usize;
-        let y = self.hot[l].y as usize;
-        let node = self.core[l * c_size + r];
-        let malicious = self.nodes.malicious[node as usize];
+        let s = self.acct[l].ctr.s as usize;
+        let x = self.acct[l].ctr.x as usize;
+        let y = self.acct[l].ctr.y as usize;
+        let malicious = bit_get(&self.core_mal, l * c_size + r);
 
         if !malicious {
             // An honest core member leaves.
-            self.nodes.release(node);
             if polluted && toggles.bias {
                 // The adversary refills the slot with a malicious spare
                 // when it has one (x grows), an honest one otherwise.
                 let j = self.pick_spare_by_kind(l, y > 0);
                 let promoted = self.take_spare(l, j);
-                self.core[l * c_size + r] = promoted;
+                bit_set(&mut self.core_mal, l * c_size + r, promoted);
                 if y > 0 {
-                    let h = &mut self.hot[l];
-                    h.x += 1;
-                    h.y -= 1;
+                    let ctr = &mut self.acct[l].ctr;
+                    ctr.x += 1;
+                    ctr.y -= 1;
                 }
             } else {
                 self.maintenance(l, r);
             }
-            self.hot[l].s -= 1;
+            self.acct[l].ctr.s -= 1;
             DesEventKind::Leave
         } else if !self.survives(l, d_eff, x) {
             // A malicious core member whose identifier expired is forced
             // out by Property 1.
-            self.nodes.release(node);
             let x_rem = x - 1;
             if x_rem > quorum && toggles.bias {
                 let j = self.pick_spare_by_kind(l, y > 0);
                 let promoted = self.take_spare(l, j);
-                self.core[l * c_size + r] = promoted;
-                let h = &mut self.hot[l];
+                bit_set(&mut self.core_mal, l * c_size + r, promoted);
+                let ctr = &mut self.acct[l].ctr;
                 if y > 0 {
-                    h.y -= 1; // malicious replacement keeps x
+                    ctr.y -= 1; // malicious replacement keeps x
                 } else {
-                    h.x -= 1; // honest replacement
+                    ctr.x -= 1; // honest replacement
                 }
             } else {
-                self.hot[l].x -= 1;
+                self.acct[l].ctr.x -= 1;
                 self.maintenance(l, r);
             }
-            self.hot[l].s -= 1;
+            self.acct[l].ctr.s -= 1;
             DesEventKind::Leave
         } else if !polluted && toggles.rule1 {
             // A valid malicious core member of a safe cluster may leave
@@ -885,10 +978,9 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             let view =
                 ClusterView::new(c_size, delta, s, x, y).expect("simulated clusters stay inside Ω");
             if self.strategy.voluntary_core_leave(&view) {
-                self.nodes.release(node);
-                self.hot[l].x -= 1;
+                self.acct[l].ctr.x -= 1;
                 self.maintenance(l, r);
-                self.hot[l].s -= 1;
+                self.acct[l].ctr.s -= 1;
                 DesEventKind::Leave
             } else {
                 DesEventKind::SelfLoop
@@ -906,82 +998,62 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
     /// happens; the replacement machinery is the usual one.
     fn induced_eviction(&mut self, l: usize, polluted: bool, toggles: AdversaryToggles) {
         let c_size = self.c_size();
-        let delta = self.delta();
         let quorum = self.params.quorum();
-        let s = self.hot[l].s as usize;
-        let x = self.hot[l].x as usize;
-        let y = self.hot[l].y as usize;
+        let s = self.acct[l].ctr.s as usize;
+        let x = self.acct[l].ctr.x as usize;
+        let y = self.acct[l].ctr.y as usize;
 
-        let r = self.hot[l].rng.random_range(0..c_size + s);
+        let r = self.draw[l].rng.random_range(0..c_size + s);
         if r >= c_size {
             // Evicted spare (slot r − C is uniform).
             let j = r - c_size;
-            let node = self.spare[l * delta + j];
-            let malicious = self.nodes.malicious[node as usize];
-            let node = self.take_spare(l, j);
-            self.nodes.release(node);
-            let h = &mut self.hot[l];
-            h.s -= 1;
+            let malicious = self.take_spare(l, j);
+            let ctr = &mut self.acct[l].ctr;
+            ctr.s -= 1;
             if malicious {
-                h.y -= 1;
+                ctr.y -= 1;
             }
         } else {
-            let node = self.core[l * c_size + r];
-            let malicious = self.nodes.malicious[node as usize];
-            self.nodes.release(node);
+            let malicious = bit_get(&self.core_mal, l * c_size + r);
             if malicious {
                 // The defense expels a captured seat.
                 if x - 1 > quorum && toggles.bias {
                     let j = self.pick_spare_by_kind(l, y > 0);
                     let promoted = self.take_spare(l, j);
-                    self.core[l * c_size + r] = promoted;
-                    let h = &mut self.hot[l];
+                    bit_set(&mut self.core_mal, l * c_size + r, promoted);
+                    let ctr = &mut self.acct[l].ctr;
                     if y > 0 {
-                        h.y -= 1; // malicious replacement keeps x
+                        ctr.y -= 1; // malicious replacement keeps x
                     } else {
-                        h.x -= 1; // honest replacement
+                        ctr.x -= 1; // honest replacement
                     }
                 } else {
-                    self.hot[l].x -= 1;
+                    self.acct[l].ctr.x -= 1;
                     self.maintenance(l, r);
                 }
             } else if polluted && toggles.bias {
                 // The adversary exploits the vacancy like any other.
                 let j = self.pick_spare_by_kind(l, y > 0);
                 let promoted = self.take_spare(l, j);
-                self.core[l * c_size + r] = promoted;
+                bit_set(&mut self.core_mal, l * c_size + r, promoted);
                 if y > 0 {
-                    let h = &mut self.hot[l];
-                    h.x += 1;
-                    h.y -= 1;
+                    let ctr = &mut self.acct[l].ctr;
+                    ctr.x += 1;
+                    ctr.y -= 1;
                 }
             } else {
                 self.maintenance(l, r);
             }
-            self.hot[l].s -= 1;
-        }
-    }
-
-    /// Frees every node of cluster `l` (called on absorption — the
-    /// cluster's chain has reached a closed state; the overlay would
-    /// merge or split it, retiring these memberships).
-    fn release_cluster_nodes(&mut self, l: usize) {
-        let c_size = self.c_size();
-        let delta = self.delta();
-        for slot in 0..c_size {
-            self.nodes.release(self.core[l * c_size + slot]);
-        }
-        for j in 0..self.hot[l].s as usize {
-            self.nodes.release(self.spare[l * delta + j]);
+            self.acct[l].ctr.s -= 1;
         }
     }
 
     /// Records the absorption of cluster `l` at time `t` (ending the
     /// current renewal cycle in regeneration mode).
     fn absorb(&mut self, l: usize, t: SimTime) {
-        let h = &self.hot[l];
-        let polluted = h.x as usize > self.params.quorum();
-        let (status, slot) = if h.s == 0 {
+        let ctr = self.acct[l].ctr;
+        let polluted = ctr.x as usize > self.params.quorum();
+        let (status, slot) = if ctr.s == 0 {
             if polluted {
                 (ClusterStatus::PollutedMerge, 2)
             } else {
@@ -993,16 +1065,20 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             (ClusterStatus::SafeSplit, 1)
         };
         self.absorption_counts[slot] += 1;
-        if h.warmup == 0 {
+        if self.acct[l].warmup == 0 {
             // A cycle completing after the warm-up window: one
             // independent trial of the steady-state measurement.
             self.measured_cycles += 1;
         }
-        self.safe_w[l].push(f64::from(h.safe_ev));
-        self.poll_w[l].push(f64::from(h.poll_ev));
-        self.life_w[l].push(t.value() - h.birth);
-        self.release_cluster_nodes(l);
-        self.hot[l].status = status;
+        let cy = self.acct[l].cycle;
+        self.safe_w[l].push(f64::from(cy.safe_ev));
+        self.poll_w[l].push(f64::from(cy.poll_ev));
+        self.life_w[l].push(t.value() - cy.birth);
+        // The cluster's chain reached a closed state; the overlay would
+        // merge or split it, retiring these memberships. The flag bits
+        // need no clearing: slots are dead once the sizes reset, and
+        // every re-seed rewrites the bits it uses before reading them.
+        self.acct[l].ctr.status = status;
     }
 
     /// Materializes cluster `l` from a freshly drawn initial state at
@@ -1015,27 +1091,28 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         let delta = self.delta();
         let start = self.states[{
             let table = self.table;
-            table.sample(&mut self.hot[l].rng)
+            table.sample(&mut self.draw[l].rng)
         }];
         {
-            let h = &mut self.hot[l];
-            h.s = start.s as u8;
-            h.x = start.x as u8;
-            h.y = start.y as u8;
-            h.peak_s = h.peak_s.max(start.s as u8);
-            h.safe_ev = 0;
-            h.poll_ev = 0;
-            h.birth = t.value();
-            h.status = ClusterStatus::Transient;
+            let ctr = &mut self.acct[l].ctr;
+            ctr.s = start.s as u8;
+            ctr.x = start.x as u8;
+            ctr.y = start.y as u8;
+            ctr.peak_s = ctr.peak_s.max(start.s as u8);
+            ctr.status = ClusterStatus::Transient;
         }
+        self.acct[l].cycle = CycleTallies {
+            birth: t.value(),
+            safe_ev: 0,
+            poll_ev: 0,
+        };
         for slot in 0..c_size {
             let malicious = slot < start.x;
             let id = self.draw_id(l);
             #[cfg(debug_assertions)]
             debug_assert!(self.labels[l].is_prefix_of(&id));
             let _ = id;
-            let node = self.nodes.alloc(malicious);
-            self.core[l * c_size + slot] = node;
+            bit_set(&mut self.core_mal, l * c_size + slot, malicious);
         }
         for j in 0..start.s {
             let malicious = j < start.y;
@@ -1043,8 +1120,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             #[cfg(debug_assertions)]
             debug_assert!(self.labels[l].is_prefix_of(&id));
             let _ = id;
-            let node = self.nodes.alloc(malicious);
-            self.spare[l * delta + j] = node;
+            bit_set(&mut self.spare_mal, l * delta + j, malicious);
         }
         if !matches!(
             start.classify(self.params),
@@ -1059,13 +1135,13 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
     /// is the one left by the cluster's previous event); absorbed
     /// clusters contribute to neither count.
     fn sample_to(&mut self, l: usize, t: f64) {
-        let h = &self.hot[l];
-        let mut idx = h.next_sample as usize;
+        let mut idx = self.acct[l].next_sample as usize;
         if idx >= self.sample_times.len() || self.sample_times[idx] > t {
             return;
         }
-        let transient = h.status == ClusterStatus::Transient;
-        let polluted = h.x as usize > self.params.quorum();
+        let ctr = self.acct[l].ctr;
+        let transient = ctr.status == ClusterStatus::Transient;
+        let polluted = ctr.x as usize > self.params.quorum();
         while idx < self.sample_times.len() && self.sample_times[idx] <= t {
             if transient {
                 if polluted {
@@ -1076,33 +1152,40 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             }
             idx += 1;
         }
-        self.hot[l].next_sample = idx as u32;
+        self.acct[l].next_sample = idx as u32;
     }
 
     /// Best-effort prefetch of cluster `l`'s hot state — issued for the
-    /// heap root's runner-up events, so the memory latency of the *next*
+    /// queue's runner-up events, so the memory latency of the *next*
     /// event's cluster record overlaps with processing the current one
-    /// (above ~4k clusters the per-cluster records outgrow L2, and an
-    /// unhinted loop stalls on one or two cache misses per event). A
-    /// no-op on non-x86_64 targets.
+    /// (above ~4k clusters the per-cluster columns outgrow L2, and an
+    /// unhinted loop stalls on random line fills per event). The
+    /// access-phase grouping puts everything an event touches on four
+    /// lines — the draw line (RNG + gaps), the bookkeeping line
+    /// (counters/tallies/budget), and the cluster's core/spare flag
+    /// words — so four hints cover the whole event. A no-op on
+    /// non-x86_64 targets.
     #[inline]
     fn prefetch_cluster(&self, l: usize) {
         #[cfg(target_arch = "x86_64")]
         {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let core_w = (l * self.params.core_size()) >> 6;
+            let spare_w = (l * self.params.max_spare()) >> 6;
             // SAFETY: prefetch is a pure hint — it performs no memory
             // access and cannot fault even for a bad address; the
             // pointers here are derived from live in-bounds references.
             unsafe {
-                let hot = std::ptr::from_ref(&self.hot[l]).cast::<i8>();
-                _mm_prefetch(hot, _MM_HINT_T0);
-                _mm_prefetch(hot.add(64), _MM_HINT_T0);
-                let core = self
-                    .core
-                    .as_ptr()
-                    .add(l * self.params.core_size())
-                    .cast::<i8>();
-                _mm_prefetch(core, _MM_HINT_T0);
+                _mm_prefetch(std::ptr::from_ref(&self.draw[l]).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(std::ptr::from_ref(&self.acct[l]).cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(
+                    std::ptr::from_ref(&self.core_mal[core_w]).cast::<i8>(),
+                    _MM_HINT_T0,
+                );
+                _mm_prefetch(
+                    std::ptr::from_ref(&self.spare_mal[spare_w]).cast::<i8>(),
+                    _MM_HINT_T0,
+                );
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -1111,7 +1194,8 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
 
     /// The shard's event loop: pops the earliest local arrival, plays it
     /// on its cluster, and reschedules the cluster's next arrival through
-    /// the fused root replacement — one heap sift per event.
+    /// the fused earliest-replacement — one queue operation per event on
+    /// either backend.
     fn run(&mut self) {
         let delta = self.delta();
         let quorum = self.params.quorum();
@@ -1120,11 +1204,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             // Hint the clusters that could fire next while this event is
             // being processed.
             let mut runners = [0u32; 4];
-            let mut n_runners = 0;
-            for &e in self.queue.runners_up() {
-                runners[n_runners] = e;
-                n_runners += 1;
-            }
+            let n_runners = self.queue.prefetch_hints(&mut runners);
             for &r in &runners[..n_runners] {
                 self.prefetch_cluster(r as usize);
             }
@@ -1137,17 +1217,16 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                 self.sample_to(li, tv);
             }
             self.events += 1;
-            self.hot[li].budget -= 1;
+            self.acct[li].budget -= 1;
 
-            let kind = if self.hot[li].status != ClusterStatus::Transient {
+            let kind = if self.acct[li].ctr.status != ClusterStatus::Transient {
                 // Only regeneration mode schedules absorbed clusters:
                 // this arrival is consumed by the re-seed (the
                 // renewal–reward "+1" event, counted toward neither
                 // sojourn).
                 debug_assert!(self.regenerate);
-                let h = &mut self.hot[li];
-                if h.warmup > 0 {
-                    h.warmup -= 1;
+                if self.acct[li].warmup > 0 {
+                    self.acct[li].warmup -= 1;
                     self.warmup_total += 1;
                 } else {
                     self.regen_events += 1;
@@ -1160,15 +1239,14 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                 // simulator); the steady-state tallies additionally skip
                 // each cluster's warm-up window.
                 {
-                    let h = &mut self.hot[li];
-                    let polluted = h.x as usize > quorum;
+                    let polluted = self.acct[li].ctr.x as usize > quorum;
                     if polluted {
-                        h.poll_ev += 1;
+                        self.acct[li].cycle.poll_ev += 1;
                     } else {
-                        h.safe_ev += 1;
+                        self.acct[li].cycle.safe_ev += 1;
                     }
-                    if h.warmup > 0 {
-                        h.warmup -= 1;
+                    if self.acct[li].warmup > 0 {
+                        self.acct[li].warmup -= 1;
                         self.warmup_total += 1;
                     } else if polluted {
                         self.poll_event_total += 1;
@@ -1177,7 +1255,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                     }
                 }
                 let kind = self.churn_event(li);
-                let s = self.hot[li].s as usize;
+                let s = self.acct[li].ctr.s as usize;
                 if s == 0 || s == delta {
                     self.absorb(li, t);
                 }
@@ -1191,14 +1269,12 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             // compiles away.
             {
                 let c = (self.lo + li) as u32;
-                let (x, y, absorbed_now) = {
-                    let h = &self.hot[li];
-                    (
-                        u32::from(h.x),
-                        u32::from(h.y),
-                        h.status != ClusterStatus::Transient,
-                    )
-                };
+                let ctr = self.acct[li].ctr;
+                let (x, y, absorbed_now) = (
+                    u32::from(ctr.x),
+                    u32::from(ctr.y),
+                    ctr.status != ClusterStatus::Transient,
+                );
                 self.rec.add(kind.counter_key(), 1);
                 self.rec.trace(tv, c, kind, x, y);
                 if absorbed_now {
@@ -1211,8 +1287,9 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
             // ended: budget exhausted, or absorbed without regeneration
             // (an absorbed chain sits in a closed state forever; its
             // arrivals carry no further information).
-            let h = &self.hot[li];
-            if h.budget > 0 && (self.regenerate || h.status == ClusterStatus::Transient) {
+            if self.acct[li].budget > 0
+                && (self.regenerate || self.acct[li].ctr.status == ClusterStatus::Transient)
+            {
                 let gap = self.next_gap(li);
                 let _ = self.queue.replace_earliest(t + gap, l);
             } else {
@@ -1232,30 +1309,27 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
         let mut censored = 0u64;
         let mut peak_nodes = 0u64;
         let c_size = self.c_size() as u64;
-        for l in 0..self.hot.len() {
-            let transient = self.hot[l].status == ClusterStatus::Transient;
+        for l in 0..self.acct.len() {
+            let ctr = self.acct[l].ctr;
+            let transient = ctr.status == ClusterStatus::Transient;
             if transient {
                 censored += 1;
                 if !self.regenerate {
                     // Partial sojourns of censored clusters enter the
                     // estimates, exactly as in `simulation::estimate`;
                     // regeneration-mode mid-cycle counts do not.
-                    let (safe_ev, poll_ev) = {
-                        let h = &self.hot[l];
-                        (f64::from(h.safe_ev), f64::from(h.poll_ev))
-                    };
-                    self.safe_w[l].push(safe_ev);
-                    self.poll_w[l].push(poll_ev);
+                    self.safe_w[l].push(f64::from(self.acct[l].cycle.safe_ev));
+                    self.poll_w[l].push(f64::from(self.acct[l].cycle.poll_ev));
                 }
             }
-            peak_nodes += c_size + u64::from(self.hot[l].peak_s);
+            peak_nodes += c_size + u64::from(ctr.peak_s);
             // A cluster whose stream ended keeps contributing its final
             // class to the rest of the grid (points past the global end
             // of the run are dropped at merge time).
-            if (self.hot[l].next_sample as usize) < grid_len {
+            if (self.acct[l].next_sample as usize) < grid_len {
                 if transient {
-                    let polluted = self.hot[l].x as usize > quorum;
-                    for g in self.hot[l].next_sample as usize..grid_len {
+                    let polluted = ctr.x as usize > quorum;
+                    for g in self.acct[l].next_sample as usize..grid_len {
                         if polluted {
                             self.occ_poll[g] += 1;
                         } else {
@@ -1263,7 +1337,7 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
                         }
                     }
                 }
-                self.hot[l].next_sample = grid_len as u32;
+                self.acct[l].next_sample = grid_len as u32;
             }
         }
         // Per-shard utilization: busy seconds and the shard's share of
@@ -1295,9 +1369,11 @@ impl<S: Strategy, D: Defense + ?Sized, R: Recorder> ShardSim<'_, S, D, R> {
 }
 
 /// Builds, runs and packages one shard covering global clusters
-/// `[lo, lo + count)`, observing through `rec`.
+/// `[lo, lo + count)`, observing through `rec`. Generic over the
+/// future-event list so both backends compile to monomorphic hot loops
+/// with no per-event dispatch.
 #[allow(clippy::too_many_arguments)]
-fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
+fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder, Q: FutureEventList<u32>>(
     params: &ModelParams,
     strategy: &S,
     defense: &D,
@@ -1315,7 +1391,7 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
     let base_budget = config.max_events / n_total as u64;
     let budget_rem = (config.max_events % n_total as u64) as usize;
 
-    let mut shard = ShardSim {
+    let mut shard: ShardSim<'_, S, D, R, Q> = ShardSim {
         params,
         strategy,
         defense,
@@ -1327,13 +1403,13 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
         table,
         states,
         sample_times: &config.sample_times,
-        hot: Vec::with_capacity(count),
-        core: vec![0; count * c_size],
-        spare: vec![0; count * delta],
+        draw: Vec::with_capacity(count),
+        acct: Vec::with_capacity(count),
+        core_mal: vec![0; bitset_words(count * c_size)],
+        spare_mal: vec![0; bitset_words(count * delta)],
         #[cfg(debug_assertions)]
         labels: Vec::with_capacity(count),
-        nodes: NodeArena::with_capacity(count * (c_size + delta)),
-        queue: EventQueue::with_capacity(count),
+        queue: Q::with_profile(count, config.lambda),
         pool: Vec::with_capacity(c_size + delta),
         empty_slots: Vec::with_capacity(c_size),
         events: 0,
@@ -1360,21 +1436,14 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
                 .collect();
             shard.labels.push(Label::from_bits(bits));
         }
-        shard.hot.push(ClusterHot {
+        shard.draw.push(DrawState {
             rng: StdRng::seed_from_u64(replication_seed(seed, c as u64)),
             gaps: [0.0; GAP_BATCH],
-            birth: 0.0,
+        });
+        shard.acct.push(ClusterAcct {
             budget: base_budget + u64::from(c < budget_rem),
             warmup: config.warmup_events,
-            safe_ev: 0,
-            poll_ev: 0,
-            next_sample: 0,
-            gap_idx: GAP_BATCH as u8,
-            s: 0,
-            x: 0,
-            y: 0,
-            peak_s: 0,
-            status: ClusterStatus::Transient,
+            ..ClusterAcct::default()
         });
     }
 
@@ -1384,7 +1453,16 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
     for l in 0..count {
         shard.seed_cluster(l, SimTime::ZERO);
     }
-    let initial_nodes = shard.nodes.live;
+    // The overlay's population at t = 0: every cluster still open after
+    // seeding holds C core members plus its spares (a cluster born
+    // absorbed retired its memberships on the spot, exactly as the old
+    // arena accounting had it).
+    let initial_nodes: u64 = shard
+        .acct
+        .iter()
+        .filter(|a| a.ctr.status == ClusterStatus::Transient)
+        .map(|a| c_size as u64 + u64::from(a.ctr.s))
+        .sum();
 
     // Every cluster with a positive budget gets its first arrival, unless
     // it was born absorbed without regeneration (in regeneration mode
@@ -1394,8 +1472,8 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
     // arrival per scheduled cluster is the queue's invariant, so `count`
     // capacity keeps the hot loop reallocation-free.
     for l in 0..count {
-        if shard.hot[l].budget > 0
-            && (config.regenerate || shard.hot[l].status == ClusterStatus::Transient)
+        if shard.acct[l].budget > 0
+            && (config.regenerate || shard.acct[l].ctr.status == ClusterStatus::Transient)
         {
             let gap = shard.next_gap(l);
             shard.queue.push(SimTime::ZERO + gap, l as u32);
@@ -1403,12 +1481,13 @@ fn run_shard<S: Strategy, D: Defense + ?Sized, R: Recorder>(
     }
     // The future-event list holds one pending arrival per scheduled
     // cluster and only ever shrinks, so its post-init length *is* the
-    // depth high-water mark of the whole run.
+    // depth high-water mark of the whole run. The bytes key keeps its
+    // historical name on both backends so dashboards line up.
     let depth = shard.queue.len() as u64;
     shard.rec.high_water("des.queue.depth_high_water", depth);
     shard
         .rec
-        .high_water("des.queue.heap_bytes", shard.queue.heap_bytes() as u64);
+        .high_water("des.queue.heap_bytes", shard.queue.queue_bytes() as u64);
 
     let start = std::time::Instant::now();
     shard.run();
@@ -1564,32 +1643,44 @@ pub fn run_des_overlay_duel_observed<S: Strategy + Sync, D: Defense + Sync + ?Si
 
 /// The exact byte audit of a [`run_des_overlay_duel`] run's simulation
 /// state, computed from the allocation formulas (never sampled), plus
-/// the arena-capacity node count it normalizes by. Shard count does not
-/// change the audit: contiguous shards partition the same tables.
+/// the slot-capacity node count it normalizes by. Computed for the
+/// single-shard layout; sharding adds at most one 8-byte rounding word
+/// per bitset per extra shard and is otherwise a pure partition of the
+/// same columns.
 ///
-/// Structure keys: `des.arena` (malicious flags + free list),
-/// `des.cluster_hot` (the 128-byte-aligned per-cluster records),
-/// `des.membership` (flat core + spare tables), `des.event_queue` (the
-/// future-event list) and `des.accumulators` (per-cluster Welford
-/// triples).
+/// Structure keys: `des.flags` (the packed core/spare malicious
+/// bitsets — one *bit* per membership slot, all a node's identity the
+/// simulation ever reads back), `des.cluster_hot` (the SoA per-cluster
+/// columns, two 64-byte lines per cluster: the draw line — RNG state +
+/// gap batch — and the bookkeeping line — counter pack, cycle tallies,
+/// budget, warm-up, sample cursor), `des.event_queue` (the future-event
+/// list of the configured backend, resolved as the run would resolve
+/// it) and `des.accumulators` (per-cluster Welford triples).
 pub fn des_memory_audit(params: &ModelParams, config: &DesOverlayConfig) -> MemoryAudit {
     let n = 1u64 << config.cluster_bits;
     let c_size = params.core_size() as u64;
     let delta = params.max_spare() as u64;
     let capacity = n * (c_size + delta);
     let mut audit = MemoryAudit::new(capacity);
-    // NodeArena: one `bool` flag plus one `u32` free-list slot per node.
-    audit.record("des.arena", capacity * 5);
-    audit.record(
-        "des.cluster_hot",
-        n * std::mem::size_of::<ClusterHot>() as u64,
-    );
-    // Flat membership tables: u32 handles, C + Δ slots per cluster.
-    audit.record("des.membership", capacity * 4);
-    audit.record(
-        "des.event_queue",
-        n * EventQueue::<u32>::entry_bytes() as u64,
-    );
+    // One bit per core slot + one per spare slot, packed into u64 words.
+    let words = |bits: u64| bits.div_ceil(64);
+    audit.record("des.flags", (words(n * c_size) + words(n * delta)) * 8);
+    // The SoA hot columns: one draw line + one bookkeeping line per
+    // cluster (both 64-aligned; the padding is the audit's to count).
+    let hot_stride = (std::mem::size_of::<DrawState>() + std::mem::size_of::<ClusterAcct>()) as u64;
+    audit.record("des.cluster_hot", n * hot_stride);
+    // One pending arrival per cluster on either backend; the calendar
+    // additionally carries its bucket-head table (a power of two, at
+    // least the minimum geometry, never resized above the population).
+    let queue_bytes = match config.queue.resolve() {
+        QueueBackend::Heap => n * EventQueue::<u32>::entry_bytes() as u64,
+        QueueBackend::Calendar => {
+            let nbuckets = (n as usize).next_power_of_two().max(4) as u64;
+            n * CalendarQueue::<u32>::entry_bytes() as u64 + nbuckets * 4
+        }
+        QueueBackend::Auto => unreachable!(),
+    };
+    audit.record("des.event_queue", queue_bytes);
     // Three Welford accumulators (count, mean, M2) per cluster.
     audit.record(
         "des.accumulators",
@@ -1598,12 +1689,9 @@ pub fn des_memory_audit(params: &ModelParams, config: &DesOverlayConfig) -> Memo
     audit
 }
 
-/// The recorder-generic driver behind every public entry point: builds
-/// the shard partition, runs the shards (each with its own recorder from
-/// `make_rec`), and merges outcomes in cluster order. Returns the
-/// recorders in shard order so observed callers can merge them; the
-/// unobserved path passes [`NullRecorder`] and the compiler erases every
-/// observation site from the hot loop.
+/// The recorder-generic driver behind every public entry point: resolves
+/// the queue backend once and dispatches to the monomorphic core, so the
+/// hot loop never branches on the backend.
 #[allow(clippy::too_many_arguments)]
 fn run_duel_core<S, D, R, F>(
     params: &ModelParams,
@@ -1619,6 +1707,54 @@ where
     D: Defense + Sync + ?Sized,
     R: Recorder + Send,
     F: Fn(usize) -> R + Sync,
+{
+    match config.queue.resolve() {
+        QueueBackend::Heap => run_duel_core_q::<S, D, R, F, EventQueue<u32>>(
+            params, initial, strategy, defense, config, seed, make_rec,
+        ),
+        QueueBackend::Calendar => run_duel_core_q::<S, D, R, F, CalendarQueue<u32>>(
+            params, initial, strategy, defense, config, seed, make_rec,
+        ),
+        // `resolve` always returns a concrete backend.
+        QueueBackend::Auto => unreachable!(),
+    }
+}
+
+/// The backend-monomorphic driver: builds the cluster partition, runs
+/// the shards (each with its own recorder from `make_rec`), and merges
+/// outcomes in cluster order. Returns the recorders in partition order
+/// so observed callers can merge them; the unobserved path passes
+/// [`NullRecorder`] and the compiler erases every observation site from
+/// the hot loop.
+///
+/// Two execution plans share the merge path:
+///
+/// * **Static** (default): shard `i` owns the contiguous clusters
+///   `[i·n/S, (i+1)·n/S)` — one worker thread per shard.
+/// * **Work-stealing** (`config.steal`, with `shards > 1`): the overlay
+///   is cut into ~4·S contiguous blocks (optionally skewed in size by
+///   `steal_skew` to emulate imbalance) and S workers claim blocks off a
+///   shared cursor in a seed-derived order. Because every cluster's
+///   sample path depends only on `(seed, cluster)` and block outcomes
+///   are merged in block (= cluster) order after all workers finish,
+///   the claim interleaving — and the schedule permutation itself —
+///   cannot reach the report bytes; only wall-clock balance changes.
+#[allow(clippy::too_many_arguments)]
+fn run_duel_core_q<S, D, R, F, Q>(
+    params: &ModelParams,
+    initial: &InitialCondition,
+    strategy: &S,
+    defense: &D,
+    config: &DesOverlayConfig,
+    seed: u64,
+    make_rec: F,
+) -> (DesOverlayReport, DesShardStats, Vec<R>)
+where
+    S: Strategy + Sync,
+    D: Defense + Sync + ?Sized,
+    R: Recorder + Send,
+    F: Fn(usize) -> R + Sync,
+    Q: FutureEventList<u32>,
 {
     assert!(
         config.cluster_bits <= 24,
@@ -1651,55 +1787,153 @@ where
     let table = AliasTable::new(&alpha).expect("alpha is a distribution");
     let states: Vec<ClusterState> = space.iter().map(|(_, st)| *st).collect();
 
-    // Contiguous partition: shard i owns clusters [i·n/S, (i+1)·n/S), so
-    // concatenating shard outcomes in shard order is cluster order for
-    // every shard count.
-    let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
-    let outcomes: Vec<(ShardOutcome, R)> = if shards == 1 {
-        vec![run_shard(
-            params,
-            strategy,
-            defense,
-            config,
-            &table,
-            &states,
-            seed,
-            0,
-            n,
-            n,
-            make_rec(0),
-        )]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|i| {
-                    let (lo, hi) = (bounds[i], bounds[i + 1]);
-                    let table = &table;
-                    let states = &states[..];
-                    let rec = make_rec(i);
-                    scope.spawn(move || {
-                        run_shard(
-                            params,
-                            strategy,
-                            defense,
-                            config,
-                            table,
-                            states,
-                            seed,
-                            lo,
-                            hi - lo,
-                            n,
-                            rec,
-                        )
+    // Both plans produce `outcomes` in cluster order plus per-worker
+    // wall-clock stats; everything below the partition is shared.
+    let (outcomes, shard_events, shard_seconds): (Vec<(ShardOutcome, R)>, Vec<u64>, Vec<f64>) =
+        if config.steal && shards > 1 {
+            // Work-stealing plan: ~4 blocks per worker so a worker that
+            // drew cheap blocks can claim more, with optional size skew
+            // to provoke the imbalance the plan exists to absorb.
+            let nblocks = (shards * 4).clamp(shards, n);
+            let skew = u64::from(config.steal_skew);
+            let weights: Vec<u64> = (0..nblocks as u64).map(|i| 1 + skew * (i % 4)).collect();
+            let total: u64 = weights.iter().sum();
+            let mut bounds = Vec::with_capacity(nblocks + 1);
+            bounds.push(0usize);
+            let mut cum = 0u64;
+            for w in &weights {
+                cum += w;
+                // Monotone cumulative rounding: never overflows, never
+                // regresses, and lands exactly on n at the last block.
+                bounds.push(((n as u128 * u128::from(cum)) / u128::from(total)) as usize);
+            }
+            // Seed-derived claim order (Fisher–Yates off a schedule-only
+            // stream at the reserved counter u64::MAX — no cluster uses
+            // it). The order decides which worker runs which block and
+            // nothing else, so it is free to vary without touching
+            // report bytes; deriving it from the seed keeps wall-clock
+            // behaviour reproducible run-to-run.
+            let mut order: Vec<usize> = (0..nblocks).collect();
+            let mut sched_rng = StdRng::seed_from_u64(replication_seed(seed, u64::MAX));
+            for i in (1..nblocks).rev() {
+                let j = sched_rng.random_range(0..i + 1);
+                order.swap(i, j);
+            }
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, ShardOutcome, R)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let order = &order[..];
+                        let bounds = &bounds[..];
+                        let table = &table;
+                        let states = &states[..];
+                        let make_rec = &make_rec;
+                        scope.spawn(move || {
+                            let mut claimed = Vec::new();
+                            loop {
+                                let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if k >= order.len() {
+                                    break;
+                                }
+                                let b = order[k];
+                                let (lo, hi) = (bounds[b], bounds[b + 1]);
+                                let (outcome, rec) = run_shard::<S, D, R, Q>(
+                                    params,
+                                    strategy,
+                                    defense,
+                                    config,
+                                    table,
+                                    states,
+                                    seed,
+                                    lo,
+                                    hi - lo,
+                                    n,
+                                    make_rec(b),
+                                );
+                                claimed.push((b, outcome, rec));
+                            }
+                            claimed
+                        })
                     })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("DES shard panicked"))
+                    .collect()
+            });
+            // Per-worker stats show the balance the cursor achieved;
+            // outcomes re-sort into block (= cluster) order for the
+            // merge, which is what makes the claim interleaving
+            // unobservable in the report.
+            let mut events_by_worker = Vec::with_capacity(shards);
+            let mut seconds_by_worker = Vec::with_capacity(shards);
+            let mut tagged: Vec<(usize, ShardOutcome, R)> = Vec::with_capacity(nblocks);
+            for claimed in per_worker {
+                events_by_worker.push(claimed.iter().map(|(_, o, _)| o.events).sum());
+                seconds_by_worker.push(claimed.iter().map(|(_, o, _)| o.seconds).sum());
+                tagged.extend(claimed);
+            }
+            tagged.sort_by_key(|&(b, _, _)| b);
+            (
+                tagged.into_iter().map(|(_, o, r)| (o, r)).collect(),
+                events_by_worker,
+                seconds_by_worker,
+            )
+        } else {
+            // Static plan — contiguous partition: shard i owns clusters
+            // [i·n/S, (i+1)·n/S), so concatenating shard outcomes in
+            // shard order is cluster order for every shard count.
+            let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
+            let outcomes: Vec<(ShardOutcome, R)> = if shards == 1 {
+                vec![run_shard::<S, D, R, Q>(
+                    params,
+                    strategy,
+                    defense,
+                    config,
+                    &table,
+                    &states,
+                    seed,
+                    0,
+                    n,
+                    n,
+                    make_rec(0),
+                )]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..shards)
+                        .map(|i| {
+                            let (lo, hi) = (bounds[i], bounds[i + 1]);
+                            let table = &table;
+                            let states = &states[..];
+                            let rec = make_rec(i);
+                            scope.spawn(move || {
+                                run_shard::<S, D, R, Q>(
+                                    params,
+                                    strategy,
+                                    defense,
+                                    config,
+                                    table,
+                                    states,
+                                    seed,
+                                    lo,
+                                    hi - lo,
+                                    n,
+                                    rec,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("DES shard panicked"))
+                        .collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("DES shard panicked"))
-                .collect()
-        })
-    };
+            };
+            let events = outcomes.iter().map(|(o, _)| o.events).collect();
+            let seconds = outcomes.iter().map(|(o, _)| o.seconds).collect();
+            (outcomes, events, seconds)
+        };
 
     // Merge in cluster order: integer tallies sum (order-free), the
     // moment accumulators merge cluster by cluster (ordered, so the
@@ -1720,8 +1954,6 @@ where
     let mut end_time = 0.0f64;
     let mut occ_safe = vec![0u64; config.sample_times.len()];
     let mut occ_poll = vec![0u64; config.sample_times.len()];
-    let mut shard_events = Vec::with_capacity(shards);
-    let mut shard_seconds = Vec::with_capacity(shards);
     for (o, _) in &outcomes {
         for w in &o.safe_w {
             safe_w.merge(w);
@@ -1751,8 +1983,6 @@ where
         for (acc, &c) in occ_poll.iter_mut().zip(&o.occ_poll) {
             *acc += c;
         }
-        shard_events.push(o.events);
-        shard_seconds.push(o.seconds);
     }
 
     // Grid points the run never reached are dropped, exactly as the
@@ -1952,21 +2182,121 @@ mod tests {
     #[test]
     fn memory_audit_matches_allocation_formulas() {
         let p = params(0.2, 0.8);
-        let cfg = config(6);
+        let cfg = config(6).with_queue_backend(QueueBackend::Heap);
         let audit = des_memory_audit(&p, &cfg);
         let n = 64u64;
-        let per_cluster = (p.core_size() + p.max_spare()) as u64;
-        assert_eq!(audit.nodes(), n * per_cluster);
-        assert_eq!(audit.get("des.arena"), Some(n * per_cluster * 5));
-        assert_eq!(audit.get("des.membership"), Some(n * per_cluster * 4));
+        let c_size = p.core_size() as u64;
+        let delta = p.max_spare() as u64;
+        assert_eq!(audit.nodes(), n * (c_size + delta));
+        // One bit per membership slot, rounded up to whole u64 words per
+        // bitset.
+        assert_eq!(
+            audit.get("des.flags"),
+            Some(((n * c_size).div_ceil(64) + (n * delta).div_ceil(64)) * 8)
+        );
+        // The SoA strides: one 64 B draw line (32 B RNG + 32 B gap
+        // batch) plus one 64 B bookkeeping line (6 B counters + 16 B
+        // cycle tallies + 8 B budget + 8 B warm-up + 4 B cursor,
+        // 64-aligned) per cluster.
+        assert_eq!(audit.get("des.cluster_hot"), Some(n * 128));
         assert_eq!(
             audit.get("des.event_queue"),
             Some(n * EventQueue::<u32>::entry_bytes() as u64)
         );
-        assert!(audit.get("des.cluster_hot").unwrap() >= n * 128);
-        assert!(audit.bytes_per_node() > 0.0);
+        // The calendar adds only its bucket-head table (u32 heads, one
+        // per bucket, n already a power of two).
+        let cal = des_memory_audit(&p, &cfg.clone().with_queue_backend(QueueBackend::Calendar));
+        assert_eq!(
+            cal.get("des.event_queue"),
+            Some(n * CalendarQueue::<u32>::entry_bytes() as u64 + n * 4)
+        );
+        // The headline number the scaling ladder asserts on: the packed
+        // layout sits well under the pre-refactor 25.0 B/node.
+        assert!(
+            audit.bytes_per_node() < 25.0 && cal.bytes_per_node() < 25.0,
+            "bytes/node regressed: heap {} calendar {}",
+            audit.bytes_per_node(),
+            cal.bytes_per_node()
+        );
         // Shard count never changes the audit's inputs.
         assert_eq!(audit, des_memory_audit(&p, &cfg.clone().with_shards(8)));
+    }
+
+    #[test]
+    fn queue_backends_are_byte_identical_end_to_end() {
+        // The backend contract at the report level: same seeds, same
+        // bytes, on plain, regenerating, sampled and sharded runs.
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        for cfg in [
+            config(6),
+            config(6).with_regeneration().with_warmup_events(20),
+            config(6)
+                .with_regeneration()
+                .with_sample_times(vec![0.0, 5.0, 25.0, 1e9])
+                .with_shards(4),
+        ] {
+            let heap = run_des_overlay(
+                &p,
+                &InitialCondition::Delta,
+                &strategy,
+                &cfg.clone().with_queue_backend(QueueBackend::Heap),
+                5,
+            );
+            let calendar = run_des_overlay(
+                &p,
+                &InitialCondition::Delta,
+                &strategy,
+                &cfg.clone().with_queue_backend(QueueBackend::Calendar),
+                5,
+            );
+            assert_eq!(heap, calendar);
+        }
+    }
+
+    #[test]
+    fn work_stealing_is_byte_identical_at_any_skew_and_shard_count() {
+        // The stealing contract: the blocked claim-order plan — at every
+        // skew and worker count, on both backends — reproduces the
+        // single-shard bytes exactly.
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let base = config(6)
+                .with_regeneration()
+                .with_sample_times(vec![0.0, 5.0, 25.0])
+                .with_queue_backend(backend);
+            let one = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &base, 5);
+            for shards in [2usize, 3, 8] {
+                for skew in [0u32, 1, 3] {
+                    let cfg = base.clone().with_shards(shards).with_work_stealing(skew);
+                    let stolen = run_des_overlay(&p, &InitialCondition::Delta, &strategy, &cfg, 5);
+                    assert_eq!(
+                        one, stolen,
+                        "backend {backend:?} shards {shards} skew {skew}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_stats_are_per_worker_and_partition_the_events() {
+        let p = params(0.25, 0.9);
+        let strategy = TargetedStrategy::new(1, 0.1).unwrap();
+        let cfg = config(7).with_shards(4).with_work_stealing(2);
+        let (report, stats) = run_des_overlay_duel_with_stats(
+            &p,
+            &InitialCondition::Delta,
+            &strategy,
+            &NullDefense::new(),
+            &cfg,
+            3,
+        );
+        // One stats row per worker (not per block), jointly covering
+        // every processed event.
+        assert_eq!(stats.shards(), 4);
+        assert_eq!(stats.shard_events.iter().sum::<u64>(), report.events);
     }
 
     #[test]

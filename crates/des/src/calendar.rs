@@ -1,0 +1,723 @@
+//! A calendar-queue future-event list — the O(1)-amortized alternative
+//! to the 4-ary heap of [`crate::EventQueue`].
+//!
+//! The classic Brown calendar queue hashes each pending event into a
+//! circular array of *day* buckets by `⌊t / width⌋ mod nbuckets` and
+//! keeps a cursor walking the buckets in time order; when the bucket
+//! width matches the mean spacing of dispatched events, each operation
+//! touches O(1) buckets and O(1) entries on average, independent of the
+//! number of pending events — where every heap pays a `log n` sift.
+//!
+//! This implementation preserves the **exact dispatch order** of
+//! [`crate::EventQueue`]: strict `(time, seq)` ordering with FIFO
+//! tie-breaking, found by a full min-scan of the cursor's bucket (the
+//! within-bucket chain order therefore never leaks into results), so the
+//! two backends are interchangeable in any deterministic simulation —
+//! test-pinned by the dispatch-equivalence proptests in this crate and
+//! consumed as the [`crate::QueueBackend`] choice of
+//! `pollux::des_overlay`.
+//!
+//! # Bucket-width tuning
+//!
+//! For the overlay workload — `n` pending arrivals, each rescheduled
+//! `Exp(λ)` past the current time — pending timestamps pile up with
+//! density `n·λ` just ahead of the cursor (the superposed process is
+//! memoryless), so the queue advances one dispatch every `1/(n·λ)` time
+//! units on average. [`CalendarQueue::with_profile`] therefore sets
+//! `width = 1/(n·λ)` (one dispatch per bucket advance) and
+//! `nbuckets = next_pow2(n)` (one pending event per bucket): the cursor
+//! steps ~one bucket per pop and scans ~one entry per step. Resizes
+//! re-estimate the width from the measured spread of the pending set,
+//! `(t_max − t_min)/len` — the same mean-spacing rule, computed from
+//! live content instead of a rate parameter.
+//!
+//! # Example
+//!
+//! ```
+//! use pollux_des::{CalendarQueue, SimTime};
+//!
+//! let mut q = CalendarQueue::new();
+//! q.push(SimTime::from(2.0), "b");
+//! q.push(SimTime::from(1.0), "a");
+//! q.push(SimTime::from(2.0), "c");
+//! assert_eq!(q.pop(), Some((SimTime::from(1.0), "a")));
+//! assert_eq!(q.pop(), Some((SimTime::from(2.0), "b"))); // FIFO tie-break
+//! assert_eq!(q.pop(), Some((SimTime::from(2.0), "c")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use crate::SimTime;
+use std::cell::Cell;
+
+/// Chain terminator / "no slot" sentinel for the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Smallest bucket count the queue ever shrinks to.
+const MIN_BUCKETS: usize = 4;
+
+/// One stored event: the `(time, seq)` dispatch key, the payload and the
+/// intrusive bucket-chain link. 24 bytes for a `u32` payload — the same
+/// per-event footprint as the 4-ary heap's entry.
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    time: SimTime,
+    seq: u64,
+    /// Next slot in the same bucket chain (or the free list), [`NIL`]
+    /// terminated.
+    next: u32,
+    event: E,
+}
+
+impl<E> Slot<E> {
+    /// Strict `(time, seq)` ordering: the dispatch key.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        match self.time.cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
+    }
+}
+
+/// A calendar-queue future-event list with the dispatch semantics of
+/// [`crate::EventQueue`] (strict `(time, seq)` order, FIFO ties, fused
+/// [`CalendarQueue::replace_earliest`]) and O(1) amortized push/pop when
+/// the bucket width matches the workload (see the module docs).
+///
+/// Timestamps must be non-negative (simulation clocks are); negative
+/// times would all hash into day zero, staying correct but degenerate.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// Flat slot storage; free slots are chained through `next`.
+    slots: Vec<Slot<E>>,
+    /// Head of the free-slot chain.
+    free_head: u32,
+    /// Bucket heads: `heads[vb & mask]` starts the chain of virtual
+    /// bucket `vb` (entries of *other* years hash here too and are
+    /// filtered by recomputing their virtual bucket during scans).
+    heads: Vec<u32>,
+    /// `nbuckets - 1`; bucket count is always a power of two.
+    mask: u64,
+    /// Bucket width and its reciprocal (the hash multiplies).
+    width: f64,
+    width_inv: f64,
+    /// Cursor: the virtual bucket the next dispatch is searched from.
+    /// Invariant: no pending entry has a smaller virtual bucket.
+    cur_vb: Cell<u64>,
+    /// Memoized minimum `(virtual bucket, slot)` — found by `peek`,
+    /// consumed by `pop`/`replace_earliest`, so the peek-then-pop hot
+    /// loop pays for one bucket scan, not two.
+    cached_min: Cell<Option<(u64, u32)>>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with default geometry (4 buckets, unit width);
+    /// pushes re-tune it by resize. Prefer
+    /// [`CalendarQueue::with_profile`] when the workload is known.
+    pub fn new() -> Self {
+        Self::with_geometry(MIN_BUCKETS, 1.0, 0)
+    }
+
+    /// An empty queue holding `capacity` events without reallocating,
+    /// with default geometry.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_geometry(MIN_BUCKETS, 1.0, capacity)
+    }
+
+    /// An empty queue pre-tuned for a steady-state population of
+    /// `expected_events` pending events, each rescheduled at rate
+    /// `event_rate` past the current time: `width = 1/(n·rate)` — the
+    /// mean dispatch spacing of the superposed process — and one bucket
+    /// per expected event (see the module docs for the derivation).
+    pub fn with_profile(expected_events: usize, event_rate: f64) -> Self {
+        let n = expected_events.max(1);
+        let width = if event_rate.is_finite() && event_rate > 0.0 {
+            1.0 / (n as f64 * event_rate)
+        } else {
+            1.0
+        };
+        Self::with_geometry(n.next_power_of_two().max(MIN_BUCKETS), width, n)
+    }
+
+    fn with_geometry(nbuckets: usize, width: f64, capacity: usize) -> Self {
+        debug_assert!(nbuckets.is_power_of_two());
+        CalendarQueue {
+            slots: Vec::with_capacity(capacity),
+            free_head: NIL,
+            heads: vec![NIL; nbuckets],
+            mask: nbuckets as u64 - 1,
+            width,
+            width_inv: 1.0 / width,
+            cur_vb: Cell::new(0),
+            cached_min: Cell::new(None),
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of events the slot storage holds without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Exact byte size of one stored event for this payload type — the
+    /// memory-accounting unit (24 bytes for a `u32` payload, matching
+    /// the heap's entry).
+    #[must_use]
+    pub const fn entry_bytes() -> usize {
+        std::mem::size_of::<Slot<E>>()
+    }
+
+    /// Bytes of the backing allocations: slot storage plus the bucket
+    /// head array.
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        self.slots.capacity() * Self::entry_bytes() + self.heads.capacity() * 4
+    }
+
+    /// Current bucket count (power of two; resizes with the population).
+    #[must_use]
+    pub fn nbuckets(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Current bucket width in time units.
+    #[must_use]
+    pub fn bucket_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Virtual (un-wrapped) bucket of a timestamp. Saturates at the
+    /// extremes: negative times land in day 0, enormous `t/width`
+    /// ratios in day `u64::MAX` — both stay correct (the min-scan
+    /// orders by `(time, seq)`, never by bucket).
+    #[inline]
+    fn vb(&self, time: SimTime) -> u64 {
+        (time.value() * self.width_inv) as u64
+    }
+
+    /// Takes a slot from the free chain or grows the storage.
+    fn alloc_slot(&mut self, time: SimTime, seq: u64, event: E) -> u32 {
+        let idx = self.free_head;
+        if idx != NIL {
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next;
+            slot.time = time;
+            slot.seq = seq;
+            slot.next = NIL;
+            slot.event = event;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "calendar queue holds at most 2^32 - 1 events");
+            self.slots.push(Slot {
+                time,
+                seq,
+                next: NIL,
+                event,
+            });
+            idx
+        }
+    }
+
+    /// Links an allocated slot into its bucket chain and maintains the
+    /// cursor invariant; returns the slot's virtual bucket.
+    fn link(&mut self, idx: u32) -> u64 {
+        let time = self.slots[idx as usize].time;
+        let vb = self.vb(time);
+        let b = (vb & self.mask) as usize;
+        self.slots[idx as usize].next = self.heads[b];
+        self.heads[b] = idx;
+        self.len += 1;
+        if self.len == 1 || vb < self.cur_vb.get() {
+            self.cur_vb.set(vb);
+        }
+        vb
+    }
+
+    /// Unlinks `idx` from its bucket chain (found by rehashing its
+    /// timestamp) without freeing the slot.
+    fn unlink(&mut self, idx: u32) {
+        let vb = self.vb(self.slots[idx as usize].time);
+        let b = (vb & self.mask) as usize;
+        let mut cur = self.heads[b];
+        if cur == idx {
+            self.heads[b] = self.slots[idx as usize].next;
+        } else {
+            loop {
+                let next = self.slots[cur as usize].next;
+                debug_assert!(next != NIL, "slot must be in its bucket chain");
+                if next == idx {
+                    self.slots[cur as usize].next = self.slots[idx as usize].next;
+                    break;
+                }
+                cur = next;
+            }
+        }
+        self.len -= 1;
+    }
+
+    /// Returns the slot to the free chain.
+    fn free_slot(&mut self, idx: u32) {
+        self.slots[idx as usize].next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Locates the minimum-`(time, seq)` entry: the memo if present,
+    /// otherwise a cursor scan (one year at most) with a global-scan
+    /// fallback for sparse far-future content. Updates the cursor and
+    /// the memo; `None` iff empty.
+    fn ensure_min(&self) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(found) = self.cached_min.get() {
+            return Some(found);
+        }
+        let nbuckets = self.heads.len();
+        let mut vb = self.cur_vb.get();
+        for _ in 0..nbuckets {
+            let mut best: u32 = NIL;
+            let mut cur = self.heads[(vb & self.mask) as usize];
+            while cur != NIL {
+                let slot = &self.slots[cur as usize];
+                if self.vb(slot.time) == vb
+                    && (best == NIL || slot.before(&self.slots[best as usize]))
+                {
+                    best = cur;
+                }
+                cur = slot.next;
+            }
+            if best != NIL {
+                self.cur_vb.set(vb);
+                self.cached_min.set(Some((vb, best)));
+                return Some((vb, best));
+            }
+            vb = vb.wrapping_add(1);
+        }
+        // A whole year without a hit: everything pending lives more than
+        // `nbuckets` days ahead. Direct search over all entries.
+        let mut best: u32 = NIL;
+        for &head in &self.heads {
+            let mut cur = head;
+            while cur != NIL {
+                let slot = &self.slots[cur as usize];
+                if best == NIL || slot.before(&self.slots[best as usize]) {
+                    best = cur;
+                }
+                cur = slot.next;
+            }
+        }
+        debug_assert!(best != NIL, "len > 0 guarantees an entry");
+        let vb = self.vb(self.slots[best as usize].time);
+        self.cur_vb.set(vb);
+        self.cached_min.set(Some((vb, best)));
+        Some((vb, best))
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.maybe_resize(self.len + 1);
+        let idx = self.alloc_slot(time, seq, event);
+        self.link(idx);
+        if let Some((_, m)) = self.cached_min.get() {
+            if self.slots[idx as usize].before(&self.slots[m as usize]) {
+                self.cached_min
+                    .set(Some((self.vb(self.slots[idx as usize].time), idx)));
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event.
+    #[must_use = "popping discards the event unless the result is consumed"]
+    pub fn pop(&mut self) -> Option<(SimTime, E)>
+    where
+        E: Copy,
+    {
+        let (vb, idx) = self.ensure_min()?;
+        self.cur_vb.set(vb);
+        self.cached_min.set(None);
+        self.unlink(idx);
+        let slot = &self.slots[idx as usize];
+        let out = (slot.time, slot.event);
+        self.free_slot(idx);
+        self.maybe_resize(self.len);
+        Some(out)
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.ensure_min()
+            .map(|(_, idx)| self.slots[idx as usize].time)
+    }
+
+    /// The earliest pending event, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.ensure_min().map(|(_, idx)| {
+            let slot = &self.slots[idx as usize];
+            (slot.time, &slot.event)
+        })
+    }
+
+    /// Removes and returns the earliest event while scheduling `event`
+    /// at `time` in its place — the fused pop-then-push of
+    /// [`crate::EventQueue::replace_earliest`], here reusing the
+    /// departing slot (no free-list traffic). Returns `None` (after
+    /// scheduling `event` as a plain push) when the queue was empty.
+    pub fn replace_earliest(&mut self, time: SimTime, event: E) -> Option<(SimTime, E)>
+    where
+        E: Copy,
+    {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.ensure_min() {
+            None => {
+                let idx = self.alloc_slot(time, seq, event);
+                self.link(idx);
+                None
+            }
+            Some((vb, idx)) => {
+                self.cur_vb.set(vb);
+                self.cached_min.set(None);
+                self.unlink(idx);
+                let slot = &mut self.slots[idx as usize];
+                let out = (slot.time, slot.event);
+                slot.time = time;
+                slot.seq = seq;
+                slot.event = event;
+                self.link(idx);
+                out.into()
+            }
+        }
+    }
+
+    /// Up to `out.len()` payloads from the cursor's bucket chain — the
+    /// events most likely to dispatch soon, as a prefetch hint (the
+    /// calendar analogue of the heap's runner-up children; an arbitrary
+    /// subset is fine, hints have no correctness weight). Returns how
+    /// many were written.
+    pub fn prefetch_hints(&self, out: &mut [E]) -> usize
+    where
+        E: Copy,
+    {
+        let mut n = 0;
+        let mut cur = self.heads[(self.cur_vb.get() & self.mask) as usize];
+        while cur != NIL && n < out.len() {
+            let slot = &self.slots[cur as usize];
+            out[n] = slot.event;
+            n += 1;
+            cur = slot.next;
+        }
+        n
+    }
+
+    /// Drops all pending events, **keeping the backing allocations**
+    /// (slot storage and bucket array) for reuse; call
+    /// [`CalendarQueue::shrink_to_fit`] to actually return the memory.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+        self.heads.fill(NIL);
+        self.cur_vb.set(0);
+        self.cached_min.set(None);
+        self.len = 0;
+    }
+
+    /// Releases backing capacity: slot storage down to the live slots
+    /// (possible only when the free chain is empty or the queue is
+    /// empty — freed holes cannot be compacted away — so this is
+    /// best-effort), bucket array down to the population's geometry.
+    pub fn shrink_to_fit(&mut self) {
+        if self.len == 0 {
+            self.slots.clear();
+            self.free_head = NIL;
+        }
+        self.slots.shrink_to_fit();
+        if self.len == 0 && self.heads.len() > MIN_BUCKETS {
+            self.heads.clear();
+            self.heads.resize(MIN_BUCKETS, NIL);
+            self.heads.shrink_to_fit();
+            self.mask = MIN_BUCKETS as u64 - 1;
+            self.cur_vb.set(0);
+        }
+    }
+
+    /// Grows (population > 2·buckets) or shrinks (population <
+    /// buckets/4) the bucket array to track the pending population,
+    /// re-estimating the width from the measured spread of pending
+    /// timestamps — the auto-tune rule of the module docs.
+    fn maybe_resize(&mut self, population: usize) {
+        let nbuckets = self.heads.len();
+        let grow = population > 2 * nbuckets;
+        let shrink = nbuckets > MIN_BUCKETS && population * 4 < nbuckets;
+        if !(grow || shrink) {
+            return;
+        }
+        let target = population.next_power_of_two().max(MIN_BUCKETS);
+        self.rebuild(target);
+    }
+
+    /// Re-hashes every pending entry into `nbuckets` buckets with a
+    /// freshly estimated width. Slot storage (and therefore slot
+    /// indices) is untouched; only the chains move.
+    fn rebuild(&mut self, nbuckets: usize) {
+        debug_assert!(nbuckets.is_power_of_two());
+        // Collect the live slots by draining the old chains.
+        let mut live: Vec<u32> = Vec::with_capacity(self.len);
+        for head in self.heads.iter_mut() {
+            let mut cur = *head;
+            while cur != NIL {
+                live.push(cur);
+                cur = self.slots[cur as usize].next;
+            }
+            *head = NIL;
+        }
+        debug_assert_eq!(live.len(), self.len);
+
+        // Width re-estimate: mean spacing of the pending set. Degenerate
+        // spreads (all ties, or a single entry) keep the current width.
+        if live.len() >= 2 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &idx in &live {
+                let t = self.slots[idx as usize].time.value();
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            let est = (hi - lo) / live.len() as f64;
+            if est.is_finite() && est > 0.0 {
+                self.width = est;
+                self.width_inv = 1.0 / est;
+            }
+        }
+
+        self.heads.clear();
+        self.heads.resize(nbuckets, NIL);
+        self.mask = nbuckets as u64 - 1;
+
+        // Relink under the new geometry, tracking the new minimum so the
+        // cursor (and memo) survive the rebuild.
+        self.len = 0;
+        self.cached_min.set(None);
+        let mut best: u32 = NIL;
+        let mut best_vb = 0u64;
+        for &idx in &live {
+            let vb = self.link(idx);
+            if best == NIL || self.slots[idx as usize].before(&self.slots[best as usize]) {
+                best = idx;
+                best_vb = vb;
+            }
+        }
+        if best != NIL {
+            self.cur_vb.set(best_vb);
+            self.cached_min.set(Some((best_vb, best)));
+        } else {
+            self.cur_vb.set(0);
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = CalendarQueue::new();
+        for (t, e) in [(5.0, 'e'), (1.0, 'a'), (3.0, 'c')] {
+            q.push(SimTime::from(t), e);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'c', 'e']);
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        // All ties land in one bucket; the full min-scan must still
+        // dispatch them in scheduling order.
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from(7.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_ties_survive_interleaved_distinct_times() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from(2.0), 1u8);
+        q.push(SimTime::from(1.0), 0);
+        q.push(SimTime::from(2.0), 2);
+        q.push(SimTime::from(3.0), 4);
+        q.push(SimTime::from(2.0), 3);
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn far_future_gaps_fall_back_to_direct_search() {
+        // Entries more than a year (nbuckets · width) past the cursor
+        // exercise the global-scan fallback.
+        let mut q = CalendarQueue::with_profile(4, 1.0);
+        q.push(SimTime::from(0.5), 'a');
+        q.push(SimTime::from(1e6), 'z');
+        q.push(SimTime::from(2e6), 'y');
+        assert_eq!(q.pop(), Some((SimTime::from(0.5), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from(1e6), 'z')));
+        assert_eq!(q.pop(), Some((SimTime::from(2e6), 'y')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from(2.0), 0u32);
+        q.push(SimTime::from(1.0), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from(1.0)));
+        assert_eq!(q.peek(), Some((SimTime::from(1.0), &1)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // The queue keeps working after a clear.
+        q.push(SimTime::from(4.0), 9);
+        assert_eq!(q.pop(), Some((SimTime::from(4.0), 9)));
+    }
+
+    #[test]
+    fn replace_earliest_on_empty_schedules() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.replace_earliest(SimTime::from(1.0), 'a'), None);
+        assert_eq!(q.peek(), Some((SimTime::from(1.0), &'a')));
+        assert_eq!(q.pop(), Some((SimTime::from(1.0), 'a')));
+    }
+
+    #[test]
+    fn resizes_track_population_and_stay_ordered() {
+        let mut q = CalendarQueue::new();
+        // Push far past the initial 4-bucket geometry…
+        for i in 0..4096u32 {
+            let t = (i as f64 * 0.73).rem_euclid(97.0);
+            q.push(SimTime::from(t), i);
+        }
+        assert!(q.nbuckets() >= 1024, "grew to {}", q.nbuckets());
+        // …drain halfway (shrinks)…
+        let mut last = SimTime::from(-1.0);
+        for _ in 0..4000 {
+            let (t, _) = q.pop().expect("still full");
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(q.nbuckets() < 1024, "shrank to {}", q.nbuckets());
+        // …and the tail still dispatches in order.
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn shrink_to_fit_releases_empty_storage() {
+        let mut q = CalendarQueue::with_capacity(512);
+        for i in 0..512u32 {
+            q.push(SimTime::from(i as f64), i);
+        }
+        while q.pop().is_some() {}
+        let before = q.queue_bytes();
+        q.shrink_to_fit();
+        assert!(q.queue_bytes() < before);
+        assert_eq!(q.nbuckets(), MIN_BUCKETS);
+    }
+
+    #[test]
+    fn entry_bytes_match_the_heap() {
+        // Both backends store 24 bytes per pending `u32` event, so the
+        // memory audit can use either interchangeably.
+        assert_eq!(
+            CalendarQueue::<u32>::entry_bytes(),
+            EventQueue::<u32>::entry_bytes()
+        );
+        assert_eq!(CalendarQueue::<u32>::entry_bytes(), 24);
+    }
+
+    #[test]
+    fn profile_sets_the_documented_geometry() {
+        let q = CalendarQueue::<u32>::with_profile(1000, 2.0);
+        assert_eq!(q.nbuckets(), 1024);
+        assert!((q.bucket_width() - 1.0 / 2000.0).abs() < 1e-15);
+    }
+
+    /// Deterministic xorshift for the adversarial mixes below.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *state
+    }
+
+    #[test]
+    fn matches_the_heap_on_adversarial_mixes() {
+        // The dispatch-equivalence contract, exercised over a push/pop/
+        // replace mix with coarse times (many exact ties): every
+        // operation must return exactly what the 4-ary heap returns.
+        let mut cal = CalendarQueue::with_profile(64, 1.0);
+        let mut heap = EventQueue::new();
+        let mut state = 0x2011u64;
+        for i in 0..5000u32 {
+            match next(&mut state) % 4 {
+                0 | 1 => {
+                    let t = SimTime::from((next(&mut state) >> 58) as f64);
+                    cal.push(t, i);
+                    heap.push(t, i);
+                }
+                2 => {
+                    assert_eq!(cal.pop(), heap.pop());
+                }
+                _ => {
+                    let t = SimTime::from((next(&mut state) >> 57) as f64);
+                    assert_eq!(
+                        cal.replace_earliest(t, i + 1_000_000),
+                        heap.replace_earliest(t, i + 1_000_000)
+                    );
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -5,8 +5,11 @@
 //! machinery:
 //!
 //! * [`SimTime`] — simulation clock values with a total order.
-//! * [`EventQueue`] — a future-event list with deterministic FIFO
-//!   tie-breaking at equal timestamps.
+//! * [`EventQueue`] / [`CalendarQueue`] — two interchangeable
+//!   future-event lists with deterministic FIFO tie-breaking at equal
+//!   timestamps (a 4-ary heap and an O(1)-amortized calendar queue),
+//!   unified by the [`FutureEventList`] trait and selected via
+//!   [`QueueBackend`].
 //! * [`Simulation`] — the main loop driving a user [`EventHandler`].
 //! * [`churn`] — Poisson arrival processes for churn generation.
 //! * [`stats`] — Welford accumulators, counters and time series with
@@ -42,6 +45,8 @@
 //! assert_eq!(sim.now(), SimTime::from(4.0));
 //! ```
 
+mod backend;
+mod calendar;
 pub mod churn;
 mod engine;
 mod queue;
@@ -49,6 +54,8 @@ pub mod replication;
 pub mod stats;
 mod time;
 
+pub use backend::{FutureEventList, QueueBackend};
+pub use calendar::CalendarQueue;
 pub use engine::{EventHandler, Scheduler, Simulation};
 pub use queue::EventQueue;
 pub use time::SimTime;

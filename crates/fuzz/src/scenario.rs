@@ -8,7 +8,7 @@
 //! can live in `tests/regressions/` and be replayed forever.
 
 use crate::json::{self, Json};
-use pollux::des_overlay::DesOverlayConfig;
+use pollux::des_overlay::{DesOverlayConfig, QueueBackend};
 use pollux::{AdversaryToggles, AnalysisMode, InitialCondition, ModelParams};
 use pollux_adversary::baselines::{PassiveAdversary, RecklessAdversary};
 use pollux_adversary::{ClusterView, JoinDecision, Strategy, TargetedStrategy};
@@ -42,6 +42,46 @@ impl StrategyChoice {
             StrategyChoice::Targeted => "targeted",
             StrategyChoice::Passive => "passive",
             StrategyChoice::Reckless => "reckless",
+        }
+    }
+
+    fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+/// Which future-event list the scenario's DES runs use.
+///
+/// Fuzzed explicitly (never [`QueueBackend::Auto`], which reads the
+/// process environment — corpus replay must stay hermetic): every
+/// oracle pair that runs a DES therefore exercises the drawn backend,
+/// and the backend byte-identity contract is covered across draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackendChoice {
+    /// The index-based 4-ary min-heap.
+    Heap,
+    /// The O(1)-amortized calendar queue.
+    Calendar,
+}
+
+impl QueueBackendChoice {
+    /// Every variant, in generator draw order.
+    pub const ALL: [QueueBackendChoice; 2] =
+        [QueueBackendChoice::Heap, QueueBackendChoice::Calendar];
+
+    /// Stable identifier used in JSON and coverage keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueBackendChoice::Heap => "heap",
+            QueueBackendChoice::Calendar => "calendar",
+        }
+    }
+
+    /// The concrete backend selector.
+    pub fn backend(&self) -> QueueBackend {
+        match self {
+            QueueBackendChoice::Heap => QueueBackend::Heap,
+            QueueBackendChoice::Calendar => QueueBackend::Calendar,
         }
     }
 
@@ -235,6 +275,12 @@ pub struct FuzzScenario {
     /// Shard count of the N-shard half of the byte-identity pair
     /// (`2 ..= 8`; the reference run always uses one shard).
     pub shards: usize,
+    /// Future-event list backend of every DES run in the scenario.
+    pub queue: QueueBackendChoice,
+    /// Work-stealing plan on the multi-shard half (inert at one shard).
+    pub steal: bool,
+    /// Block-size skew of the stealing plan (`0 ..= 3`; 0 when off).
+    pub steal_skew: u32,
     /// The sweep kind exercised by the thread-identity pair.
     pub kind: SweepKindChoice,
 }
@@ -280,7 +326,11 @@ impl FuzzScenario {
     pub fn des_config(&self, shards: usize) -> DesOverlayConfig {
         let mut cfg = DesOverlayConfig::new(self.cluster_bits, self.lambda, self.total_events())
             .with_warmup_events(self.warmup_events)
-            .with_shards(shards);
+            .with_shards(shards)
+            .with_queue_backend(self.queue.backend());
+        if self.steal {
+            cfg = cfg.with_work_stealing(self.steal_skew);
+        }
         if self.regenerate {
             cfg = cfg.with_regeneration();
         }
@@ -401,7 +451,7 @@ impl FuzzScenario {
         let mut field = |key: &str, value: String| {
             let _ = writeln!(out, "  \"{key}\": {value},");
         };
-        field("format", "1".into());
+        field("format", "2".into());
         field("id", self.id.to_string());
         field("seed", self.seed.to_string());
         field("c", self.c.to_string());
@@ -445,6 +495,9 @@ impl FuzzScenario {
             ),
         );
         field("shards", self.shards.to_string());
+        field("queue", format!("\"{}\"", self.queue.label()));
+        field("steal", self.steal.to_string());
+        field("steal_skew", self.steal_skew.to_string());
         // Last field without the trailing comma.
         let _ = write!(out, "  \"kind\": \"{}\"\n}}\n", self.kind.label());
         out
@@ -462,7 +515,7 @@ impl FuzzScenario {
             .get("format")
             .and_then(Json::as_u64)
             .ok_or("missing 'format'")?;
-        if format != 1 {
+        if !(1..=2).contains(&format) {
             return Err(format!("unsupported corpus format {format}"));
         }
         let u64_field = |key: &str| {
@@ -513,6 +566,17 @@ impl FuzzScenario {
             other => return Err(format!("unsupported mode '{other}'")),
         };
         let kind = SweepKindChoice::parse(str_field("kind")?).ok_or("unsupported kind")?;
+        // Format 1 predates the queue/stealing dimensions; old corpus
+        // entries replay on the then-only configuration.
+        let (queue, steal, steal_skew) = if format >= 2 {
+            (
+                QueueBackendChoice::parse(str_field("queue")?).ok_or("unsupported queue")?,
+                bool_field("steal")?,
+                u64_field("steal_skew")? as u32,
+            )
+        } else {
+            (QueueBackendChoice::Heap, false, 0)
+        };
         let sample_times: Vec<f64> = v
             .get("sample_times")
             .and_then(Json::as_arr)
@@ -544,6 +608,9 @@ impl FuzzScenario {
             warmup_events: u64_field("warmup_events")?,
             sample_times,
             shards: usize_field("shards")?,
+            queue,
+            steal,
+            steal_skew,
             kind,
         };
         // Validate the model invariants eagerly so replay failures point
@@ -561,6 +628,9 @@ impl FuzzScenario {
         }
         if scenario.shards == 0 {
             return Err("shards must be ≥ 1".into());
+        }
+        if scenario.steal_skew > 3 || (!scenario.steal && scenario.steal_skew != 0) {
+            return Err("steal_skew must be 0..=3, and 0 when stealing is off".into());
         }
         Ok(scenario)
     }
@@ -642,6 +712,9 @@ mod tests {
             warmup_events: 100,
             sample_times: vec![1.5, 12.0],
             shards: 6,
+            queue: QueueBackendChoice::Calendar,
+            steal: true,
+            steal_skew: 2,
             kind: SweepKindChoice::Duel,
         }
     }
@@ -667,6 +740,26 @@ mod tests {
         let mut s = sample();
         s.mu = 1.0;
         assert!(FuzzScenario::from_json(&s.to_json()).is_err());
+        let mut s = sample();
+        s.steal = false; // skew without stealing is not a generated point
+        assert!(FuzzScenario::from_json(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn format_one_corpora_replay_on_the_legacy_configuration() {
+        // Pre-queue/stealing corpus entries must keep replaying exactly
+        // as they did when committed: heap backend, static shard plan.
+        let s = sample();
+        let text = s
+            .to_json()
+            .replace("\"format\": 2,", "\"format\": 1,")
+            .replace("  \"queue\": \"calendar\",\n", "")
+            .replace("  \"steal\": true,\n", "")
+            .replace("  \"steal_skew\": 2,\n", "");
+        let back = FuzzScenario::from_json(&text).expect("format 1 parses");
+        assert_eq!(back.queue, QueueBackendChoice::Heap);
+        assert!(!back.steal);
+        assert_eq!(back.steal_skew, 0);
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! predictions — the cross-validation loop behind the `des_validate`
 //! sweep scenarios — plus wall-clock throughput (events per second),
 //! single-shard and sharded: per-shard and aggregate rates, so a
-//! multi-core run finally yields a worker-pool scaling number (see
-//! `BENCH_des.json` for the recorded trajectory).
+//! multi-core run finally yields a worker-pool scaling number, and a
+//! per-rung memory block (the analytic byte audit next to peak RSS).
+//! The ladder workload itself lives in `pollux_bench::des_ladder`,
+//! shared with the `des_overlay` bench, so this example and
+//! `BENCH_des.json` always measure the same thing.
 //!
 //! ```text
-//! cargo run --release --example des_at_scale
+//! cargo run --release --example des_at_scale [-- --queue {heap,calendar}]
 //! ```
+//!
+//! `--queue` selects the future-event-list backend (default `heap`, the
+//! 4-ary min-heap; `calendar` is the O(1)-amortized calendar queue).
+//! The reports are byte-identical either way — this flag only moves the
+//! throughput numbers.
 //!
 //! The shard count defaults to the machine's available parallelism;
 //! override it with `POLLUX_DES_SHARDS=N`.
@@ -25,16 +33,43 @@
 
 use std::time::Instant;
 
-use pollux::des_overlay::{
-    run_des_overlay, run_des_overlay_duel_observed, run_des_overlay_duel_with_stats,
-    DesOverlayConfig,
-};
-use pollux::{ClusterAnalysis, InitialCondition, ModelParams};
+use pollux::des_overlay::{run_des_overlay_duel_observed, QueueBackend};
+use pollux::{ClusterAnalysis, InitialCondition};
 use pollux_adversary::TargetedStrategy;
+use pollux_bench::des_ladder::{
+    format_memory_line, ladder_config, ladder_params, rung_memory, time_sharded, time_single,
+    LADDER_SEED,
+};
 use pollux_defense::NullDefense;
 
+fn parse_queue_flag() -> Result<QueueBackend, String> {
+    let mut args = std::env::args().skip(1);
+    let mut queue = QueueBackend::Heap;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a value")?;
+                queue = match v.as_str() {
+                    "heap" => QueueBackend::Heap,
+                    "calendar" => QueueBackend::Calendar,
+                    other => return Err(format!("unknown queue backend '{other}'")),
+                };
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(queue)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = ModelParams::paper_defaults().with_mu(0.25).with_d(0.9);
+    let queue = match parse_queue_flag() {
+        Ok(q) => q,
+        Err(msg) => {
+            eprintln!("des_at_scale: {msg}\nusage: des_at_scale [--queue {{heap,calendar}}]");
+            std::process::exit(2);
+        }
+    };
+    let params = ladder_params();
     let strategy = TargetedStrategy::new(params.k(), params.nu()).unwrap();
     let analysis = ClusterAnalysis::new(&params, InitialCondition::Delta)?;
     let e_ts = analysis.expected_safe_events()?;
@@ -52,16 +87,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max(1);
 
     println!("model: {params}");
+    println!("queue: {queue:?}");
     println!("markov: E(T_S) = {e_ts:.4}  E(T_P) = {e_tp:.4}  p(AmP) = {amp:.4}\n");
 
     for bits in [14u32, 17] {
-        // A generous per-cluster budget: E(T) ≈ 13 events, and unused
-        // budget costs nothing without regeneration, so 3 000 per cluster
-        // keeps the censoring probability of the sojourn tail negligible.
-        let config = DesOverlayConfig::new(bits, 1.0, 3_000 << bits);
-        let start = Instant::now();
-        let r = run_des_overlay(&params, &InitialCondition::Delta, &strategy, &config, 2011);
-        let secs = start.elapsed().as_secs_f64();
+        // The shared ladder workload: a generous per-cluster budget
+        // (E(T) ≈ 13 events, and unused budget costs nothing without
+        // regeneration) keeps the censoring probability of the sojourn
+        // tail negligible.
+        let config = ladder_config(bits, queue);
+        let (r, secs) = time_single(&params, &strategy, &config, 1);
         println!(
             "n = {} clusters ({} nodes at t=0, peak {}):",
             r.n_clusters, r.initial_nodes, r.peak_nodes
@@ -78,17 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.end_time
         );
 
-        // The same run sharded: byte-identical report, scaled wall clock.
-        let start = Instant::now();
-        let (sharded, stats) = run_des_overlay_duel_with_stats(
-            &params,
-            &InitialCondition::Delta,
-            &strategy,
-            &NullDefense::new(),
-            &config.clone().with_shards(shards),
-            2011,
-        );
-        let sharded_secs = start.elapsed().as_secs_f64();
+        // The same run sharded with deterministic work-stealing on:
+        // byte-identical report, scaled wall clock.
+        let sharded_config = config.clone().with_shards(shards).with_work_stealing(1);
+        let (sharded, stats, sharded_secs) = time_sharded(&params, &strategy, &sharded_config, 1);
         assert_eq!(r, sharded, "sharding must never change the bytes");
         let per_shard: Vec<String> = stats
             .shard_events_per_sec()
@@ -96,32 +124,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|rate| format!("{:.2}M", rate / 1e6))
             .collect();
         println!(
-            "  {} shards:  {:.2} s aggregate — {:.1}M events/s ({:.2}x), per shard [{}] events/s\n",
+            "  {} shards:  {:.2} s aggregate — {:.1}M events/s ({:.2}x), per shard [{}] events/s",
             stats.shards(),
             sharded_secs,
             sharded.events as f64 / sharded_secs / 1e6,
             secs / sharded_secs,
             per_shard.join(", "),
         );
+        let (audit, peak) = rung_memory(&params, &config);
+        assert!(
+            audit.bytes_per_node() < 25.0,
+            "memory audit over the 25.0 B/node ceiling"
+        );
+        println!("  {}\n", format_memory_line(&audit, peak));
 
         // Optional trace export for the first (16k) rung only — the tail
         // of a 10⁶-node run is just as representative and much smaller.
         if bits == 14 {
             if let Ok(path) = std::env::var("POLLUX_DES_TRACE") {
+                let start = Instant::now();
                 let (traced, _, obs) = run_des_overlay_duel_observed(
                     &params,
                     &InitialCondition::Delta,
                     &strategy,
                     &NullDefense::new(),
                     &config,
-                    2011,
+                    LADDER_SEED,
                     65_536,
                 );
+                let traced_secs = start.elapsed().as_secs_f64();
                 assert_eq!(r, traced, "tracing must never change the bytes");
                 if pollux_obs::METRICS_ENABLED {
                     let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
                     obs.write_trace_jsonl(&mut f)?;
-                    println!("  trace: wrote {} records to {path}\n", obs.trace.len());
+                    println!(
+                        "  trace: wrote {} records to {path} ({traced_secs:.2} s)\n",
+                        obs.trace.len()
+                    );
                 } else {
                     eprintln!("  trace: {path} skipped — rebuild with --features metrics\n");
                 }
